@@ -1,0 +1,89 @@
+//! Analytical models of the architectures the TFE is compared against
+//! (Figs. 16–18, Table IV).
+//!
+//! The paper compares against closed-source accelerators by combining
+//! their published network-level factors with layer-shape arithmetic.
+//! This crate makes each comparator *executable* over our layer tables:
+//!
+//! * [`weight_compression`] — Han pruning, SSL, ADMM-NN and UCNN, modelled
+//!   as a MAC reduction discounted by an irregularity efficiency (the
+//!   paper's Section V.C.2 argument: sparse indexing, load imbalance and
+//!   decode logic keep realized speedup far below the pruning ratio).
+//! * [`computation_reduction`] — SnaPEA's predictive early activation,
+//!   the Winograd F(2×2, 3×3) transform and asymmetric (3×1 + 1×3)
+//!   convolution, each applied per layer where its preconditions hold.
+//! * [`reported`] — Bit Fusion, Multi-CLP and SCNN-Nvidia, whose
+//!   comparisons the paper takes directly from their publications
+//!   (Table IV).
+//! * [`winograd_kernel`] — an *executable* Winograd F(2×2, 3×3)
+//!   convolution whose measured multiply reduction pins the analytical
+//!   comparator's factor.
+//! * [`sparse_kernel`] — an executable magnitude-pruned sparse
+//!   convolution whose counters exhibit the index-decode and
+//!   load-imbalance overheads behind the pruning models' irregularity
+//!   efficiencies.
+//!
+//! Every model implements [`Comparator`], so the bench harness can sweep
+//! them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod computation_reduction;
+pub mod reported;
+pub mod sparse_kernel;
+pub mod winograd_kernel;
+pub mod weight_compression;
+
+use tfe_nets::Network;
+
+/// A comparison architecture: how it compresses and how fast it runs
+/// relative to Eyeriss on a given network.
+pub trait Comparator {
+    /// Display name as used in the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Parameter reduction factor on the network's conv layers (1.0 = no
+    /// compression).
+    fn param_reduction(&self, network: &Network) -> f64;
+
+    /// Speedup over Eyeriss on the conv layers, if the method publishes or
+    /// implies one.
+    fn conv_speedup(&self, network: &Network) -> Option<f64>;
+
+    /// Overall (conv + FC) speedup over Eyeriss.
+    fn overall_speedup(&self, network: &Network) -> Option<f64> {
+        // Default: conv speedup diluted by untouched FC MACs.
+        let conv = self.conv_speedup(network)?;
+        let conv_macs = network.conv_macs() as f64;
+        let fc_macs = network.fc_macs() as f64;
+        Some((conv_macs + fc_macs) / (conv_macs / conv + fc_macs))
+    }
+
+    /// Average chip power in milliwatts on the VGG/AlexNet comparison
+    /// workload, when published or derivable.
+    fn power_mw(&self) -> Option<f64> {
+        None
+    }
+
+    /// Top-1 accuracy loss the method incurs at this operating point, in
+    /// percentage points (the paper compares at ≤ 1 %).
+    fn accuracy_loss_pct(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::computation_reduction::AsymmetricConv;
+    use super::*;
+    use tfe_nets::zoo;
+
+    #[test]
+    fn default_overall_speedup_dilutes_with_fc() {
+        let asym = AsymmetricConv::new();
+        let net = zoo::alexnet();
+        let conv = asym.conv_speedup(&net).unwrap();
+        let overall = asym.overall_speedup(&net).unwrap();
+        assert!(overall < conv);
+        assert!(overall > 1.0);
+    }
+}

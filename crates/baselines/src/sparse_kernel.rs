@@ -1,0 +1,266 @@
+//! Executable sparse (pruned) convolution — the weight-compression
+//! baselines of Fig. 16 as running code.
+//!
+//! Magnitude pruning zeroes the smallest weights; a sparse engine stores
+//! only the survivors in compressed form (value + position index) and
+//! skips the zero MACs. The paper's Section V.C.2 argument is visible
+//! directly in the counters: the *useful* MACs shrink by the pruning
+//! ratio, but every surviving weight drags an index decode along, and
+//! the per-output-position work becomes irregular (the load-imbalance
+//! statistic below), which is what keeps realized speedup far below the
+//! compression ratio.
+
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_tensor::TensorError;
+
+/// A filter bank in compressed sparse form: per (filter, channel), the
+/// surviving weights with their in-window positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseFilterBank {
+    m: usize,
+    n: usize,
+    k: usize,
+    /// `entries[m][c]` = list of `(ky, kx, weight)` survivors.
+    entries: Vec<Vec<Vec<(u8, u8, f32)>>>,
+    dense_weights: usize,
+}
+
+/// Execution counters of one sparse convolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SparseCounters {
+    /// MACs actually executed (nonzero weights only).
+    pub effective_macs: u64,
+    /// MACs the dense layer would execute.
+    pub dense_macs: u64,
+    /// Index decodes (one per surviving weight per window — the paper's
+    /// "at least one index per weight" overhead).
+    pub index_decodes: u64,
+    /// Load-imbalance statistic: max over filters of surviving weights,
+    /// divided by the mean — parallel lanes finish at the slowest
+    /// filter's pace.
+    pub load_imbalance: f64,
+}
+
+impl SparseCounters {
+    /// Ideal MAC reduction from sparsity alone.
+    #[must_use]
+    pub fn mac_reduction(&self) -> f64 {
+        self.dense_macs as f64 / self.effective_macs.max(1) as f64
+    }
+
+    /// Effective speedup once index decode (costing `decode_cost` of a
+    /// MAC each) and load imbalance are charged — the realized factor a
+    /// sparse engine sees.
+    #[must_use]
+    pub fn realized_speedup(&self, decode_cost: f64) -> f64 {
+        let work = self.effective_macs as f64 * self.load_imbalance
+            + self.index_decodes as f64 * decode_cost;
+        self.dense_macs as f64 / work
+    }
+}
+
+impl SparseFilterBank {
+    /// Magnitude-prunes a dense `[M, N, K, K]` bank, keeping the largest
+    /// `1 − sparsity` fraction of weights (globally thresholded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `sparsity` is not in
+    /// `[0, 1)`.
+    pub fn prune(weights: &Tensor4<f32>, sparsity: f64) -> Result<Self, TensorError> {
+        if !(0.0..1.0).contains(&sparsity) {
+            return Err(TensorError::InvalidDimension {
+                what: "sparsity (must be in [0,1) as a fraction)",
+                value: (sparsity * 100.0) as usize,
+            });
+        }
+        let [m, n, kh, _] = weights.dims();
+        let mut magnitudes: Vec<f32> = weights.as_slice().iter().map(|w| w.abs()).collect();
+        magnitudes.sort_by(f32::total_cmp);
+        let cut = ((magnitudes.len() as f64) * sparsity) as usize;
+        let threshold = if cut == 0 { -1.0 } else { magnitudes[cut - 1] };
+        let mut entries = vec![vec![Vec::new(); n]; m];
+        for (idx, &w) in weights.as_slice().iter().enumerate() {
+            if w.abs() > threshold {
+                let kx = idx % kh;
+                let ky = (idx / kh) % kh;
+                let c = (idx / (kh * kh)) % n;
+                let f = idx / (kh * kh * n);
+                entries[f][c].push((ky as u8, kx as u8, w));
+            }
+        }
+        Ok(SparseFilterBank {
+            m,
+            n,
+            k: kh,
+            entries,
+            dense_weights: weights.len(),
+        })
+    }
+
+    /// Surviving weight count.
+    #[must_use]
+    pub fn nonzeros(&self) -> usize {
+        self.entries
+            .iter()
+            .flat_map(|per_filter| per_filter.iter().map(Vec::len))
+            .sum()
+    }
+
+    /// Achieved sparsity fraction.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nonzeros() as f64 / self.dense_weights as f64
+    }
+
+    /// Storage in 16-bit words including one index word per survivor —
+    /// the compressed model size the paper's Fig. 16 parameter bars use.
+    #[must_use]
+    pub fn stored_words(&self) -> usize {
+        2 * self.nonzeros()
+    }
+
+    /// Sparse convolution with counting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if operands disagree with
+    /// `shape`.
+    pub fn conv(
+        &self,
+        input: &Tensor4<f32>,
+        shape: &LayerShape,
+    ) -> Result<(Tensor4<f32>, SparseCounters), TensorError> {
+        for (what, expected, actual) in [
+            ("sparse filter count", shape.m(), self.m),
+            ("sparse channels", shape.n(), self.n),
+            ("sparse filter extent", shape.k(), self.k),
+            ("sparse input channels", shape.n(), input.dims()[1]),
+        ] {
+            if expected != actual {
+                return Err(TensorError::ShapeMismatch {
+                    what,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        let batch = input.dims()[0];
+        let (e, f, s, p) = (shape.e(), shape.f(), shape.stride(), shape.pad());
+        let mut out = Tensor4::zeros([batch, self.m, e, f]);
+        let mut counters = SparseCounters {
+            dense_macs: shape.macs() * batch as u64,
+            ..SparseCounters::default()
+        };
+        for b in 0..batch {
+            for (m, per_filter) in self.entries.iter().enumerate() {
+                for oy in 0..e {
+                    for ox in 0..f {
+                        let mut acc = 0.0f32;
+                        for (c, survivors) in per_filter.iter().enumerate() {
+                            for &(ky, kx, w) in survivors {
+                                counters.index_decodes += 1;
+                                let iy = (oy * s + ky as usize) as isize - p as isize;
+                                let ix = (ox * s + kx as usize) as isize - p as isize;
+                                if iy < 0
+                                    || iy >= shape.h() as isize
+                                    || ix < 0
+                                    || ix >= shape.w() as isize
+                                {
+                                    continue;
+                                }
+                                counters.effective_macs += 1;
+                                acc += input.get([b, c, iy as usize, ix as usize]) * w;
+                            }
+                        }
+                        out.set([b, m, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        // Load imbalance across filter lanes.
+        let per_filter: Vec<usize> = self
+            .entries
+            .iter()
+            .map(|pf| pf.iter().map(Vec::len).sum())
+            .collect();
+        let max = per_filter.iter().copied().max().unwrap_or(0) as f64;
+        let mean = per_filter.iter().sum::<usize>() as f64 / per_filter.len().max(1) as f64;
+        counters.load_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        Ok((out, counters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::conv::conv2d_f32;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((*seed >> 16) as f32 / 65536.0) - 0.5
+    }
+
+    fn setup(sparsity: f64) -> (LayerShape, Tensor4<f32>, Tensor4<f32>, SparseFilterBank) {
+        let shape = LayerShape::conv("sp", 3, 4, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 77;
+        let input = Tensor4::from_fn([1, 3, 8, 8], |_| det(&mut seed));
+        let weights = Tensor4::from_fn([4, 3, 3, 3], |_| det(&mut seed));
+        let bank = SparseFilterBank::prune(&weights, sparsity).unwrap();
+        (shape, input, weights, bank)
+    }
+
+    #[test]
+    fn zero_sparsity_matches_dense_convolution() {
+        let (shape, input, weights, bank) = setup(0.0);
+        assert_eq!(bank.nonzeros(), weights.len());
+        let (out, counters) = bank.conv(&input, &shape).unwrap();
+        let dense = conv2d_f32(&input, &weights, None, &shape).unwrap();
+        assert!(out.max_abs_diff(&dense) < 1e-5);
+        assert!((counters.mac_reduction() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn pruned_conv_matches_conv_with_pruned_weights() {
+        let (shape, input, weights, bank) = setup(0.5);
+        assert!((bank.sparsity() - 0.5).abs() < 0.05, "{}", bank.sparsity());
+        // Build the equivalent pruned dense bank and compare outputs.
+        let mut magnitudes: Vec<f32> = weights.as_slice().iter().map(|w| w.abs()).collect();
+        magnitudes.sort_by(f32::total_cmp);
+        let threshold = magnitudes[(magnitudes.len() / 2) - 1];
+        let pruned = weights.map(|w| if w.abs() > threshold { w } else { 0.0 });
+        let reference = conv2d_f32(&input, &pruned, None, &shape).unwrap();
+        let (out, _) = bank.conv(&input, &shape).unwrap();
+        assert!(out.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn realized_speedup_lags_mac_reduction() {
+        // The Fig. 16 phenomenon: 50% sparsity gives ~2x fewer MACs but
+        // index decode + imbalance eat most of it.
+        let (shape, input, _, bank) = setup(0.5);
+        let (_, counters) = bank.conv(&input, &shape).unwrap();
+        let ideal = counters.mac_reduction();
+        let realized = counters.realized_speedup(0.5);
+        assert!(ideal > 1.6, "ideal {ideal}");
+        assert!(realized < ideal, "realized {realized} vs ideal {ideal}");
+        assert!(counters.load_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn compressed_storage_accounts_for_indices() {
+        let (_, _, weights, bank) = setup(0.75);
+        // 25% survivors, each costing value + index: compression is only
+        // 2x despite 4x fewer weights.
+        let ratio = weights.len() as f64 / bank.stored_words() as f64;
+        assert!((1.8..2.3).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn invalid_sparsity_rejected() {
+        let weights = Tensor4::<f32>::zeros([1, 1, 3, 3]);
+        assert!(SparseFilterBank::prune(&weights, 1.0).is_err());
+        assert!(SparseFilterBank::prune(&weights, -0.1).is_err());
+    }
+}

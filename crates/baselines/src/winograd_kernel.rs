@@ -1,0 +1,301 @@
+//! Executable Winograd F(2×2, 3×3) fast convolution — the
+//! computation-reduction baseline of Fig. 17 as running code, not just an
+//! analytical factor.
+//!
+//! The minimal-filtering algorithm computes a 2×2 output tile from a 4×4
+//! input tile with 16 elementwise multiplies instead of the direct
+//! method's 36:
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! with the standard transform matrices `B`, `G`, `A` (Lavin & Gray
+//! 2016). Tests verify the result equals the direct convolution and that
+//! the counted multiplies realize exactly the 2.25× reduction the
+//! comparator model and the paper use.
+
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_tensor::TensorError;
+
+/// Multiply counter for one Winograd execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WinogradCounters {
+    /// Elementwise (Hadamard) multiplies — the expensive operations the
+    /// transform minimizes.
+    pub tile_multiplies: u64,
+    /// Multiplies a direct convolution would have executed for the same
+    /// outputs.
+    pub direct_multiplies: u64,
+    /// Transform additions (input, filter and output transforms).
+    pub transform_adds: u64,
+}
+
+impl WinogradCounters {
+    /// Realized multiply reduction.
+    #[must_use]
+    pub fn multiply_reduction(&self) -> f64 {
+        self.direct_multiplies as f64 / self.tile_multiplies.max(1) as f64
+    }
+}
+
+/// Filter transform: `G g Gᵀ` for a 3×3 filter `g`, yielding 4×4.
+///
+/// `G = [[1, 0, 0], [1/2, 1/2, 1/2], [1/2, -1/2, 1/2], [0, 0, 1]]`.
+#[must_use]
+pub fn transform_filter(g: &[[f32; 3]; 3]) -> [[f32; 4]; 4] {
+    let mut gg = [[0.0f32; 3]; 4]; // G * g
+    for i in 0..3 {
+        gg[0][i] = g[0][i];
+        gg[1][i] = 0.5 * (g[0][i] + g[1][i] + g[2][i]);
+        gg[2][i] = 0.5 * (g[0][i] - g[1][i] + g[2][i]);
+        gg[3][i] = g[2][i];
+    }
+    let mut out = [[0.0f32; 4]; 4]; // (G g) * G^T
+    for (row, gg_row) in gg.iter().enumerate() {
+        out[row][0] = gg_row[0];
+        out[row][1] = 0.5 * (gg_row[0] + gg_row[1] + gg_row[2]);
+        out[row][2] = 0.5 * (gg_row[0] - gg_row[1] + gg_row[2]);
+        out[row][3] = gg_row[2];
+    }
+    out
+}
+
+/// Input transform: `Bᵀ d B` for a 4×4 data tile `d`.
+///
+/// `Bᵀ = [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]]`.
+#[must_use]
+pub fn transform_input(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
+    let bt = |row: &[f32; 4]| -> [f32; 4] {
+        [
+            row[0] - row[2],
+            row[1] + row[2],
+            row[2] - row[1],
+            row[1] - row[3],
+        ]
+    };
+    // B^T applied to columns first.
+    let mut cols = [[0.0f32; 4]; 4];
+    for j in 0..4 {
+        let col = [d[0][j], d[1][j], d[2][j], d[3][j]];
+        let t = bt(&col);
+        for i in 0..4 {
+            cols[i][j] = t[i];
+        }
+    }
+    // Then to rows.
+    let mut out = [[0.0f32; 4]; 4];
+    for i in 0..4 {
+        out[i] = bt(&cols[i]);
+    }
+    out
+}
+
+/// Output transform: `Aᵀ m A` for the 4×4 Hadamard product `m`, yielding
+/// the 2×2 output tile.
+///
+/// `Aᵀ = [[1, 1, 1, 0], [0, 1, -1, -1]]`.
+#[must_use]
+pub fn transform_output(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    let at = |row: &[f32; 4]| -> [f32; 2] {
+        [row[0] + row[1] + row[2], row[1] - row[2] - row[3]]
+    };
+    let mut cols = [[0.0f32; 4]; 2];
+    for j in 0..4 {
+        let col = [m[0][j], m[1][j], m[2][j], m[3][j]];
+        let t = at(&col);
+        cols[0][j] = t[0];
+        cols[1][j] = t[1];
+    }
+    [at(&cols[0]), at(&cols[1])]
+}
+
+/// Winograd F(2×2, 3×3) convolution of a unit-stride 3×3 layer, with
+/// multiply counting.
+///
+/// Output positions not covered by complete 2×2 tiles (odd extents) fall
+/// back to direct convolution, exactly as edge handling does in practice.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if operands disagree with
+/// `shape`, or [`TensorError::InvalidDimension`] if the layer is not a
+/// unit-stride 3×3 convolution.
+#[allow(clippy::needless_range_loop)]
+pub fn winograd_conv2d(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    shape: &LayerShape,
+) -> Result<(Tensor4<f32>, WinogradCounters), TensorError> {
+    if shape.k() != 3 || shape.stride() != 1 || shape.dilation() != 1 {
+        return Err(TensorError::InvalidDimension {
+            what: "winograd F(2x2,3x3) requires a unit-stride 3x3 layer; k",
+            value: shape.k(),
+        });
+    }
+    let direct = tfe_tensor::conv::conv2d_f32(input, weights, None, shape)?;
+    let [batch, _, e, f] = direct.dims();
+    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    let mut counters = WinogradCounters {
+        direct_multiplies: shape.macs() * batch as u64,
+        ..WinogradCounters::default()
+    };
+    let (pad, h, w) = (shape.pad() as isize, shape.h() as isize, shape.w() as isize);
+    // Pre-transform every filter once (amortized across the whole map).
+    let mut u = vec![vec![[[0.0f32; 4]; 4]; shape.n()]; shape.m()];
+    for m in 0..shape.m() {
+        for c in 0..shape.n() {
+            let mut g = [[0.0f32; 3]; 3];
+            for (y, g_row) in g.iter_mut().enumerate() {
+                for (x, g_val) in g_row.iter_mut().enumerate() {
+                    *g_val = weights.get([m, c, y, x]);
+                }
+            }
+            u[m][c] = transform_filter(&g);
+            counters.transform_adds += 28; // G g G^T adds
+        }
+    }
+    for b in 0..batch {
+        for m in 0..shape.m() {
+            for ty in (0..e - e % 2).step_by(2) {
+                for tx in (0..f - f % 2).step_by(2) {
+                    let mut acc = [[0.0f32; 2]; 2];
+                    for c in 0..shape.n() {
+                        // Gather the 4x4 input tile (with zero padding).
+                        let mut d = [[0.0f32; 4]; 4];
+                        for (dy, d_row) in d.iter_mut().enumerate() {
+                            for (dx, d_val) in d_row.iter_mut().enumerate() {
+                                let iy = ty as isize + dy as isize - pad;
+                                let ix = tx as isize + dx as isize - pad;
+                                if iy >= 0 && iy < h && ix >= 0 && ix < w {
+                                    *d_val = input.get([b, c, iy as usize, ix as usize]);
+                                }
+                            }
+                        }
+                        let v = transform_input(&d);
+                        counters.transform_adds += 32;
+                        // Hadamard product: the 16 counted multiplies.
+                        let mut prod = [[0.0f32; 4]; 4];
+                        for i in 0..4 {
+                            for j in 0..4 {
+                                prod[i][j] = v[i][j] * u[m][c][i][j];
+                            }
+                        }
+                        counters.tile_multiplies += 16;
+                        let y = transform_output(&prod);
+                        counters.transform_adds += 24;
+                        for i in 0..2 {
+                            for j in 0..2 {
+                                acc[i][j] += y[i][j];
+                            }
+                        }
+                    }
+                    for i in 0..2 {
+                        for j in 0..2 {
+                            out.set([b, m, ty + i, tx + j], acc[i][j]);
+                        }
+                    }
+                }
+            }
+            // Edge rows/columns not covered by 2x2 tiles: direct values.
+            for oy in 0..e {
+                for ox in 0..f {
+                    let in_tile = oy < e - e % 2 && ox < f - f % 2;
+                    if !in_tile {
+                        out.set([b, m, oy, ox], direct.get([b, m, oy, ox]));
+                        counters.tile_multiplies += 9 * shape.n() as u64;
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((*seed >> 16) as f32 / 65536.0) - 0.5
+    }
+
+    #[test]
+    fn filter_transform_of_identity_kernel() {
+        // Centre-impulse filter: convolution output equals input, and
+        // G g G^T has a known closed form.
+        let mut g = [[0.0f32; 3]; 3];
+        g[1][1] = 1.0;
+        let u = transform_filter(&g);
+        assert_eq!(u[1][1], 0.25);
+        assert_eq!(u[2][2], 0.25);
+        assert_eq!(u[0][0], 0.0);
+    }
+
+    #[test]
+    fn winograd_matches_direct_convolution() {
+        let shape = LayerShape::conv("w", 3, 4, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 5;
+        let input = Tensor4::from_fn([1, 3, 8, 8], |_| det(&mut seed));
+        let weights = Tensor4::from_fn([4, 3, 3, 3], |_| det(&mut seed));
+        let (out, _) = winograd_conv2d(&input, &weights, &shape).unwrap();
+        let direct = tfe_tensor::conv::conv2d_f32(&input, &weights, None, &shape).unwrap();
+        let diff = out.max_abs_diff(&direct);
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+
+    #[test]
+    fn winograd_matches_direct_on_odd_extents() {
+        // 7x7 output: edge row/column falls back to direct computation.
+        let shape = LayerShape::conv("w", 2, 2, 7, 7, 3, 1, 1).unwrap();
+        let mut seed = 9;
+        let input = Tensor4::from_fn([1, 2, 7, 7], |_| det(&mut seed));
+        let weights = Tensor4::from_fn([2, 2, 3, 3], |_| det(&mut seed));
+        let (out, _) = winograd_conv2d(&input, &weights, &shape).unwrap();
+        let direct = tfe_tensor::conv::conv2d_f32(&input, &weights, None, &shape).unwrap();
+        assert!(out.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn multiply_reduction_approaches_2_25() {
+        // Even extents, all tiles Winograd: exactly 36/16 = 2.25x.
+        let shape = LayerShape::conv("w", 4, 8, 16, 16, 3, 1, 1).unwrap();
+        let input = Tensor4::filled([1, 4, 16, 16], 0.5f32);
+        let weights = Tensor4::filled([8, 4, 3, 3], 0.25f32);
+        let (_, counters) = winograd_conv2d(&input, &weights, &shape).unwrap();
+        let red = counters.multiply_reduction();
+        assert!((red - 2.25).abs() < 1e-9, "reduction {red}");
+    }
+
+    #[test]
+    fn comparator_model_matches_kernel_reduction() {
+        // The Fig. 17 analytical model's tile factor equals the measured
+        // kernel's on a fully tiled layer.
+        use crate::computation_reduction::Winograd;
+        let shape = LayerShape::conv("w", 2, 4, 12, 12, 3, 1, 1).unwrap();
+        let input = Tensor4::filled([1, 2, 12, 12], 1.0f32);
+        let weights = Tensor4::filled([4, 2, 3, 3], 1.0f32);
+        let (_, counters) = winograd_conv2d(&input, &weights, &shape).unwrap();
+        assert!(
+            (counters.multiply_reduction() - Winograd::tile_multiply_reduction()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn non_3x3_rejected() {
+        let shape = LayerShape::conv("w", 1, 1, 8, 8, 5, 1, 2).unwrap();
+        let input = Tensor4::zeros([1, 1, 8, 8]);
+        let weights = Tensor4::zeros([1, 1, 5, 5]);
+        assert!(winograd_conv2d(&input, &weights, &shape).is_err());
+    }
+
+    #[test]
+    fn strided_rejected() {
+        let shape = LayerShape::conv("w", 1, 1, 8, 8, 3, 2, 1).unwrap();
+        let input = Tensor4::zeros([1, 1, 8, 8]);
+        let weights = Tensor4::zeros([1, 1, 3, 3]);
+        assert!(winograd_conv2d(&input, &weights, &shape).is_err());
+    }
+}

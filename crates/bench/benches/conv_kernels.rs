@@ -1,0 +1,65 @@
+//! Microbenchmarks of the reference convolution kernels: dense f32,
+//! fixed-point, and convolution with an expanded transferred bank.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfe_tensor::conv::{conv2d_f32, conv2d_fx};
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let shape = LayerShape::conv("bench", 16, 16, 32, 32, 3, 1, 1).unwrap();
+    let mut seed = 1;
+    let input = Tensor4::from_fn([1, 16, 32, 32], |_| det(&mut seed));
+    let weights = Tensor4::from_fn([16, 16, 3, 3], |_| det(&mut seed));
+    c.bench_function("conv2d_f32 16x32x32 k3", |b| {
+        b.iter(|| conv2d_f32(black_box(&input), black_box(&weights), None, &shape).unwrap())
+    });
+
+    let qinput = input.map(Fx16::from_f32);
+    let qweights = weights.map(Fx16::from_f32);
+    c.bench_function("conv2d_fx 16x32x32 k3", |b| {
+        b.iter(|| conv2d_fx(black_box(&qinput), black_box(&qweights), &shape).unwrap())
+    });
+
+    let mut seed2 = 7;
+    let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut seed2)).unwrap();
+    c.bench_function("scnn expand_to_dense 16 filters", |b| {
+        b.iter(|| black_box(&layer).expand_to_dense().unwrap())
+    });
+
+    // Baseline kernels: Winograd F(2x2,3x3) and 50%-pruned sparse conv.
+    c.bench_function("winograd F(2x2,3x3) 16x32x32", |b| {
+        b.iter(|| {
+            tfe_baselines::winograd_kernel::winograd_conv2d(
+                black_box(&input),
+                black_box(&weights),
+                &shape,
+            )
+            .unwrap()
+        })
+    });
+    let bank = tfe_baselines::sparse_kernel::SparseFilterBank::prune(&weights, 0.5).unwrap();
+    c.bench_function("sparse conv 50% pruned 16x32x32", |b| {
+        b.iter(|| bank.conv(black_box(&input), &shape).unwrap())
+    });
+
+    // GEMM-lowered reference.
+    c.bench_function("conv2d_im2col 16x32x32 k3", |b| {
+        b.iter(|| {
+            tfe_tensor::im2col::conv2d_im2col(black_box(&input), black_box(&weights), &shape)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

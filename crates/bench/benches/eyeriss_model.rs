@@ -1,0 +1,18 @@
+//! Eyeriss baseline model throughput over whole networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfe_eyeriss::{EyerissConfig, EyerissPerf};
+use tfe_nets::zoo;
+
+fn bench_eyeriss(c: &mut Criterion) {
+    let cfg = EyerissConfig::paper();
+    for net in [zoo::vgg16(), zoo::densenet121()] {
+        c.bench_function(&format!("eyeriss model {}", net.name()), |b| {
+            b.iter(|| EyerissPerf::evaluate(black_box(&net), &cfg))
+        });
+    }
+}
+
+criterion_group!(benches, bench_eyeriss);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmark of the PPSR row engines (Figs. 6-7): the cost of one
+//! row pass with and without product reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfe_sim::counters::Counters;
+use tfe_sim::ppsr::{dcnn_row_pass, scnn_row_pass};
+use tfe_tensor::fixed::Fx16;
+
+fn bench_ppsr(c: &mut Criterion) {
+    let meta_row: Vec<Fx16> = (0..6).map(|i| Fx16::from_f32(i as f32 * 0.25 - 0.5)).collect();
+    let input: Vec<Fx16> = (0..226).map(|i| Fx16::from_f32(((i % 13) as f32 - 6.0) / 8.0)).collect();
+    c.bench_function("dcnn_row_pass z6 k3 w226 (PPSR on)", |b| {
+        b.iter(|| {
+            let mut counters = Counters::new();
+            dcnn_row_pass(black_box(&meta_row), black_box(&input), 3, true, &mut counters)
+        })
+    });
+    c.bench_function("dcnn_row_pass z6 k3 w226 (PPSR off)", |b| {
+        b.iter(|| {
+            let mut counters = Counters::new();
+            dcnn_row_pass(black_box(&meta_row), black_box(&input), 3, false, &mut counters)
+        })
+    });
+    let base_row: Vec<Fx16> = (0..3).map(|i| Fx16::from_f32(i as f32 - 1.0)).collect();
+    c.bench_function("scnn_row_pass k3 w226", |b| {
+        b.iter(|| {
+            let mut counters = Counters::new();
+            scnn_row_pass(black_box(&base_row), black_box(&input), true, &mut counters)
+        })
+    });
+}
+
+criterion_group!(benches, bench_ppsr);
+criterion_main!(benches);

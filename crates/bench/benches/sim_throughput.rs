@@ -1,0 +1,39 @@
+//! Simulator throughput: the functional datapath on a small layer and
+//! the per-layer performance model over whole networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfe_nets::zoo;
+use tfe_sim::functional::run_layer;
+use tfe_sim::perf::{NetworkPerf, PerfConfig};
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let shape = LayerShape::conv("bench", 4, 16, 16, 16, 3, 1, 1).unwrap();
+    let mut seed = 3;
+    let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+    let input = Tensor4::from_fn([1, 4, 16, 16], |_| Fx16::from_f32(det(&mut seed)));
+    c.bench_function("functional scnn layer 4x16x16 m16", |b| {
+        b.iter(|| run_layer(black_box(&input), &layer, &shape, ReuseConfig::FULL).unwrap())
+    });
+
+    let vgg = zoo::vgg16();
+    let plan = vgg.plan(TransferScheme::Scnn);
+    let cfg = PerfConfig::default();
+    c.bench_function("perf model full VGG-16 (SCNN)", |b| {
+        b.iter(|| NetworkPerf::evaluate(black_box(&plan), &cfg))
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the Eq. 1-5 factor-effectiveness sweep (Section V.E).
+
+fn main() {
+    let result = tfe_bench::experiments::eq_analysis::run();
+    print!("{}", tfe_bench::experiments::eq_analysis::render(&result));
+}

@@ -1,0 +1,7 @@
+//! Prints the Section II transferred-filter-algorithm comparison
+//! (DCNN/SCNN vs CReLU/MBA).
+
+fn main() {
+    let result = tfe_bench::experiments::extensions_table::run();
+    print!("{}", tfe_bench::experiments::extensions_table::render(&result));
+}

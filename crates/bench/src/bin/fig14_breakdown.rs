@@ -1,0 +1,8 @@
+//! Regenerates Fig. 14 (area and power breakdown of the TFE).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::fig14::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::fig14::render(&result));
+}

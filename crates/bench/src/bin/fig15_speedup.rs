@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15 (CONV and overall speedup over Eyeriss).
+
+fn main() {
+    print!("{}", tfe_bench::experiments::fig15::report());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 16 (comparison with weight-compression methods on
+//! AlexNet).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::fig16::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::fig16::render(&result));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 17 (comparison with computation-reduction methods on
+//! VGGNet).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::fig17::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::fig17::render(&result));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 18 (energy-efficiency improvement over Eyeriss).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::fig18::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::fig18::render(&result));
+}

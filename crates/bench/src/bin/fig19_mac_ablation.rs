@@ -1,0 +1,6 @@
+//! Regenerates Fig. 19 (PPSR/ERRR MAC ablation on VGGNet).
+
+fn main() {
+    let result = tfe_bench::experiments::fig19::run();
+    print!("{}", tfe_bench::experiments::fig19::render(&result));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 20 (off-chip memory access reduction).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::fig20::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::fig20::render(&result));
+}

@@ -1,0 +1,7 @@
+//! Prints the SAFM register pre-addition ablation (Section IV's 85.9%
+//! register-access reduction claim).
+
+fn main() {
+    let result = tfe_bench::experiments::safm_ablation::run();
+    print!("{}", tfe_bench::experiments::safm_ablation::render(&result));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table II (accuracy, original vs transferred training).
+//!
+//! Pass `--quick` for the CI-sized run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        tfe_bench::experiments::table2::Scale::Quick
+    } else {
+        tfe_bench::experiments::table2::Scale::Full
+    };
+    let result = tfe_bench::experiments::table2::run(scale);
+    print!("{}", tfe_bench::experiments::table2::render(&result));
+}

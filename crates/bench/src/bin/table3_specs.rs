@@ -1,0 +1,6 @@
+//! Regenerates Table III (technical specifications, TFE vs Eyeriss).
+
+fn main() {
+    let result = tfe_bench::experiments::table3::run();
+    print!("{}", tfe_bench::experiments::table3::render(&result));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table IV (overall speedup of other methods on ResNet and
+//! GoogLeNet).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::table4::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::table4::render(&result));
+}

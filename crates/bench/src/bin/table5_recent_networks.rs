@@ -1,0 +1,8 @@
+//! Regenerates Table V (speedups on DenseNet, SqueezeNet and ResANet).
+
+use tfe_core::Engine;
+
+fn main() {
+    let result = tfe_bench::experiments::table5::run(&Engine::new());
+    print!("{}", tfe_bench::experiments::table5::render(&result));
+}

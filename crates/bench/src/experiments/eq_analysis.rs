@@ -1,0 +1,114 @@
+//! Eq. 1–5 — the closed-form compression/acceleration analysis, swept
+//! over meta extent `Z` and filter extent `K` (Section V.E's factor
+//! effectiveness analysis).
+
+use crate::format::{ratio, Table};
+use serde::Serialize;
+use tfe_transfer::analysis;
+
+/// One sweep cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepPoint {
+    /// Meta extent `Z`.
+    pub z: usize,
+    /// Filter extent `K`.
+    pub k: usize,
+    /// Eq. 4/5 reduction factor.
+    pub reduction: f64,
+    /// Whether `K = (Z+1)/2`, the optimum the paper derives.
+    pub is_optimal_k: bool,
+}
+
+/// The sweep dataset.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EqAnalysis {
+    /// All `(Z, K)` cells with `2 ≤ K ≤ Z ≤ 9`.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run() -> EqAnalysis {
+    let mut points = Vec::new();
+    for z in 2..=9usize {
+        for k in 2..=z {
+            points.push(SweepPoint {
+                z,
+                k,
+                reduction: analysis::dcnn_param_reduction(z, k),
+                is_optimal_k: 2 * k == z + 1 || (z % 2 == 0 && (2 * k == z || 2 * k == z + 2)),
+            });
+        }
+    }
+    EqAnalysis { points }
+}
+
+/// Renders the sweep as a Z × K grid.
+#[must_use]
+pub fn render(result: &EqAnalysis) -> String {
+    let mut table = Table::new(
+        "Eq. 4/5: DCNN parameter & MAC reduction (Z-K+1)^2 K^2 / Z^2",
+        &["Z \\ K", "2", "3", "4", "5", "6", "7", "8", "9"],
+    );
+    for z in 2..=9usize {
+        let mut cells = vec![z.to_string()];
+        for k in 2..=9usize {
+            let cell = result
+                .points
+                .iter()
+                .find(|p| p.z == z && p.k == k)
+                .map_or_else(|| "-".to_owned(), |p| ratio(p.reduction));
+            cells.push(cell);
+        }
+        table.row(&cells);
+    }
+    let mut s = table.render();
+    s.push_str("\npaper anchors: Z=4,K=3 -> 2.25x; Z=6,K=3 -> 4.00x; Z=6,K=5 -> 2.78x\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_values() {
+        let r = run();
+        let get = |z, k| r.points.iter().find(|p| p.z == z && p.k == k).unwrap().reduction;
+        assert_eq!(get(4, 3), 2.25);
+        assert_eq!(get(6, 3), 4.0);
+        assert!((get(6, 5) - 100.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_at_k_half_z_plus_one() {
+        // Section V.E: for fixed Z, K = (Z+1)/2 maximizes the reduction.
+        let r = run();
+        for z in 3..=9usize {
+            let best = r
+                .points
+                .iter()
+                .filter(|p| p.z == z)
+                .max_by(|a, b| a.reduction.total_cmp(&b.reduction))
+                .unwrap();
+            assert!(best.is_optimal_k, "z={z}: best at k={}", best.k);
+        }
+    }
+
+    #[test]
+    fn reduction_degenerates_to_one_at_k_equal_z() {
+        // K = Z means a single transferred filter: reduction K^2/Z^2 = 1,
+        // i.e. no compression — the regime boundary the table exposes.
+        let r = run();
+        let get = |z, k| r.points.iter().find(|p| p.z == z && p.k == k).unwrap().reduction;
+        assert_eq!(get(5, 5), 1.0);
+        assert!(get(9, 8) > 1.0);
+    }
+
+    #[test]
+    fn render_includes_grid_corners() {
+        let text = render(&run());
+        assert!(text.contains("2.25x"));
+        assert!(text.contains("4.00x"));
+    }
+}

@@ -1,0 +1,32 @@
+//! One submodule per paper artifact. Every submodule exposes a `run`
+//! function returning structured results and a `render` (or
+//! `Result::render`) producing the paper's row/series layout, with the
+//! paper's own numbers alongside for EXPERIMENTS.md bookkeeping.
+
+pub mod eq_analysis;
+pub mod extensions_table;
+pub mod fig14;
+pub mod safm_ablation;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+/// The three schemes every sweep covers, in the paper's order.
+#[must_use]
+pub fn schemes() -> [tfe_transfer::TransferScheme; 3] {
+    use tfe_transfer::TransferScheme;
+    [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn]
+}
+
+/// The four mainstream evaluation networks of Fig. 15, by name.
+pub const MAINSTREAM: [&str; 4] = ["AlexNet", "VGGNet", "GoogLeNet", "ResNet"];
+
+/// The three recent networks of Table V, by name.
+pub const RECENT: [&str; 3] = ["DenseNet", "SqueezeNet", "ResANet"];

@@ -1,0 +1,85 @@
+//! Table III — technical specifications of the TFE vs Eyeriss.
+
+use crate::format::Table;
+use serde::Serialize;
+use tfe_energy::specs::{eyeriss_specs, tfe_specs, TechSpecs};
+
+/// Paper Table III reference values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PaperSpecs {
+    /// TFE area (mm²) / power (mW).
+    pub tfe: (f64, f64),
+    /// Eyeriss area (mm²) / power (mW).
+    pub eyeriss: (f64, f64),
+}
+
+/// The paper's numbers.
+pub const PAPER: PaperSpecs = PaperSpecs {
+    tfe: (7.1, 62.0),
+    eyeriss: (12.25, 257.0),
+};
+
+/// Both spec rows.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3 {
+    /// The modelled TFE row.
+    pub tfe: TechSpecs,
+    /// The published Eyeriss row.
+    pub eyeriss: TechSpecs,
+}
+
+/// Computes the table.
+#[must_use]
+pub fn run() -> Table3 {
+    Table3 {
+        tfe: tfe_specs(),
+        eyeriss: eyeriss_specs(),
+    }
+}
+
+/// Renders Table III with the paper's values alongside.
+#[must_use]
+pub fn render(result: &Table3) -> String {
+    let mut table = Table::new(
+        "Table III: technical specifications",
+        &["field", "TFE (modelled)", "Eyeriss (published)", "paper TFE"],
+    );
+    let t = &result.tfe;
+    let e = &result.eyeriss;
+    table.row(&["technology".into(), t.technology.clone(), e.technology.clone(), "TSMC 65nm 1P8M".into()]);
+    table.row(&["voltage".into(), format!("{} V", t.voltage_v), format!("{} V", e.voltage_v), "1 V".into()]);
+    table.row(&["frequency".into(), format!("{} MHz", t.frequency_mhz), format!("{} MHz", e.frequency_mhz), "200 MHz".into()]);
+    table.row(&["memory".into(), format!("{:.1} KB", t.memory_kb), format!("{:.1} KB", e.memory_kb), "160.0 KB".into()]);
+    table.row(&["#PEs".into(), t.pes.to_string(), e.pes.to_string(), "256".into()]);
+    table.row(&["area".into(), format!("{:.2} mm^2", t.area_mm2), format!("{:.2} mm^2", e.area_mm2), format!("{:.2} mm^2", PAPER.tfe.0)]);
+    table.row(&["power".into(), format!("{:.1} mW", t.power_mw), format!("{:.1} mW", e.power_mw), format!("{:.1} mW", PAPER.tfe.1)]);
+    let mut s = table.render();
+    s.push_str(&format!(
+        "\narea advantage: {:.2}x (paper 1.73x), power advantage: {:.2}x (paper 4.15x)\n",
+        e.area_mm2 / t.area_mm2,
+        e.power_mw / t.power_mw,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modelled_specs_land_near_paper() {
+        let r = run();
+        assert!((r.tfe.area_mm2 - PAPER.tfe.0).abs() / PAPER.tfe.0 < 0.25);
+        assert!((r.tfe.power_mw - PAPER.tfe.1).abs() / PAPER.tfe.1 < 0.35);
+        assert_eq!(r.eyeriss.area_mm2, PAPER.eyeriss.0);
+        assert_eq!(r.eyeriss.power_mw, PAPER.eyeriss.1);
+    }
+
+    #[test]
+    fn render_mentions_both_architectures() {
+        let text = render(&run());
+        assert!(text.contains("TFE"));
+        assert!(text.contains("Eyeriss"));
+        assert!(text.contains("advantage"));
+    }
+}

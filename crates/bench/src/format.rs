@@ -1,0 +1,120 @@
+//! Tiny fixed-width table renderer for the experiment outputs.
+
+/// A rendered table: a header row plus data rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned fixed-width columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.header.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * columns.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the paper writes it (`"3.45x"`).
+#[must_use]
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage (`"76.9%"`).
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".to_owned(), "1.00x".to_owned()]);
+        t.row(&["long-name".to_owned(), "2.5x".to_owned()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and both rows share the alignment offset of column 2.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find("1.00x").unwrap(), col);
+        assert_eq!(lines[4].find("2.5x").unwrap(), col);
+    }
+
+    #[test]
+    fn ratio_and_pct_formats() {
+        assert_eq!(ratio(3.449), "3.45x");
+        assert_eq!(pct(76.92), "76.9%");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("t", &["a"]);
+        assert!(t.is_empty());
+        t.row(&["x".to_owned()]);
+        assert_eq!(t.len(), 1);
+    }
+}

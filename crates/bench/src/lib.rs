@@ -1,0 +1,14 @@
+//! Benchmark harness: code that regenerates every table and figure of the
+//! TFE paper's evaluation (Section V).
+//!
+//! Each submodule of [`experiments`] computes one artifact and renders it
+//! in the paper's row/series layout. The binaries under `src/bin/` are
+//! thin wrappers (`cargo run -p tfe-bench --release --bin fig15_speedup`),
+//! and `all_experiments` runs the whole suite. Criterion benches under
+//! `benches/` time the simulator kernels themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod format;

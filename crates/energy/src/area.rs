@@ -1,0 +1,168 @@
+//! Area model (Table III and Fig. 14(a)).
+//!
+//! Component areas at TSMC 65 nm, built bottom-up from unit areas and the
+//! hardware configuration. Unit values are in the range of published
+//! 65 nm numbers (a 16-bit multiplier ≈ 1.5–2 kµm², SRAM ≈ 45–60
+//! kµm²/KB including periphery for few-KB macros) and are jointly chosen
+//! so the totals land near the synthesized design's 7.1 mm² with
+//! Fig. 14(a)'s breakdown shape (memory + registers ≈ 69 %, PE array
+//! ≈ 17 %, control ≈ 9 %).
+
+use tfe_sim::config::TfeConfig;
+
+/// Unit areas at 65 nm, in square micrometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaConstants {
+    /// One PE: 16-bit multiplier + 32-bit adder + 3 pipeline registers +
+    /// mux and clock gating.
+    pub pe_um2: f64,
+    /// One stacked register (a few 32-bit registers plus muxing).
+    pub sr_um2: f64,
+    /// One KB of on-chip SRAM including periphery.
+    pub sram_per_kb_um2: f64,
+    /// One broadcast register lane (per PE column group).
+    pub broadcast_reg_um2: f64,
+    /// Adder trees, pooling units, ReLU and output muxing.
+    pub output_logic_um2: f64,
+    /// Top control as a fraction of the subtotal (Fig. 14(a): 8.8 %).
+    pub control_fraction: f64,
+}
+
+impl Default for AreaConstants {
+    fn default() -> Self {
+        AreaConstants {
+            pe_um2: 4_300.0,
+            sr_um2: 2_500.0,
+            sram_per_kb_um2: 47_000.0,
+            broadcast_reg_um2: 900.0,
+            output_logic_um2: 180_000.0,
+            control_fraction: 0.088,
+        }
+    }
+}
+
+/// Component areas of a configuration, in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// PE array.
+    pub pe_array_mm2: f64,
+    /// SR group + broadcast registers + output logic registers.
+    pub registers_mm2: f64,
+    /// On-chip SRAM memories.
+    pub sram_mm2: f64,
+    /// Top control (derived fraction).
+    pub control_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.pe_array_mm2 + self.registers_mm2 + self.sram_mm2 + self.control_mm2
+    }
+
+    /// Fraction of area in memory + registers (Fig. 14(a): 69.3 %).
+    #[must_use]
+    pub fn memory_register_fraction(&self) -> f64 {
+        (self.registers_mm2 + self.sram_mm2) / self.total_mm2()
+    }
+
+    /// Fraction of area in the PE array (Fig. 14(a): 16.5 %).
+    #[must_use]
+    pub fn pe_fraction(&self) -> f64 {
+        self.pe_array_mm2 / self.total_mm2()
+    }
+
+    /// Fraction of area in control (Fig. 14(a): 8.8 %).
+    #[must_use]
+    pub fn control_fraction(&self) -> f64 {
+        self.control_mm2 / self.total_mm2()
+    }
+}
+
+/// The area model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AreaModel {
+    /// Unit-area constants in force.
+    pub constants: AreaConstants,
+}
+
+impl AreaModel {
+    /// A model with the default constants.
+    #[must_use]
+    pub fn new() -> Self {
+        AreaModel::default()
+    }
+
+    /// Computes the component areas of a TFE configuration.
+    #[must_use]
+    pub fn breakdown(&self, cfg: &TfeConfig) -> AreaBreakdown {
+        let c = &self.constants;
+        let pe_array_mm2 = cfg.pes() as f64 * c.pe_um2 / 1e6;
+        let registers_mm2 = (cfg.sr_count() as f64 * c.sr_um2
+            + cfg.pe_rows as f64 * c.broadcast_reg_um2
+            + c.output_logic_um2)
+            / 1e6;
+        let sram_kb = cfg.total_memory_bytes() as f64 / 1024.0;
+        let sram_mm2 = sram_kb * c.sram_per_kb_um2 / 1e6;
+        let subtotal = pe_array_mm2 + registers_mm2 + sram_mm2;
+        let control_mm2 = subtotal * c.control_fraction / (1.0 - c.control_fraction);
+        AreaBreakdown {
+            pe_array_mm2,
+            registers_mm2,
+            sram_mm2,
+            control_mm2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_area_near_paper_7_1_mm2() {
+        let model = AreaModel::new();
+        let b = model.breakdown(&TfeConfig::paper());
+        let total = b.total_mm2();
+        assert!((5.5..8.5).contains(&total), "total {total} mm^2");
+    }
+
+    #[test]
+    fn breakdown_shape_matches_fig14a() {
+        let model = AreaModel::new();
+        let b = model.breakdown(&TfeConfig::paper());
+        // Memory + registers dominate (paper: 69.3 %).
+        assert!(
+            (0.55..0.85).contains(&b.memory_register_fraction()),
+            "mem+reg {}",
+            b.memory_register_fraction()
+        );
+        // PE array is a minority (paper: 16.5 %).
+        assert!((0.10..0.30).contains(&b.pe_fraction()), "pe {}", b.pe_fraction());
+        // Control fraction equals the configured 8.8 %.
+        assert!((b.control_fraction() - 0.088).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let model = AreaModel::new();
+        let b = model.breakdown(&TfeConfig::paper());
+        let sum = b.memory_register_fraction() + b.pe_fraction() + b.control_fraction();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_pe_count() {
+        let model = AreaModel::new();
+        let small = TfeConfig {
+            pe_rows: 8,
+            pe_cols: 8,
+            ..TfeConfig::paper()
+        };
+        let a_small = model.breakdown(&small);
+        let a_big = model.breakdown(&TfeConfig::paper());
+        assert!(a_small.pe_array_mm2 < a_big.pe_array_mm2);
+        assert_eq!(a_small.sram_mm2, a_big.sram_mm2);
+    }
+}

@@ -1,0 +1,23 @@
+//! Energy, power and area model of the TFE (Table III, Fig. 14, Fig. 18).
+//!
+//! The paper obtains area/power from Synopsys DC + TSMC 65 nm synthesis
+//! and DRAM power from Micron's DDR4 calculator. Neither toolchain exists
+//! here, so this crate substitutes a **component-level model**: per-event
+//! energies and per-component areas at 65 nm (values in the range of
+//! published 65 nm characterizations, e.g. Horowitz ISSCC'14 scaled from
+//! 45 nm, and the Eyeriss paper's own breakdowns), applied to the event
+//! counts the simulator produces. The paper's comparison methodology is
+//! preserved exactly: Eyeriss power is taken from its own publication
+//! (Section V.A: "the power consumptions … are directly extracted from
+//! the Eyeriss paper"), and energy efficiency is performance per energy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod power;
+pub mod specs;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use power::{EnergyBreakdown, EnergyModel};
+pub use specs::{eyeriss_specs, tfe_specs, TechSpecs};

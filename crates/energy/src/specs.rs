@@ -1,0 +1,117 @@
+//! Technical-specification tables (Table III of the paper).
+
+use crate::area::AreaModel;
+use serde::Serialize;
+use crate::power::{EnergyModel, EYERISS_POWER_MW};
+use tfe_nets::zoo;
+use tfe_sim::config::TfeConfig;
+use tfe_sim::perf::{NetworkPerf, PerfConfig};
+use tfe_transfer::TransferScheme;
+
+/// One row set of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TechSpecs {
+    /// Architecture name.
+    pub architecture: String,
+    /// Process technology label.
+    pub technology: String,
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// On-chip memory in KB.
+    pub memory_kb: f64,
+    /// Number of PEs.
+    pub pes: usize,
+    /// Core area in mm².
+    pub area_mm2: f64,
+    /// Average power on the VGG/AlexNet calibration workload, mW.
+    pub power_mw: f64,
+}
+
+/// The TFE's specification row, computed from the area and energy models
+/// on the paper's calibration workload (VGGNet and AlexNet averaged,
+/// SCNN scheme).
+#[must_use]
+pub fn tfe_specs() -> TechSpecs {
+    let cfg = TfeConfig::paper();
+    let area = AreaModel::new().breakdown(&cfg);
+    let energy = EnergyModel::new();
+    let perf_cfg = PerfConfig::default();
+    let mut power_sum = 0.0;
+    let mut n = 0.0;
+    for net in [zoo::vgg16(), zoo::alexnet()] {
+        let perf = NetworkPerf::evaluate(&net.plan(TransferScheme::Scnn), &perf_cfg);
+        power_sum += energy.onchip_power_mw(&perf.total_counters(), perf.runtime_seconds());
+        n += 1.0;
+    }
+    TechSpecs {
+        architecture: "TFE".to_owned(),
+        technology: "TSMC 65nm 1P8M (modelled)".to_owned(),
+        voltage_v: 1.0,
+        frequency_mhz: cfg.frequency_hz as f64 / 1e6,
+        memory_kb: cfg.total_memory_bytes() as f64 / 1024.0,
+        pes: cfg.pes(),
+        area_mm2: area.total_mm2(),
+        power_mw: power_sum / n,
+    }
+}
+
+/// Eyeriss's specification row, with the figures the TFE paper extracted
+/// from the Eyeriss publication.
+#[must_use]
+pub fn eyeriss_specs() -> TechSpecs {
+    TechSpecs {
+        architecture: "Eyeriss".to_owned(),
+        technology: "TSMC 65nm 1P9M (published)".to_owned(),
+        voltage_v: 1.0,
+        frequency_mhz: 200.0,
+        memory_kb: 181.5,
+        pes: 168,
+        area_mm2: 12.25,
+        power_mw: EYERISS_POWER_MW,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfe_power_near_62_mw() {
+        let specs = tfe_specs();
+        // Table III: 62 mW. The calibrated model should land in a tight
+        // band around it.
+        assert!(
+            (40.0..90.0).contains(&specs.power_mw),
+            "power {} mW",
+            specs.power_mw
+        );
+    }
+
+    #[test]
+    fn tfe_beats_eyeriss_on_area_and_power() {
+        let tfe = tfe_specs();
+        let ey = eyeriss_specs();
+        // Paper: 1.73x area and 4.15x power advantage.
+        let area_ratio = ey.area_mm2 / tfe.area_mm2;
+        let power_ratio = ey.power_mw / tfe.power_mw;
+        assert!(area_ratio > 1.3, "area ratio {area_ratio}");
+        assert!(power_ratio > 2.5, "power ratio {power_ratio}");
+    }
+
+    #[test]
+    fn both_designs_run_at_200_mhz_65nm() {
+        for s in [tfe_specs(), eyeriss_specs()] {
+            assert_eq!(s.frequency_mhz, 200.0);
+            assert!(s.technology.contains("65nm"));
+            assert_eq!(s.voltage_v, 1.0);
+        }
+    }
+
+    #[test]
+    fn pe_counts_match_table3() {
+        assert_eq!(tfe_specs().pes, 256);
+        assert_eq!(eyeriss_specs().pes, 168);
+    }
+}

@@ -1,0 +1,351 @@
+//! Eyeriss baseline model (Chen et al., ISCA 2016) — the comparison
+//! architecture of every TFE experiment.
+//!
+//! Eyeriss is a row-stationary (RS) spatial accelerator: a 12×14 PE array
+//! where each PE performs a 1-D row convolution from local scratchpads and
+//! PE *sets* of `K` rows × `e` columns cover 2-D windows. The model here
+//! captures what the speedup comparison needs:
+//!
+//! * a per-layer **utilization** model of the RS mapping (how much of the
+//!   array holds useful work),
+//! * a cycle model at a **normalized** PE count (Section V.A: "the
+//!   computational unit numbers are normalized to be the same in all
+//!   compared architectures with hardware utilization taken into
+//!   consideration"),
+//! * per-MAC scratchpad/NoC access counts for the energy comparison (the
+//!   RS dataflow reads weight, input and partial sum from local register
+//!   files on every MAC — the register pressure the TFE's SAFM avoids).
+//!
+//! # Example
+//!
+//! ```
+//! use tfe_eyeriss::{EyerissConfig, EyerissPerf};
+//! use tfe_nets::zoo;
+//!
+//! let perf = EyerissPerf::evaluate(&zoo::vgg16(), &EyerissConfig::default());
+//! assert!(perf.total_cycles() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rs_dataflow;
+
+use tfe_nets::{Network, NetworkLayer};
+use tfe_tensor::shape::ConvKind;
+
+/// Configuration of the Eyeriss baseline model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyerissConfig {
+    /// Physical PE-array rows (12 in the silicon).
+    pub array_rows: usize,
+    /// Physical PE-array columns (14 in the silicon).
+    pub array_cols: usize,
+    /// PE count used for normalized speed comparisons (the paper equalizes
+    /// compute units with the TFE's 256).
+    pub normalized_pes: usize,
+    /// Clock frequency in Hz (200 MHz, as in the paper's comparison).
+    pub frequency_hz: u64,
+    /// Effective utilization of the RS pipeline on single-tap (1×1)
+    /// rows, where the row-stationary primitive degenerates. Eyeriss's
+    /// spad-based pipeline is built for K-tap rows; a single-tap row
+    /// leaves the input/psum reuse registers idle.
+    pub single_tap_utilization: f64,
+    /// Register-file (scratchpad) accesses per MAC in the RS dataflow:
+    /// filter spad read, input spad read, psum spad read + write.
+    pub rf_accesses_per_mac: f64,
+}
+
+impl EyerissConfig {
+    /// The configuration used throughout the paper's comparisons.
+    #[must_use]
+    pub fn paper() -> Self {
+        EyerissConfig {
+            array_rows: 12,
+            array_cols: 14,
+            normalized_pes: 256,
+            frequency_hz: 200_000_000,
+            single_tap_utilization: 0.75,
+            rf_accesses_per_mac: 4.0,
+        }
+    }
+}
+
+impl Default for EyerissConfig {
+    fn default() -> Self {
+        EyerissConfig::paper()
+    }
+}
+
+/// PE-array utilization of the row-stationary mapping for one layer.
+///
+/// Vertical: PE sets are `K` rows tall; `⌊rows/K⌋` sets stack, leaving
+/// `rows mod K` idle (filters taller than the array fold at full
+/// utilization). Horizontal: each column computes one ofmap row, so maps
+/// shorter than the array (`E < cols`) strand columns.
+#[must_use]
+pub fn utilization(cfg: &EyerissConfig, layer: &NetworkLayer) -> f64 {
+    let shape = layer.shape();
+    if shape.kind() == ConvKind::FullyConnected {
+        // FC layers run as 1x1 convolution over a length-1 map; the paper
+        // treats them as neither helped nor hurt in the comparison.
+        return 1.0;
+    }
+    let k = shape.k();
+    if k == 1 {
+        return cfg.single_tap_utilization;
+    }
+    let vertical = if k >= cfg.array_rows {
+        1.0 // folded mapping keeps all rows busy
+    } else {
+        ((cfg.array_rows / k) * k) as f64 / cfg.array_rows as f64
+    };
+    let e = shape.e();
+    let horizontal = if e >= cfg.array_cols {
+        1.0
+    } else {
+        ((cfg.array_cols / e) * e) as f64 / cfg.array_cols as f64
+    };
+    vertical * horizontal
+}
+
+/// Per-layer Eyeriss performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyerissLayerPerf {
+    name: String,
+    is_fc: bool,
+    macs: u64,
+    utilization: f64,
+    cycles: u64,
+}
+
+impl EyerissLayerPerf {
+    /// Evaluates the model for one layer.
+    #[must_use]
+    pub fn evaluate(layer: &NetworkLayer, cfg: &EyerissConfig) -> EyerissLayerPerf {
+        let macs = layer.macs();
+        let util = utilization(cfg, layer);
+        let throughput = cfg.normalized_pes as f64 * util.max(f64::EPSILON);
+        EyerissLayerPerf {
+            name: layer.shape().name().to_owned(),
+            is_fc: layer.is_fc(),
+            macs,
+            utilization: util,
+            cycles: (macs as f64 / throughput).ceil() as u64,
+        }
+    }
+
+    /// Layer name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the layer is fully connected.
+    #[must_use]
+    pub fn is_fc(&self) -> bool {
+        self.is_fc
+    }
+
+    /// Dense MACs executed (Eyeriss performs every MAC).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Mapped utilization.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Cycles at the normalized PE count.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+/// Whole-network Eyeriss performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyerissPerf {
+    network_name: String,
+    layers: Vec<EyerissLayerPerf>,
+    rf_accesses: u64,
+    frequency_hz: u64,
+}
+
+impl EyerissPerf {
+    /// Evaluates every layer of a network.
+    #[must_use]
+    pub fn evaluate(network: &Network, cfg: &EyerissConfig) -> EyerissPerf {
+        let layers: Vec<EyerissLayerPerf> = network
+            .layers()
+            .iter()
+            .map(|l| EyerissLayerPerf::evaluate(l, cfg))
+            .collect();
+        let rf_accesses = layers
+            .iter()
+            .map(|l| (l.macs as f64 * cfg.rf_accesses_per_mac) as u64)
+            .sum();
+        EyerissPerf {
+            network_name: network.name().to_owned(),
+            layers,
+            rf_accesses,
+            frequency_hz: cfg.frequency_hz,
+        }
+    }
+
+    /// The network's name.
+    #[must_use]
+    pub fn network_name(&self) -> &str {
+        &self.network_name
+    }
+
+    /// Per-layer results.
+    #[must_use]
+    pub fn layers(&self) -> &[EyerissLayerPerf] {
+        &self.layers
+    }
+
+    /// Total cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(EyerissLayerPerf::cycles).sum()
+    }
+
+    /// Cycles in convolutional layers.
+    #[must_use]
+    pub fn conv_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| !l.is_fc())
+            .map(EyerissLayerPerf::cycles)
+            .sum()
+    }
+
+    /// Cycles in fully connected layers.
+    #[must_use]
+    pub fn fc_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.is_fc())
+            .map(EyerissLayerPerf::cycles)
+            .sum()
+    }
+
+    /// Total scratchpad accesses (for the energy comparison).
+    #[must_use]
+    pub fn rf_accesses(&self) -> u64 {
+        self.rf_accesses
+    }
+
+    /// Runtime in seconds at the configured frequency.
+    #[must_use]
+    pub fn runtime_seconds(&self) -> f64 {
+        self.total_cycles() as f64 / self.frequency_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_nets::zoo;
+
+    #[test]
+    fn vgg_3x3_layers_map_perfectly() {
+        let cfg = EyerissConfig::paper();
+        let net = zoo::vgg16();
+        // conv1_1: K=3 (12/3 exact), E=224 > 14: full utilization.
+        let perf = EyerissLayerPerf::evaluate(&net.layers()[0], &cfg);
+        assert!((perf.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alexnet_11x11_strands_one_row() {
+        let cfg = EyerissConfig::paper();
+        let net = zoo::alexnet();
+        let perf = EyerissLayerPerf::evaluate(&net.layers()[0], &cfg);
+        assert!((perf.utilization() - 11.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_by_five_strands_two_rows() {
+        let cfg = EyerissConfig::paper();
+        let net = zoo::alexnet();
+        let conv2 = &net.layers()[1];
+        assert_eq!(conv2.shape().k(), 5);
+        let perf = EyerissLayerPerf::evaluate(conv2, &cfg);
+        assert!((perf.utilization() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_maps_strand_columns() {
+        let cfg = EyerissConfig::paper();
+        // ResNet stage 3 has E = 8 < 14 columns.
+        let net = zoo::resnet56();
+        let stage3 = net
+            .layers()
+            .iter()
+            .find(|l| l.shape().e() == 8 && l.shape().k() == 3)
+            .unwrap();
+        let u = utilization(&cfg, stage3);
+        assert!((u - 8.0 / 14.0).abs() < 1e-12, "{u}");
+    }
+
+    #[test]
+    fn e_7_packs_two_sets_per_column_group() {
+        let cfg = EyerissConfig::paper();
+        let net = zoo::googlenet();
+        let incep5 = net
+            .layers()
+            .iter()
+            .find(|l| l.shape().name().contains("5a/3x3") && l.shape().k() == 3)
+            .unwrap();
+        assert_eq!(incep5.shape().e(), 7);
+        // floor(14/7)*7 = 14: no stranding.
+        assert!((utilization(&cfg, incep5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tap_penalty_applies_to_1x1_not_fc() {
+        let cfg = EyerissConfig::paper();
+        let net = zoo::googlenet();
+        let pw = net
+            .layers()
+            .iter()
+            .find(|l| l.shape().k() == 1 && !l.is_fc())
+            .unwrap();
+        assert_eq!(utilization(&cfg, pw), 0.75);
+        let fc = net.layers().iter().find(|l| l.is_fc()).unwrap();
+        assert_eq!(utilization(&cfg, fc), 1.0);
+    }
+
+    #[test]
+    fn cycles_track_macs_over_throughput() {
+        let cfg = EyerissConfig::paper();
+        let perf = EyerissPerf::evaluate(&zoo::vgg16(), &cfg);
+        // VGG conv at full utilization: cycles ~ conv_macs / 256.
+        let expected = zoo::vgg16().conv_macs() / 256;
+        let got = perf.conv_cycles();
+        let ratio = got as f64 / expected as f64;
+        assert!((0.99..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rf_accesses_scale_with_macs() {
+        let cfg = EyerissConfig::paper();
+        let net = zoo::resnet56();
+        let perf = EyerissPerf::evaluate(&net, &cfg);
+        assert_eq!(perf.rf_accesses(), net.total_macs() * 4);
+    }
+
+    #[test]
+    fn network_cycles_split_conv_fc() {
+        let cfg = EyerissConfig::paper();
+        let perf = EyerissPerf::evaluate(&zoo::alexnet(), &cfg);
+        assert_eq!(perf.total_cycles(), perf.conv_cycles() + perf.fc_cycles());
+        assert!(perf.fc_cycles() > 0);
+        assert!(perf.runtime_seconds() > 0.0);
+    }
+}

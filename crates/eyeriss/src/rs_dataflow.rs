@@ -1,0 +1,213 @@
+//! Functional row-stationary dataflow — the Eyeriss baseline as running
+//! code.
+//!
+//! In RS, each PE holds one *filter row* in its weight scratchpad and
+//! slides it along one *input row*, producing one row of 1-D partial
+//! sums; a vertical set of `K` PEs accumulates the rows into a 2-D window
+//! result. Every MAC costs four scratchpad accesses — filter read, input
+//! read, partial-sum read and write — which is the per-MAC register
+//! pressure the TFE's comparison targets (and what
+//! [`crate::EyerissConfig::rf_accesses_per_mac`] encodes).
+//!
+//! Tests validate the outputs bit-exactly against the reference
+//! convolution and pin the counted accesses to the performance model's
+//! constant.
+
+use tfe_tensor::fixed::{Accum, Fx16};
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_tensor::TensorError;
+
+/// Scratchpad access counts of one RS execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RsCounters {
+    /// MACs executed (every dense MAC; Eyeriss does not skip work).
+    pub macs: u64,
+    /// Filter-scratchpad reads.
+    pub filter_spad_reads: u64,
+    /// Input-scratchpad reads.
+    pub input_spad_reads: u64,
+    /// Partial-sum-scratchpad reads.
+    pub psum_spad_reads: u64,
+    /// Partial-sum-scratchpad writes.
+    pub psum_spad_writes: u64,
+}
+
+impl RsCounters {
+    /// Total scratchpad accesses.
+    #[must_use]
+    pub fn total_spad_accesses(&self) -> u64 {
+        self.filter_spad_reads + self.input_spad_reads + self.psum_spad_reads + self.psum_spad_writes
+    }
+
+    /// Accesses per MAC (the RS dataflow's defining constant: 4).
+    #[must_use]
+    pub fn accesses_per_mac(&self) -> f64 {
+        self.total_spad_accesses() as f64 / self.macs.max(1) as f64
+    }
+}
+
+/// One RS processing element: a resident filter row convolved against a
+/// streamed input row, with per-tap scratchpad accounting.
+fn pe_row_conv(
+    filter_row: &[Fx16],
+    input_row: &[Fx16],
+    stride: usize,
+    counters: &mut RsCounters,
+) -> Vec<Accum> {
+    let k = filter_row.len();
+    if input_row.len() < k {
+        return Vec::new();
+    }
+    let out_len = (input_row.len() - k) / stride + 1;
+    (0..out_len)
+        .map(|x| {
+            let mut psum = Accum::ZERO;
+            for j in 0..k {
+                // filter spad read + input spad read + psum read/write.
+                counters.filter_spad_reads += 1;
+                counters.input_spad_reads += 1;
+                counters.psum_spad_reads += 1;
+                counters.psum_spad_writes += 1;
+                counters.macs += 1;
+                psum += input_row[x * stride + j].widening_mul(filter_row[j]);
+            }
+            psum
+        })
+        .collect()
+}
+
+/// Executes one dense layer with the row-stationary dataflow.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if operands disagree with
+/// `shape`.
+pub fn run_layer_rs(
+    input: &Tensor4<Fx16>,
+    weights: &Tensor4<Fx16>,
+    shape: &LayerShape,
+) -> Result<(Tensor4<Accum>, RsCounters), TensorError> {
+    let [batch, ic, ih, iw] = input.dims();
+    for (what, expected, actual) in [
+        ("input channels", shape.n(), ic),
+        ("input height", shape.h(), ih),
+        ("input width", shape.w(), iw),
+        ("filter count", shape.m(), weights.dims()[0]),
+    ] {
+        if expected != actual {
+            return Err(TensorError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            });
+        }
+    }
+    let (k, e, f, s, p) = (shape.k(), shape.e(), shape.f(), shape.stride(), shape.pad());
+    let mut counters = RsCounters::default();
+    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    for b in 0..batch {
+        // Zero-padded input rows per channel.
+        let padded: Vec<Vec<Vec<Fx16>>> = (0..shape.n())
+            .map(|c| {
+                let mut plane = vec![vec![Fx16::ZERO; shape.w() + 2 * p]; shape.h() + 2 * p];
+                for y in 0..shape.h() {
+                    for x in 0..shape.w() {
+                        plane[y + p][x + p] = input.get([b, c, y, x]);
+                    }
+                }
+                plane
+            })
+            .collect();
+        for m in 0..shape.m() {
+            for oy in 0..e {
+                // A K-tall PE set: PE ky convolves filter row ky against
+                // input row oy*s + ky; the set accumulates vertically.
+                let mut window = vec![Accum::ZERO; f];
+                for ky in 0..k {
+                    // Channel-major accumulation: each channel's row conv
+                    // feeds the same psum spad.
+                    #[allow(clippy::needless_range_loop)]
+                    for c in 0..shape.n() {
+                        let filter_row: Vec<Fx16> =
+                            (0..k).map(|kx| weights.get([m, c, ky, kx])).collect();
+                        let row = pe_row_conv(&filter_row, &padded[c][oy * s + ky], s, &mut counters);
+                        for (acc, v) in window.iter_mut().zip(row) {
+                            *acc += v;
+                        }
+                    }
+                }
+                for (ox, &v) in window.iter().enumerate() {
+                    out.set([b, m, oy, ox], v);
+                }
+            }
+        }
+    }
+    Ok((out, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::conv::conv2d_fx;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        (((*seed >> 20) & 0xf) as f32 - 7.5) / 4.0
+    }
+
+    #[test]
+    fn rs_dataflow_matches_reference_convolution() {
+        let shape = LayerShape::conv("rs", 2, 3, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 5;
+        let input = Tensor4::from_fn([1, 2, 8, 8], |_| Fx16::from_f32(det(&mut seed)));
+        let weights = Tensor4::from_fn([3, 2, 3, 3], |_| Fx16::from_f32(det(&mut seed)));
+        let (out, _) = run_layer_rs(&input, &weights, &shape).unwrap();
+        let reference = conv2d_fx(&input, &weights, &shape).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn rs_dataflow_matches_reference_with_stride() {
+        let shape = LayerShape::conv("rs2", 1, 2, 9, 9, 3, 2, 1).unwrap();
+        let mut seed = 9;
+        let input = Tensor4::from_fn([1, 1, 9, 9], |_| Fx16::from_f32(det(&mut seed)));
+        let weights = Tensor4::from_fn([2, 1, 3, 3], |_| Fx16::from_f32(det(&mut seed)));
+        let (out, _) = run_layer_rs(&input, &weights, &shape).unwrap();
+        let reference = conv2d_fx(&input, &weights, &shape).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn four_spad_accesses_per_mac() {
+        // Pins the functional dataflow to the performance model's
+        // rf_accesses_per_mac = 4.
+        let shape = LayerShape::conv("rs", 2, 2, 6, 6, 3, 1, 1).unwrap();
+        let input = Tensor4::filled([1, 2, 6, 6], Fx16::ONE);
+        let weights = Tensor4::filled([2, 2, 3, 3], Fx16::from_f32(0.5));
+        let (_, counters) = run_layer_rs(&input, &weights, &shape).unwrap();
+        assert_eq!(counters.accesses_per_mac(), 4.0);
+        assert_eq!(counters.macs, counters.filter_spad_reads);
+    }
+
+    #[test]
+    fn rs_executes_every_dense_mac_including_pad_taps() {
+        // Unlike the TFE's reuse machinery, RS computes every window tap;
+        // padded taps count too (its PEs stream the padded row).
+        let shape = LayerShape::conv("rs", 1, 1, 4, 4, 3, 1, 1).unwrap();
+        let input = Tensor4::filled([1, 1, 4, 4], Fx16::ONE);
+        let weights = Tensor4::filled([1, 1, 3, 3], Fx16::ONE);
+        let (_, counters) = run_layer_rs(&input, &weights, &shape).unwrap();
+        // E x F x K^2 = 16 x 9 = 144 MACs (pad taps included).
+        assert_eq!(counters.macs, 144);
+        assert!(counters.macs >= shape.macs());
+    }
+
+    #[test]
+    fn operand_mismatch_rejected() {
+        let shape = LayerShape::conv("rs", 2, 2, 6, 6, 3, 1, 1).unwrap();
+        let input = Tensor4::filled([1, 1, 6, 6], Fx16::ONE); // wrong channels
+        let weights = Tensor4::filled([2, 2, 3, 3], Fx16::ONE);
+        assert!(run_layer_rs(&input, &weights, &shape).is_err());
+    }
+}

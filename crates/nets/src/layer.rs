@@ -1,0 +1,158 @@
+//! One layer of a benchmark network.
+
+use tfe_tensor::pool::PoolSpec;
+use tfe_tensor::shape::{ConvKind, LayerShape};
+
+/// A network layer: its convolution shape plus network-level attributes
+/// (grouped convolution, trailing pooling) that the raw [`LayerShape`]
+/// does not carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkLayer {
+    shape: LayerShape,
+    groups: usize,
+    pool: Option<PoolSpec>,
+}
+
+impl NetworkLayer {
+    /// Wraps a layer shape with no grouping and no trailing pool.
+    #[must_use]
+    pub fn new(shape: LayerShape) -> Self {
+        NetworkLayer {
+            shape,
+            groups: 1,
+            pool: None,
+        }
+    }
+
+    /// Sets grouped convolution (AlexNet's two-GPU split): each filter
+    /// sees `N / groups` input channels.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups.max(1);
+        self
+    }
+
+    /// Attaches a pooling stage that immediately follows this layer.
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolSpec) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The convolution shape. `N` is the *total* ifmap channel count; use
+    /// [`NetworkLayer::channels_per_filter`] for the per-filter count under
+    /// grouping.
+    #[must_use]
+    pub fn shape(&self) -> &LayerShape {
+        &self.shape
+    }
+
+    /// Number of convolution groups (1 = ordinary convolution).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The trailing pooling stage, if any.
+    #[must_use]
+    pub fn pool(&self) -> Option<PoolSpec> {
+        self.pool
+    }
+
+    /// Input channels seen by each filter (`N / groups`).
+    #[must_use]
+    pub fn channels_per_filter(&self) -> usize {
+        self.shape.n() / self.groups
+    }
+
+    /// MACs of this layer, accounting for grouping.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.shape.macs() / self.groups as u64
+    }
+
+    /// Dense parameter count, accounting for grouping.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        self.shape.params() / self.groups as u64
+    }
+
+    /// Whether this is a fully connected layer.
+    #[must_use]
+    pub fn is_fc(&self) -> bool {
+        self.shape.kind() == ConvKind::FullyConnected
+    }
+
+    /// The shape as seen by per-filter analyses: identical to
+    /// [`NetworkLayer::shape`] except `N` is replaced by the per-filter
+    /// channel count under grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide `N` (enforced by the zoo tables).
+    #[must_use]
+    pub fn per_filter_shape(&self) -> LayerShape {
+        if self.groups == 1 {
+            return self.shape.clone();
+        }
+        assert_eq!(self.shape.n() % self.groups, 0, "groups must divide N");
+        LayerShape::conv(
+            self.shape.name(),
+            self.channels_per_filter(),
+            self.shape.m(),
+            self.shape.h(),
+            self.shape.w(),
+            self.shape.k(),
+            self.shape.stride(),
+            self.shape.pad(),
+        )
+        .expect("derived per-filter shape is valid when the source shape is")
+    }
+}
+
+impl From<LayerShape> for NetworkLayer {
+    fn from(shape: LayerShape) -> Self {
+        NetworkLayer::new(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::pool::{PoolKind, PoolSpec};
+
+    #[test]
+    fn grouping_divides_macs_and_params() {
+        let shape = LayerShape::conv("conv2", 96, 256, 27, 27, 5, 1, 2).unwrap();
+        let layer = NetworkLayer::new(shape.clone()).with_groups(2);
+        assert_eq!(layer.macs() * 2, shape.macs());
+        assert_eq!(layer.params() * 2, shape.params());
+        assert_eq!(layer.channels_per_filter(), 48);
+    }
+
+    #[test]
+    fn per_filter_shape_reflects_grouping() {
+        let shape = LayerShape::conv("conv4", 384, 384, 13, 13, 3, 1, 1).unwrap();
+        let layer = NetworkLayer::new(shape).with_groups(2);
+        let pf = layer.per_filter_shape();
+        assert_eq!(pf.n(), 192);
+        assert_eq!(pf.m(), 384);
+        assert_eq!(layer.macs(), pf.macs());
+    }
+
+    #[test]
+    fn pool_annotation_round_trips() {
+        let shape = LayerShape::conv("c", 3, 8, 8, 8, 3, 1, 1).unwrap();
+        let pool = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        let layer = NetworkLayer::new(shape).with_pool(pool);
+        assert_eq!(layer.pool(), Some(pool));
+    }
+
+    #[test]
+    fn fc_detection() {
+        let fc = NetworkLayer::new(LayerShape::fully_connected("fc", 64, 10).unwrap());
+        assert!(fc.is_fc());
+        let conv = NetworkLayer::new(LayerShape::conv("c", 3, 8, 8, 8, 3, 1, 1).unwrap());
+        assert!(!conv.is_fc());
+    }
+}

@@ -1,0 +1,34 @@
+//! Benchmark network zoo (Section V.A of the TFE paper).
+//!
+//! The paper evaluates four mainstream networks — AlexNet, VGGNet
+//! (VGG-16), GoogLeNet and ResNet-56 — plus three recent ones —
+//! DenseNet-121, SqueezeNet v1.0 and the Residual Attention Network
+//! (ResANet, Attention-56). This crate encodes their per-layer shape
+//! tables ([`zoo`]), the per-layer transfer policy, and the conversion of
+//! a network into a [`plan::NetworkPlan`] that the simulators execute.
+//!
+//! # Example
+//!
+//! ```
+//! use tfe_nets::zoo;
+//! use tfe_transfer::TransferScheme;
+//!
+//! let vgg = zoo::vgg16();
+//! // VGG-16's well-known totals: ~15.3 GMAC of convolution.
+//! assert!(vgg.conv_macs() > 15_000_000_000);
+//! let plan = vgg.plan(TransferScheme::Scnn);
+//! // Every 3x3 layer transfers; the FC layers do not.
+//! assert!(plan.transferred_fraction_of_macs() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod network;
+pub mod plan;
+pub mod zoo;
+
+pub use layer::NetworkLayer;
+pub use network::Network;
+pub use plan::{LayerPlan, NetworkPlan, TransferMode};

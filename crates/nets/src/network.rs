@@ -1,0 +1,160 @@
+//! A whole benchmark network: an ordered list of layers with aggregate
+//! accounting.
+
+use crate::layer::NetworkLayer;
+use crate::plan::{LayerPlan, NetworkPlan, TransferMode};
+use tfe_transfer::TransferScheme;
+
+/// An ordered sequence of network layers, with convenience aggregates over
+/// MACs and parameters — the quantities every experiment in the paper is
+/// normalized by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<NetworkLayer>,
+}
+
+impl Network {
+    /// Creates a network from its layer list.
+    #[must_use]
+    pub fn new(name: &str, layers: Vec<NetworkLayer>) -> Self {
+        Network {
+            name: name.to_owned(),
+            layers,
+        }
+    }
+
+    /// The network's display name (e.g. `"VGGNet"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[NetworkLayer] {
+        &self.layers
+    }
+
+    /// Iterates over the convolutional layers only.
+    pub fn conv_layers(&self) -> impl Iterator<Item = &NetworkLayer> {
+        self.layers.iter().filter(|l| !l.is_fc())
+    }
+
+    /// Iterates over the fully connected layers only.
+    pub fn fc_layers(&self) -> impl Iterator<Item = &NetworkLayer> {
+        self.layers.iter().filter(|l| l.is_fc())
+    }
+
+    /// Total MACs across all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(NetworkLayer::macs).sum()
+    }
+
+    /// MACs of convolutional layers only.
+    #[must_use]
+    pub fn conv_macs(&self) -> u64 {
+        self.conv_layers().map(NetworkLayer::macs).sum()
+    }
+
+    /// MACs of fully connected layers only.
+    #[must_use]
+    pub fn fc_macs(&self) -> u64 {
+        self.fc_layers().map(NetworkLayer::macs).sum()
+    }
+
+    /// Total dense parameter count.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(NetworkLayer::params).sum()
+    }
+
+    /// Dense parameter count of convolutional layers only.
+    #[must_use]
+    pub fn conv_params(&self) -> u64 {
+        self.conv_layers().map(NetworkLayer::params).sum()
+    }
+
+    /// Builds the execution plan for this network under a transfer scheme,
+    /// applying the paper's per-layer policy (Section V.C): 1×1 and FC
+    /// layers run conventionally, 5×5 layers use heterogeneous 6×6 meta
+    /// filters under DCNN, and large first-layer filters stay dense.
+    #[must_use]
+    pub fn plan(&self, scheme: TransferScheme) -> NetworkPlan {
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let pf = layer.per_filter_shape();
+                let mode = if !scheme.applies_to(&pf) {
+                    TransferMode::Conventional
+                } else {
+                    match scheme {
+                        TransferScheme::Dcnn { .. } => TransferMode::Dcnn {
+                            z: scheme
+                                .effective_meta(pf.k())
+                                .expect("applies_to implies effective meta"),
+                        },
+                        TransferScheme::Scnn => TransferMode::Scnn,
+                    }
+                };
+                LayerPlan::new(layer.clone(), mode)
+            })
+            .collect();
+        NetworkPlan::new(&self.name, scheme, layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::shape::LayerShape;
+
+    fn toy() -> Network {
+        Network::new(
+            "Toy",
+            vec![
+                NetworkLayer::new(LayerShape::conv("c1", 3, 16, 16, 16, 3, 1, 1).unwrap()),
+                NetworkLayer::new(LayerShape::conv("pw", 16, 32, 16, 16, 1, 1, 0).unwrap()),
+                NetworkLayer::new(LayerShape::fully_connected("fc", 512, 10).unwrap()),
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregates_split_conv_and_fc() {
+        let net = toy();
+        assert_eq!(net.total_macs(), net.conv_macs() + net.fc_macs());
+        assert_eq!(net.conv_layers().count(), 2);
+        assert_eq!(net.fc_layers().count(), 1);
+        assert_eq!(net.fc_macs(), 512 * 10);
+    }
+
+    #[test]
+    fn plan_assigns_modes_per_policy() {
+        let net = toy();
+        let plan = net.plan(TransferScheme::Scnn);
+        let modes: Vec<_> = plan.layers().iter().map(LayerPlan::mode).collect();
+        assert_eq!(
+            modes,
+            vec![
+                TransferMode::Scnn,
+                TransferMode::Conventional, // 1x1
+                TransferMode::Conventional, // FC
+            ]
+        );
+    }
+
+    #[test]
+    fn dcnn_plan_uses_heterogeneous_meta() {
+        let net = Network::new(
+            "Five",
+            vec![NetworkLayer::new(
+                LayerShape::conv("c5", 16, 32, 14, 14, 5, 1, 2).unwrap(),
+            )],
+        );
+        let plan = net.plan(TransferScheme::DCNN4);
+        assert_eq!(plan.layers()[0].mode(), TransferMode::Dcnn { z: 6 });
+    }
+}

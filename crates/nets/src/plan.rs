@@ -1,0 +1,244 @@
+//! Execution plans: what the TFE actually runs for each layer.
+//!
+//! A [`NetworkPlan`] fixes, per layer, whether the engine runs in
+//! conventional mode or in one of the transferred modes. The simulators
+//! consume plans; the analysis crate's formulas are evaluated over plans
+//! so that every experiment applies exactly one, shared, per-layer policy.
+
+use crate::layer::NetworkLayer;
+use tfe_transfer::analysis::{self, ReuseConfig};
+use tfe_transfer::TransferScheme;
+
+/// The execution mode chosen for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferMode {
+    /// Conventional convolution (dense weights, no reuse machinery).
+    Conventional,
+    /// DCNN with the given effective meta extent.
+    Dcnn {
+        /// Meta filter extent used for this layer.
+        z: usize,
+    },
+    /// SCNN orbit mode.
+    Scnn,
+}
+
+impl TransferMode {
+    /// Whether this layer benefits from the transferred-filter machinery.
+    #[must_use]
+    pub fn is_transferred(self) -> bool {
+        self != TransferMode::Conventional
+    }
+}
+
+/// One planned layer: the network layer plus its chosen mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    layer: NetworkLayer,
+    mode: TransferMode,
+}
+
+impl LayerPlan {
+    /// Pairs a layer with its execution mode.
+    #[must_use]
+    pub fn new(layer: NetworkLayer, mode: TransferMode) -> Self {
+        LayerPlan { layer, mode }
+    }
+
+    /// The underlying network layer.
+    #[must_use]
+    pub fn layer(&self) -> &NetworkLayer {
+        &self.layer
+    }
+
+    /// The chosen execution mode.
+    #[must_use]
+    pub fn mode(&self) -> TransferMode {
+        self.mode
+    }
+
+    /// Dense MACs of this layer (what Eyeriss or a direct implementation
+    /// executes).
+    #[must_use]
+    pub fn dense_macs(&self) -> u64 {
+        self.layer.macs()
+    }
+
+    /// MACs the TFE executes for this layer under a reuse configuration.
+    #[must_use]
+    pub fn tfe_macs(&self, reuse: ReuseConfig) -> u64 {
+        let pf = self.layer.per_filter_shape();
+        match self.mode {
+            TransferMode::Conventional => self.dense_macs(),
+            TransferMode::Dcnn { z } => analysis::dcnn_macs_with(&pf, z, reuse),
+            TransferMode::Scnn => analysis::scnn_macs_with(&pf, reuse),
+        }
+    }
+
+    /// Parameters stored for this layer under the plan.
+    #[must_use]
+    pub fn stored_params(&self) -> u64 {
+        let pf = self.layer.per_filter_shape();
+        match self.mode {
+            TransferMode::Conventional => self.layer.params(),
+            TransferMode::Dcnn { z } => analysis::dcnn_params(&pf, z),
+            TransferMode::Scnn => analysis::scnn_params(&pf),
+        }
+    }
+}
+
+/// The full plan for one network under one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkPlan {
+    network_name: String,
+    scheme: TransferScheme,
+    layers: Vec<LayerPlan>,
+}
+
+impl NetworkPlan {
+    /// Assembles a plan from planned layers.
+    #[must_use]
+    pub fn new(network_name: &str, scheme: TransferScheme, layers: Vec<LayerPlan>) -> Self {
+        NetworkPlan {
+            network_name: network_name.to_owned(),
+            scheme,
+            layers,
+        }
+    }
+
+    /// The source network's name.
+    #[must_use]
+    pub fn network_name(&self) -> &str {
+        &self.network_name
+    }
+
+    /// The scheme this plan was built for.
+    #[must_use]
+    pub fn scheme(&self) -> TransferScheme {
+        self.scheme
+    }
+
+    /// The planned layers in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// Dense MACs across all layers.
+    #[must_use]
+    pub fn dense_macs(&self) -> u64 {
+        self.layers.iter().map(LayerPlan::dense_macs).sum()
+    }
+
+    /// TFE MACs across all layers under a reuse configuration.
+    #[must_use]
+    pub fn tfe_macs(&self, reuse: ReuseConfig) -> u64 {
+        self.layers.iter().map(|l| l.tfe_macs(reuse)).sum()
+    }
+
+    /// Stored parameters across all layers.
+    #[must_use]
+    pub fn stored_params(&self) -> u64 {
+        self.layers.iter().map(LayerPlan::stored_params).sum()
+    }
+
+    /// Dense parameters across all layers (the uncompressed model size).
+    #[must_use]
+    pub fn dense_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.layer().params()).sum()
+    }
+
+    /// Network-level parameter reduction factor including FC layers.
+    #[must_use]
+    pub fn param_reduction(&self) -> f64 {
+        self.dense_params() as f64 / self.stored_params() as f64
+    }
+
+    /// Parameter reduction over the convolutional layers only — the
+    /// metric Figs. 16/17 plot (FC weights are untouched by the transfer
+    /// and would swamp the ratio on VGG/AlexNet).
+    #[must_use]
+    pub fn conv_param_reduction(&self) -> f64 {
+        let conv = |l: &&LayerPlan| !l.layer().is_fc();
+        let dense: u64 = self.layers.iter().filter(conv).map(|l| l.layer().params()).sum();
+        let stored: u64 = self.layers.iter().filter(conv).map(LayerPlan::stored_params).sum();
+        dense as f64 / stored as f64
+    }
+
+    /// Network-level MAC reduction with full reuse (Fig. 19).
+    #[must_use]
+    pub fn mac_reduction(&self, reuse: ReuseConfig) -> f64 {
+        self.dense_macs() as f64 / self.tfe_macs(reuse) as f64
+    }
+
+    /// Fraction of dense MACs that sit in transferred layers — the
+    /// quantity that bounds the achievable network-level speedup (Amdahl).
+    #[must_use]
+    pub fn transferred_fraction_of_macs(&self) -> f64 {
+        let transferred: u64 = self
+            .layers
+            .iter()
+            .filter(|l| l.mode().is_transferred())
+            .map(LayerPlan::dense_macs)
+            .sum();
+        transferred as f64 / self.dense_macs() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use tfe_tensor::shape::LayerShape;
+
+    fn all_3x3() -> Network {
+        // 16 filters: divisible by the DCNN6 group (16) and SCNN orbit (8),
+        // so the ideal reductions are exact.
+        Network::new(
+            "All3",
+            vec![
+                NetworkLayer::new(LayerShape::conv("a", 8, 16, 16, 16, 3, 1, 1).unwrap()),
+                NetworkLayer::new(LayerShape::conv("b", 8, 16, 16, 16, 3, 1, 1).unwrap()),
+            ],
+        )
+    }
+
+    #[test]
+    fn fully_transferable_network_hits_ideal_reduction() {
+        let plan = all_3x3().plan(TransferScheme::DCNN6);
+        assert!((plan.mac_reduction(ReuseConfig::FULL) - 4.0).abs() < 1e-9);
+        assert!((plan.param_reduction() - 4.0).abs() < 1e-9);
+        assert!((plan.transferred_fraction_of_macs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conventional_layers_dilute_reduction() {
+        let net = Network::new(
+            "Mixed",
+            vec![
+                NetworkLayer::new(LayerShape::conv("a", 8, 8, 16, 16, 3, 1, 1).unwrap()),
+                NetworkLayer::new(LayerShape::conv("pw", 8, 8, 16, 16, 1, 1, 0).unwrap()),
+            ],
+        );
+        let plan = net.plan(TransferScheme::Scnn);
+        let red = plan.mac_reduction(ReuseConfig::FULL);
+        assert!(red > 1.0 && red < 4.0, "got {red}");
+        assert!(plan.transferred_fraction_of_macs() < 1.0);
+    }
+
+    #[test]
+    fn no_reuse_means_no_mac_savings() {
+        let plan = all_3x3().plan(TransferScheme::DCNN4);
+        assert_eq!(plan.tfe_macs(ReuseConfig::NONE), plan.dense_macs());
+        // But parameters are still compressed (compression is a property of
+        // the algorithm, not the datapath).
+        assert!(plan.param_reduction() > 2.0);
+    }
+
+    #[test]
+    fn scheme_recorded_on_plan() {
+        let plan = all_3x3().plan(TransferScheme::Scnn);
+        assert_eq!(plan.scheme(), TransferScheme::Scnn);
+        assert_eq!(plan.network_name(), "All3");
+    }
+}

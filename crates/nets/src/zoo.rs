@@ -1,0 +1,607 @@
+//! Layer tables for the paper's seven benchmark networks.
+//!
+//! Mainstream set (Fig. 15): AlexNet, VGGNet (VGG-16), GoogLeNet,
+//! ResNet-56. Recent set (Table V): DenseNet-121, SqueezeNet v1.0 and the
+//! Residual Attention Network (Attention-56, "ResANet").
+//!
+//! Shapes follow the original publications. Two modelling notes:
+//!
+//! * AlexNet uses the grouped (two-tower) convolutions of the original
+//!   paper, which is what makes its FC layers exceed 8 % of total MACs —
+//!   the property Section V.C.1 calls out.
+//! * ResANet's attention modules are approximated: each module is encoded
+//!   as pre/trunk/post bottleneck units plus a four-unit soft-mask branch
+//!   at halved resolution and two 1×1 mask-output convolutions. This
+//!   preserves the 3×3-vs-1×1 MAC mix that determines TFE speedup.
+
+use crate::layer::NetworkLayer;
+use crate::network::Network;
+use tfe_tensor::pool::{PoolKind, PoolSpec};
+use tfe_tensor::shape::LayerShape;
+
+fn conv(name: &str, n: usize, m: usize, hw: usize, k: usize, s: usize, p: usize) -> NetworkLayer {
+    NetworkLayer::new(
+        LayerShape::conv(name, n, m, hw, hw, k, s, p)
+            .unwrap_or_else(|e| panic!("zoo table entry {name} invalid: {e}")),
+    )
+}
+
+fn fc(name: &str, inputs: usize, outputs: usize) -> NetworkLayer {
+    NetworkLayer::new(
+        LayerShape::fully_connected(name, inputs, outputs)
+            .unwrap_or_else(|e| panic!("zoo table entry {name} invalid: {e}")),
+    )
+}
+
+fn max_pool(window: usize, stride: usize) -> PoolSpec {
+    PoolSpec {
+        kind: PoolKind::Max,
+        window,
+        stride,
+    }
+}
+
+/// AlexNet (Krizhevsky et al. 2012), 227×227 input, grouped convolutions.
+#[must_use]
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        vec![
+            conv("conv1", 3, 96, 227, 11, 4, 0).with_pool(max_pool(3, 2)),
+            conv("conv2", 96, 256, 27, 5, 1, 2)
+                .with_groups(2)
+                .with_pool(max_pool(3, 2)),
+            conv("conv3", 256, 384, 13, 3, 1, 1),
+            conv("conv4", 384, 384, 13, 3, 1, 1).with_groups(2),
+            conv("conv5", 384, 256, 13, 3, 1, 1)
+                .with_groups(2)
+                .with_pool(max_pool(3, 2)),
+            fc("fc6", 256 * 6 * 6, 4096),
+            fc("fc7", 4096, 4096),
+            fc("fc8", 4096, 1000),
+        ],
+    )
+}
+
+/// VGG-16 (Simonyan & Zisserman 2014), 224×224 input.
+#[must_use]
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    let blocks: [(usize, usize, usize, usize); 5] = [
+        // (block index, conv count, in channels, spatial)
+        (1, 2, 3, 224),
+        (2, 2, 64, 112),
+        (3, 3, 128, 56),
+        (4, 3, 256, 28),
+        (5, 3, 512, 14),
+    ];
+    let widths = [64, 128, 256, 512, 512];
+    for &(b, count, cin, hw) in &blocks {
+        let cout = widths[b - 1];
+        for i in 1..=count {
+            let n = if i == 1 { cin } else { cout };
+            let mut layer = conv(&format!("conv{b}_{i}"), n, cout, hw, 3, 1, 1);
+            if i == count {
+                layer = layer.with_pool(max_pool(2, 2));
+            }
+            layers.push(layer);
+        }
+    }
+    layers.push(fc("fc6", 512 * 7 * 7, 4096));
+    layers.push(fc("fc7", 4096, 4096));
+    layers.push(fc("fc8", 4096, 1000));
+    Network::new("VGGNet", layers)
+}
+
+/// VGG-19 (Simonyan & Zisserman 2014, configuration E): VGG-16 with one
+/// extra conv in each of blocks 3-5.
+#[must_use]
+pub fn vgg19() -> Network {
+    let mut layers = Vec::new();
+    let blocks: [(usize, usize, usize, usize); 5] = [
+        (1, 2, 3, 224),
+        (2, 2, 64, 112),
+        (3, 4, 128, 56),
+        (4, 4, 256, 28),
+        (5, 4, 512, 14),
+    ];
+    let widths = [64, 128, 256, 512, 512];
+    for &(b, count, cin, hw) in &blocks {
+        let cout = widths[b - 1];
+        for i in 1..=count {
+            let n = if i == 1 { cin } else { cout };
+            let mut layer = conv(&format!("conv{b}_{i}"), n, cout, hw, 3, 1, 1);
+            if i == count {
+                layer = layer.with_pool(max_pool(2, 2));
+            }
+            layers.push(layer);
+        }
+    }
+    layers.push(fc("fc6", 512 * 7 * 7, 4096));
+    layers.push(fc("fc7", 4096, 4096));
+    layers.push(fc("fc8", 4096, 1000));
+    Network::new("VGG-19", layers)
+}
+
+/// One GoogLeNet inception module: four parallel towers over `cin`
+/// channels at `hw × hw` resolution.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    layers: &mut Vec<NetworkLayer>,
+    name: &str,
+    hw: usize,
+    cin: usize,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pp: usize,
+) {
+    layers.push(conv(&format!("{name}/1x1"), cin, c1, hw, 1, 1, 0));
+    layers.push(conv(&format!("{name}/3x3_reduce"), cin, c3r, hw, 1, 1, 0));
+    layers.push(conv(&format!("{name}/3x3"), c3r, c3, hw, 3, 1, 1));
+    layers.push(conv(&format!("{name}/5x5_reduce"), cin, c5r, hw, 1, 1, 0));
+    layers.push(conv(&format!("{name}/5x5"), c5r, c5, hw, 5, 1, 2));
+    layers.push(conv(&format!("{name}/pool_proj"), cin, pp, hw, 1, 1, 0));
+}
+
+/// GoogLeNet (Szegedy et al. 2015), 224×224 input, nine inception modules.
+#[must_use]
+pub fn googlenet() -> Network {
+    let mut layers = vec![
+        conv("conv1/7x7_s2", 3, 64, 224, 7, 2, 3).with_pool(max_pool(3, 2)),
+        conv("conv2/3x3_reduce", 64, 64, 56, 1, 1, 0),
+        conv("conv2/3x3", 64, 192, 56, 3, 1, 1).with_pool(max_pool(3, 2)),
+    ];
+    inception(&mut layers, "inception_3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    inception(&mut layers, "inception_3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    inception(&mut layers, "inception_4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    inception(&mut layers, "inception_4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    inception(&mut layers, "inception_4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    inception(&mut layers, "inception_4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    inception(&mut layers, "inception_4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    inception(&mut layers, "inception_5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    inception(&mut layers, "inception_5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    layers.push(fc("fc", 1024, 1000));
+    Network::new("GoogLeNet", layers)
+}
+
+/// The CIFAR ResNet family (He et al. 2016): depth `6n + 2` with `n`
+/// basic blocks per stage, 32×32 input, identity shortcuts (option A —
+/// no projection convolutions). `resnet_cifar(9)` is the paper's
+/// ResNet-56.
+///
+/// # Panics
+///
+/// Panics if `blocks_per_stage` is zero.
+#[must_use]
+pub fn resnet_cifar(blocks_per_stage: usize) -> Network {
+    assert!(blocks_per_stage > 0, "a ResNet needs at least one block per stage");
+    let depth = 6 * blocks_per_stage + 2;
+    let mut layers = vec![conv("conv1", 3, 16, 32, 3, 1, 1)];
+    let stages: [(usize, usize, usize); 3] = [(16, 32, 1), (32, 16, 2), (64, 8, 3)];
+    for &(width, hw, stage) in &stages {
+        for block in 0..blocks_per_stage {
+            let first_of_stage = block == 0 && stage > 1;
+            let (n, stride, in_hw) = if first_of_stage {
+                (width / 2, 2, hw * 2)
+            } else {
+                (width, 1, hw)
+            };
+            layers.push(conv(
+                &format!("conv{stage}_{block}a"),
+                n,
+                width,
+                in_hw,
+                3,
+                stride,
+                1,
+            ));
+            layers.push(conv(&format!("conv{stage}_{block}b"), width, width, hw, 3, 1, 1));
+        }
+    }
+    layers.push(fc("fc", 64, 10));
+    let name = if depth == 56 {
+        "ResNet".to_owned() // the paper's evaluation name
+    } else {
+        format!("ResNet-{depth}")
+    };
+    Network::new(&name, layers)
+}
+
+/// ResNet-56 — the paper's evaluated configuration.
+#[must_use]
+pub fn resnet56() -> Network {
+    resnet_cifar(9)
+}
+
+/// DenseNet-121 (Huang et al. 2017), 224×224 input, growth rate 32,
+/// bottleneck width 128.
+#[must_use]
+pub fn densenet121() -> Network {
+    const GROWTH: usize = 32;
+    const BOTTLENECK: usize = 4 * GROWTH;
+    let mut layers = vec![conv("conv1", 3, 64, 224, 7, 2, 3).with_pool(max_pool(3, 2))];
+    let mut channels = 64;
+    let mut hw = 56;
+    let block_sizes = [6usize, 12, 24, 16];
+    for (b, &len) in block_sizes.iter().enumerate() {
+        for l in 0..len {
+            layers.push(conv(
+                &format!("block{}/layer{}/1x1", b + 1, l + 1),
+                channels + l * GROWTH,
+                BOTTLENECK,
+                hw,
+                1,
+                1,
+                0,
+            ));
+            layers.push(conv(
+                &format!("block{}/layer{}/3x3", b + 1, l + 1),
+                BOTTLENECK,
+                GROWTH,
+                hw,
+                3,
+                1,
+                1,
+            ));
+        }
+        channels += len * GROWTH;
+        if b + 1 < block_sizes.len() {
+            layers.push(
+                conv(&format!("transition{}", b + 1), channels, channels / 2, hw, 1, 1, 0)
+                    .with_pool(PoolSpec {
+                        kind: PoolKind::Average,
+                        window: 2,
+                        stride: 2,
+                    }),
+            );
+            channels /= 2;
+            hw /= 2;
+        }
+    }
+    layers.push(fc("fc", channels, 1000));
+    Network::new("DenseNet", layers)
+}
+
+fn fire(layers: &mut Vec<NetworkLayer>, name: &str, hw: usize, cin: usize, s: usize, e: usize) {
+    layers.push(conv(&format!("{name}/squeeze1x1"), cin, s, hw, 1, 1, 0));
+    layers.push(conv(&format!("{name}/expand1x1"), s, e, hw, 1, 1, 0));
+    layers.push(conv(&format!("{name}/expand3x3"), s, e, hw, 3, 1, 1));
+}
+
+/// SqueezeNet v1.0 (Iandola et al. 2016), 227×227 input.
+#[must_use]
+pub fn squeezenet() -> Network {
+    let mut layers = vec![conv("conv1", 3, 96, 227, 7, 2, 0).with_pool(max_pool(3, 2))];
+    fire(&mut layers, "fire2", 55, 96, 16, 64);
+    fire(&mut layers, "fire3", 55, 128, 16, 64);
+    fire(&mut layers, "fire4", 55, 128, 32, 128);
+    if let Some(last) = layers.pop() {
+        layers.push(last.with_pool(max_pool(3, 2)));
+    }
+    fire(&mut layers, "fire5", 27, 256, 32, 128);
+    fire(&mut layers, "fire6", 27, 256, 48, 192);
+    fire(&mut layers, "fire7", 27, 384, 48, 192);
+    fire(&mut layers, "fire8", 27, 384, 64, 256);
+    if let Some(last) = layers.pop() {
+        layers.push(last.with_pool(max_pool(3, 2)));
+    }
+    fire(&mut layers, "fire9", 13, 512, 64, 256);
+    layers.push(conv("conv10", 512, 1000, 13, 1, 1, 0));
+    Network::new("SqueezeNet", layers)
+}
+
+/// One pre-activation bottleneck residual unit (1×1 → 3×3 → 1×1), with a
+/// projection shortcut when the channel count or stride changes.
+fn residual_unit(
+    layers: &mut Vec<NetworkLayer>,
+    name: &str,
+    hw: usize,
+    cin: usize,
+    cmid: usize,
+    cout: usize,
+    stride: usize,
+) {
+    layers.push(conv(&format!("{name}/1x1a"), cin, cmid, hw, 1, 1, 0));
+    layers.push(conv(&format!("{name}/3x3"), cmid, cmid, hw, 3, stride, 1));
+    let out_hw = hw / stride;
+    layers.push(conv(&format!("{name}/1x1b"), cmid, cout, out_hw, 1, 1, 0));
+    if cin != cout || stride != 1 {
+        layers.push(conv(&format!("{name}/shortcut"), cin, cout, hw, 1, stride, 0));
+    }
+}
+
+/// One attention module (approximated — see module docs): pre unit, two
+/// trunk units, post unit, a four-unit soft-mask branch at halved
+/// resolution, and two 1×1 mask-output convolutions.
+fn attention_module(layers: &mut Vec<NetworkLayer>, name: &str, hw: usize, c: usize) {
+    // Basic-block width (mid = c, rather than the ImageNet bottleneck's
+    // c/4) keeps the module's 3×3 MAC share representative of the network
+    // the paper benchmarks; Table V's 2.2-2.6x conv speedups require 3×3
+    // layers to dominate the attention modules.
+    let mid = c;
+    residual_unit(layers, &format!("{name}/pre"), hw, c, mid, c, 1);
+    residual_unit(layers, &format!("{name}/trunk1"), hw, c, mid, c, 1);
+    residual_unit(layers, &format!("{name}/trunk2"), hw, c, mid, c, 1);
+    let mask_hw = hw / 2;
+    for i in 1..=4 {
+        residual_unit(layers, &format!("{name}/mask{i}"), mask_hw, c, mid, c, 1);
+    }
+    layers.push(conv(&format!("{name}/mask_out"), c, c, hw, 1, 1, 0));
+    residual_unit(layers, &format!("{name}/post"), hw, c, mid, c, 1);
+}
+
+/// Residual Attention Network ("ResANet", Wang et al. 2017, Attention-56
+/// approximation), 224×224 input.
+#[must_use]
+pub fn resanet() -> Network {
+    let mut layers = vec![conv("conv1", 3, 64, 224, 7, 2, 3).with_pool(max_pool(3, 2))];
+    residual_unit(&mut layers, "res1", 56, 64, 128, 256, 1);
+    attention_module(&mut layers, "attention1", 56, 256);
+    residual_unit(&mut layers, "res2", 56, 256, 256, 512, 2);
+    attention_module(&mut layers, "attention2", 28, 512);
+    residual_unit(&mut layers, "res3", 28, 512, 512, 1024, 2);
+    attention_module(&mut layers, "attention3", 14, 1024);
+    residual_unit(&mut layers, "res4_1", 14, 1024, 1024, 2048, 2);
+    residual_unit(&mut layers, "res4_2", 7, 2048, 1024, 2048, 1);
+    residual_unit(&mut layers, "res4_3", 7, 2048, 1024, 2048, 1);
+    layers.push(fc("fc", 2048, 1000));
+    Network::new("ResANet", layers)
+}
+
+fn depthwise(name: &str, channels: usize, hw: usize, stride: usize) -> NetworkLayer {
+    NetworkLayer::new(
+        LayerShape::depthwise(name, channels, hw, hw, 3, stride, 1)
+            .unwrap_or_else(|e| panic!("zoo table entry {name} invalid: {e}")),
+    )
+}
+
+/// MobileNet v1 (Howard et al. 2017), 224×224 input — the network family
+/// the paper explicitly *excludes*: depth-wise separable convolution
+/// removes the cross-filter redundancy transferred filters exploit, so
+/// the TFE runs it conventionally with no benefit. Included to exercise
+/// that boundary.
+#[must_use]
+pub fn mobilenet() -> Network {
+    let mut layers = vec![conv("conv1", 3, 32, 224, 3, 2, 1)];
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        // (in channels, out channels, input hw, dw stride)
+        (32, 64, 112, 1),
+        (64, 128, 112, 2),
+        (128, 128, 56, 1),
+        (128, 256, 56, 2),
+        (256, 256, 28, 1),
+        (256, 512, 28, 2),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 1024, 14, 2),
+        (1024, 1024, 7, 1),
+    ];
+    for (i, &(cin, cout, hw, stride)) in blocks.iter().enumerate() {
+        layers.push(depthwise(&format!("dw{}", i + 1), cin, hw, stride));
+        layers.push(conv(&format!("pw{}", i + 1), cin, cout, hw / stride, 1, 1, 0));
+    }
+    layers.push(fc("fc", 1024, 1000));
+    Network::new("MobileNet", layers)
+}
+
+/// The four mainstream networks of Fig. 15, in the paper's order.
+#[must_use]
+pub fn mainstream() -> Vec<Network> {
+    vec![alexnet(), vgg16(), googlenet(), resnet56()]
+}
+
+/// The three recent networks of Table V, in the paper's order.
+#[must_use]
+pub fn recent() -> Vec<Network> {
+    vec![densenet121(), squeezenet(), resanet()]
+}
+
+/// All seven benchmark networks.
+#[must_use]
+pub fn all() -> Vec<Network> {
+    let mut nets = mainstream();
+    nets.extend(recent());
+    nets
+}
+
+/// Looks a network up by its paper name (case-insensitive; accepts a few
+/// aliases such as `"vgg16"` and `"resnet56"`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(alexnet()),
+        "vgg" | "vgg16" | "vggnet" => Some(vgg16()),
+        "vgg19" | "vgg-19" => Some(vgg19()),
+        "resnet20" | "resnet-20" => Some(resnet_cifar(3)),
+        "resnet32" | "resnet-32" => Some(resnet_cifar(5)),
+        "resnet110" | "resnet-110" => Some(resnet_cifar(18)),
+        "googlenet" => Some(googlenet()),
+        "resnet" | "resnet56" | "resnet-56" => Some(resnet56()),
+        "densenet" | "densenet121" | "densenet-121" => Some(densenet121()),
+        "squeezenet" => Some(squeezenet()),
+        "resanet" | "attention56" | "attention-56" => Some(resanet()),
+        "mobilenet" | "mobilenet-v1" => Some(mobilenet()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GMAC: u64 = 1_000_000_000;
+    const MMAC: u64 = 1_000_000;
+
+    #[test]
+    fn vgg16_totals_match_literature() {
+        let net = vgg16();
+        // ~15.35 GMAC conv, ~123.6 M FC params, 13 conv + 3 fc layers.
+        assert!((15 * GMAC..16 * GMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert_eq!(net.conv_layers().count(), 13);
+        assert_eq!(net.fc_layers().count(), 3);
+        assert!((123_000_000..124_000_000).contains(&net.fc_layers().map(|l| l.params()).sum::<u64>()));
+        // Conv params ~14.7 M.
+        assert!((14 * MMAC..15 * MMAC).contains(&net.conv_params()));
+    }
+
+    #[test]
+    fn alexnet_fc_fraction_exceeds_eight_percent() {
+        // Section V.C.1: "For AlexNet, where FC layers consume more than
+        // 8% of the computations…"
+        let net = alexnet();
+        let frac = net.fc_macs() as f64 / net.total_macs() as f64;
+        assert!(frac > 0.08, "fc fraction {frac}");
+        // Grouped conv totals ~666 MMAC.
+        assert!((600 * MMAC..750 * MMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+    }
+
+    #[test]
+    fn alexnet_conv1_is_11x11_stride_4() {
+        let net = alexnet();
+        let c1 = &net.layers()[0];
+        assert_eq!(c1.shape().k(), 11);
+        assert_eq!(c1.shape().e(), 55);
+    }
+
+    #[test]
+    fn googlenet_conv_macs_in_expected_range() {
+        // ~1.5 GMAC of convolution (literature: ~1.58 GMAC fwd total).
+        let net = googlenet();
+        assert!((GMAC..2 * GMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        // 1x1 layers must be a substantial minority of conv MACs.
+        let one_by_one: u64 = net
+            .conv_layers()
+            .filter(|l| l.shape().k() == 1)
+            .map(|l| l.macs())
+            .sum();
+        let frac = one_by_one as f64 / net.conv_macs() as f64;
+        assert!(frac > 0.2 && frac < 0.6, "1x1 fraction {frac}");
+    }
+
+    #[test]
+    fn resnet56_has_55_convs_and_tiny_fc() {
+        let net = resnet56();
+        assert_eq!(net.conv_layers().count(), 55);
+        assert_eq!(net.fc_macs(), 640);
+        // ~126 MMAC (literature figure for ResNet-56 on CIFAR).
+        assert!((100 * MMAC..160 * MMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        // Nearly everything is 3x3.
+        let k3: u64 = net
+            .conv_layers()
+            .filter(|l| l.shape().k() == 3)
+            .map(|l| l.macs())
+            .sum();
+        assert!(k3 as f64 / net.conv_macs() as f64 > 0.99);
+    }
+
+    #[test]
+    fn densenet_is_dominated_by_1x1_macs() {
+        // Table V discussion: "1×1 filter-related computations constitute
+        // approximately 60% of the total computations" in DenseNet.
+        let net = densenet121();
+        let one_by_one: u64 = net
+            .conv_layers()
+            .filter(|l| l.shape().k() == 1)
+            .map(|l| l.macs())
+            .sum();
+        let frac = one_by_one as f64 / net.conv_macs() as f64;
+        assert!((0.5..0.75).contains(&frac), "1x1 fraction {frac}");
+    }
+
+    #[test]
+    fn densenet_channel_bookkeeping() {
+        let net = densenet121();
+        // Final FC must see 1024 channels (the DenseNet-121 invariant).
+        let fc = net.fc_layers().next().unwrap();
+        assert_eq!(fc.shape().n(), 1024);
+    }
+
+    #[test]
+    fn squeezenet_macs_and_structure() {
+        let net = squeezenet();
+        // 26 conv layers (1 + 8 fires x 3 + conv10), no FC.
+        assert_eq!(net.conv_layers().count(), 26);
+        assert_eq!(net.fc_layers().count(), 0);
+        // Literature: ~0.7-0.9 GMAC.
+        assert!((500 * MMAC..GMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+    }
+
+    #[test]
+    fn resanet_3x3_share_supports_table5_speedups() {
+        // Table V reports 2.2-2.6x conv speedups for ResANet, implying a
+        // majority of MACs in transferable 3x3 layers.
+        let net = resanet();
+        let k3: u64 = net
+            .conv_layers()
+            .filter(|l| l.shape().k() == 3)
+            .map(|l| l.macs())
+            .sum();
+        let frac = k3 as f64 / net.conv_macs() as f64;
+        assert!(frac > 0.4, "3x3 fraction {frac}");
+    }
+
+    #[test]
+    fn resnet_family_scales_with_depth() {
+        let r20 = resnet_cifar(3);
+        let r56 = resnet_cifar(9);
+        let r110 = resnet_cifar(18);
+        assert_eq!(r20.conv_layers().count(), 19);
+        assert_eq!(r56.conv_layers().count(), 55);
+        assert_eq!(r110.conv_layers().count(), 109);
+        assert!(r20.conv_macs() < r56.conv_macs());
+        assert!(r56.conv_macs() < r110.conv_macs());
+        assert_eq!(r56.name(), "ResNet");
+        assert_eq!(r110.name(), "ResNet-110");
+    }
+
+    #[test]
+    fn vgg19_extends_vgg16() {
+        let v16 = vgg16();
+        let v19 = vgg19();
+        assert_eq!(v19.conv_layers().count(), 16);
+        assert!(v19.conv_macs() > v16.conv_macs());
+        // Same FC head.
+        assert_eq!(v19.fc_macs(), v16.fc_macs());
+    }
+
+    #[test]
+    fn by_name_resolves_all_aliases() {
+        for name in ["AlexNet", "vgg", "VGGNet", "googlenet", "ResNet", "DenseNet", "SqueezeNet", "ResANet"] {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert!(by_name("mobilenet").is_some());
+        assert!(by_name("efficientnet").is_none());
+    }
+
+    #[test]
+    fn mobilenet_is_depthwise_dominated_and_excluded_from_sweeps() {
+        let net = mobilenet();
+        // Depth-wise + 1x1 layers leave nothing for the transfer to act on.
+        let transferable: u64 = net
+            .conv_layers()
+            .filter(|l| l.shape().kind().transferable() && l.shape().k() >= 2)
+            .map(|l| l.macs())
+            .sum();
+        let frac = transferable as f64 / net.conv_macs() as f64;
+        assert!(frac < 0.05, "transferable fraction {frac}");
+        // MobileNet v1: ~569 MMAC of convolution.
+        assert!((400 * MMAC..700 * MMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        // Not part of the paper's sweeps.
+        assert!(all().iter().all(|n| n.name() != "MobileNet"));
+    }
+
+    #[test]
+    fn all_networks_have_positive_macs_and_params() {
+        for net in all() {
+            assert!(net.total_macs() > 0, "{}", net.name());
+            assert!(net.total_params() > 0, "{}", net.name());
+        }
+        assert_eq!(all().len(), 7);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hardware configuration of the TFE (Table III and Section IV).
+
+/// Static configuration of the TFE microarchitecture.
+///
+/// The defaults reproduce the paper's synthesized design: a 16×16 PE array
+/// at 200 MHz with a 16-bit datapath and the memory system of Fig. 10/13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfeConfig {
+    /// PE array height (rows).
+    pub pe_rows: usize,
+    /// PE array width (columns).
+    pub pe_cols: usize,
+    /// Datapath width in bits (samples and weights).
+    pub data_bits: u32,
+    /// Clock frequency in Hz.
+    pub frequency_hz: u64,
+    /// Weight register capacity in bytes (Section IV: 512 B).
+    pub weight_register_bytes: usize,
+    /// Each half of the ping-pong input memory, in bytes (4 KB × 2).
+    pub input_memory_bytes: usize,
+    /// Number of PSum memories (seven, supporting up to 7×7 filters).
+    pub psum_memories: usize,
+    /// Capacity of one PSum memory in bytes (8 KB, four 2 KB banks).
+    pub psum_memory_bytes: usize,
+    /// Banks per PSum memory.
+    pub psum_banks: usize,
+    /// Ping-pong intermediate memory ("Memory PP"), bytes (8 KB).
+    pub memory_pp_bytes: usize,
+    /// Each of the two pooling output memories, bytes (1 KB × 2).
+    pub o_memory_bytes: usize,
+    /// Data alignment memory (DAM), bytes (16 KB).
+    pub dam_bytes: usize,
+    /// Stacked-register group extent (6×6 SRs).
+    pub sr_group_extent: usize,
+    /// Registers per stacked register (depth of one SR; Figs. 6–7 use 3).
+    pub sr_depth: usize,
+}
+
+impl TfeConfig {
+    /// The paper's synthesized configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        TfeConfig {
+            pe_rows: 16,
+            pe_cols: 16,
+            data_bits: 16,
+            frequency_hz: 200_000_000,
+            weight_register_bytes: 512,
+            input_memory_bytes: 4 * 1024,
+            psum_memories: 7,
+            psum_memory_bytes: 8 * 1024,
+            psum_banks: 4,
+            memory_pp_bytes: 8 * 1024,
+            o_memory_bytes: 1024,
+            dam_bytes: 16 * 1024,
+            sr_group_extent: 6,
+            sr_depth: 3,
+        }
+    }
+
+    /// Total PE count (256 in the paper's design).
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Total on-chip memory in bytes (Table III reports 160 KB; the
+    /// figure counts the global buffers plus distributed registers).
+    #[must_use]
+    pub fn total_memory_bytes(&self) -> usize {
+        2 * self.input_memory_bytes
+            + self.psum_memories * self.psum_memory_bytes
+            + self.memory_pp_bytes
+            + 2 * self.o_memory_bytes
+            + self.dam_bytes
+            + self.weight_register_bytes
+    }
+
+    /// Peak multiply throughput in operations per second.
+    #[must_use]
+    pub fn peak_macs_per_second(&self) -> u64 {
+        self.pes() as u64 * self.frequency_hz
+    }
+
+    /// Number of stacked registers in the SR group (36 in the paper).
+    #[must_use]
+    pub fn sr_count(&self) -> usize {
+        self.sr_group_extent * self.sr_group_extent
+    }
+}
+
+impl Default for TfeConfig {
+    fn default() -> Self {
+        TfeConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_table3() {
+        let cfg = TfeConfig::paper();
+        assert_eq!(cfg.pes(), 256);
+        assert_eq!(cfg.frequency_hz, 200_000_000);
+        assert_eq!(cfg.sr_count(), 36);
+        // 2x4 + 7x8 + 8 + 2x1 + 16 + 0.5 KB = 90.5 KB of explicit buffers;
+        // Table III's 160 KB additionally counts distributed pipeline
+        // registers, so the explicit buffers must come in below it.
+        let kb = cfg.total_memory_bytes() / 1024;
+        assert!((90..=160).contains(&kb), "{kb} KB");
+    }
+
+    #[test]
+    fn peak_throughput() {
+        let cfg = TfeConfig::paper();
+        assert_eq!(cfg.peak_macs_per_second(), 256 * 200_000_000);
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for the TFE simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The functional datapath only models unit-stride convolution; the
+    /// performance model handles strided layers analytically.
+    UnsupportedStride {
+        /// The requested stride.
+        stride: usize,
+    },
+    /// The layer kind is not executable on the TFE (depth-wise).
+    UnsupportedLayer {
+        /// Why the layer is rejected.
+        reason: &'static str,
+    },
+    /// A weight or activation operand disagreed with the layer shape.
+    OperandMismatch {
+        /// What was being matched.
+        what: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Provided extent.
+        actual: usize,
+    },
+    /// A transferred-filter representation was internally inconsistent.
+    Transfer(tfe_transfer::TransferError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedStride { stride } => {
+                write!(f, "functional datapath supports stride 1 only, got {stride}")
+            }
+            SimError::UnsupportedLayer { reason } => {
+                write!(f, "layer unsupported by the TFE: {reason}")
+            }
+            SimError::OperandMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "operand mismatch for {what}: expected {expected}, got {actual}"),
+            SimError::Transfer(e) => write!(f, "transfer representation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Transfer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tfe_transfer::TransferError> for SimError {
+    fn from(e: tfe_transfer::TransferError) -> Self {
+        SimError::Transfer(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SimError::UnsupportedStride { stride: 2 };
+        assert!(e.to_string().contains("stride 1"));
+        let inner = tfe_transfer::TransferError::ZeroExtent { what: "z" };
+        let e = SimError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! ERRR — entire-row result reuse (Section III.C, Figs. 8–9).
+//!
+//! The output memory system keeps the row results of the last few input
+//! rows alive in a ring of PSum memories (MEM0, MEM1, … are cyclically
+//! rewritten as Fig. 8's periods advance). A window result for output row
+//! `oy` sums row results of input rows `oy..oy+K−1`; as soon as row `i`
+//! falls out of every remaining window, its memory is recycled for row
+//! `i + K`.
+//!
+//! [`RowRing`] is the functional model: a bounded ring of row slots with
+//! access counting and the invariant that a row is only ever requested
+//! while it is still resident — the property that makes the cyclic
+//! schedule correct.
+
+use crate::counters::Counters;
+use std::collections::VecDeque;
+use tfe_tensor::fixed::Accum;
+
+/// One resident input row's results: for every (filter-row, variant)
+/// stream the engine produced, a vector of per-position partial sums.
+///
+/// The `variant` index distinguishes the parallel streams one row pass
+/// yields — transferred-filter horizontal offsets for the DCNN, the
+/// forward/mirrored directions for the SCNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSlot {
+    row_index: usize,
+    /// `streams[filter_row][variant][x]`.
+    streams: Vec<Vec<Vec<Accum>>>,
+}
+
+/// A cyclic ring of PSum row memories.
+///
+/// `capacity` models the number of PSum memories dedicated to the layer
+/// (the paper provisions seven 8 KB memories, enough for a 7×7 filter's
+/// seven live rows).
+#[derive(Debug, Clone)]
+pub struct RowRing {
+    capacity: usize,
+    slots: VecDeque<RowSlot>,
+    /// Number of slot evictions (memory recycles) that occurred.
+    recycles: u64,
+}
+
+impl RowRing {
+    /// Creates a ring with room for `capacity` input rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "row ring needs at least one slot");
+        RowRing {
+            capacity,
+            slots: VecDeque::with_capacity(capacity),
+            recycles: 0,
+        }
+    }
+
+    /// Number of rows currently resident.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slot recycles so far (Fig. 8's period turnovers).
+    #[must_use]
+    pub fn recycles(&self) -> u64 {
+        self.recycles
+    }
+
+    /// Inserts a freshly computed row, evicting the oldest if full, and
+    /// counts the PSum-memory writes.
+    pub fn insert(
+        &mut self,
+        row_index: usize,
+        streams: Vec<Vec<Vec<Accum>>>,
+        counters: &mut Counters,
+    ) {
+        let words: usize = streams
+            .iter()
+            .flat_map(|per_row| per_row.iter().map(Vec::len))
+            .sum();
+        counters.psum_mem_writes += words as u64;
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+            self.recycles += 1;
+        }
+        self.slots.push_back(RowSlot { row_index, streams });
+    }
+
+    /// Reads the result stream `(filter_row, variant)` of input row
+    /// `row_index`, counting the PSum-memory reads. Returns `None` if the
+    /// row was already recycled or never inserted — a scheduling bug in
+    /// the caller.
+    #[must_use]
+    pub fn read(
+        &self,
+        row_index: usize,
+        filter_row: usize,
+        variant: usize,
+        counters: &mut Counters,
+    ) -> Option<&[Accum]> {
+        let slot = self.slots.iter().find(|s| s.row_index == row_index)?;
+        let stream = slot.streams.get(filter_row)?.get(variant)?;
+        counters.psum_mem_reads += stream.len() as u64;
+        Some(stream)
+    }
+
+    /// Whether a row is currently resident.
+    #[must_use]
+    pub fn contains(&self, row_index: usize) -> bool {
+        self.slots.iter().any(|s| s.row_index == row_index)
+    }
+}
+
+/// Sums the window result for one output position set: adds `parts`
+/// element-wise, counting the adder-tree activations.
+#[must_use]
+pub fn combine_rows(parts: &[&[Accum]], counters: &mut Counters) -> Vec<Accum> {
+    let Some(first) = parts.first() else {
+        return Vec::new();
+    };
+    let mut out = first.to_vec();
+    for part in &parts[1..] {
+        debug_assert_eq!(part.len(), out.len(), "window parts must align");
+        for (acc, &p) in out.iter_mut().zip(part.iter()) {
+            *acc += p;
+        }
+    }
+    counters.adds += (parts.len().saturating_sub(1) * out.len()) as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::fixed::Fx16;
+
+    fn acc(v: f32) -> Accum {
+        Fx16::from_f32(v).widening_mul(Fx16::ONE)
+    }
+
+    fn one_stream(values: &[f32]) -> Vec<Vec<Vec<Accum>>> {
+        vec![vec![values.iter().map(|&v| acc(v)).collect()]]
+    }
+
+    #[test]
+    fn ring_keeps_last_k_rows() {
+        let mut ring = RowRing::new(3);
+        let mut c = Counters::new();
+        for i in 0..5 {
+            ring.insert(i, one_stream(&[i as f32]), &mut c);
+        }
+        assert_eq!(ring.resident(), 3);
+        assert!(!ring.contains(0));
+        assert!(!ring.contains(1));
+        assert!(ring.contains(2) && ring.contains(4));
+        assert_eq!(ring.recycles(), 2);
+    }
+
+    #[test]
+    fn read_counts_and_returns_values() {
+        let mut ring = RowRing::new(2);
+        let mut c = Counters::new();
+        ring.insert(7, one_stream(&[1.0, 2.0, 3.0]), &mut c);
+        assert_eq!(c.psum_mem_writes, 3);
+        let data = ring.read(7, 0, 0, &mut c).unwrap();
+        assert_eq!(data.len(), 3);
+        assert_eq!(c.psum_mem_reads, 3);
+        assert_eq!(data[1], acc(2.0));
+    }
+
+    #[test]
+    fn reading_recycled_row_fails() {
+        let mut ring = RowRing::new(1);
+        let mut c = Counters::new();
+        ring.insert(0, one_stream(&[1.0]), &mut c);
+        ring.insert(1, one_stream(&[2.0]), &mut c);
+        assert!(ring.read(0, 0, 0, &mut c).is_none());
+        assert!(ring.read(1, 0, 0, &mut c).is_some());
+    }
+
+    #[test]
+    fn combine_rows_sums_elementwise() {
+        let mut c = Counters::new();
+        let a: Vec<Accum> = [1.0, 2.0].iter().map(|&v| acc(v)).collect();
+        let b: Vec<Accum> = [0.5, -1.0].iter().map(|&v| acc(v)).collect();
+        let out = combine_rows(&[&a, &b], &mut c);
+        assert_eq!(out[0].to_f32(), 1.5);
+        assert_eq!(out[1].to_f32(), 1.0);
+        assert_eq!(c.adds, 2);
+    }
+
+    #[test]
+    fn combine_rows_empty_and_single() {
+        let mut c = Counters::new();
+        assert!(combine_rows(&[], &mut c).is_empty());
+        let a: Vec<Accum> = vec![acc(4.0)];
+        let out = combine_rows(&[&a], &mut c);
+        assert_eq!(out[0].to_f32(), 4.0);
+        assert_eq!(c.adds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = RowRing::new(0);
+    }
+
+    #[test]
+    fn missing_stream_indices_return_none() {
+        let mut ring = RowRing::new(2);
+        let mut c = Counters::new();
+        ring.insert(0, one_stream(&[1.0]), &mut c);
+        assert!(ring.read(0, 1, 0, &mut c).is_none());
+        assert!(ring.read(0, 0, 1, &mut c).is_none());
+    }
+}

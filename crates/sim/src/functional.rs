@@ -1,0 +1,709 @@
+//! Layer-level functional simulation of the TFE datapath.
+//!
+//! [`run_layer`] executes one layer the way the hardware does — PPSR row
+//! passes feeding an ERRR row ring, window results combined by the adder
+//! trees — on real Q8.8 data, producing both the ofmap values and the
+//! event counts. The integration tests check the values bit-exactly
+//! against [`tfe_tensor::conv::conv2d_fx`] applied to the *expanded*
+//! transferred filters: the reuse machinery must be a pure optimization.
+//!
+//! Scope: arbitrary stride, arbitrary square filters, zero padding,
+//! multi-channel, batched inputs (dilation > 1 is analytic-only).
+
+use crate::counters::Counters;
+use crate::errr::{combine_rows, RowRing};
+use crate::ppsr::{conventional_row_pass, dcnn_row_pass, scnn_row_pass};
+use crate::SimError;
+use tfe_tensor::fixed::{Accum, Fx16};
+use tfe_tensor::shape::{ConvKind, LayerShape};
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
+
+/// Final activations of a layer, indexed `[batch][channel][row][col]`.
+pub type ActivationPlanes = Vec<Vec<Vec<Vec<f32>>>>;
+
+/// Result of a functional layer execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalOutput {
+    /// Full-precision ofmap accumulators, `[batch, M, E, F]`.
+    pub output: Tensor4<Accum>,
+    /// Counted datapath events.
+    pub counters: Counters,
+}
+
+/// Executes one layer on the functional TFE datapath.
+///
+/// Strided layers compute full-resolution row results (the broadcast
+/// walks every input element regardless) and subsample at the window
+/// stage, which is how the row-wise datapath realizes stride.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnsupportedLayer`] for depth-wise or dilated
+/// layers and [`SimError::OperandMismatch`] when `input` or `layer`
+/// disagree with `shape`.
+pub fn run_layer(
+    input: &Tensor4<Fx16>,
+    layer: &TransferredLayer,
+    shape: &LayerShape,
+    reuse: ReuseConfig,
+) -> Result<FunctionalOutput, SimError> {
+    if shape.kind() == ConvKind::DepthWise {
+        return Err(SimError::UnsupportedLayer {
+            reason: "depth-wise convolution is excluded by the TFE",
+        });
+    }
+    if shape.dilation() != 1 {
+        return Err(SimError::UnsupportedLayer {
+            reason: "the functional datapath models unit dilation; dilated layers use the performance model",
+        });
+    }
+    let [batch, ic, ih, iw] = input.dims();
+    for (what, expected, actual) in [
+        ("input channels", shape.n(), ic),
+        ("input height", shape.h(), ih),
+        ("input width", shape.w(), iw),
+        ("layer filter count", shape.m(), layer.filters()),
+    ] {
+        if expected != actual {
+            return Err(SimError::OperandMismatch {
+                what,
+                expected,
+                actual,
+            });
+        }
+    }
+
+    let mut counters = Counters {
+        dense_macs: shape.macs() * batch as u64,
+        ..Counters::new()
+    };
+    let mut output = Tensor4::zeros([batch, shape.m(), shape.e(), shape.f()]);
+    for b in 0..batch {
+        let padded = padded_planes(input, b, shape);
+        match layer {
+            TransferredLayer::Dense { weights } => {
+                run_conventional(&padded, weights, shape, b, &mut output, &mut counters);
+            }
+            TransferredLayer::Dcnn { k, m, metas } => {
+                run_dcnn(&padded, *k, *m, metas, shape, reuse, b, &mut output, &mut counters)?;
+            }
+            TransferredLayer::Scnn { m, groups } => {
+                run_scnn(&padded, *m, groups, shape, reuse, b, &mut output, &mut counters);
+            }
+        }
+    }
+    Ok(FunctionalOutput { output, counters })
+}
+
+/// Executes one layer and drives its ofmaps through the output memory
+/// system (adder trees → ReLU → row-wise pooling), returning the final
+/// activation planes as `[batch][channel][row][col]` `f32` values plus
+/// the merged counters.
+///
+/// This is the complete Fig. 10 path for one layer: PE array + SR group
+/// (PPSR), PSum memories (ERRR), then Fig. 13's output stage.
+///
+/// # Errors
+///
+/// Same conditions as [`run_layer`].
+pub fn run_layer_with_output(
+    input: &Tensor4<Fx16>,
+    layer: &TransferredLayer,
+    shape: &LayerShape,
+    reuse: ReuseConfig,
+    output_config: crate::output::OutputConfig,
+) -> Result<(ActivationPlanes, Counters), SimError> {
+    let FunctionalOutput {
+        output,
+        mut counters,
+    } = run_layer(input, layer, shape, reuse)?;
+    let [batch, channels, e, f] = output.dims();
+    let mut activations = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let mut per_channel = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let rows: Vec<Vec<Accum>> = (0..e)
+                .map(|y| (0..f).map(|x| output.get([b, c, y, x])).collect())
+                .collect();
+            per_channel.push(crate::output::process_plane(
+                &rows,
+                output_config,
+                &mut counters,
+            ));
+        }
+        activations.push(per_channel);
+    }
+    Ok((activations, counters))
+}
+
+/// Builds zero-padded input planes: `planes[c][row][col]` with extents
+/// `(H + 2p) × (W + 2p)`.
+fn padded_planes(input: &Tensor4<Fx16>, b: usize, shape: &LayerShape) -> Vec<Vec<Vec<Fx16>>> {
+    let (h, w, p) = (shape.h(), shape.w(), shape.pad());
+    (0..shape.n())
+        .map(|c| {
+            let mut plane = vec![vec![Fx16::ZERO; w + 2 * p]; h + 2 * p];
+            for y in 0..h {
+                for x in 0..w {
+                    plane[y + p][x + p] = input.get([b, c, y, x]);
+                }
+            }
+            plane
+        })
+        .collect()
+}
+
+fn quantize_filter_row(data: &[f32], c: usize, k: usize, row: usize) -> Vec<Fx16> {
+    let start = c * k * k + row * k;
+    data[start..start + k].iter().copied().map(Fx16::from_f32).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_conventional(
+    padded: &[Vec<Vec<Fx16>>],
+    weights: &Tensor4<f32>,
+    shape: &LayerShape,
+    b: usize,
+    output: &mut Tensor4<Accum>,
+    counters: &mut Counters,
+) {
+    let (k, e, f, m_count) = (shape.k(), shape.e(), shape.f(), shape.m());
+    let s = shape.stride();
+    let full_w = shape.w() + 2 * shape.pad() - k + 1;
+    for m in 0..m_count {
+        for oy in 0..e {
+            let mut parts: Vec<Vec<Accum>> = Vec::with_capacity(k);
+            for ky in 0..k {
+                let mut row_sum = vec![Accum::ZERO; full_w];
+                for (c, plane) in padded.iter().enumerate() {
+                    let w_row: Vec<Fx16> = (0..k)
+                        .map(|kx| Fx16::from_f32(weights.get([m, c, ky, kx])))
+                        .collect();
+                    let res = conventional_row_pass(&w_row, &plane[oy * s + ky], counters);
+                    for (acc, v) in row_sum.iter_mut().zip(res) {
+                        *acc += v;
+                    }
+                }
+                parts.push(row_sum);
+            }
+            let refs: Vec<&[Accum]> = parts.iter().map(Vec::as_slice).collect();
+            let window = combine_rows(&refs, counters);
+            for ox in 0..f {
+                output.set([b, m, oy, ox], window[ox * s]);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_dcnn(
+    padded: &[Vec<Vec<Fx16>>],
+    k: usize,
+    m_count: usize,
+    metas: &[tfe_transfer::meta::MetaFilter],
+    shape: &LayerShape,
+    reuse: ReuseConfig,
+    b: usize,
+    output: &mut Tensor4<Accum>,
+    counters: &mut Counters,
+) -> Result<(), SimError> {
+    let (e, f) = (shape.e(), shape.f());
+    let s = shape.stride();
+    let full_w = shape.w() + 2 * shape.pad() - k + 1;
+    for (g, meta) in metas.iter().enumerate() {
+        let z = meta.z();
+        let per_axis = meta.offsets_per_axis(k)?;
+        // One channel-summed PPSR pass set for input row `i`: streams
+        // indexed [meta_row][dx][x].
+        let pass = |i: usize, counters: &mut Counters| -> Vec<Vec<Vec<Accum>>> {
+            (0..z)
+                .map(|kr| {
+                    let mut per_dx = vec![vec![Accum::ZERO; full_w]; per_axis];
+                    for (c, plane) in padded.iter().enumerate() {
+                        let meta_row: Vec<Fx16> = (0..z)
+                            .map(|x| Fx16::from_f32(meta.get(c, kr, x)))
+                            .collect();
+                        let res = dcnn_row_pass(&meta_row, &plane[i], k, reuse.ppsr, counters);
+                        for (dx, stream) in res.into_iter().enumerate() {
+                            for (acc, v) in per_dx[dx].iter_mut().zip(stream) {
+                                *acc += v;
+                            }
+                        }
+                    }
+                    per_dx
+                })
+                .collect()
+        };
+
+        if reuse.errr {
+            let mut ring = RowRing::new(k);
+            for oy in 0..e {
+                let first_needed = oy * s;
+                let last_needed = oy * s + k - 1;
+                for i in first_needed..=last_needed {
+                    if !ring.contains(i) {
+                        let streams = pass(i, counters);
+                        ring.insert(i, streams, counters);
+                    }
+                }
+                for dy in 0..per_axis {
+                    for dx in 0..per_axis {
+                        let m = g * per_axis * per_axis + dy * per_axis + dx;
+                        if m >= m_count {
+                            continue;
+                        }
+                        let parts: Vec<&[Accum]> = (0..k)
+                            .map(|ky| {
+                                ring.read(oy * s + ky, dy + ky, dx, counters)
+                                    .expect("row still resident within the window")
+                            })
+                            .collect();
+                        let window = combine_rows(&parts, counters);
+                        for ox in 0..f {
+                            output.set([b, m, oy, ox], window[ox * s]);
+                        }
+                    }
+                }
+            }
+        } else {
+            // No ERRR: every (output row, vertical offset) recomputes its
+            // row passes (Fig. 4's repetition).
+            for oy in 0..e {
+                // Compute the full pass per needed input row *per dy use*.
+                for dy in 0..per_axis {
+                    let mut per_row: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
+                    for ky in 0..k {
+                        let streams = pass_single_row(
+                            padded,
+                            meta,
+                            k,
+                            dy + ky,
+                            oy * s + ky,
+                            full_w,
+                            per_axis,
+                            reuse.ppsr,
+                            counters,
+                        );
+                        per_row.push(streams);
+                    }
+                    for dx in 0..per_axis {
+                        let m = g * per_axis * per_axis + dy * per_axis + dx;
+                        if m >= m_count {
+                            continue;
+                        }
+                        let parts: Vec<&[Accum]> =
+                            per_row.iter().map(|streams| streams[dx].as_slice()).collect();
+                        let window = combine_rows(&parts, counters);
+                        for ox in 0..f {
+                            output.set([b, m, oy, ox], window[ox * s]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One channel-summed pass of a single meta row (used by the no-ERRR
+/// path), producing `streams[dx][x]`.
+#[allow(clippy::too_many_arguments)]
+fn pass_single_row(
+    padded: &[Vec<Vec<Fx16>>],
+    meta: &tfe_transfer::meta::MetaFilter,
+    k: usize,
+    kr: usize,
+    i: usize,
+    full_w: usize,
+    per_axis: usize,
+    ppsr: bool,
+    counters: &mut Counters,
+) -> Vec<Vec<Accum>> {
+    let z = meta.z();
+    let mut per_dx = vec![vec![Accum::ZERO; full_w]; per_axis];
+    for (c, plane) in padded.iter().enumerate() {
+        let meta_row: Vec<Fx16> = (0..z).map(|x| Fx16::from_f32(meta.get(c, kr, x))).collect();
+        let res = dcnn_row_pass(&meta_row, &plane[i], k, ppsr, counters);
+        for (dx, stream) in res.into_iter().enumerate() {
+            for (acc, v) in per_dx[dx].iter_mut().zip(stream) {
+                *acc += v;
+            }
+        }
+    }
+    per_dx
+}
+
+/// Index of an orientation `(base, flip_h, flip_v)` in
+/// [`ORIENTATIONS`] order.
+fn orientation_index(base: usize, flip_h: bool, flip_v: bool) -> usize {
+    base * 4 + usize::from(flip_h) + 2 * usize::from(flip_v)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scnn(
+    padded: &[Vec<Vec<Fx16>>],
+    m_count: usize,
+    groups: &[tfe_transfer::scnn::ScnnGroup],
+    shape: &LayerShape,
+    reuse: ReuseConfig,
+    b: usize,
+    output: &mut Tensor4<Accum>,
+    counters: &mut Counters,
+) {
+    let (k, e, f, n) = (shape.k(), shape.e(), shape.f(), shape.n());
+    let s = shape.stride();
+    let full_w = shape.w() + 2 * shape.pad() - k + 1;
+    for (g, group) in groups.iter().enumerate() {
+        // Source of each emitted member. PPSR/ERRR derive flips only from
+        // the *stored* base filters (Section V.E: an orientation whose
+        // required flips are not all covered by enabled machinery runs
+        // conventionally with its own materialized weights — it cannot
+        // chain off another derived orientation).
+        let source_of = |oi: usize| -> (usize, usize, bool) {
+            let o = Orientation::of(ORIENTATIONS[oi]);
+            let h_covered = !o.flip_h || reuse.ppsr;
+            let v_covered = !o.flip_v || reuse.errr;
+            if h_covered && v_covered {
+                (
+                    orientation_index(o.base, false, false),
+                    usize::from(o.flip_h),
+                    o.flip_v,
+                )
+            } else {
+                (oi, 0, false)
+            }
+        };
+        // Which orientations must run their own row passes: the sources of
+        // the members this (possibly partial) group emits.
+        let computed: Vec<usize> = {
+            let mut sources: Vec<usize> = (0..ORBIT)
+                .filter(|&oi| g * ORBIT + oi < m_count)
+                .map(|oi| source_of(oi).0)
+                .collect();
+            sources.sort_unstable();
+            sources.dedup();
+            sources
+        };
+
+        // A ring per computed orientation; streams[kr] = [fwd, rev?].
+        let mut rings: Vec<Option<RowRing>> = (0..ORBIT)
+            .map(|oi| computed.contains(&oi).then(|| RowRing::new(k)))
+            .collect();
+        let oriented: Vec<Vec<f32>> = (0..ORBIT).map(|oi| group.orient(oi)).collect();
+
+        for oy in 0..e {
+            // Refresh rings with any newly needed input rows.
+            for &oi in &computed {
+                for i in oy * s..oy * s + k {
+                    let ring = rings[oi].as_mut().expect("computed orientation has a ring");
+                    if ring.contains(i) {
+                        continue;
+                    }
+                    let mut streams: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
+                    for kr in 0..k {
+                        let mut fwd_sum = vec![Accum::ZERO; full_w];
+                        let mut rev_sum = reuse.ppsr.then(|| vec![Accum::ZERO; full_w]);
+                        for (c, plane) in padded.iter().enumerate() {
+                            debug_assert!(c < n);
+                            let w_row = quantize_filter_row(&oriented[oi], c, k, kr);
+                            let (fwd, rev) = scnn_row_pass(&w_row, &plane[i], reuse.ppsr, counters);
+                            for (acc, v) in fwd_sum.iter_mut().zip(fwd) {
+                                *acc += v;
+                            }
+                            if let (Some(rs), Some(rev)) = (rev_sum.as_mut(), rev) {
+                                for (acc, v) in rs.iter_mut().zip(rev) {
+                                    *acc += v;
+                                }
+                            }
+                        }
+                        let mut variants = vec![fwd_sum];
+                        if let Some(rs) = rev_sum {
+                            variants.push(rs);
+                        }
+                        streams.push(variants);
+                    }
+                    ring.insert(i, streams, counters);
+                }
+            }
+
+            // Emit every orbit member from its source ring.
+            for oi in 0..ORBIT {
+                let m = g * ORBIT + oi;
+                if m >= m_count {
+                    continue;
+                }
+                let (src, direction, row_flip) = source_of(oi);
+                let ring = rings[src].as_ref().expect("source orientation is computed");
+                let parts: Vec<&[Accum]> = (0..k)
+                    .map(|ky| {
+                        let kr = if row_flip { k - 1 - ky } else { ky };
+                        ring.read(oy * s + ky, kr, direction, counters)
+                            .expect("row still resident within the window")
+                    })
+                    .collect();
+                let window = combine_rows(&parts, counters);
+                for ox in 0..f {
+                    output.set([b, m, oy, ox], window[ox * s]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::conv::conv2d_fx;
+    use tfe_transfer::TransferScheme;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        // Quarter-unit steps are exactly representable in Q8.8, so the
+        // functional datapath and the oracle see identical weights.
+        (((*seed >> 20) & 0xf) as f32 - 7.5) / 4.0
+    }
+
+    fn random_input(shape: &LayerShape, seed: &mut u32) -> Tensor4<Fx16> {
+        Tensor4::from_fn([1, shape.n(), shape.h(), shape.w()], |_| {
+            Fx16::from_f32(det(seed))
+        })
+    }
+
+    fn oracle(
+        input: &Tensor4<Fx16>,
+        layer: &TransferredLayer,
+        shape: &LayerShape,
+    ) -> Tensor4<Accum> {
+        let dense = layer.expand_to_dense().unwrap().map(Fx16::from_f32);
+        conv2d_fx(input, &dense, shape).unwrap()
+    }
+
+    fn check_all_reuse_configs(shape: &LayerShape, layer: &TransferredLayer, seed: &mut u32) {
+        let input = random_input(shape, seed);
+        let expected = oracle(&input, layer, shape);
+        for reuse in [
+            ReuseConfig::FULL,
+            ReuseConfig::PPSR_ONLY,
+            ReuseConfig::ERRR_ONLY,
+            ReuseConfig::NONE,
+        ] {
+            let got = run_layer(&input, layer, shape, reuse).unwrap();
+            assert_eq!(
+                got.output, expected,
+                "mismatch under {reuse:?} for {shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn dcnn4_matches_oracle_bit_exactly() {
+        let shape = LayerShape::conv("d4", 2, 8, 7, 7, 3, 1, 1).unwrap();
+        let mut seed = 1;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::DCNN4, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 99);
+    }
+
+    #[test]
+    fn dcnn6_matches_oracle_bit_exactly() {
+        let shape = LayerShape::conv("d6", 1, 16, 8, 8, 3, 1, 0).unwrap();
+        let mut seed = 2;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::DCNN6, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 7);
+    }
+
+    #[test]
+    fn scnn_matches_oracle_bit_exactly() {
+        let shape = LayerShape::conv("s", 2, 8, 6, 6, 3, 1, 1).unwrap();
+        let mut seed = 3;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 13);
+    }
+
+    #[test]
+    fn scnn_5x5_matches_oracle() {
+        let shape = LayerShape::conv("s5", 1, 8, 9, 9, 5, 1, 2).unwrap();
+        let mut seed = 4;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 21);
+    }
+
+    #[test]
+    fn conventional_dense_matches_oracle() {
+        let shape = LayerShape::conv("c", 3, 4, 6, 6, 3, 1, 1).unwrap();
+        let mut seed = 5;
+        let weights = Tensor4::from_fn([4, 3, 3, 3], |_| det(&mut seed));
+        let layer = TransferredLayer::Dense { weights };
+        check_all_reuse_configs(&shape, &layer, &mut 31);
+    }
+
+    #[test]
+    fn pointwise_matches_oracle() {
+        let shape = LayerShape::conv("pw", 4, 4, 5, 5, 1, 1, 0).unwrap();
+        let mut seed = 6;
+        let weights = Tensor4::from_fn([4, 4, 1, 1], |_| det(&mut seed));
+        let layer = TransferredLayer::Dense { weights };
+        check_all_reuse_configs(&shape, &layer, &mut 41);
+    }
+
+    #[test]
+    fn partial_scnn_orbit_matches_oracle() {
+        // M = 5 exercises the discard path for unused orbit members.
+        let shape = LayerShape::conv("p", 1, 5, 6, 6, 3, 1, 1).unwrap();
+        let mut seed = 8;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 55);
+    }
+
+    #[test]
+    fn reuse_reduces_multiplies_without_changing_output_dcnn() {
+        let shape = LayerShape::conv("r", 1, 16, 10, 10, 3, 1, 1).unwrap();
+        let mut seed = 9;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::DCNN6, || det(s2)).unwrap();
+        let input = random_input(&shape, &mut 77);
+        let full = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+        let none = run_layer(&input, &layer, &shape, ReuseConfig::NONE).unwrap();
+        assert_eq!(full.output, none.output);
+        // Ideal reduction is 4x; padded edges shave a little off.
+        let ratio = none.counters.multiplies as f64 / full.counters.multiplies as f64;
+        assert!(ratio > 3.0 && ratio <= 4.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reuse_reduces_multiplies_without_changing_output_scnn() {
+        let shape = LayerShape::conv("r", 1, 8, 10, 10, 3, 1, 1).unwrap();
+        let mut seed = 10;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = random_input(&shape, &mut 78);
+        let full = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+        let ppsr = run_layer(&input, &layer, &shape, ReuseConfig::PPSR_ONLY).unwrap();
+        let none = run_layer(&input, &layer, &shape, ReuseConfig::NONE).unwrap();
+        assert_eq!(full.output, none.output);
+        assert_eq!(full.output, ppsr.output);
+        // Full reuse computes 2 of 8 orientations: exactly 4x fewer row
+        // passes than the naive path.
+        let full_ratio = none.counters.multiplies as f64 / full.counters.multiplies as f64;
+        assert!((full_ratio - 4.0).abs() < 1e-9, "full {full_ratio}");
+        // PPSR alone computes 6 of 8.
+        let ppsr_ratio = none.counters.multiplies as f64 / ppsr.counters.multiplies as f64;
+        assert!((ppsr_ratio - 8.0 / 6.0).abs() < 1e-9, "ppsr {ppsr_ratio}");
+    }
+
+    #[test]
+    fn stride_two_scnn_matches_oracle() {
+        let shape = LayerShape::conv("s2", 1, 8, 9, 9, 3, 2, 1).unwrap();
+        let mut seed = 11;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 5);
+    }
+
+    #[test]
+    fn stride_two_dcnn_matches_oracle() {
+        let shape = LayerShape::conv("s2d", 2, 8, 10, 10, 3, 2, 1).unwrap();
+        let mut seed = 15;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::DCNN4, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 8);
+    }
+
+    #[test]
+    fn stride_four_conventional_matches_oracle() {
+        // AlexNet conv1 style: large filter, stride 4, no padding.
+        let shape = LayerShape::conv("s4", 1, 2, 15, 15, 5, 4, 0).unwrap();
+        let mut seed = 19;
+        let weights = Tensor4::from_fn([2, 1, 5, 5], |_| det(&mut seed));
+        let layer = TransferredLayer::Dense { weights };
+        check_all_reuse_configs(&shape, &layer, &mut 9);
+    }
+
+    #[test]
+    fn dilated_layer_rejected_by_functional_path() {
+        let shape = LayerShape::conv("dil", 1, 8, 9, 9, 3, 1, 0)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        let mut seed = 21;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = random_input(&shape, &mut 5);
+        assert!(matches!(
+            run_layer(&input, &layer, &shape, ReuseConfig::FULL),
+            Err(SimError::UnsupportedLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_input_rejected() {
+        let shape = LayerShape::conv("m", 2, 8, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 12;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = Tensor4::filled([1, 3, 8, 8], Fx16::ZERO);
+        assert!(matches!(
+            run_layer(&input, &layer, &shape, ReuseConfig::FULL),
+            Err(SimError::OperandMismatch { what: "input channels", .. })
+        ));
+    }
+
+    #[test]
+    fn batch_dimension_processed_independently() {
+        let shape = LayerShape::conv("b", 1, 8, 5, 5, 3, 1, 1).unwrap();
+        let mut seed = 13;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = Tensor4::from_fn([2, 1, 5, 5], |[n, _, y, x]| {
+            Fx16::from_f32((n as f32 + 1.0) * 0.25 * (y as f32 - x as f32))
+        });
+        let both = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+        let expected = oracle(&input, &layer, &shape);
+        assert_eq!(both.output, expected);
+    }
+
+    #[test]
+    fn layer_with_output_matches_conv_relu_pool_reference() {
+        use crate::output::OutputConfig;
+        use tfe_tensor::pool::{pool2d, PoolKind, PoolSpec};
+
+        let shape = LayerShape::conv("op", 2, 8, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 91;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = random_input(&shape, &mut 17);
+
+        let (activations, _) =
+            run_layer_with_output(&input, &layer, &shape, ReuseConfig::FULL, OutputConfig::RELU_POOL2)
+                .unwrap();
+
+        // Reference: oracle conv -> quantized relu -> 2x2 tile pool.
+        let expected_acc = oracle(&input, &layer, &shape);
+        let quantized = expected_acc.map(|a| a.relu().to_sample().to_f32());
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        let pooled = pool2d(&quantized, spec).unwrap();
+        for (idx, v) in pooled.indexed_iter() {
+            let [b, c, y, x] = idx;
+            assert_eq!(activations[b][c][y][x], v, "at {idx:?}");
+        }
+    }
+
+    #[test]
+    fn errr_ring_counts_psum_traffic() {
+        let shape = LayerShape::conv("t", 1, 8, 6, 6, 3, 1, 1).unwrap();
+        let mut seed = 14;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = random_input(&shape, &mut 6);
+        let full = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+        assert!(full.counters.psum_mem_writes > 0);
+        assert!(full.counters.psum_mem_reads >= full.counters.psum_mem_writes);
+    }
+}

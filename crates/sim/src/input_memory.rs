@@ -1,0 +1,258 @@
+//! The input-side memory subsystem (Section IV, "Input Memory/Weight
+//! Register"): the 512 B weight register and the 2 × 4 KB ping-pong
+//! input memory.
+//!
+//! The two halves of the input memory alternate roles every swap: one is
+//! written from off-chip DRAM while the other feeds broadcasts to the PE
+//! array, so the array never stalls on input as long as each half can
+//! hold the rows a pass consumes. [`PingPongInput`] models the
+//! alternation with capacity enforcement and counts the DRAM and
+//! broadcast traffic; [`WeightRegister`] models the single 256-weight
+//! staging register ("only one of the weight registers is needed in our
+//! architecture" — the weights for the next pass stream in while the
+//! current ones are PE-resident).
+
+use crate::counters::Counters;
+use tfe_tensor::fixed::Fx16;
+
+/// Error type for the input-side memories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InputMemoryError {
+    /// A fill exceeded the half-buffer capacity.
+    CapacityExceeded {
+        /// Words requested.
+        requested: usize,
+        /// Words available.
+        capacity: usize,
+    },
+    /// A read was issued against a half that was never filled.
+    Empty,
+}
+
+impl std::fmt::Display for InputMemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputMemoryError::CapacityExceeded {
+                requested,
+                capacity,
+            } => write!(f, "fill of {requested} words exceeds the {capacity}-word half"),
+            InputMemoryError::Empty => write!(f, "read from an unfilled input-memory half"),
+        }
+    }
+}
+
+impl std::error::Error for InputMemoryError {}
+
+/// The 2 × 4 KB ping-pong input memory.
+#[derive(Debug, Clone)]
+pub struct PingPongInput {
+    capacity_words: usize,
+    halves: [Vec<Fx16>; 2],
+    /// Index of the half currently feeding the PE array.
+    reading: usize,
+    swaps: u64,
+}
+
+impl PingPongInput {
+    /// Creates the buffer; `capacity_bytes` is the size of *one* half
+    /// (the paper's 4 KB → 2048 16-bit words).
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        PingPongInput {
+            capacity_words: capacity_bytes / 2,
+            halves: [Vec::new(), Vec::new()],
+            reading: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Words one half can hold.
+    #[must_use]
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Number of role swaps so far.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Fills the *writing* half from DRAM (counted as off-chip traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InputMemoryError::CapacityExceeded`] if `data` does not
+    /// fit in one half.
+    pub fn fill(&mut self, data: &[Fx16], counters: &mut Counters) -> Result<(), InputMemoryError> {
+        if data.len() > self.capacity_words {
+            return Err(InputMemoryError::CapacityExceeded {
+                requested: data.len(),
+                capacity: self.capacity_words,
+            });
+        }
+        counters.dram_bits += data.len() as u64 * 16;
+        self.halves[1 - self.reading] = data.to_vec();
+        Ok(())
+    }
+
+    /// Reads the *reading* half for broadcast into the PE array (each
+    /// word counted as one input-memory read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InputMemoryError::Empty`] if the reading half was never
+    /// filled.
+    pub fn broadcast(&mut self, counters: &mut Counters) -> Result<&[Fx16], InputMemoryError> {
+        let half = &self.halves[self.reading];
+        if half.is_empty() {
+            return Err(InputMemoryError::Empty);
+        }
+        counters.input_mem_reads += half.len() as u64;
+        Ok(half)
+    }
+
+    /// Swaps the two halves' roles ("the two pieces of input memory work
+    /// in ping-pong mode").
+    pub fn swap(&mut self) {
+        self.reading = 1 - self.reading;
+        self.swaps += 1;
+    }
+}
+
+/// The 512 B weight staging register (256 16-bit weights).
+#[derive(Debug, Clone)]
+pub struct WeightRegister {
+    capacity: usize,
+    weights: Vec<Fx16>,
+    loads: u64,
+}
+
+impl WeightRegister {
+    /// Creates the register; `capacity_bytes` is 512 in the paper.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        WeightRegister {
+            capacity: capacity_bytes / 2,
+            weights: Vec::new(),
+            loads: 0,
+        }
+    }
+
+    /// Weight slots (256 in the paper's configuration).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Loads a weight set from DRAM for the next pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InputMemoryError::CapacityExceeded`] if the set exceeds
+    /// the register.
+    pub fn load(&mut self, weights: &[Fx16], counters: &mut Counters) -> Result<(), InputMemoryError> {
+        if weights.len() > self.capacity {
+            return Err(InputMemoryError::CapacityExceeded {
+                requested: weights.len(),
+                capacity: self.capacity,
+            });
+        }
+        counters.dram_bits += weights.len() as u64 * 16;
+        self.weights = weights.to_vec();
+        self.loads += 1;
+        Ok(())
+    }
+
+    /// Distributes the staged weights into the PE array (one
+    /// weight-register read per weight).
+    pub fn assign(&self, counters: &mut Counters) -> &[Fx16] {
+        counters.weight_reads += self.weights.len() as u64;
+        &self.weights
+    }
+
+    /// Number of loads so far.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// How many load rounds a layer's stored weights need through this
+    /// register — the staging cost the paper argues is hidden ("there is
+    /// enough time to load another 256 weights from the off-chip memory").
+    #[must_use]
+    pub fn rounds_for(&self, stored_params: u64) -> u64 {
+        stored_params.div_ceil(self.capacity as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize) -> Vec<Fx16> {
+        (0..n).map(|i| Fx16::from_bits(i as i16)).collect()
+    }
+
+    #[test]
+    fn ping_pong_alternates_roles() {
+        let mut counters = Counters::new();
+        let mut pp = PingPongInput::new(4096);
+        assert_eq!(pp.capacity_words(), 2048);
+        pp.fill(&words(100), &mut counters).unwrap();
+        // The freshly filled half is not readable until a swap.
+        assert!(pp.broadcast(&mut counters).is_err());
+        pp.swap();
+        let row = pp.broadcast(&mut counters).unwrap();
+        assert_eq!(row.len(), 100);
+        assert_eq!(counters.input_mem_reads, 100);
+        assert_eq!(counters.dram_bits, 1600);
+        assert_eq!(pp.swaps(), 1);
+    }
+
+    #[test]
+    fn fill_respects_half_capacity() {
+        let mut counters = Counters::new();
+        let mut pp = PingPongInput::new(64); // 32 words per half
+        assert!(pp.fill(&words(32), &mut counters).is_ok());
+        assert!(matches!(
+            pp.fill(&words(33), &mut counters),
+            Err(InputMemoryError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapped_fill_and_read() {
+        // While one half broadcasts, the other fills — no data mixing.
+        let mut counters = Counters::new();
+        let mut pp = PingPongInput::new(4096);
+        pp.fill(&words(10), &mut counters).unwrap();
+        pp.swap();
+        pp.fill(&words(20), &mut counters).unwrap();
+        assert_eq!(pp.broadcast(&mut counters).unwrap().len(), 10);
+        pp.swap();
+        assert_eq!(pp.broadcast(&mut counters).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn weight_register_capacity_matches_paper() {
+        let reg = WeightRegister::new(512);
+        assert_eq!(reg.capacity(), 256);
+        // VGG conv1_1 under SCNN: 2 bases x 3 ch x 9 weights per orbit,
+        // 8 orbits = 432 stored weights -> 2 rounds.
+        assert_eq!(reg.rounds_for(432), 2);
+    }
+
+    #[test]
+    fn weight_register_load_and_assign() {
+        let mut counters = Counters::new();
+        let mut reg = WeightRegister::new(512);
+        reg.load(&words(256), &mut counters).unwrap();
+        assert!(reg.load(&words(257), &mut counters).is_err());
+        let staged = reg.assign(&mut counters);
+        assert_eq!(staged.len(), 256);
+        assert_eq!(counters.weight_reads, 256);
+        assert_eq!(reg.loads(), 1);
+    }
+}

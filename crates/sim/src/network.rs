@@ -1,0 +1,281 @@
+//! End-to-end functional execution of a whole (small) network on the TFE
+//! datapath: each conv layer runs through PPSR/ERRR and the output memory
+//! system, activations feed forward, and one counter set accumulates
+//! across the network — Fig. 10's complete processing flow.
+//!
+//! This is the integration level above [`crate::functional::run_layer`]:
+//! it validates that quantization points, pooling and layer chaining
+//! compose the way the architecture wires them. The zoo's ImageNet-scale
+//! networks are far too large for value-level simulation; the tests and
+//! examples use purpose-built small networks.
+
+use crate::counters::Counters;
+use crate::functional::run_layer;
+use crate::output::{process_plane, OutputConfig};
+use tfe_tensor::fixed::Accum;
+use crate::SimError;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::TransferScheme;
+
+/// One stage of a functional network: a (possibly transferred) conv layer
+/// plus its output-stage configuration.
+#[derive(Debug, Clone)]
+pub struct FunctionalStage {
+    /// Layer geometry.
+    pub shape: LayerShape,
+    /// Weights in transferred or dense form.
+    pub weights: TransferredLayer,
+    /// Per-filter bias, folded in by the adder trees before activation
+    /// (empty = no bias).
+    pub bias: Vec<f32>,
+    /// ReLU/pooling applied after the layer.
+    pub output: OutputConfig,
+}
+
+/// A small network executable on the functional datapath.
+#[derive(Debug, Clone)]
+pub struct FunctionalNetwork {
+    stages: Vec<FunctionalStage>,
+}
+
+/// Result of a functional network execution.
+#[derive(Debug, Clone)]
+pub struct NetworkOutput {
+    /// Final activations, `[batch, C, H, W]`.
+    pub activations: Tensor4<Fx16>,
+    /// Merged counters across every stage.
+    pub counters: Counters,
+}
+
+impl FunctionalNetwork {
+    /// Builds a network from its stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OperandMismatch`] if consecutive stages'
+    /// channel counts or spatial extents do not chain (accounting for
+    /// each stage's pooling).
+    pub fn new(stages: Vec<FunctionalStage>) -> Result<Self, SimError> {
+        for pair in stages.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let pool = prev.output.pool.unwrap_or(1);
+            let out_c = prev.shape.m();
+            let out_h = prev.shape.e() / pool;
+            if out_c != next.shape.n() {
+                return Err(SimError::OperandMismatch {
+                    what: "stage channel chaining",
+                    expected: out_c,
+                    actual: next.shape.n(),
+                });
+            }
+            if out_h != next.shape.h() {
+                return Err(SimError::OperandMismatch {
+                    what: "stage spatial chaining",
+                    expected: out_h,
+                    actual: next.shape.h(),
+                });
+            }
+        }
+        Ok(FunctionalNetwork { stages })
+    }
+
+    /// Builds a randomly initialized network from layer geometries under a
+    /// transfer scheme, with ReLU + optional 2×2 pooling per stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the weight generator and stage
+    /// chaining checks.
+    pub fn random(
+        shapes_and_pools: &[(LayerShape, bool)],
+        scheme: TransferScheme,
+        mut next: impl FnMut() -> f32,
+    ) -> Result<Self, SimError> {
+        let stages = shapes_and_pools
+            .iter()
+            .map(|(shape, pool)| {
+                let weights = TransferredLayer::random(shape, scheme, &mut next)?;
+                Ok(FunctionalStage {
+                    shape: shape.clone(),
+                    weights,
+                    bias: Vec::new(),
+                    output: if *pool {
+                        OutputConfig::RELU_POOL2
+                    } else {
+                        OutputConfig::RELU_ONLY
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        FunctionalNetwork::new(stages)
+    }
+
+    /// The network's stages.
+    #[must_use]
+    pub fn stages(&self) -> &[FunctionalStage] {
+        &self.stages
+    }
+
+    /// Total stored parameters across stages.
+    #[must_use]
+    pub fn stored_params(&self) -> u64 {
+        self.stages.iter().map(|s| s.weights.stored_params()).sum()
+    }
+
+    /// Executes the network on a `[batch, N, H, W]` input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-stage simulation errors.
+    pub fn run(&self, input: &Tensor4<Fx16>, reuse: ReuseConfig) -> Result<NetworkOutput, SimError> {
+        let mut current = input.clone();
+        let mut counters = Counters::new();
+        for stage in &self.stages {
+            let result = run_layer(&current, &stage.weights, &stage.shape, reuse)?;
+            counters += result.counters;
+            let [batch, channels, e, f] = result.output.dims();
+            // Fold the per-filter bias in at the adder trees (full
+            // accumulator precision), then run the output memory system.
+            let mut activations: Vec<Vec<Vec<Vec<f32>>>> = Vec::with_capacity(batch);
+            for b in 0..batch {
+                let mut per_channel = Vec::with_capacity(channels);
+                for c in 0..channels {
+                    let bias = stage
+                        .bias
+                        .get(c)
+                        .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)));
+                    let rows: Vec<Vec<Accum>> = (0..e)
+                        .map(|y| (0..f).map(|x| result.output.get([b, c, y, x]) + bias).collect())
+                        .collect();
+                    per_channel.push(process_plane(&rows, stage.output, &mut counters));
+                }
+                activations.push(per_channel);
+            }
+            // Re-tensorize (and re-quantize) the pooled activations for
+            // the next stage — the DAM's output format.
+            let rows = activations[0][0].len();
+            let cols = if rows == 0 { 0 } else { activations[0][0][0].len() };
+            current = Tensor4::from_fn([batch, channels, rows, cols], |[b, c, y, x]| {
+                Fx16::from_f32(activations[b][c][y][x])
+            });
+        }
+        Ok(NetworkOutput {
+            activations: current,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::activation::relu;
+    use tfe_tensor::conv::conv2d_f32;
+    use tfe_tensor::pool::{pool2d, PoolKind, PoolSpec};
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        (((*seed >> 20) & 0xf) as f32 - 7.5) / 8.0
+    }
+
+    fn two_stage_shapes() -> Vec<(LayerShape, bool)> {
+        vec![
+            (LayerShape::conv("s1", 1, 8, 12, 12, 3, 1, 1).unwrap(), true),
+            (LayerShape::conv("s2", 8, 8, 6, 6, 3, 1, 1).unwrap(), true),
+        ]
+    }
+
+    #[test]
+    fn network_runs_and_produces_expected_geometry() {
+        let mut seed = 7;
+        let net = FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || {
+            det(&mut seed)
+        })
+        .unwrap();
+        let input = Tensor4::from_fn([1, 1, 12, 12], |_| Fx16::from_f32(det(&mut seed)));
+        let out = net.run(&input, ReuseConfig::FULL).unwrap();
+        assert_eq!(out.activations.dims(), [1, 8, 3, 3]);
+        assert!(out.counters.multiplies > 0);
+        // Ideal 4x, shaved by padded-row edges on these tiny maps.
+        assert!(out.counters.mac_reduction() > 2.2, "{}", out.counters.mac_reduction());
+    }
+
+    #[test]
+    fn network_matches_reference_chain_within_quantization() {
+        // Reference: f32 conv -> relu -> pool per stage, on the expanded
+        // dense weights. The datapath quantizes activations between
+        // stages (Q8.8), so the comparison uses a quantization-aware
+        // reference: quantize after each stage, like the DAM does.
+        let mut seed = 21;
+        let net = FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::DCNN4, || {
+            det(&mut seed)
+        })
+        .unwrap();
+        let input = Tensor4::from_fn([1, 1, 12, 12], |_| Fx16::from_f32(det(&mut seed)));
+
+        let out = net.run(&input, ReuseConfig::FULL).unwrap();
+
+        let mut reference = input.map(Fx16::to_f32);
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        for stage in net.stages() {
+            let dense = stage.weights.expand_to_dense().unwrap();
+            // Match the datapath's weight quantization.
+            let dense_q = dense.map(|w| Fx16::from_f32(w).to_f32());
+            let conv = conv2d_f32(&reference, &dense_q, None, &stage.shape).unwrap();
+            let activated = relu(&conv);
+            let pooled = pool2d(&activated, spec).unwrap();
+            // DAM re-quantization between stages.
+            reference = pooled.map(|v| Fx16::from_f32(v).to_f32());
+        }
+        let got = out.activations.map(Fx16::to_f32);
+        let diff = got.max_abs_diff(&reference);
+        // Accumulator quantization differs from pure f32 by at most a few
+        // Q8.8 steps over two layers.
+        assert!(diff <= 4.0 / 256.0, "max diff {diff}");
+    }
+
+    #[test]
+    fn chaining_mismatch_rejected() {
+        let mut seed = 3;
+        let shapes = vec![
+            (LayerShape::conv("a", 1, 8, 12, 12, 3, 1, 1).unwrap(), true),
+            // Wrong input channels for stage 2.
+            (LayerShape::conv("b", 4, 8, 6, 6, 3, 1, 1).unwrap(), false),
+        ];
+        let err = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut seed));
+        assert!(matches!(err, Err(SimError::OperandMismatch { .. })));
+    }
+
+    #[test]
+    fn compression_reported_across_network() {
+        let mut seed = 11;
+        let scnn = FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || {
+            det(&mut seed)
+        })
+        .unwrap();
+        let mut seed = 11;
+        let dense_stages: Vec<(LayerShape, bool)> = two_stage_shapes();
+        let dense = FunctionalNetwork::random(
+            &dense_stages
+                .iter()
+                .map(|(s, p)| {
+                    (
+                        LayerShape::conv(s.name(), s.n(), s.m(), s.h(), s.w(), 1, 1, 0)
+                            .unwrap(),
+                        *p,
+                    )
+                })
+                .collect::<Vec<_>>()[..1],
+            TransferScheme::Scnn,
+            || det(&mut seed),
+        );
+        let _ = dense; // pointwise layers come back dense; just the API check
+        // SCNN stores 4x fewer conv weights than the dense equivalent.
+        let dense_params: u64 = two_stage_shapes().iter().map(|(s, _)| s.params()).sum();
+        assert_eq!(dense_params, scnn.stored_params() * 4);
+    }
+}

@@ -1,0 +1,308 @@
+//! The output memory system (Fig. 13): adder trees → ReLU → row-wise
+//! pooling through `Pool_Reg` and the two `O_Memory` banks → the data
+//! alignment memory (DAM).
+//!
+//! The TFE produces ofmap activations *row by row*, so pooling cannot see
+//! a whole tile: a `2 × 2` pool first reduces each fresh row horizontally
+//! (`1 × 2`, staging one activation in `Pool_Reg`), stores the result in
+//! an `O_Memory` bank, and completes the window when the next row's
+//! horizontal reduction arrives. [`OutputSystem`] implements that
+//! machinery with access counting; tests pin its results to the
+//! tile-at-once reference in [`tfe_tensor::pool`].
+
+use crate::counters::Counters;
+use tfe_tensor::fixed::Accum;
+
+/// Configuration of the output stage for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputConfig {
+    /// Apply ReLU before pooling (the paper's CONV layers all do).
+    pub relu: bool,
+    /// Non-overlapping pooling window extent; `None` = no pooling layer.
+    pub pool: Option<usize>,
+}
+
+impl OutputConfig {
+    /// ReLU only, no pooling.
+    pub const RELU_ONLY: OutputConfig = OutputConfig {
+        relu: true,
+        pool: None,
+    };
+
+    /// ReLU followed by non-overlapping 2×2 max pooling — the common
+    /// configuration in the benchmark networks.
+    pub const RELU_POOL2: OutputConfig = OutputConfig {
+        relu: true,
+        pool: Some(2),
+    };
+}
+
+/// The row-wise output stage of one ofmap channel.
+///
+/// Push finished accumulator rows in order with
+/// [`OutputSystem::push_row`]; pooled (or plain activated) rows come back
+/// as they complete. [`OutputSystem::finish`] flushes nothing extra for
+/// non-overlapping pools — partial windows are discarded, as the
+/// hardware does.
+#[derive(Debug, Clone)]
+pub struct OutputSystem {
+    config: OutputConfig,
+    /// Horizontally reduced rows awaiting their vertical partners
+    /// (the `O_Memory` contents).
+    o_memory: Vec<Vec<f32>>,
+    rows_seen: usize,
+}
+
+impl OutputSystem {
+    /// Creates the stage for one channel.
+    #[must_use]
+    pub fn new(config: OutputConfig) -> Self {
+        OutputSystem {
+            config,
+            o_memory: Vec::new(),
+            rows_seen: 0,
+        }
+    }
+
+    /// Applies ReLU (if configured) and quantizes one accumulator row to
+    /// activation values.
+    fn activate(&self, row: &[Accum]) -> Vec<f32> {
+        row.iter()
+            .map(|&acc| {
+                let v = if self.config.relu { acc.relu() } else { acc };
+                v.to_sample().to_f32()
+            })
+            .collect()
+    }
+
+    /// Horizontal (`1 × p`) reduction of one activated row via
+    /// `Pool_Reg`.
+    fn horizontal(&self, row: &[f32], p: usize, counters: &mut Counters) -> Vec<f32> {
+        // Each activation is staged through Pool_Reg once (a register
+        // write + read per element).
+        counters.sr_writes += row.len() as u64;
+        counters.sr_reads += row.len() as u64;
+        row.chunks_exact(p)
+            .map(|window| window.iter().copied().fold(f32::NEG_INFINITY, f32::max))
+            .collect()
+    }
+
+    /// Feeds one finished ofmap row. Returns the completed output row, if
+    /// this row completed one.
+    pub fn push_row(&mut self, row: &[Accum], counters: &mut Counters) -> Option<Vec<f32>> {
+        self.rows_seen += 1;
+        let activated = self.activate(row);
+        let Some(p) = self.config.pool else {
+            return Some(activated);
+        };
+        let horizontal = self.horizontal(&activated, p, counters);
+        counters.psum_mem_writes += horizontal.len() as u64; // O_Memory write
+        self.o_memory.push(horizontal);
+        if self.o_memory.len() == p {
+            // Read back the staged rows and reduce vertically.
+            let staged: Vec<Vec<f32>> = std::mem::take(&mut self.o_memory);
+            counters.psum_mem_reads += staged.iter().map(Vec::len).sum::<usize>() as u64;
+            let width = staged[0].len();
+            let pooled = (0..width)
+                .map(|x| {
+                    staged
+                        .iter()
+                        .map(|r| r[x])
+                        .fold(f32::NEG_INFINITY, f32::max)
+                })
+                .collect();
+            Some(pooled)
+        } else {
+            None
+        }
+    }
+
+    /// Ends the channel; reports how many trailing rows were discarded as
+    /// a partial window.
+    #[must_use]
+    pub fn finish(self) -> usize {
+        self.o_memory.len()
+    }
+}
+
+/// The data alignment memory: buffers pooled rows until a whole channel
+/// group is ready for a single burst to off-chip memory, eliminating the
+/// "complex data alignment operation" (Section IV).
+#[derive(Debug, Clone)]
+pub struct AlignmentMemory {
+    capacity_words: usize,
+    buffered: Vec<Vec<f32>>,
+    words: usize,
+    /// Number of off-chip bursts issued.
+    bursts: u64,
+}
+
+impl AlignmentMemory {
+    /// Creates a DAM with the given capacity in 16-bit words (the paper's
+    /// DAM is 16 KB = 8192 words).
+    #[must_use]
+    pub fn new(capacity_words: usize) -> Self {
+        AlignmentMemory {
+            capacity_words: capacity_words.max(1),
+            buffered: Vec::new(),
+            words: 0,
+            bursts: 0,
+        }
+    }
+
+    /// Buffers one pooled row; issues a burst (returning the drained
+    /// rows) when the memory fills.
+    pub fn push(&mut self, row: Vec<f32>, counters: &mut Counters) -> Option<Vec<Vec<f32>>> {
+        counters.psum_mem_writes += row.len() as u64;
+        self.words += row.len();
+        self.buffered.push(row);
+        if self.words >= self.capacity_words {
+            Some(self.drain(counters))
+        } else {
+            None
+        }
+    }
+
+    /// Drains whatever is buffered as a final burst.
+    pub fn drain(&mut self, counters: &mut Counters) -> Vec<Vec<f32>> {
+        let rows = std::mem::take(&mut self.buffered);
+        let words: usize = rows.iter().map(Vec::len).sum();
+        counters.dram_bits += words as u64 * 16;
+        self.words = 0;
+        self.bursts += 1;
+        rows
+    }
+
+    /// Off-chip bursts issued so far.
+    #[must_use]
+    pub fn bursts(&self) -> u64 {
+        self.bursts
+    }
+}
+
+/// Convenience: runs a whole accumulator plane (`E` rows of `F`) through
+/// the output stage, returning the pooled plane row-major.
+#[must_use]
+pub fn process_plane(
+    rows: &[Vec<Accum>],
+    config: OutputConfig,
+    counters: &mut Counters,
+) -> Vec<Vec<f32>> {
+    let mut system = OutputSystem::new(config);
+    let mut out = Vec::new();
+    for row in rows {
+        if let Some(done) = system.push_row(row, counters) {
+            out.push(done);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::fixed::Fx16;
+    use tfe_tensor::pool::{pool2d, PoolKind, PoolSpec};
+    use tfe_tensor::tensor::Tensor4;
+
+    fn acc(v: f32) -> Accum {
+        Fx16::from_f32(v).widening_mul(Fx16::ONE)
+    }
+
+    fn plane(values: &[&[f32]]) -> Vec<Vec<Accum>> {
+        values
+            .iter()
+            .map(|row| row.iter().map(|&v| acc(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn relu_only_passes_rows_through() {
+        let mut counters = Counters::new();
+        let rows = plane(&[&[1.0, -2.0], &[-0.5, 3.0]]);
+        let out = process_plane(&rows, OutputConfig::RELU_ONLY, &mut counters);
+        assert_eq!(out, vec![vec![1.0, 0.0], vec![0.0, 3.0]]);
+    }
+
+    #[test]
+    fn row_wise_pooling_matches_tile_reference() {
+        let mut counters = Counters::new();
+        let data: Vec<f32> = (0..36).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let rows: Vec<Vec<Accum>> = data.chunks(6).map(|r| r.iter().map(|&v| acc(v)).collect()).collect();
+        let out = process_plane(&rows, OutputConfig::RELU_POOL2, &mut counters);
+
+        // Reference: relu then 2x2 max pool on the whole tile.
+        let tile = Tensor4::from_fn([1, 1, 6, 6], |[_, _, y, x]| data[y * 6 + x].max(0.0));
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        let reference = pool2d(&tile, spec).unwrap();
+        for (y, row) in out.iter().enumerate() {
+            for (x, &v) in row.iter().enumerate() {
+                assert_eq!(v, reference.get([0, 0, y, x]), "({y},{x})");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_row_counts_discard_partial_windows() {
+        let mut counters = Counters::new();
+        let rows = plane(&[&[1.0, 2.0], &[3.0, 4.0], &[9.0, 9.0]]);
+        let mut system = OutputSystem::new(OutputConfig::RELU_POOL2);
+        let mut produced = 0;
+        for row in &rows {
+            if system.push_row(row, &mut counters).is_some() {
+                produced += 1;
+            }
+        }
+        assert_eq!(produced, 1);
+        assert_eq!(system.finish(), 1, "one staged row discarded");
+    }
+
+    #[test]
+    fn pooling_counts_o_memory_traffic() {
+        let mut counters = Counters::new();
+        let rows = plane(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]);
+        let _ = process_plane(&rows, OutputConfig::RELU_POOL2, &mut counters);
+        // Two horizontal rows of 2 written, both read back.
+        assert_eq!(counters.psum_mem_writes, 4);
+        assert_eq!(counters.psum_mem_reads, 4);
+        // Pool_Reg staged each of the 8 activations once.
+        assert_eq!(counters.sr_writes, 8);
+    }
+
+    #[test]
+    fn dam_bursts_when_full() {
+        let mut counters = Counters::new();
+        let mut dam = AlignmentMemory::new(4);
+        assert!(dam.push(vec![1.0, 2.0], &mut counters).is_none());
+        let burst = dam.push(vec![3.0, 4.0], &mut counters);
+        assert!(burst.is_some());
+        assert_eq!(burst.unwrap().len(), 2);
+        assert_eq!(dam.bursts(), 1);
+        assert_eq!(counters.dram_bits, 4 * 16);
+    }
+
+    #[test]
+    fn dam_final_drain_flushes_remainder() {
+        let mut counters = Counters::new();
+        let mut dam = AlignmentMemory::new(100);
+        let _ = dam.push(vec![1.0; 3], &mut counters);
+        let rows = dam.drain(&mut counters);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(counters.dram_bits, 3 * 16);
+    }
+
+    #[test]
+    fn no_relu_keeps_negative_activations() {
+        let mut counters = Counters::new();
+        let rows = plane(&[&[-1.5, 0.5]]);
+        let out = process_plane(
+            &rows,
+            OutputConfig {
+                relu: false,
+                pool: None,
+            },
+            &mut counters,
+        );
+        assert_eq!(out, vec![vec![-1.5, 0.5]]);
+    }
+}

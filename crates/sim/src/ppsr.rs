@@ -1,0 +1,217 @@
+//! PPSR — product and partial-sum reuse (Section III.B, Figs. 5–7).
+//!
+//! The row engines here are the functional model of one meta-filter (or
+//! base-filter) row travelling through the stacked-register pipeline:
+//! every broadcast input is multiplied with each resident weight exactly
+//! once, and the shared products/partial sums are combined into the row
+//! results of *all* transferred filters simultaneously.
+//!
+//! Counting convention: a "multiply" is one multiplier activation, i.e.
+//! one `(input element, weight)` product. With PPSR a DCNN row pass costs
+//! `Z` multiplies per input element (instead of `(Z−K+1)·K`), and an SCNN
+//! row pass costs `K` while producing both the forward and the
+//! horizontally-mirrored row results (instead of `2K`).
+
+use crate::counters::Counters;
+use tfe_tensor::fixed::{Accum, Fx16};
+
+/// Forward row correlation: `out[x] = Σ_j input[x + j] · weights[j]`.
+///
+/// This is the conventional single-filter-row result; exposed as the
+/// building block the naive (reuse-disabled) paths use.
+#[must_use]
+pub fn row_correlate(weights: &[Fx16], input: &[Fx16]) -> Vec<Accum> {
+    let k = weights.len();
+    if input.len() < k {
+        return Vec::new();
+    }
+    let out_len = input.len() - k + 1;
+    (0..out_len)
+        .map(|x| {
+            (0..k)
+                .map(|j| input[x + j].widening_mul(weights[j]))
+                .sum()
+        })
+        .collect()
+}
+
+/// Reversed row correlation: the result for the horizontally mirrored
+/// weight row, `out[x] = Σ_j input[x + j] · weights[k−1−j]`.
+#[must_use]
+pub fn row_correlate_rev(weights: &[Fx16], input: &[Fx16]) -> Vec<Accum> {
+    let rev: Vec<Fx16> = weights.iter().rev().copied().collect();
+    row_correlate(&rev, input)
+}
+
+/// One DCNN PPSR row pass: a meta row of `Z` weights against one input
+/// row, producing the row results of all `Z−K+1` transferred offsets.
+///
+/// Returns `results[dx][x]` for `dx ∈ 0..Z−K+1`. With `ppsr` enabled the
+/// pass costs `Z × input.len()` multiplies (every product computed once
+/// and reused through the SRs); disabled, each offset runs independently
+/// at `K × input.len()` (Fig. 5(a)'s recomputation).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the meta row length.
+#[must_use]
+pub fn dcnn_row_pass(
+    meta_row: &[Fx16],
+    input: &[Fx16],
+    k: usize,
+    ppsr: bool,
+    counters: &mut Counters,
+) -> Vec<Vec<Accum>> {
+    let z = meta_row.len();
+    assert!(k >= 1 && k <= z, "transferred extent must satisfy 1 <= K <= Z");
+    let offsets = z - k + 1;
+    let per_elem = if ppsr { z } else { offsets * k };
+    counters.multiplies += (per_elem * input.len()) as u64;
+    counters.adds += (per_elem.saturating_sub(1) * input.len()) as u64;
+    counters.sr_writes += (offsets * input.len()) as u64;
+    (0..offsets)
+        .map(|dx| row_correlate(&meta_row[dx..dx + k], input))
+        .collect()
+}
+
+/// One SCNN PPSR row pass: a base row of `K` weights against one input
+/// row, producing the forward result and — when `ppsr` is enabled at no
+/// extra multiplies — the horizontally mirrored result (Fig. 7).
+///
+/// Returns `(forward, mirrored)`; `mirrored` is `None` when `ppsr` is
+/// disabled (the caller must pay for its own pass).
+#[must_use]
+pub fn scnn_row_pass(
+    base_row: &[Fx16],
+    input: &[Fx16],
+    ppsr: bool,
+    counters: &mut Counters,
+) -> (Vec<Accum>, Option<Vec<Accum>>) {
+    let k = base_row.len();
+    counters.multiplies += (k * input.len()) as u64;
+    counters.adds += (k.saturating_sub(1) * input.len()) as u64;
+    counters.sr_writes += input.len() as u64;
+    let fwd = row_correlate(base_row, input);
+    if ppsr {
+        counters.sr_writes += input.len() as u64;
+        (fwd, Some(row_correlate_rev(base_row, input)))
+    } else {
+        (fwd, None)
+    }
+}
+
+/// One conventional row pass for a dense filter row (`K` multiplies per
+/// input element, one result stream).
+#[must_use]
+pub fn conventional_row_pass(
+    filter_row: &[Fx16],
+    input: &[Fx16],
+    counters: &mut Counters,
+) -> Vec<Accum> {
+    let k = filter_row.len();
+    counters.multiplies += (k * input.len()) as u64;
+    counters.adds += (k.saturating_sub(1) * input.len()) as u64;
+    row_correlate(filter_row, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(values: &[f32]) -> Vec<Fx16> {
+        values.iter().map(|&v| Fx16::from_f32(v)).collect()
+    }
+
+    fn as_f32(acc: &[Accum]) -> Vec<f32> {
+        acc.iter().map(|a| a.to_f32()).collect()
+    }
+
+    #[test]
+    fn row_correlate_basic() {
+        let w = fx(&[1.0, 2.0, 3.0]);
+        let a = fx(&[1.0, 0.0, -1.0, 2.0]);
+        // x=0: 1*1 + 2*0 + 3*(-1) = -2; x=1: 0 - 2 + 6 = 4.
+        assert_eq!(as_f32(&row_correlate(&w, &a)), vec![-2.0, 4.0]);
+    }
+
+    #[test]
+    fn reversed_correlation_is_mirrored_filter() {
+        let w = fx(&[1.0, 2.0, 3.0]);
+        let a = fx(&[0.5, -1.0, 2.0, 1.0, 0.0]);
+        let mirrored: Vec<Fx16> = w.iter().rev().copied().collect();
+        assert_eq!(
+            as_f32(&row_correlate_rev(&w, &a)),
+            as_f32(&row_correlate(&mirrored, &a))
+        );
+    }
+
+    #[test]
+    fn dcnn_row_pass_matches_independent_correlations() {
+        let meta = fx(&[0.5, -1.0, 2.0, 1.5]);
+        let input = fx(&[1.0, 2.0, -0.5, 0.25, 3.0, -2.0]);
+        let mut c = Counters::new();
+        let results = dcnn_row_pass(&meta, &input, 3, true, &mut c);
+        assert_eq!(results.len(), 2);
+        assert_eq!(as_f32(&results[0]), as_f32(&row_correlate(&meta[0..3], &input)));
+        assert_eq!(as_f32(&results[1]), as_f32(&row_correlate(&meta[1..4], &input)));
+    }
+
+    #[test]
+    fn dcnn_ppsr_saves_one_third_of_multiplies_at_z4() {
+        // (Z−K+1)·K = 6 vs Z = 4 per element: the paper's 33.3% example
+        // (Section III.A).
+        let meta = fx(&[0.5, -1.0, 2.0, 1.5]);
+        let input = fx(&[1.0; 12]);
+        let mut with = Counters::new();
+        let mut without = Counters::new();
+        let a = dcnn_row_pass(&meta, &input, 3, true, &mut with);
+        let b = dcnn_row_pass(&meta, &input, 3, false, &mut without);
+        assert_eq!(a, b, "reuse must not change values");
+        assert_eq!(with.multiplies * 6, without.multiplies * 4);
+    }
+
+    #[test]
+    fn scnn_ppsr_halves_row_cost() {
+        // K = 3: 3 multiplies produce 2 results vs 6 naive — the paper's
+        // 50% example (Section III.A).
+        let base = fx(&[1.0, -2.0, 0.5]);
+        let input = fx(&[0.5, 1.0, 1.5, -1.0, 2.0]);
+        let mut with = Counters::new();
+        let (fwd, rev) = scnn_row_pass(&base, &input, true, &mut with);
+        let mut without = Counters::new();
+        let (fwd2, none) = scnn_row_pass(&base, &input, false, &mut without);
+        assert!(none.is_none());
+        assert_eq!(fwd, fwd2);
+        let rev = rev.unwrap();
+        assert_eq!(as_f32(&rev), as_f32(&row_correlate_rev(&base, &input)));
+        // Same multiplies, twice the outputs.
+        assert_eq!(with.multiplies, without.multiplies);
+    }
+
+    #[test]
+    fn conventional_pass_counts_k_per_element() {
+        let w = fx(&[1.0, 1.0, 1.0]);
+        let input = fx(&[1.0; 10]);
+        let mut c = Counters::new();
+        let out = conventional_row_pass(&w, &input, &mut c);
+        assert_eq!(out.len(), 8);
+        assert_eq!(c.multiplies, 30);
+    }
+
+    #[test]
+    fn short_input_yields_empty_result() {
+        let w = fx(&[1.0, 1.0, 1.0]);
+        let input = fx(&[1.0, 2.0]);
+        assert!(row_correlate(&w, &input).is_empty());
+    }
+
+    #[test]
+    fn symmetric_row_makes_directions_equal() {
+        let w = fx(&[1.0, 5.0, 1.0]);
+        let input = fx(&[0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(
+            as_f32(&row_correlate(&w, &input)),
+            as_f32(&row_correlate_rev(&w, &input))
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! SAFM — sub-array-based filter mapping (Section IV, Fig. 11) and the
+//! PE-array utilization model.
+//!
+//! In conventional mode the 16×16 array is statically tiled into 3×3 or
+//! 4×4 PE sub-arrays; a filter occupies one or more sub-arrays (Fig. 11:
+//! 5×5 and 6×6 filters use four 3×3 sub-arrays, 7×7 uses four 4×4,
+//! 11×11 is partitioned into nine 4×4 small filters). Utilization is the
+//! fraction of PEs holding useful weights.
+//!
+//! In transferred mode, weights are laid out *row-wise*: each meta-filter
+//! row (DCNN, `Z` weights) or base-filter row (SCNN, `K` weights) occupies
+//! consecutive PEs of one physical row, so utilization is the row-packing
+//! efficiency `⌊16/L⌋·L/16` for row length `L`. This is what makes the
+//! SCNN's utilization higher than the 6×6 DCNN's (Section V.D: rows of 3
+//! pack 15/16 of a physical row, rows of 6 only 12/16).
+
+use crate::config::TfeConfig;
+use tfe_nets::TransferMode;
+
+/// How one filter maps onto PE sub-arrays in conventional mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubArrayMapping {
+    /// Extent of the sub-array used (3 or 4).
+    pub sub_extent: usize,
+    /// Number of sub-arrays one filter occupies.
+    pub sub_arrays_per_filter: usize,
+    /// Useful weights per filter (`K²`, or the partitioned total for
+    /// oversized filters).
+    pub useful_weights: usize,
+}
+
+impl SubArrayMapping {
+    /// The mapping of Fig. 11 for a `K × K` filter.
+    ///
+    /// `K = 1` maps one weight per PE (pure broadcast). Filters larger
+    /// than 7 are partitioned into nine 4×4 small filters as in C-Brain
+    /// (the paper's treatment of AlexNet's 11×11).
+    #[must_use]
+    pub fn for_filter(k: usize) -> SubArrayMapping {
+        match k {
+            0 | 1 => SubArrayMapping {
+                sub_extent: 1,
+                sub_arrays_per_filter: 1,
+                useful_weights: 1,
+            },
+            2 | 3 => SubArrayMapping {
+                sub_extent: 3,
+                sub_arrays_per_filter: 1,
+                useful_weights: k * k,
+            },
+            4 => SubArrayMapping {
+                sub_extent: 4,
+                sub_arrays_per_filter: 1,
+                useful_weights: 16,
+            },
+            5 | 6 => SubArrayMapping {
+                sub_extent: 3,
+                sub_arrays_per_filter: 4,
+                useful_weights: k * k,
+            },
+            7 => SubArrayMapping {
+                sub_extent: 4,
+                sub_arrays_per_filter: 4,
+                useful_weights: 49,
+            },
+            _ => SubArrayMapping {
+                sub_extent: 4,
+                sub_arrays_per_filter: 9,
+                useful_weights: k * k,
+            },
+        }
+    }
+
+    /// PEs occupied by one filter under this mapping.
+    #[must_use]
+    pub fn pes_per_filter(&self) -> usize {
+        self.sub_arrays_per_filter * self.sub_extent * self.sub_extent
+    }
+}
+
+/// Number of static sub-arrays of `sub_extent` that tile the PE array.
+fn static_tiles(cfg: &TfeConfig, sub_extent: usize) -> usize {
+    (cfg.pe_rows / sub_extent) * (cfg.pe_cols / sub_extent)
+}
+
+/// PE utilization in conventional (SAFM) mode for a `K × K` filter.
+///
+/// Two factors compose: the fraction of each filter's sub-arrays that
+/// holds useful weights (`K² / sub-array PEs`), and the fraction of the
+/// array the static sub-array grid covers. Sub-arrays of consecutive
+/// filters pack tile-by-tile across passes, so a filter needing several
+/// sub-arrays does not strand whole tiles.
+#[must_use]
+pub fn conventional_utilization(cfg: &TfeConfig, k: usize) -> f64 {
+    let mapping = SubArrayMapping::for_filter(k);
+    if mapping.sub_extent == 1 {
+        // 1x1 / FC broadcast mapping: every PE holds a useful weight.
+        return 1.0;
+    }
+    let tiles = static_tiles(cfg, mapping.sub_extent);
+    let coverage =
+        (tiles * mapping.sub_extent * mapping.sub_extent) as f64 / cfg.pes() as f64;
+    let useful = mapping.useful_weights as f64 / mapping.pes_per_filter() as f64;
+    useful * coverage
+}
+
+/// PE utilization in transferred mode: row-packing efficiency for weight
+/// rows of length `row_len` (`Z` for DCNN, `K` for SCNN).
+///
+/// Weight rows pack across *pairs* of physical PE rows; a row that
+/// straddles the pair boundary needs its input broadcast driven into both
+/// physical rows and runs at half efficiency (the dual-broadcast
+/// conflict). Rows of 3 or 4 never straddle — which is why the SCNN's
+/// utilization exceeds the 6×6 DCNN's (Section V.D).
+#[must_use]
+pub fn row_packing_utilization(cfg: &TfeConfig, row_len: usize) -> f64 {
+    if row_len == 0 || row_len > cfg.pe_cols {
+        return 0.0;
+    }
+    let pair_cols = 2 * cfg.pe_cols;
+    let total_rows = pair_cols / row_len;
+    let aligned_rows = 2 * (cfg.pe_cols / row_len);
+    let straddling = total_rows.saturating_sub(aligned_rows);
+    (aligned_rows as f64 + 0.5 * straddling as f64) * row_len as f64 / pair_cols as f64
+}
+
+/// PE utilization for a layer under an execution mode.
+///
+/// Conventional layers use the SAFM sub-array model; DCNN packs meta rows
+/// of `Z`; SCNN packs base rows of `K`.
+#[must_use]
+pub fn utilization(cfg: &TfeConfig, mode: TransferMode, k: usize) -> f64 {
+    match mode {
+        TransferMode::Conventional => conventional_utilization(cfg, k),
+        TransferMode::Dcnn { z } => row_packing_utilization(cfg, z),
+        TransferMode::Scnn => row_packing_utilization(cfg, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TfeConfig {
+        TfeConfig::paper()
+    }
+
+    #[test]
+    fn fig11_mappings() {
+        assert_eq!(SubArrayMapping::for_filter(3).pes_per_filter(), 9);
+        assert_eq!(SubArrayMapping::for_filter(5).pes_per_filter(), 36);
+        assert_eq!(SubArrayMapping::for_filter(6).pes_per_filter(), 36);
+        assert_eq!(SubArrayMapping::for_filter(7).pes_per_filter(), 64);
+        assert_eq!(SubArrayMapping::for_filter(11).pes_per_filter(), 144);
+    }
+
+    #[test]
+    fn conventional_utilization_values() {
+        let c = cfg();
+        // 25 static 3x3 tiles hold 25 3x3 filters: 225/256.
+        assert!((conventional_utilization(&c, 3) - 225.0 / 256.0).abs() < 1e-12);
+        // 16 static 4x4 tiles hold 16 4x4 filters: full.
+        assert!((conventional_utilization(&c, 4) - 1.0).abs() < 1e-12);
+        // 7x7 in four 4x4 sub-arrays: 49 useful of 64, full tile coverage.
+        assert!((conventional_utilization(&c, 7) - 49.0 / 64.0).abs() < 1e-12);
+        // 11x11 partitioned into nine 4x4 small filters: 121 useful of 144.
+        assert!((conventional_utilization(&c, 11) - 121.0 / 144.0).abs() < 1e-12);
+        // 1x1 broadcast is fully utilized.
+        assert_eq!(conventional_utilization(&c, 1), 1.0);
+    }
+
+    #[test]
+    fn five_by_five_composes_useful_and_coverage() {
+        // 25 useful of 36 sub-array PEs, 225/256 tile coverage.
+        let u = conventional_utilization(&cfg(), 5);
+        assert!((u - (25.0 / 36.0) * (225.0 / 256.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_packing_matches_paper_ordering() {
+        let c = cfg();
+        let dcnn4 = row_packing_utilization(&c, 4);
+        let dcnn6 = row_packing_utilization(&c, 6);
+        let scnn3 = row_packing_utilization(&c, 3);
+        assert_eq!(dcnn4, 1.0);
+        // Rows of 6: four aligned rows + one straddling at half rate.
+        assert_eq!(dcnn6, 27.0 / 32.0);
+        // Rows of 3: ten aligned rows per pair, none straddle.
+        assert_eq!(scnn3, 30.0 / 32.0);
+        // Section V.D: SCNN utilization exceeds the 6x6 DCNN's.
+        assert!(scnn3 > dcnn6);
+    }
+
+    #[test]
+    fn utilization_dispatches_by_mode() {
+        let c = cfg();
+        assert_eq!(
+            utilization(&c, TransferMode::Dcnn { z: 6 }, 3),
+            row_packing_utilization(&c, 6)
+        );
+        assert_eq!(
+            utilization(&c, TransferMode::Scnn, 5),
+            row_packing_utilization(&c, 5)
+        );
+        assert_eq!(
+            utilization(&c, TransferMode::Conventional, 3),
+            conventional_utilization(&c, 3)
+        );
+    }
+
+    #[test]
+    fn degenerate_row_lengths() {
+        let c = cfg();
+        assert_eq!(row_packing_utilization(&c, 0), 0.0);
+        assert_eq!(row_packing_utilization(&c, 17), 0.0);
+        assert_eq!(row_packing_utilization(&c, 16), 1.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Cycle-stepped model of the PE row + stacked-register (SR) pipeline
+//! (Figs. 6 and 7 of the paper).
+//!
+//! Where [`crate::ppsr`] computes row results whole-row-at-a-time, this
+//! module steps the hardware cycle by cycle: one input broadcast per
+//! cycle, one product per resident PE, SR transfers to the neighbouring
+//! stacks, and PSum emissions exactly when the paper's timing diagrams
+//! say they happen. Tests pin the emitted values to the row engines and
+//! the latency to the `Wp + L − 1` formula the performance model uses.
+//!
+//! The model is intentionally structural: [`DcnnRowPipeline::step`] is
+//! one clock edge, and the internal state after each step corresponds to
+//! the register contents drawn in Fig. 6.
+
+use tfe_tensor::fixed::{Accum, Fx16};
+
+/// Cycle-stepped DCNN meta-row pipeline.
+///
+/// `Z` PEs hold the meta row's weights. Each cycle broadcasts one input
+/// element; every PE multiplies; products and partial sums travel through
+/// the per-PE stacked registers toward higher offsets. After the fill
+/// latency, every cycle emits one finished `K`-tap partial sum per
+/// transferred offset.
+#[derive(Debug, Clone)]
+pub struct DcnnRowPipeline {
+    weights: Vec<Fx16>,
+    k: usize,
+    /// `stacks[j][d]`: the depth-`d` register of PE `j`'s stacked
+    /// register (depth 0 = raw product of the previous cycle, depth `d` =
+    /// a `d+1`-tap partial sum). `None` = not yet valid.
+    stacks: Vec<Vec<Option<Accum>>>,
+    cycle: u64,
+}
+
+/// One emitted partial sum: which transferred offset it belongs to and
+/// the output position it lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Emission {
+    /// Transferred-filter offset `dx ∈ 0..Z−K+1`.
+    pub offset: usize,
+    /// Output position `x` within the row.
+    pub position: usize,
+    /// The finished `K`-tap partial sum.
+    pub value: Accum,
+}
+
+impl DcnnRowPipeline {
+    /// Loads a meta row of `Z` weights for `K`-tap extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ K ≤ Z`.
+    #[must_use]
+    pub fn new(meta_row: &[Fx16], k: usize) -> Self {
+        let z = meta_row.len();
+        assert!(k >= 1 && k <= z, "need 1 <= K <= Z");
+        DcnnRowPipeline {
+            weights: meta_row.to_vec(),
+            k,
+            stacks: vec![vec![None; k]; z],
+            cycle: 0,
+        }
+    }
+
+    /// The fill latency before the first emission: the `K−1` cycles the
+    /// stacked registers need (Fig. 6 emits its first PSums at cycle 2
+    /// for `K = 3`).
+    #[must_use]
+    pub fn fill_latency(&self) -> u64 {
+        self.k as u64 - 1
+    }
+
+    /// Clock edge: broadcast `input`, multiply in every PE, shift the
+    /// stacks, and return the partial sums that completed this cycle.
+    pub fn step(&mut self, input: Fx16) -> Vec<Emission> {
+        let z = self.weights.len();
+        let products: Vec<Accum> = self
+            .weights
+            .iter()
+            .map(|&w| input.widening_mul(w))
+            .collect();
+        // New stack contents: depth 0 holds this cycle's product; depth
+        // d > 0 holds left-neighbour's depth d-1 value plus this cycle's
+        // product (the "transferred to right-neighbor SRs and summed"
+        // step of Fig. 6).
+        let mut next = vec![vec![None; self.k]; z];
+        let mut emissions = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..z {
+            next[j][0] = Some(products[j]);
+            for d in 1..self.k {
+                if j == 0 {
+                    continue; // no left neighbour
+                }
+                if let Some(partial) = self.stacks[j - 1][d - 1] {
+                    next[j][d] = Some(partial + products[j]);
+                }
+            }
+            // A full K-tap sum at PE j finishes the window whose last tap
+            // is weight j: offset dx = j - (K-1), position = cycle - (K-1).
+            if let Some(full) = next[j][self.k - 1] {
+                if self.cycle >= self.fill_latency() {
+                    emissions.push(Emission {
+                        offset: j - (self.k - 1),
+                        position: (self.cycle - self.fill_latency()) as usize,
+                        value: full,
+                    });
+                }
+            }
+        }
+        self.stacks = next;
+        self.cycle += 1;
+        emissions
+    }
+
+    /// Number of clock edges applied so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives a whole padded input row through the pipeline, returning
+    /// `results[dx][x]` plus the total cycle count (`Wp` — the pipeline
+    /// overlaps drain with the next row in hardware, so the per-row cost
+    /// is one cycle per element after the shared fill).
+    #[must_use]
+    pub fn run_row(meta_row: &[Fx16], input: &[Fx16], k: usize) -> (Vec<Vec<Accum>>, u64) {
+        let mut pipe = DcnnRowPipeline::new(meta_row, k);
+        let z = meta_row.len();
+        let offsets = z - k + 1;
+        let out_len = input.len().saturating_sub(k - 1);
+        let mut results = vec![vec![Accum::ZERO; out_len]; offsets];
+        for &a in input {
+            for e in pipe.step(a) {
+                if e.position < out_len {
+                    results[e.offset][e.position] = e.value;
+                }
+            }
+        }
+        (results, pipe.cycles())
+    }
+}
+
+/// Cycle-stepped SCNN base-row pipeline (Fig. 7): `K` PEs, each cycle one
+/// broadcast; partial sums travel right for the forward orientation and
+/// left for the horizontally mirrored one, sharing every product.
+#[derive(Debug, Clone)]
+pub struct ScnnRowPipeline {
+    weights: Vec<Fx16>,
+    /// Forward-direction stacks (toward higher indices).
+    fwd: Vec<Vec<Option<Accum>>>,
+    /// Mirror-direction stacks (toward lower indices).
+    rev: Vec<Vec<Option<Accum>>>,
+    cycle: u64,
+}
+
+/// One SCNN emission: direction 0 = forward, 1 = mirrored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScnnEmission {
+    /// 0 = forward filter row, 1 = horizontally mirrored row.
+    pub direction: usize,
+    /// Output position `x` within the row.
+    pub position: usize,
+    /// The finished `K`-tap partial sum.
+    pub value: Accum,
+}
+
+impl ScnnRowPipeline {
+    /// Loads a base row of `K` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is empty.
+    #[must_use]
+    pub fn new(base_row: &[Fx16]) -> Self {
+        assert!(!base_row.is_empty(), "base row must be non-empty");
+        let k = base_row.len();
+        ScnnRowPipeline {
+            weights: base_row.to_vec(),
+            fwd: vec![vec![None; k]; k],
+            rev: vec![vec![None; k]; k],
+            cycle: 0,
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Fill latency, identical to the DCNN pipeline's.
+    #[must_use]
+    pub fn fill_latency(&self) -> u64 {
+        self.k() as u64 - 1
+    }
+
+    /// Number of clock edges applied so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Clock edge; returns finished partial sums of both directions.
+    pub fn step(&mut self, input: Fx16) -> Vec<ScnnEmission> {
+        let k = self.k();
+        let products: Vec<Accum> = self
+            .weights
+            .iter()
+            .map(|&w| input.widening_mul(w))
+            .collect();
+        let mut next_fwd = vec![vec![None; k]; k];
+        let mut next_rev = vec![vec![None; k]; k];
+        let mut emissions = Vec::new();
+        for j in 0..k {
+            next_fwd[j][0] = Some(products[j]);
+            next_rev[j][0] = Some(products[j]);
+            for d in 1..k {
+                if j > 0 {
+                    if let Some(p) = self.fwd[j - 1][d - 1] {
+                        next_fwd[j][d] = Some(p + products[j]);
+                    }
+                }
+                if j + 1 < k {
+                    if let Some(p) = self.rev[j + 1][d - 1] {
+                        next_rev[j][d] = Some(p + products[j]);
+                    }
+                }
+            }
+        }
+        if self.cycle >= self.fill_latency() {
+            let position = (self.cycle - self.fill_latency()) as usize;
+            if let Some(v) = next_fwd[k - 1][k - 1] {
+                emissions.push(ScnnEmission {
+                    direction: 0,
+                    position,
+                    value: v,
+                });
+            }
+            if let Some(v) = next_rev[0][k - 1] {
+                emissions.push(ScnnEmission {
+                    direction: 1,
+                    position,
+                    value: v,
+                });
+            }
+        }
+        self.fwd = next_fwd;
+        self.rev = next_rev;
+        self.cycle += 1;
+        emissions
+    }
+
+    /// Drives a whole row; returns `(forward, mirrored)` results and the
+    /// cycle count.
+    #[must_use]
+    pub fn run_row(base_row: &[Fx16], input: &[Fx16]) -> (Vec<Accum>, Vec<Accum>, u64) {
+        let k = base_row.len();
+        let mut pipe = ScnnRowPipeline::new(base_row);
+        let out_len = input.len().saturating_sub(k - 1);
+        let mut fwd = vec![Accum::ZERO; out_len];
+        let mut rev = vec![Accum::ZERO; out_len];
+        for &a in input {
+            for e in pipe.step(a) {
+                if e.position < out_len {
+                    if e.direction == 0 {
+                        fwd[e.position] = e.value;
+                    } else {
+                        rev[e.position] = e.value;
+                    }
+                }
+            }
+        }
+        (fwd, rev, pipe.cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppsr::{row_correlate, row_correlate_rev};
+
+    fn fx(values: &[f32]) -> Vec<Fx16> {
+        values.iter().map(|&v| Fx16::from_f32(v)).collect()
+    }
+
+    #[test]
+    fn dcnn_pipeline_matches_row_engine() {
+        let meta = fx(&[0.5, -1.0, 2.0, 1.5]);
+        let input = fx(&[1.0, 2.0, -0.5, 0.25, 3.0, -2.0, 0.75]);
+        let (results, cycles) = DcnnRowPipeline::run_row(&meta, &input, 3);
+        assert_eq!(cycles, input.len() as u64);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], row_correlate(&meta[0..3], &input));
+        assert_eq!(results[1], row_correlate(&meta[1..4], &input));
+    }
+
+    #[test]
+    fn dcnn_pipeline_z6_all_offsets() {
+        let meta = fx(&[0.25, 0.5, -0.75, 1.0, -1.25, 1.5]);
+        let input = fx(&[0.5, -1.5, 2.5, 0.75, -0.25, 1.25, 2.0, -1.0]);
+        let (results, _) = DcnnRowPipeline::run_row(&meta, &input, 3);
+        assert_eq!(results.len(), 4);
+        for (dx, result) in results.iter().enumerate() {
+            assert_eq!(result, &row_correlate(&meta[dx..dx + 3], &input), "dx={dx}");
+        }
+    }
+
+    #[test]
+    fn first_emission_lands_at_fill_latency() {
+        // Fig. 6: for K = 3 the first PSums (red rectangle) appear at
+        // cycle 2.
+        let meta = fx(&[1.0, 1.0, 1.0, 1.0]);
+        let mut pipe = DcnnRowPipeline::new(&meta, 3);
+        assert!(pipe.step(Fx16::ONE).is_empty()); // cycle 0
+        assert!(pipe.step(Fx16::ONE).is_empty()); // cycle 1
+        let e = pipe.step(Fx16::ONE); // cycle 2
+        assert_eq!(e.len(), 2, "both offsets finish together");
+        assert_eq!(e[0].position, 0);
+        assert_eq!(e[0].value.to_f32(), 3.0);
+    }
+
+    #[test]
+    fn two_psums_per_cycle_in_steady_state() {
+        // Section III.B: "two PSums … are produced by each 4x1 meta
+        // filter row at each cycle".
+        let meta = fx(&[0.5, 1.0, -0.5, 0.25]);
+        let input = fx(&[1.0; 10]);
+        let mut pipe = DcnnRowPipeline::new(&meta, 3);
+        let mut per_cycle = Vec::new();
+        for &a in &input {
+            per_cycle.push(pipe.step(a).len());
+        }
+        assert!(per_cycle[2..].iter().all(|&n| n == 2), "{per_cycle:?}");
+    }
+
+    #[test]
+    fn scnn_pipeline_matches_both_directions() {
+        let base = fx(&[1.0, -2.0, 0.5]);
+        let input = fx(&[0.5, 1.0, 1.5, -1.0, 2.0, 0.25]);
+        let (fwd, rev, cycles) = ScnnRowPipeline::run_row(&base, &input);
+        assert_eq!(cycles, input.len() as u64);
+        assert_eq!(fwd, row_correlate(&base, &input));
+        assert_eq!(rev, row_correlate_rev(&base, &input));
+    }
+
+    #[test]
+    fn scnn_5tap_pipeline() {
+        let base = fx(&[0.25, -0.5, 1.0, 0.75, -1.25]);
+        let input = fx(&[1.5, -0.75, 0.5, 2.0, -1.0, 0.25, 1.0, -0.5]);
+        let (fwd, rev, _) = ScnnRowPipeline::run_row(&base, &input);
+        assert_eq!(fwd, row_correlate(&base, &input));
+        assert_eq!(rev, row_correlate_rev(&base, &input));
+    }
+
+    #[test]
+    fn symmetric_base_collapses_directions() {
+        let base = fx(&[1.0, 3.0, 1.0]);
+        let input = fx(&[0.25, 0.5, -0.75, 1.0, 0.125]);
+        let (fwd, rev, _) = ScnnRowPipeline::run_row(&base, &input);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn k_equals_one_degenerates_to_products() {
+        let meta = fx(&[2.0]);
+        let input = fx(&[1.0, -0.5, 0.25]);
+        let (results, cycles) = DcnnRowPipeline::run_row(&meta, &input, 1);
+        assert_eq!(cycles, 3);
+        assert_eq!(results.len(), 1);
+        let expected: Vec<f32> = vec![2.0, -1.0, 0.5];
+        let got: Vec<f32> = results[0].iter().map(|a| a.to_f32()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn short_input_emits_nothing() {
+        let meta = fx(&[1.0, 1.0, 1.0, 1.0]);
+        let input = fx(&[1.0, 2.0]);
+        let (results, _) = DcnnRowPipeline::run_row(&meta, &input, 3);
+        assert!(results.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,128 @@
+//! Activation functions applied by the TFE output memory system.
+//!
+//! The hardware applies ReLU to PSums read out of the PSum memories
+//! (Fig. 13: "read, added to adder trees and activated by the ReLU
+//! function"). CReLU — one of the four transferred-filter algorithms in
+//! Section II — concatenates the ReLU of a signal and of its negation, so
+//! it is provided here as well for the `tfe-transfer` extension.
+
+use crate::tensor::Tensor4;
+
+/// ReLU over a whole tensor.
+#[must_use]
+pub fn relu(input: &Tensor4<f32>) -> Tensor4<f32> {
+    input.map(|v| v.max(0.0))
+}
+
+/// ReLU of a single value.
+#[must_use]
+pub fn relu_scalar(v: f32) -> f32 {
+    v.max(0.0)
+}
+
+/// Leaky ReLU of a single value with the given negative slope.
+#[must_use]
+pub fn leaky_relu_scalar(v: f32, slope: f32) -> f32 {
+    if v >= 0.0 {
+        v
+    } else {
+        v * slope
+    }
+}
+
+/// Concatenated ReLU (CReLU, Shang et al. 2016): stacks `relu(x)` and
+/// `relu(−x)` along the channel axis, doubling the channel count.
+///
+/// This is the activation used by the CReLU transferred-filter algorithm:
+/// the "negative-phase" filters are the negations of the positive ones, so
+/// only half the filters are stored.
+#[must_use]
+pub fn crelu(input: &Tensor4<f32>) -> Tensor4<f32> {
+    let [n, c, h, w] = input.dims();
+    Tensor4::from_fn([n, 2 * c, h, w], |[b, ch, y, x]| {
+        if ch < c {
+            input.get([b, ch, y, x]).max(0.0)
+        } else {
+            (-input.get([b, ch - c, y, x])).max(0.0)
+        }
+    })
+}
+
+/// Numerically stable softmax over the channel axis of a `[batch, C, 1, 1]`
+/// tensor, used by the training substrate's classifier head.
+#[must_use]
+pub fn softmax_channels(input: &Tensor4<f32>) -> Tensor4<f32> {
+    let [n, c, h, w] = input.dims();
+    debug_assert_eq!((h, w), (1, 1), "softmax expects a flattened head");
+    let mut out = Tensor4::zeros([n, c, h, w]);
+    for b in 0..n {
+        let max = (0..c)
+            .map(|ch| input.get([b, ch, 0, 0]))
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for ch in 0..c {
+            denom += (input.get([b, ch, 0, 0]) - max).exp();
+        }
+        for ch in 0..c {
+            out.set([b, ch, 0, 0], (input.get([b, ch, 0, 0]) - max).exp() / denom);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let t = Tensor4::from_vec([1, 1, 1, 4], vec![-2.0, -0.0, 0.5, 3.0]).unwrap();
+        let r = relu(&t);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn crelu_doubles_channels_and_splits_phases() {
+        let t = Tensor4::from_vec([1, 2, 1, 1], vec![1.5, -2.0]).unwrap();
+        let r = crelu(&t);
+        assert_eq!(r.dims(), [1, 4, 1, 1]);
+        assert_eq!(r.get([0, 0, 0, 0]), 1.5); // relu(+1.5)
+        assert_eq!(r.get([0, 1, 0, 0]), 0.0); // relu(-2.0)
+        assert_eq!(r.get([0, 2, 0, 0]), 0.0); // relu(-1.5)
+        assert_eq!(r.get([0, 3, 0, 0]), 2.0); // relu(+2.0)
+    }
+
+    #[test]
+    fn crelu_preserves_all_information() {
+        // x can be reconstructed as crelu[0..c] - crelu[c..2c].
+        let t = Tensor4::from_vec([1, 3, 1, 1], vec![0.25, -1.0, 4.0]).unwrap();
+        let r = crelu(&t);
+        for ch in 0..3 {
+            let rebuilt = r.get([0, ch, 0, 0]) - r.get([0, ch + 3, 0, 0]);
+            assert_eq!(rebuilt, t.get([0, ch, 0, 0]));
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let t = Tensor4::from_vec([1, 3, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let s = softmax_channels(&t);
+        let sum: f32 = (0..3).map(|c| s.get([0, c, 0, 0])).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s.get([0, 2, 0, 0]) > s.get([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor4::from_vec([1, 2, 1, 1], vec![1000.0, 1001.0]).unwrap();
+        let s = softmax_channels(&t);
+        assert!(s.get([0, 1, 0, 0]).is_finite());
+        assert!(s.get([0, 1, 0, 0]) > 0.7);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        assert_eq!(leaky_relu_scalar(-2.0, 0.1), -0.2);
+        assert_eq!(leaky_relu_scalar(2.0, 0.1), 2.0);
+    }
+}

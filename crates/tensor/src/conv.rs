@@ -1,0 +1,546 @@
+//! Reference convolution — the golden model.
+//!
+//! The functions here compute convolution the slow, obviously-correct way
+//! (direct seven-loop nest). Every optimized path in the workspace — the
+//! transferred-filter expansion in `tfe-transfer`, the TFE functional
+//! simulator in `tfe-sim` — is validated against these.
+//!
+//! Two element domains are supported: `f32` (used by the training
+//! substrate) and the fixed-point [`Fx16`] datapath
+//! format (used by the hardware model). The fixed-point variant accumulates
+//! in the widened [`Accum`] domain exactly as the
+//! hardware does, so the simulator can be checked bit-exactly.
+
+use crate::fixed::{Accum, Fx16};
+use crate::shape::{ConvKind, LayerShape};
+use crate::tensor::Tensor4;
+use crate::TensorError;
+
+fn check_operands<T>(
+    input: &Tensor4<T>,
+    weights: &Tensor4<T>,
+    bias_len: Option<usize>,
+    shape: &LayerShape,
+) -> Result<(), TensorError>
+where
+    T: Copy,
+{
+    let [_, ic, ih, iw] = input.dims();
+    let [m, wc, kh, kw] = weights.dims();
+    let expect = |what, expected, actual| {
+        if expected == actual {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            })
+        }
+    };
+    expect("input channels", shape.n(), ic)?;
+    expect("input height", shape.h(), ih)?;
+    expect("input width", shape.w(), iw)?;
+    expect("filter count", shape.m(), m)?;
+    let per_filter_channels = match shape.kind() {
+        ConvKind::DepthWise => 1,
+        _ => shape.n(),
+    };
+    expect("weight channels", per_filter_channels, wc)?;
+    expect("filter height", shape.k(), kh)?;
+    expect("filter width", shape.k(), kw)?;
+    if let Some(len) = bias_len {
+        expect("bias length", shape.m(), len)?;
+    }
+    Ok(())
+}
+
+/// Direct 2-D convolution over `f32` data.
+///
+/// `input` is `[batch, N, H, W]`, `weights` is `[M, N, K, K]` (or
+/// `[M, 1, K, K]` for depth-wise layers), `bias` is an optional per-filter
+/// offset. Returns `[batch, M, E, F]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the operands disagree with
+/// `shape`.
+pub fn conv2d_f32(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    bias: Option<&[f32]>,
+    shape: &LayerShape,
+) -> Result<Tensor4<f32>, TensorError> {
+    check_operands(input, weights, bias.map(<[f32]>::len), shape)?;
+    let batch = input.dims()[0];
+    let (e, f, k) = (shape.e(), shape.f(), shape.k());
+    let (stride, pad) = (shape.stride(), shape.pad());
+    let dilation = shape.dilation();
+    let depthwise = shape.kind() == ConvKind::DepthWise;
+    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    for b in 0..batch {
+        for m in 0..shape.m() {
+            for oy in 0..e {
+                for ox in 0..f {
+                    let mut acc = bias.map_or(0.0, |b| b[m]);
+                    let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
+                    for c in channels {
+                        let wc = if depthwise { 0 } else { c };
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky * dilation) as isize - pad as isize;
+                            if iy < 0 || iy >= shape.h() as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx * dilation) as isize - pad as isize;
+                                if ix < 0 || ix >= shape.w() as isize {
+                                    continue;
+                                }
+                                acc += input.get([b, c, iy as usize, ix as usize])
+                                    * weights.get([m, wc, ky, kx]);
+                            }
+                        }
+                    }
+                    out.set([b, m, oy, ox], acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Direct 2-D convolution over Q8.8 fixed-point data, accumulating in the
+/// widened [`Accum`] domain exactly as the TFE datapath does.
+///
+/// The returned tensor holds full-precision accumulators; quantize with
+/// [`Accum::to_sample`] at the point the hardware would (after the output
+/// memory system's adder trees).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the operands disagree with
+/// `shape`.
+pub fn conv2d_fx(
+    input: &Tensor4<Fx16>,
+    weights: &Tensor4<Fx16>,
+    shape: &LayerShape,
+) -> Result<Tensor4<Accum>, TensorError> {
+    check_operands(input, weights, None, shape)?;
+    let batch = input.dims()[0];
+    let (e, f, k) = (shape.e(), shape.f(), shape.k());
+    let (stride, pad) = (shape.stride(), shape.pad());
+    let dilation = shape.dilation();
+    let depthwise = shape.kind() == ConvKind::DepthWise;
+    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    for b in 0..batch {
+        for m in 0..shape.m() {
+            for oy in 0..e {
+                for ox in 0..f {
+                    let mut acc = Accum::ZERO;
+                    let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
+                    for c in channels {
+                        let wc = if depthwise { 0 } else { c };
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky * dilation) as isize - pad as isize;
+                            if iy < 0 || iy >= shape.h() as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx * dilation) as isize - pad as isize;
+                                if ix < 0 || ix >= shape.w() as isize {
+                                    continue;
+                                }
+                                acc += input
+                                    .get([b, c, iy as usize, ix as usize])
+                                    .widening_mul(weights.get([m, wc, ky, kx]));
+                            }
+                        }
+                    }
+                    out.set([b, m, oy, ox], acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fully connected layer as a matrix–vector product, the reference for the
+/// paper's CONV-style FC execution.
+///
+/// `input` is `[batch, inputs, 1, 1]`, `weights` is `[outputs, inputs, 1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if operand shapes disagree.
+pub fn fully_connected_f32(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    bias: Option<&[f32]>,
+    shape: &LayerShape,
+) -> Result<Tensor4<f32>, TensorError> {
+    conv2d_f32(input, weights, bias, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_shape() -> LayerShape {
+        LayerShape::conv("t", 2, 3, 5, 5, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn identity_filter_reproduces_input() {
+        // A single 3x3 filter with 1 at the centre and pad=1 copies the input.
+        let shape = LayerShape::conv("id", 1, 1, 4, 4, 3, 1, 1).unwrap();
+        let input = Tensor4::from_fn([1, 1, 4, 4], |[_, _, y, x]| (y * 4 + x) as f32);
+        let mut w = Tensor4::zeros([1, 1, 3, 3]);
+        w.set([0, 0, 1, 1], 1.0);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn all_ones_counts_window_coverage() {
+        // With ones everywhere the output equals the number of valid taps.
+        let shape = LayerShape::conv("ones", 1, 1, 3, 3, 3, 1, 1).unwrap();
+        let input = Tensor4::filled([1, 1, 3, 3], 1.0f32);
+        let w = Tensor4::filled([1, 1, 3, 3], 1.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        assert_eq!(out.get([0, 0, 1, 1]), 9.0); // centre: full window
+        assert_eq!(out.get([0, 0, 0, 0]), 4.0); // corner: 2x2 valid
+        assert_eq!(out.get([0, 0, 0, 1]), 6.0); // edge: 2x3 valid
+    }
+
+    #[test]
+    fn bias_is_added_per_filter() {
+        let shape = LayerShape::conv("b", 1, 2, 2, 2, 1, 1, 0).unwrap();
+        let input = Tensor4::filled([1, 1, 2, 2], 0.0f32);
+        let w = Tensor4::filled([2, 1, 1, 1], 1.0f32);
+        let out = conv2d_f32(&input, &w, Some(&[0.5, -1.0]), &shape).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), 0.5);
+        assert_eq!(out.get([0, 1, 1, 1]), -1.0);
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let shape = LayerShape::conv("s2", 1, 1, 4, 4, 1, 2, 0).unwrap();
+        let input = Tensor4::from_fn([1, 1, 4, 4], |[_, _, y, x]| (y * 4 + x) as f32);
+        let w = Tensor4::filled([1, 1, 1, 1], 1.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        assert_eq!(out.dims(), [1, 1, 2, 2]);
+        assert_eq!(out.get([0, 0, 0, 0]), 0.0);
+        assert_eq!(out.get([0, 0, 0, 1]), 2.0);
+        assert_eq!(out.get([0, 0, 1, 0]), 8.0);
+        assert_eq!(out.get([0, 0, 1, 1]), 10.0);
+    }
+
+    #[test]
+    fn multi_channel_sums_over_channels() {
+        let shape = LayerShape::conv("mc", 3, 1, 2, 2, 1, 1, 0).unwrap();
+        let input = Tensor4::from_fn([1, 3, 2, 2], |[_, c, _, _]| (c + 1) as f32);
+        let w = Tensor4::filled([1, 3, 1, 1], 1.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), 6.0);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_separate() {
+        let shape = LayerShape::depthwise("dw", 2, 3, 3, 3, 1, 1).unwrap();
+        let input = Tensor4::from_fn([1, 2, 3, 3], |[_, c, _, _]| (c + 1) as f32);
+        let w = Tensor4::filled([2, 1, 3, 3], 1.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        // Centre output of channel c = 9 * (c+1).
+        assert_eq!(out.get([0, 0, 1, 1]), 9.0);
+        assert_eq!(out.get([0, 1, 1, 1]), 18.0);
+    }
+
+    #[test]
+    fn fixed_point_matches_f32_for_representable_values() {
+        let shape = small_shape();
+        let input =
+            Tensor4::from_fn([1, 2, 5, 5], |[_, c, y, x]| (c as f32 + y as f32 - x as f32) * 0.25);
+        let weights =
+            Tensor4::from_fn([3, 2, 3, 3], |[m, c, y, x]| {
+                (m as f32 - c as f32 + y as f32 * x as f32) * 0.125
+            });
+        let fout = conv2d_f32(&input, &weights, None, &shape).unwrap();
+        let qout = conv2d_fx(
+            &input.map(Fx16::from_f32),
+            &weights.map(Fx16::from_f32),
+            &shape,
+        )
+        .unwrap();
+        for (idx, v) in fout.indexed_iter() {
+            assert!(
+                (qout.get(idx).to_f32() - v).abs() < 1e-4,
+                "mismatch at {idx:?}: {} vs {v}",
+                qout.get(idx).to_f32()
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        let shape = small_shape();
+        let input = Tensor4::zeros([1, 2, 5, 5]);
+        let weights = Tensor4::<f32>::zeros([3, 2, 5, 5]); // wrong K
+        let err = conv2d_f32(&input, &weights, None, &shape).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { what: "filter height", .. }));
+    }
+
+    #[test]
+    fn fully_connected_is_matvec() {
+        let shape = LayerShape::fully_connected("fc", 3, 2).unwrap();
+        let input = Tensor4::from_vec([1, 3, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let weights =
+            Tensor4::from_vec([2, 3, 1, 1], vec![1.0, 0.0, 0.0, 0.5, 0.5, 0.5]).unwrap();
+        let out = fully_connected_f32(&input, &weights, None, &shape).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), 1.0);
+        assert_eq!(out.get([0, 1, 0, 0]), 3.0);
+    }
+
+    #[test]
+    fn dilated_convolution_samples_spread_taps() {
+        // Dilation 2: each 3-tap axis reads positions t, t+2, t+4.
+        let shape = LayerShape::conv("dil", 1, 1, 5, 5, 3, 1, 0)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        assert_eq!(shape.e(), 1);
+        let input = Tensor4::from_fn([1, 1, 5, 5], |[_, _, y, x]| (y * 5 + x) as f32);
+        let w = Tensor4::filled([1, 1, 3, 3], 1.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        // Taps at rows/cols {0, 2, 4}: sum of those 9 entries.
+        let expected: f32 = [0, 2, 4]
+            .iter()
+            .flat_map(|&y| [0, 2, 4].iter().map(move |&x| (y * 5 + x) as f32))
+            .sum();
+        assert_eq!(out.get([0, 0, 0, 0]), expected);
+    }
+
+    #[test]
+    fn batch_dimension_is_independent() {
+        let shape = LayerShape::conv("b2", 1, 1, 2, 2, 1, 1, 0).unwrap();
+        let input = Tensor4::from_fn([2, 1, 2, 2], |[n, _, _, _]| (n + 1) as f32);
+        let w = Tensor4::filled([1, 1, 1, 1], 2.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), 2.0);
+        assert_eq!(out.get([1, 0, 0, 0]), 4.0);
+    }
+}
+
+/// Hyperparameters of a transposed convolution ("deconvolution") — the
+/// other canonical-conv variant the paper's transfer algorithms cover
+/// (Section I). Deconvolution inputs may be *smaller* than the filter,
+/// so it carries its own parameter set instead of a [`LayerShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeconvSpec {
+    /// Input channels.
+    pub n: usize,
+    /// Output channels.
+    pub m: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Square filter extent.
+    pub k: usize,
+    /// Upsampling stride.
+    pub stride: usize,
+    /// Output cropping (the forward conv's padding).
+    pub pad: usize,
+}
+
+impl DeconvSpec {
+    /// Output extent per axis: `(in − 1) × stride − 2 × pad + K`.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        deconv_out_extent(self.h, self.k, self.stride, self.pad)
+    }
+
+    /// Output extent per axis (width).
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        deconv_out_extent(self.w, self.k, self.stride, self.pad)
+    }
+}
+
+/// Transposed convolution, implemented the textbook way: the input is
+/// zero-dilated by `stride` (inserting `stride − 1` zeros between
+/// elements), padded with `K − 1 − pad` on each border, and convolved at
+/// unit stride with the *spatially flipped* filters.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if operands disagree with
+/// `spec`, and [`TensorError::InvalidDimension`] if any extent is zero or
+/// the padding exceeds `K − 1` (which would make the output extent
+/// undefined).
+pub fn deconv2d_f32(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    spec: &DeconvSpec,
+) -> Result<Tensor4<f32>, TensorError> {
+    let (k, stride, pad) = (spec.k, spec.stride, spec.pad);
+    for (what, value) in [
+        ("deconv channels", spec.n.min(spec.m)),
+        ("deconv input extent", spec.h.min(spec.w)),
+        ("deconv filter extent", k),
+        ("deconv stride", stride),
+    ] {
+        if value == 0 {
+            return Err(TensorError::InvalidDimension { what, value });
+        }
+    }
+    if pad > k - 1 {
+        return Err(TensorError::InvalidDimension {
+            what: "deconvolution padding (must be <= K-1)",
+            value: pad,
+        });
+    }
+    for (what, expected, actual) in [
+        ("deconv input dims", spec.n, input.dims()[1]),
+        ("deconv input height", spec.h, input.dims()[2]),
+        ("deconv input width", spec.w, input.dims()[3]),
+        ("deconv filter count", spec.m, weights.dims()[0]),
+        ("deconv filter channels", spec.n, weights.dims()[1]),
+        ("deconv filter extent", k, weights.dims()[2]),
+    ] {
+        if expected != actual {
+            return Err(TensorError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            });
+        }
+    }
+    let batch = input.dims()[0];
+    let (h, w) = (spec.h, spec.w);
+    // Zero-dilated, border-padded input.
+    let border = k - 1 - pad;
+    let up_h = (h - 1) * stride + 1 + 2 * border;
+    let up_w = (w - 1) * stride + 1 + 2 * border;
+    let mut upsampled = Tensor4::zeros([batch, spec.n, up_h, up_w]);
+    for b in 0..batch {
+        for c in 0..spec.n {
+            for y in 0..h {
+                for x in 0..w {
+                    upsampled.set(
+                        [b, c, border + y * stride, border + x * stride],
+                        input.get([b, c, y, x]),
+                    );
+                }
+            }
+        }
+    }
+    // Flipped filters (we keep the [M, N, K, K] layout and flip taps).
+    let flipped = Tensor4::from_fn([spec.m, spec.n, k, k], |[m, c, y, x]| {
+        weights.get([m, c, k - 1 - y, k - 1 - x])
+    });
+    let conv_shape = LayerShape::conv("deconv-inner", spec.n, spec.m, up_h, up_w, k, 1, 0)?;
+    conv2d_f32(&upsampled, &flipped, None, &conv_shape)
+}
+
+/// Output extent of [`deconv2d_f32`] per axis:
+/// `(in − 1) × stride − 2 × pad + K`.
+#[must_use]
+pub fn deconv_out_extent(input: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (input - 1) * stride + k - 2 * pad
+}
+
+#[cfg(test)]
+mod deconv_tests {
+    use super::*;
+
+    fn spec(n: usize, m: usize, hw: usize, k: usize, stride: usize, pad: usize) -> DeconvSpec {
+        DeconvSpec {
+            n,
+            m,
+            h: hw,
+            w: hw,
+            k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn unit_stride_deconv_is_full_correlation() {
+        // stride 1, pad 0: output extent = in + k - 1 (full convolution).
+        let input = Tensor4::from_fn([1, 1, 3, 3], |[_, _, y, x]| (y * 3 + x) as f32);
+        let w = Tensor4::filled([1, 1, 3, 3], 1.0f32);
+        let out = deconv2d_f32(&input, &w, &spec(1, 1, 3, 3, 1, 0)).unwrap();
+        assert_eq!(out.dims(), [1, 1, 5, 5]);
+        // Centre sees the whole input: sum 0..9 = 36.
+        assert_eq!(out.get([0, 0, 2, 2]), 36.0);
+        // Corner sees only input (0,0).
+        assert_eq!(out.get([0, 0, 0, 0]), 0.0);
+        assert_eq!(out.get([0, 0, 4, 4]), 8.0);
+    }
+
+    #[test]
+    fn stride_two_upsamples() {
+        // The classic 2x upsampling deconvolution.
+        let input = Tensor4::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = Tensor4::filled([1, 1, 2, 2], 1.0f32);
+        let out = deconv2d_f32(&input, &w, &spec(1, 1, 2, 2, 2, 0)).unwrap();
+        assert_eq!(out.dims(), [1, 1, 4, 4]);
+        assert_eq!(out.dims()[2], deconv_out_extent(2, 2, 2, 0));
+        // Non-overlapping 2x2 blocks each replicate one input value.
+        assert_eq!(out.get([0, 0, 0, 0]), 1.0);
+        assert_eq!(out.get([0, 0, 0, 3]), 2.0);
+        assert_eq!(out.get([0, 0, 3, 0]), 3.0);
+        assert_eq!(out.get([0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn deconv_adjoint_of_conv() {
+        // <conv(x), y> == <x, deconv(y)> — the defining adjoint property,
+        // for a stride-2 pair on random data.
+        let fwd = LayerShape::conv("f", 1, 1, 5, 5, 3, 2, 0).unwrap();
+        let mut seed = 3u32;
+        let mut det = move || {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((seed >> 16) as f32 / 65536.0) - 0.5
+        };
+        let x = Tensor4::from_fn([1, 1, 5, 5], |_| det());
+        let w = Tensor4::from_fn([1, 1, 3, 3], |_| det());
+        let conv_x = conv2d_f32(&x, &w, None, &fwd).unwrap(); // 2x2
+        let y = Tensor4::from_fn([1, 1, 2, 2], |_| det());
+        // Deconv: input extent 2, stride 2, pad 0, k 3 -> output 5.
+        let deconv_y = deconv2d_f32(&y, &w, &spec(1, 1, 2, 3, 2, 0)).unwrap();
+        assert_eq!(deconv_y.dims(), [1, 1, 5, 5]);
+        let lhs: f32 = conv_x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(deconv_y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn excessive_padding_rejected() {
+        // pad = 2 > K - 1 = 1 leaves no defined output extent.
+        let input = Tensor4::zeros([1, 1, 4, 4]);
+        let w = Tensor4::zeros([1, 1, 2, 2]);
+        assert!(matches!(
+            deconv2d_f32(&input, &w, &spec(1, 1, 4, 2, 1, 2)),
+            Err(TensorError::InvalidDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_mismatch_rejected() {
+        let input = Tensor4::<f32>::zeros([1, 2, 3, 3]);
+        let w = Tensor4::zeros([1, 1, 3, 3]); // wrong channel count
+        assert!(deconv2d_f32(&input, &w, &spec(2, 1, 3, 3, 1, 0)).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Error type for tensor and layer-shape operations.
+///
+/// Returned by constructors that validate their arguments
+/// ([`crate::shape::LayerShape::conv`], [`crate::conv::conv2d_f32`], …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A dimension was zero or otherwise out of the supported range.
+    InvalidDimension {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: usize,
+    },
+    /// The filter does not fit inside the (padded) input.
+    FilterTooLarge {
+        /// Filter height/width.
+        filter: usize,
+        /// Padded input extent the filter was checked against.
+        padded_input: usize,
+    },
+    /// Two tensors (or a tensor and a layer shape) disagree on a dimension.
+    ShapeMismatch {
+        /// What was being matched, e.g. `"weight channels"`.
+        what: &'static str,
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+    /// An element index was outside the tensor bounds.
+    IndexOutOfBounds {
+        /// The flat index or offending coordinate.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::InvalidDimension { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            TensorError::FilterTooLarge {
+                filter,
+                padded_input,
+            } => write!(
+                f,
+                "filter of extent {filter} does not fit padded input of extent {padded_input}"
+            ),
+            TensorError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "shape mismatch for {what}: expected {expected}, got {actual}"),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for extent {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::InvalidDimension {
+            what: "filter size",
+            value: 0,
+        };
+        assert_eq!(e.to_string(), "invalid filter size: 0");
+
+        let e = TensorError::ShapeMismatch {
+            what: "weight channels",
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("weight channels"));
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

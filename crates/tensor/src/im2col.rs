@@ -1,0 +1,184 @@
+//! im2col lowering: convolution as matrix multiplication.
+//!
+//! The classic GEMM formulation unrolls every convolution window into a
+//! column of a `[N·K², E·F]` patch matrix, so the layer becomes one
+//! `[M, N·K²] × [N·K², E·F]` product. It is the third independent
+//! convolution implementation in this workspace (after the direct loop
+//! nest and the TFE datapath) and is used by tests as a cross-check and
+//! by anyone who wants a faster CPU reference.
+
+use crate::shape::LayerShape;
+use crate::tensor::Tensor4;
+use crate::TensorError;
+
+/// Unrolls one batch element into the `[N·K², E·F]` patch matrix
+/// (row-major, rows = unrolled filter taps, columns = output positions).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` disagrees with
+/// `shape`.
+pub fn im2col(
+    input: &Tensor4<f32>,
+    batch: usize,
+    shape: &LayerShape,
+) -> Result<Vec<f32>, TensorError> {
+    let [b, ic, ih, iw] = input.dims();
+    for (what, expected, actual) in [
+        ("input channels", shape.n(), ic),
+        ("input height", shape.h(), ih),
+        ("input width", shape.w(), iw),
+    ] {
+        if expected != actual {
+            return Err(TensorError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            });
+        }
+    }
+    if batch >= b {
+        return Err(TensorError::IndexOutOfBounds { index: batch, bound: b });
+    }
+    let (k, e, f) = (shape.k(), shape.e(), shape.f());
+    let (stride, pad, dilation) = (shape.stride(), shape.pad(), shape.dilation());
+    let rows = shape.n() * k * k;
+    let cols = e * f;
+    let mut out = vec![0.0f32; rows * cols];
+    for c in 0..shape.n() {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..e {
+                    let iy = (oy * stride + ky * dilation) as isize - pad as isize;
+                    for ox in 0..f {
+                        let ix = (ox * stride + kx * dilation) as isize - pad as isize;
+                        let col = oy * f + ox;
+                        if iy >= 0
+                            && iy < shape.h() as isize
+                            && ix >= 0
+                            && ix < shape.w() as isize
+                        {
+                            out[row * cols + col] =
+                                input.get([batch, c, iy as usize, ix as usize]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convolution via im2col + GEMM; numerically identical to
+/// [`crate::conv::conv2d_f32`] up to f32 summation order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the operands disagree with
+/// `shape`.
+pub fn conv2d_im2col(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    shape: &LayerShape,
+) -> Result<Tensor4<f32>, TensorError> {
+    let [m, wc, kh, kw] = weights.dims();
+    for (what, expected, actual) in [
+        ("filter count", shape.m(), m),
+        ("weight channels", shape.n(), wc),
+        ("filter height", shape.k(), kh),
+        ("filter width", shape.k(), kw),
+    ] {
+        if expected != actual {
+            return Err(TensorError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            });
+        }
+    }
+    let batch = input.dims()[0];
+    let (e, f) = (shape.e(), shape.f());
+    let rows = shape.n() * shape.k() * shape.k();
+    let cols = e * f;
+    let w_flat = weights.as_slice();
+    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    for b in 0..batch {
+        let patches = im2col(input, b, shape)?;
+        for filter in 0..shape.m() {
+            let w_row = &w_flat[filter * rows..(filter + 1) * rows];
+            for col in 0..cols {
+                let mut acc = 0.0f32;
+                for (r, &w) in w_row.iter().enumerate() {
+                    acc += w * patches[r * cols + col];
+                }
+                out.set([b, filter, col / f, col % f], acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_f32;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((*seed >> 16) as f32 / 65536.0) - 0.5
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        let shape = LayerShape::conv("g", 3, 5, 9, 9, 3, 1, 1).unwrap();
+        let mut seed = 17;
+        let input = Tensor4::from_fn([2, 3, 9, 9], |_| det(&mut seed));
+        let weights = Tensor4::from_fn([5, 3, 3, 3], |_| det(&mut seed));
+        let gemm = conv2d_im2col(&input, &weights, &shape).unwrap();
+        let direct = conv2d_f32(&input, &weights, None, &shape).unwrap();
+        assert!(gemm.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn im2col_matches_direct_with_stride_and_dilation() {
+        let shape = LayerShape::conv("sd", 2, 3, 11, 11, 3, 2, 1)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        let mut seed = 23;
+        let input = Tensor4::from_fn([1, 2, 11, 11], |_| det(&mut seed));
+        let weights = Tensor4::from_fn([3, 2, 3, 3], |_| det(&mut seed));
+        let gemm = conv2d_im2col(&input, &weights, &shape).unwrap();
+        let direct = conv2d_f32(&input, &weights, None, &shape).unwrap();
+        assert!(gemm.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn patch_matrix_layout() {
+        // A 2x2 input with a 2x2 filter, no padding: one output position,
+        // the patch column is the flattened window.
+        let shape = LayerShape::conv("p", 1, 1, 2, 2, 2, 1, 0).unwrap();
+        let input = Tensor4::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let patches = im2col(&input, 0, &shape).unwrap();
+        assert_eq!(patches, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn out_of_range_batch_rejected() {
+        let shape = LayerShape::conv("b", 1, 1, 2, 2, 2, 1, 0).unwrap();
+        let input = Tensor4::<f32>::zeros([1, 1, 2, 2]);
+        assert!(matches!(
+            im2col(&input, 1, &shape),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        let shape = LayerShape::conv("m", 2, 2, 4, 4, 3, 1, 1).unwrap();
+        let input = Tensor4::<f32>::zeros([1, 2, 4, 4]);
+        let weights = Tensor4::<f32>::zeros([2, 1, 3, 3]);
+        assert!(conv2d_im2col(&input, &weights, &shape).is_err());
+    }
+}

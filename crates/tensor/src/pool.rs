@@ -1,0 +1,210 @@
+//! Pooling, as performed by the TFE output memory system.
+//!
+//! The paper's architecture pools row by row: activations of one ofmap row
+//! are first reduced horizontally (`1 × p` pooling through `Pool_Reg`),
+//! then combined with the previous partial row read back from `O_Memory`
+//! (Section IV, "Output Memory System"). The functions here compute the
+//! same results in a tile-at-once manner; the simulator's memory model
+//! reproduces the row-wise access pattern and checks against these.
+
+use crate::tensor::Tensor4;
+use crate::TensorError;
+
+/// The pooling reduction to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window (used by AlexNet/VGG/GoogLeNet).
+    Max,
+    /// Arithmetic mean over the window (used by GoogLeNet/ResNet heads).
+    Average,
+}
+
+/// Configuration of one pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Reduction kind.
+    pub kind: PoolKind,
+    /// Square window extent (e.g. 2 for 2×2).
+    pub window: usize,
+    /// Stride between windows (commonly equal to `window`).
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// A `window × window` pooling with stride equal to the window — the
+    /// common non-overlapping configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `window` is zero.
+    pub fn non_overlapping(kind: PoolKind, window: usize) -> Result<Self, TensorError> {
+        if window == 0 {
+            return Err(TensorError::InvalidDimension {
+                what: "pool window",
+                value: window,
+            });
+        }
+        Ok(PoolSpec {
+            kind,
+            window,
+            stride: window,
+        })
+    }
+
+    /// Output extent given an input extent, discarding partial windows as
+    /// the TFE's row-wise pooling does.
+    #[must_use]
+    pub fn out_extent(&self, input: usize) -> usize {
+        if input < self.window {
+            0
+        } else {
+            (input - self.window) / self.stride + 1
+        }
+    }
+}
+
+/// Applies pooling to every channel of every batch element.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] if the input is smaller than
+/// the pooling window.
+pub fn pool2d(input: &Tensor4<f32>, spec: PoolSpec) -> Result<Tensor4<f32>, TensorError> {
+    let [batch, channels, h, w] = input.dims();
+    let (oh, ow) = (spec.out_extent(h), spec.out_extent(w));
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "pool input extent",
+            value: h.min(w),
+        });
+    }
+    let mut out = Tensor4::zeros([batch, channels, oh, ow]);
+    let win_len = (spec.window * spec.window) as f32;
+    for b in 0..batch {
+        for c in 0..channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = match spec.kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Average => 0.0,
+                    };
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            let v = input.get([b, c, oy * spec.stride + ky, ox * spec.stride + kx]);
+                            match spec.kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Average => acc += v,
+                            }
+                        }
+                    }
+                    if spec.kind == PoolKind::Average {
+                        acc /= win_len;
+                    }
+                    out.set([b, c, oy, ox], acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise pooling of a single ofmap row pair, mirroring the hardware's
+/// `Pool_Reg` + `O_Memory` two-phase reduction for a 2×2 window.
+///
+/// `previous` is the horizontally-pooled previous row (as read back from
+/// `O_Memory`); `current` is the freshly produced row. Returns the final
+/// pooled row. Exposed so the simulator's memory system can be validated
+/// against [`pool2d`].
+#[must_use]
+pub fn pool_rows_max(previous: &[f32], current: &[f32]) -> Vec<f32> {
+    previous
+        .iter()
+        .zip(current)
+        .map(|(&a, &b)| a.max(b))
+        .collect()
+}
+
+/// Horizontal (`1 × 2`) max pooling of one row — the `Pool_Reg` phase.
+#[must_use]
+pub fn pool_row_horizontal_max(row: &[f32]) -> Vec<f32> {
+    row.chunks_exact(2).map(|pair| pair[0].max(pair[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2() {
+        let input = Tensor4::from_fn([1, 1, 4, 4], |[_, _, y, x]| (y * 4 + x) as f32);
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        let out = pool2d(&input, spec).unwrap();
+        assert_eq!(out.dims(), [1, 1, 2, 2]);
+        assert_eq!(out.get([0, 0, 0, 0]), 5.0);
+        assert_eq!(out.get([0, 0, 1, 1]), 15.0);
+    }
+
+    #[test]
+    fn average_pool_2x2() {
+        let input = Tensor4::from_fn([1, 1, 2, 2], |[_, _, y, x]| (y * 2 + x) as f32);
+        let spec = PoolSpec::non_overlapping(PoolKind::Average, 2).unwrap();
+        let out = pool2d(&input, spec).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), 1.5);
+    }
+
+    #[test]
+    fn overlapping_pool_3x3_stride2() {
+        // AlexNet-style overlapped pooling.
+        let input = Tensor4::from_fn([1, 1, 5, 5], |[_, _, y, x]| (y * 5 + x) as f32);
+        let spec = PoolSpec {
+            kind: PoolKind::Max,
+            window: 3,
+            stride: 2,
+        };
+        let out = pool2d(&input, spec).unwrap();
+        assert_eq!(out.dims(), [1, 1, 2, 2]);
+        assert_eq!(out.get([0, 0, 0, 0]), 12.0);
+        assert_eq!(out.get([0, 0, 1, 1]), 24.0);
+    }
+
+    #[test]
+    fn partial_windows_discarded() {
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        assert_eq!(spec.out_extent(5), 2);
+        assert_eq!(spec.out_extent(1), 0);
+    }
+
+    #[test]
+    fn row_wise_pipeline_matches_tile_pool() {
+        // Emulate the hardware's row-by-row 2x2 pooling on a 4x4 plane and
+        // compare against the tile-at-once result.
+        let input = Tensor4::from_fn([1, 1, 4, 4], |[_, _, y, x]| ((y * 7 + x * 3) % 11) as f32);
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        let expected = pool2d(&input, spec).unwrap();
+
+        let plane = input.plane(0, 0);
+        let mut pooled_rows = Vec::new();
+        let mut o_memory: Option<Vec<f32>> = None;
+        for row in plane.chunks_exact(4) {
+            let horizontal = pool_row_horizontal_max(row);
+            match o_memory.take() {
+                None => o_memory = Some(horizontal),
+                Some(prev) => pooled_rows.push(pool_rows_max(&prev, &horizontal)),
+            }
+        }
+        let flat: Vec<f32> = pooled_rows.into_iter().flatten().collect();
+        assert_eq!(flat, expected.plane(0, 0));
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(PoolSpec::non_overlapping(PoolKind::Max, 0).is_err());
+    }
+
+    #[test]
+    fn too_small_input_rejected() {
+        let input = Tensor4::zeros([1, 1, 1, 1]);
+        let spec = PoolSpec::non_overlapping(PoolKind::Max, 2).unwrap();
+        assert!(pool2d(&input, spec).is_err());
+    }
+}

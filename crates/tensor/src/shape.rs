@@ -1,0 +1,453 @@
+//! Layer shape parameters, mirroring Table I of the TFE paper.
+//!
+//! | Parameter | Description                                |
+//! |-----------|--------------------------------------------|
+//! | `N`       | number of ifmap channels / filter channels |
+//! | `M`       | number of ofmap channels / filters         |
+//! | `H`/`W`   | ifmap height / width                       |
+//! | `E`/`F`   | ofmap height / width                       |
+//! | `K`       | (transferred) filter height / width        |
+//! | `Z`       | meta filter height / width (DCNN only; see `tfe-transfer`) |
+
+use crate::TensorError;
+
+/// The kind of layer, as relevant to the TFE's transfer policy.
+///
+/// The paper's engine accelerates canonical convolutions (including those
+/// with stride > 1); 1×1 convolutions and FC layers run in conventional
+/// mode, and depth-wise convolutions are rejected outright (the paper
+/// excludes MobileNet-like networks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvKind {
+    /// A canonical convolution over all input channels.
+    Standard,
+    /// A 1×1 convolution. Cannot be transferred (translation/rotation of a
+    /// single weight is the identity), so it runs in conventional mode.
+    Pointwise,
+    /// A depth-wise convolution (one filter per channel). Unsupported by the
+    /// TFE; constructing a plan over such a layer yields an error upstream.
+    DepthWise,
+    /// A fully connected layer, executed in CONV fashion (1×1 spatial
+    /// output over the flattened feature vector), as in Section IV.
+    FullyConnected,
+}
+
+impl ConvKind {
+    /// Whether the TFE can apply transferred filters to this layer at all.
+    #[must_use]
+    pub fn transferable(self) -> bool {
+        matches!(self, ConvKind::Standard)
+    }
+}
+
+/// Shape parameters of a single CNN layer (paper Table I).
+///
+/// Invariants are established at construction: all extents are nonzero, and
+/// the filter fits within the padded input. Output extents `E`/`F` are
+/// derived, never stored inconsistently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    name: String,
+    kind: ConvKind,
+    n: usize,
+    m: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    dilation: usize,
+}
+
+impl LayerShape {
+    /// Creates a canonical convolution layer shape.
+    ///
+    /// `n`/`m` are input/output channels; `h`/`w` the ifmap extent; `k` the
+    /// square filter extent; `stride` and `pad` the usual convolution
+    /// hyperparameters. A `k == 1` filter is automatically classified as
+    /// [`ConvKind::Pointwise`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if any extent is zero, and
+    /// [`TensorError::FilterTooLarge`] if the filter exceeds the padded
+    /// input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: &str,
+        n: usize,
+        m: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        let kind = if k == 1 {
+            ConvKind::Pointwise
+        } else {
+            ConvKind::Standard
+        };
+        Self::with_kind(name, kind, n, m, h, w, k, stride, pad)
+    }
+
+    /// Creates a depth-wise convolution layer shape (`m` filters of one
+    /// channel each applied per input channel).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LayerShape::conv`].
+    pub fn depthwise(
+        name: &str,
+        channels: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        Self::with_kind(name, ConvKind::DepthWise, channels, channels, h, w, k, stride, pad)
+    }
+
+    /// Creates a fully connected layer shape with `inputs` input features
+    /// and `outputs` output neurons, modelled as a 1×1 convolution over a
+    /// 1×1 ifmap with `inputs` channels (the paper's CONV-style FC
+    /// execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if either count is zero.
+    pub fn fully_connected(name: &str, inputs: usize, outputs: usize) -> Result<Self, TensorError> {
+        Self::with_kind(name, ConvKind::FullyConnected, inputs, outputs, 1, 1, 1, 1, 0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_kind(
+        name: &str,
+        kind: ConvKind,
+        n: usize,
+        m: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        for (what, value) in [
+            ("ifmap channels (N)", n),
+            ("ofmap channels (M)", m),
+            ("ifmap height (H)", h),
+            ("ifmap width (W)", w),
+            ("filter size (K)", k),
+            ("stride", stride),
+        ] {
+            if value == 0 {
+                return Err(TensorError::InvalidDimension { what, value });
+            }
+        }
+        let padded_h = h + 2 * pad;
+        let padded_w = w + 2 * pad;
+        if k > padded_h || k > padded_w {
+            return Err(TensorError::FilterTooLarge {
+                filter: k,
+                padded_input: padded_h.min(padded_w),
+            });
+        }
+        Ok(LayerShape {
+            name: name.to_owned(),
+            kind,
+            n,
+            m,
+            h,
+            w,
+            k,
+            stride,
+            pad,
+            dilation: 1,
+        })
+    }
+
+    /// Returns a copy with the given dilation (spacing between filter
+    /// taps; 1 = ordinary convolution). The paper's transferred-filter
+    /// algorithms cover dilated convolution — the weight sharing is
+    /// unchanged, only the tap positions spread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for zero dilation, and
+    /// [`TensorError::FilterTooLarge`] if the dilated receptive field
+    /// exceeds the padded input.
+    pub fn with_dilation(mut self, dilation: usize) -> Result<Self, TensorError> {
+        if dilation == 0 {
+            return Err(TensorError::InvalidDimension {
+                what: "dilation",
+                value: dilation,
+            });
+        }
+        let span = self.receptive_extent_with(dilation);
+        let padded = (self.h + 2 * self.pad).min(self.w + 2 * self.pad);
+        if span > padded {
+            return Err(TensorError::FilterTooLarge {
+                filter: span,
+                padded_input: padded,
+            });
+        }
+        self.dilation = dilation;
+        Ok(self)
+    }
+
+    fn receptive_extent_with(&self, dilation: usize) -> usize {
+        dilation * (self.k - 1) + 1
+    }
+
+    /// Spacing between filter taps (1 = ordinary convolution).
+    #[must_use]
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Receptive-field extent of the (possibly dilated) filter:
+    /// `dilation × (K − 1) + 1`.
+    #[must_use]
+    pub fn receptive_extent(&self) -> usize {
+        self.receptive_extent_with(self.dilation)
+    }
+
+    /// The layer's name (e.g. `"conv3_2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer kind.
+    #[must_use]
+    pub fn kind(&self) -> ConvKind {
+        self.kind
+    }
+
+    /// Number of ifmap channels (`N` in Table I).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ofmap channels / filters (`M` in Table I).
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Ifmap height (`H`).
+    #[must_use]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Ifmap width (`W`).
+    #[must_use]
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Filter extent (`K`; filters are square as in the paper).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Convolution stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding applied to each ifmap border.
+    #[must_use]
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Ofmap height (`E`), derived from `H`, `K`, stride, padding and
+    /// dilation.
+    #[must_use]
+    pub fn e(&self) -> usize {
+        (self.h + 2 * self.pad - self.receptive_extent()) / self.stride + 1
+    }
+
+    /// Ofmap width (`F`), derived from `W`, `K`, stride, padding and
+    /// dilation.
+    #[must_use]
+    pub fn f(&self) -> usize {
+        (self.w + 2 * self.pad - self.receptive_extent()) / self.stride + 1
+    }
+
+    /// Number of weights in the (uncompressed) layer.
+    ///
+    /// Paper Eq. (1): `NUM_P_O = N × M × K × K` for canonical convolution;
+    /// depth-wise layers have one channel per filter.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        match self.kind {
+            ConvKind::DepthWise => self.m as u64 * self.k as u64 * self.k as u64,
+            _ => self.n as u64 * self.m as u64 * self.k as u64 * self.k as u64,
+        }
+    }
+
+    /// Number of multiply–accumulate operations in the (uncompressed)
+    /// layer.
+    ///
+    /// Paper Eq. (1): `NUM_M_O = E × F × N × M × K × K`.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        let spatial = self.e() as u64 * self.f() as u64;
+        match self.kind {
+            ConvKind::DepthWise => spatial * self.m as u64 * self.k as u64 * self.k as u64,
+            _ => spatial * self.params(),
+        }
+    }
+
+    /// Number of ifmap elements (`N × H × W`).
+    #[must_use]
+    pub fn ifmap_elems(&self) -> u64 {
+        self.n as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Number of ofmap elements (`M × E × F`).
+    #[must_use]
+    pub fn ofmap_elems(&self) -> u64 {
+        self.m as u64 * self.e() as u64 * self.f() as u64
+    }
+}
+
+impl std::fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}x{} -> {}x{}x{} (k={}, s={}, p={}, {:?})",
+            self.name,
+            self.n,
+            self.h,
+            self.w,
+            self.m,
+            self.e(),
+            self.f(),
+            self.k,
+            self.stride,
+            self.pad,
+            self.kind,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_conv1_shape() {
+        let s = LayerShape::conv("conv1_1", 3, 64, 224, 224, 3, 1, 1).unwrap();
+        assert_eq!(s.e(), 224);
+        assert_eq!(s.f(), 224);
+        assert_eq!(s.params(), 3 * 64 * 9);
+        assert_eq!(s.macs(), 224 * 224 * 3 * 64 * 9);
+        assert_eq!(s.kind(), ConvKind::Standard);
+    }
+
+    #[test]
+    fn alexnet_conv1_strided() {
+        // 227x227 input, 11x11 filter, stride 4, no pad -> 55x55 output.
+        let s = LayerShape::conv("conv1", 3, 96, 227, 227, 11, 4, 0).unwrap();
+        assert_eq!(s.e(), 55);
+        assert_eq!(s.f(), 55);
+    }
+
+    #[test]
+    fn pointwise_detected() {
+        let s = LayerShape::conv("pw", 64, 128, 28, 28, 1, 1, 0).unwrap();
+        assert_eq!(s.kind(), ConvKind::Pointwise);
+        assert!(!s.kind().transferable());
+    }
+
+    #[test]
+    fn fully_connected_as_conv() {
+        let s = LayerShape::fully_connected("fc6", 9216, 4096).unwrap();
+        assert_eq!(s.e(), 1);
+        assert_eq!(s.f(), 1);
+        assert_eq!(s.macs(), 9216 * 4096);
+        assert_eq!(s.params(), 9216 * 4096);
+    }
+
+    #[test]
+    fn depthwise_params_and_macs() {
+        let s = LayerShape::depthwise("dw", 32, 16, 16, 3, 1, 1).unwrap();
+        assert_eq!(s.params(), 32 * 9);
+        assert_eq!(s.macs(), 16 * 16 * 32 * 9);
+        assert!(!s.kind().transferable());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let err = LayerShape::conv("bad", 0, 64, 8, 8, 3, 1, 1).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidDimension { .. }));
+    }
+
+    #[test]
+    fn oversized_filter_rejected() {
+        let err = LayerShape::conv("bad", 1, 1, 4, 4, 7, 1, 0).unwrap_err();
+        assert!(matches!(err, TensorError::FilterTooLarge { .. }));
+        // With enough padding the same filter fits.
+        assert!(LayerShape::conv("ok", 1, 1, 4, 4, 7, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_name() {
+        let s = LayerShape::conv("conv2", 16, 32, 14, 14, 5, 1, 2).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("conv2"));
+        assert!(text.contains("k=5"));
+    }
+
+    #[test]
+    fn dilation_shrinks_output_and_validates() {
+        // 3x3 filter at dilation 2 has a 5x5 receptive field.
+        let s = LayerShape::conv("d2", 1, 1, 9, 9, 3, 1, 0)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        assert_eq!(s.receptive_extent(), 5);
+        assert_eq!(s.e(), 5);
+        // The same filter at dilation 4 (9x9 field) just fits...
+        assert!(LayerShape::conv("d4", 1, 1, 9, 9, 3, 1, 0)
+            .unwrap()
+            .with_dilation(4)
+            .is_ok());
+        // ...and dilation 5 does not.
+        assert!(matches!(
+            LayerShape::conv("d5", 1, 1, 9, 9, 3, 1, 0)
+                .unwrap()
+                .with_dilation(5),
+            Err(TensorError::FilterTooLarge { .. })
+        ));
+        // Zero dilation is invalid.
+        assert!(LayerShape::conv("d0", 1, 1, 9, 9, 3, 1, 0)
+            .unwrap()
+            .with_dilation(0)
+            .is_err());
+    }
+
+    #[test]
+    fn dilated_macs_use_strided_output_extents() {
+        let s = LayerShape::conv("dm", 2, 4, 9, 9, 3, 1, 0)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        assert_eq!(s.macs(), 5 * 5 * 2 * 4 * 9);
+    }
+
+    #[test]
+    fn strided_output_extent() {
+        let s = LayerShape::conv("s2", 8, 8, 15, 15, 3, 2, 1).unwrap();
+        // (15 + 2 - 3)/2 + 1 = 8
+        assert_eq!(s.e(), 8);
+    }
+}

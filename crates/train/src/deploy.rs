@@ -1,0 +1,187 @@
+//! Deploying a trained (possibly weight-tied) [`SmallCnn`] onto the TFE's
+//! functional datapath — the step the paper's flow implies but cannot
+//! show at simulation level: train compressed, then *execute* compressed.
+//!
+//! The conv stages run through `tfe-sim`'s PPSR/ERRR machinery at Q8.8
+//! with ReLU + 2×2 pooling in the output memory system; the classifier
+//! head is an FC layer executed in CONV fashion (as Section IV describes)
+//! at full precision here for simplicity — its cost is negligible either
+//! way.
+
+use crate::net::SmallCnn;
+use tfe_sim::network::{FunctionalNetwork, FunctionalStage, NetworkOutput};
+use tfe_sim::output::OutputConfig;
+use tfe_sim::SimError;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+
+/// A [`SmallCnn`] packaged for execution on the TFE simulator.
+#[derive(Debug, Clone)]
+pub struct DeployedCnn {
+    stages: FunctionalNetwork,
+    fc_w: Vec<f32>,
+    fc_b: Vec<f32>,
+    classes: usize,
+}
+
+impl DeployedCnn {
+    /// Packages a trained network: the conv blocks keep their transferred
+    /// (compressed) representation; the TFE expands nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-chaining errors (impossible for a well-formed
+    /// [`SmallCnn`]).
+    pub fn from_trained(net: &SmallCnn) -> Result<Self, SimError> {
+        let stages = FunctionalNetwork::new(vec![
+            FunctionalStage {
+                shape: net.conv1().shape.clone(),
+                weights: net.conv1().param.to_transferred(),
+                bias: net.conv1().bias.clone(),
+                output: OutputConfig::RELU_POOL2,
+            },
+            FunctionalStage {
+                shape: net.conv2().shape.clone(),
+                weights: net.conv2().param.to_transferred(),
+                bias: net.conv2().bias.clone(),
+                output: OutputConfig::RELU_POOL2,
+            },
+        ])?;
+        let (w, b) = net.fc_weights();
+        Ok(DeployedCnn {
+            stages,
+            fc_w: w.to_vec(),
+            fc_b: b.to_vec(),
+            classes: net.classes(),
+        })
+    }
+
+    /// Stored conv parameters the TFE's weight memory holds.
+    #[must_use]
+    pub fn stored_conv_params(&self) -> u64 {
+        self.stages.stored_params()
+    }
+
+    /// Runs one `[1, 1, 16, 16]` image through the datapath and returns
+    /// the predicted class plus the datapath counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn predict(&self, image: &Tensor4<f32>) -> Result<(usize, NetworkOutput), SimError> {
+        let quantized = image.map(Fx16::from_f32);
+        let out = self.stages.run(&quantized, ReuseConfig::FULL)?;
+        let flat: Vec<f32> = out
+            .activations
+            .as_slice()
+            .iter()
+            .map(|v| v.to_f32())
+            .collect();
+        let mut best = 0;
+        let mut best_score = f32::NEG_INFINITY;
+        for c in 0..self.classes {
+            let mut acc = self.fc_b[c];
+            for (i, &v) in flat.iter().enumerate() {
+                acc += self.fc_w[c * flat.len() + i] * v;
+            }
+            if acc > best_score {
+                best_score = acc;
+                best = c;
+            }
+        }
+        Ok((best, out))
+    }
+}
+
+/// Accuracy of a deployed network on a dataset, in percent.
+///
+/// # Errors
+///
+/// Propagates simulation errors from any sample.
+pub fn deployed_accuracy(
+    deployed: &DeployedCnn,
+    dataset: &crate::dataset::SyntheticDataset,
+) -> Result<f64, SimError> {
+    let mut correct = 0usize;
+    for i in 0..dataset.len() {
+        let (pred, _) = deployed.predict(dataset.image(i))?;
+        if pred == dataset.label(i) {
+            correct += 1;
+        }
+    }
+    Ok(100.0 * correct as f64 / dataset.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+    use crate::train::{train_and_evaluate_with_model, TrainConfig};
+    use tfe_transfer::TransferScheme;
+
+    #[test]
+    fn deployed_tied_model_preserves_training_accuracy() {
+        // Train a compressed (SCNN-tied) model in f32, deploy it on the
+        // Q8.8 TFE datapath, and require the quantized accuracy to stay
+        // within a few points of the f32 accuracy.
+        let (train, test) = SyntheticDataset::pair(160, 64, 43 << 16);
+        let cfg = TrainConfig {
+            epochs: 10,
+            learning_rate: 0.05,
+            seed: 7,
+        };
+        let (outcome, model) =
+            train_and_evaluate_with_model(Some(TransferScheme::Scnn), &train, &test, &cfg);
+        let deployed = DeployedCnn::from_trained(&model).unwrap();
+        // The deployed weight memory is genuinely compressed.
+        assert_eq!(deployed.stored_conv_params(), outcome.conv_params as u64);
+        let quantized_acc = deployed_accuracy(&deployed, &test).unwrap();
+        assert!(
+            (quantized_acc - outcome.test_accuracy_pct).abs() <= 8.0,
+            "f32 {} vs deployed {}",
+            outcome.test_accuracy_pct,
+            quantized_acc
+        );
+        // And well above the 10-class chance floor.
+        assert!(quantized_acc > 40.0, "deployed accuracy {quantized_acc}");
+    }
+
+    #[test]
+    fn deployed_predictions_mostly_agree_with_f32() {
+        let (train, test) = SyntheticDataset::pair(120, 48, 47 << 16);
+        let cfg = TrainConfig {
+            epochs: 8,
+            learning_rate: 0.05,
+            seed: 11,
+        };
+        let (_, model) =
+            train_and_evaluate_with_model(Some(TransferScheme::DCNN4), &train, &test, &cfg);
+        let deployed = DeployedCnn::from_trained(&model).unwrap();
+        let mut agree = 0usize;
+        for i in 0..test.len() {
+            let f32_pred = model.predict(test.image(i));
+            let (tfe_pred, _) = deployed.predict(test.image(i)).unwrap();
+            if f32_pred == tfe_pred {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / test.len() as f64;
+        assert!(frac > 0.8, "agreement {frac}");
+    }
+
+    #[test]
+    fn deployment_counts_reduced_multiplies() {
+        let (train, test) = SyntheticDataset::pair(40, 8, 51 << 16);
+        let cfg = TrainConfig {
+            epochs: 2,
+            learning_rate: 0.05,
+            seed: 3,
+        };
+        let (_, model) =
+            train_and_evaluate_with_model(Some(TransferScheme::Scnn), &train, &test, &cfg);
+        let deployed = DeployedCnn::from_trained(&model).unwrap();
+        let (_, out) = deployed.predict(test.image(0)).unwrap();
+        assert!(out.counters.mac_reduction() > 2.0, "{}", out.counters.mac_reduction());
+    }
+}

@@ -1,0 +1,292 @@
+//! Forward and backward passes of the primitive layers.
+//!
+//! Everything operates on single-sample `[1, C, H, W]` tensors — the
+//! training loop is plain SGD with batch size 1, which keeps the
+//! substrate small and is entirely adequate for the synthetic task.
+
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+
+/// Forward 2-D convolution (thin wrapper re-exported for symmetry).
+///
+/// # Panics
+///
+/// Panics if the operands disagree with `shape` (the layer constructors
+/// guarantee agreement).
+#[must_use]
+pub fn conv_forward(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    bias: &[f32],
+    shape: &LayerShape,
+) -> Tensor4<f32> {
+    tfe_tensor::conv::conv2d_f32(input, weights, Some(bias), shape)
+        .expect("layer constructors guarantee operand agreement")
+}
+
+/// Backward pass of 2-D convolution: given the upstream gradient
+/// `dout = ∂L/∂output`, returns `(dinput, dweights, dbias)`.
+#[must_use]
+pub fn conv_backward(
+    input: &Tensor4<f32>,
+    weights: &Tensor4<f32>,
+    dout: &Tensor4<f32>,
+    shape: &LayerShape,
+) -> (Tensor4<f32>, Tensor4<f32>, Vec<f32>) {
+    debug_assert_eq!(shape.dilation(), 1, "training substrate is unit-dilation");
+    let (k, e, f) = (shape.k(), shape.e(), shape.f());
+    let (stride, pad) = (shape.stride(), shape.pad());
+    let mut dinput = Tensor4::zeros(input.dims());
+    let mut dweights = Tensor4::zeros(weights.dims());
+    let mut dbias = vec![0.0f32; shape.m()];
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..shape.m() {
+        for oy in 0..e {
+            for ox in 0..f {
+                let g = dout.get([0, m, oy, ox]);
+                if g == 0.0 {
+                    continue;
+                }
+                dbias[m] += g;
+                for c in 0..shape.n() {
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= shape.h() as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= shape.w() as isize {
+                                continue;
+                            }
+                            let (iy, ix) = (iy as usize, ix as usize);
+                            let x = input.get([0, c, iy, ix]);
+                            let w = weights.get([m, c, ky, kx]);
+                            dweights.set([m, c, ky, kx], dweights.get([m, c, ky, kx]) + g * x);
+                            dinput.set([0, c, iy, ix], dinput.get([0, c, iy, ix]) + g * w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (dinput, dweights, dbias)
+}
+
+/// ReLU forward; returns the activated tensor (the mask for the backward
+/// pass is recovered from the stored output).
+#[must_use]
+pub fn relu_forward(input: &Tensor4<f32>) -> Tensor4<f32> {
+    input.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: zeroes gradients where the forward output was clipped.
+#[must_use]
+pub fn relu_backward(output: &Tensor4<f32>, dout: &Tensor4<f32>) -> Tensor4<f32> {
+    let mut din = dout.clone();
+    let out = output.as_slice();
+    for (d, &o) in din.as_mut_slice().iter_mut().zip(out) {
+        if o <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    din
+}
+
+/// 2×2 max-pool forward; also returns the argmax index map used by the
+/// backward pass.
+#[must_use]
+pub fn maxpool_forward(input: &Tensor4<f32>) -> (Tensor4<f32>, Vec<usize>) {
+    let [n, c, h, w] = input.dims();
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor4::zeros([n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let mut idx = 0;
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_pos = 0;
+                    for ky in 0..2 {
+                        for kx in 0..2 {
+                            let (y, x) = (2 * oy + ky, 2 * ox + kx);
+                            let v = input.get([b, ch, y, x]);
+                            if v > best {
+                                best = v;
+                                best_pos = y * w + x;
+                            }
+                        }
+                    }
+                    out.set([b, ch, oy, ox], best);
+                    argmax[idx] = best_pos;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// 2×2 max-pool backward: routes each gradient to its argmax position.
+#[must_use]
+pub fn maxpool_backward(
+    input_dims: [usize; 4],
+    argmax: &[usize],
+    dout: &Tensor4<f32>,
+) -> Tensor4<f32> {
+    let [n, c, _, w] = input_dims;
+    let [dn, dc, oh, ow] = dout.dims();
+    debug_assert_eq!((n, c), (dn, dc));
+    let mut din = Tensor4::zeros(input_dims);
+    let mut idx = 0;
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let pos = argmax[idx];
+                    idx += 1;
+                    let (y, x) = (pos / w, pos % w);
+                    din.set([b, ch, y, x], din.get([b, ch, y, x]) + dout.get([b, ch, oy, ox]));
+                }
+            }
+        }
+    }
+    din
+}
+
+/// Softmax + cross-entropy: returns `(loss, dlogits)` for a single sample
+/// with `logits` of shape `[1, classes, 1, 1]`.
+#[must_use]
+pub fn softmax_cross_entropy(logits: &Tensor4<f32>, label: usize) -> (f32, Tensor4<f32>) {
+    let probs = tfe_tensor::activation::softmax_channels(logits);
+    let classes = logits.dims()[1];
+    let p_true = probs.get([0, label, 0, 0]).max(1e-12);
+    let loss = -p_true.ln();
+    let mut dlogits = Tensor4::zeros(logits.dims());
+    for c in 0..classes {
+        let grad = probs.get([0, c, 0, 0]) - if c == label { 1.0 } else { 0.0 };
+        dlogits.set([0, c, 0, 0], grad);
+    }
+    (loss, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical-gradient check of the convolution backward pass.
+    #[test]
+    fn conv_backward_matches_numerical_gradient() {
+        let shape = LayerShape::conv("g", 2, 3, 5, 5, 3, 1, 1).unwrap();
+        let mut seed = 3u32;
+        let mut det = move || {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((seed >> 16) as f32 / 65536.0) - 0.5
+        };
+        let input = Tensor4::from_fn([1, 2, 5, 5], |_| det());
+        let mut weights = Tensor4::from_fn([3, 2, 3, 3], |_| det());
+        let bias = vec![0.1, -0.2, 0.05];
+        // Loss = sum of outputs (so dout = ones).
+        let dout = Tensor4::filled([1, 3, 5, 5], 1.0f32);
+        let (_, dw, db) = conv_backward(&input, &weights, &dout, &shape);
+        let eps = 1e-3;
+        // Check a few weight coordinates numerically.
+        for &idx in &[[0, 0, 0, 0], [1, 1, 2, 2], [2, 0, 1, 1]] {
+            let orig = weights.get(idx);
+            weights.set(idx, orig + eps);
+            let up: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            weights.set(idx, orig - eps);
+            let down: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            weights.set(idx, orig);
+            let numerical = (up - down) / (2.0 * eps);
+            assert!(
+                (numerical - dw.get(idx)).abs() < 1e-2,
+                "dW{idx:?}: analytic {} vs numerical {numerical}",
+                dw.get(idx)
+            );
+        }
+        // Bias gradient with dout = ones is the output count per filter.
+        for &b in &db {
+            assert!((b - 25.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_backward_dinput_matches_numerical_gradient() {
+        let shape = LayerShape::conv("g", 1, 2, 4, 4, 3, 1, 1).unwrap();
+        let mut input = Tensor4::from_fn([1, 1, 4, 4], |[_, _, y, x]| (y as f32 - x as f32) * 0.3);
+        let weights = Tensor4::from_fn([2, 1, 3, 3], |[m, _, y, x]| {
+            0.1 * (m as f32 + 1.0) * (y as f32 * 3.0 + x as f32 - 4.0)
+        });
+        let bias = vec![0.0; 2];
+        let dout = Tensor4::filled([1, 2, 4, 4], 1.0f32);
+        let (dx, _, _) = conv_backward(&input, &weights, &dout, &shape);
+        let eps = 1e-3;
+        for &idx in &[[0, 0, 0, 0], [0, 0, 2, 3], [0, 0, 3, 3]] {
+            let orig = input.get(idx);
+            input.set(idx, orig + eps);
+            let up: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            input.set(idx, orig - eps);
+            let down: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            input.set(idx, orig);
+            let numerical = (up - down) / (2.0 * eps);
+            assert!(
+                (numerical - dx.get(idx)).abs() < 1e-2,
+                "dX{idx:?}: analytic {} vs numerical {numerical}",
+                dx.get(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn relu_backward_masks_clipped_positions() {
+        let input = Tensor4::from_vec([1, 1, 1, 4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let out = relu_forward(&input);
+        let dout = Tensor4::filled([1, 1, 1, 4], 1.0f32);
+        let din = relu_backward(&out, &dout);
+        assert_eq!(din.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_round_trip_routes_gradient_to_argmax() {
+        let input = Tensor4::from_vec(
+            [1, 1, 2, 2],
+            vec![1.0, 5.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let (out, argmax) = maxpool_forward(&input);
+        assert_eq!(out.get([0, 0, 0, 0]), 5.0);
+        let dout = Tensor4::filled([1, 1, 1, 1], 2.0f32);
+        let din = maxpool_backward([1, 1, 2, 2], &argmax, &dout);
+        assert_eq!(din.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero() {
+        let logits = Tensor4::from_vec([1, 3, 1, 1], vec![2.0, -1.0, 0.5]).unwrap();
+        let (loss, d) = softmax_cross_entropy(&logits, 1);
+        assert!(loss > 0.0);
+        let sum: f32 = d.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+        // Gradient at the true class is negative.
+        assert!(d.get([0, 1, 0, 0]) < 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_numerical_gradient() {
+        let mut logits = Tensor4::from_vec([1, 3, 1, 1], vec![0.3, -0.7, 1.1]).unwrap();
+        let (_, d) = softmax_cross_entropy(&logits, 2);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let orig = logits.get([0, c, 0, 0]);
+            logits.set([0, c, 0, 0], orig + eps);
+            let (up, _) = softmax_cross_entropy(&logits, 2);
+            logits.set([0, c, 0, 0], orig - eps);
+            let (down, _) = softmax_cross_entropy(&logits, 2);
+            logits.set([0, c, 0, 0], orig);
+            let numerical = (up - down) / (2.0 * eps);
+            assert!((numerical - d.get([0, c, 0, 0])).abs() < 1e-3);
+        }
+    }
+}

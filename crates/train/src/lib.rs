@@ -1,0 +1,35 @@
+//! Minimal CNN training substrate with transferred-filter weight tying —
+//! the Table II (accuracy) experiment.
+//!
+//! The paper trains ImageNet networks in TensorFlow before and after
+//! conversion to transferred form and shows the top-1 accuracy stays
+//! within 1 %. Neither ImageNet nor a GPU training stack exists in this
+//! environment, so this crate substitutes the smallest faithful
+//! equivalent: a from-scratch f32 training framework (convolution,
+//! pooling, ReLU, linear, softmax cross-entropy — forward *and* backward)
+//! whose convolution layers can be parameterized three ways:
+//!
+//! * dense (the original network),
+//! * DCNN-tied — the layer's free parameters are meta filters; gradients
+//!   of all transferred filters accumulate into the shared meta weights,
+//! * SCNN-tied — the free parameters are the two orbit bases; each
+//!   orientation's gradient is rotated/flipped back onto its base.
+//!
+//! Training the same architecture on the synthetic dataset of
+//! [`dataset`] demonstrates the paper's qualitative claim: the tied
+//! (compressed) models reach accuracy within ~1 point of the dense model
+//! at the paper's compression ratios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod deploy;
+pub mod layers;
+pub mod net;
+pub mod train;
+
+pub use dataset::SyntheticDataset;
+pub use net::{ConvParam, SmallCnn};
+pub use deploy::{deployed_accuracy, DeployedCnn};
+pub use train::{train_and_evaluate, train_and_evaluate_with_model, TrainConfig, TrainOutcome};

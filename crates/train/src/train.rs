@@ -1,0 +1,158 @@
+//! The SGD training loop and the Table II experiment driver.
+
+use crate::dataset::SyntheticDataset;
+use crate::layers::softmax_cross_entropy;
+use crate::net::SmallCnn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfe_transfer::TransferScheme;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 10 % by the last epoch).
+    pub learning_rate: f32,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            learning_rate: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// Scheme label (`"Original"`, `"DCNN4x4"`, `"SCNN"`).
+    pub scheme: String,
+    /// Final accuracy on the held-out test set, in percent.
+    pub test_accuracy_pct: f64,
+    /// Mean training loss of the final epoch.
+    pub final_loss: f64,
+    /// Free parameters in the convolution layers.
+    pub conv_params: usize,
+}
+
+/// Trains a [`SmallCnn`] with the given conv parameterization and
+/// evaluates it on the test set.
+#[must_use]
+pub fn train_and_evaluate(
+    scheme: Option<TransferScheme>,
+    train: &SyntheticDataset,
+    test: &SyntheticDataset,
+    cfg: &TrainConfig,
+) -> TrainOutcome {
+    train_and_evaluate_with_model(scheme, train, test, cfg).0
+}
+
+/// Like [`train_and_evaluate`], additionally returning the trained model
+/// (for deployment onto the TFE simulator — see [`crate::deploy`]).
+#[must_use]
+pub fn train_and_evaluate_with_model(
+    scheme: Option<TransferScheme>,
+    train: &SyntheticDataset,
+    test: &SyntheticDataset,
+    cfg: &TrainConfig,
+) -> (TrainOutcome, SmallCnn) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut init = || rng.gen_range(-1.0f32..1.0);
+    let mut net = SmallCnn::new(scheme, &mut init);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5a5a);
+    let mut final_loss = 0.0f64;
+    for epoch in 0..cfg.epochs {
+        // Fisher-Yates shuffle.
+        for i in (1..order.len()).rev() {
+            order.swap(i, shuffle_rng.gen_range(0..=i));
+        }
+        let progress = epoch as f32 / cfg.epochs.max(1) as f32;
+        let lr = cfg.learning_rate * (1.0 - 0.9 * progress);
+        let mut loss_sum = 0.0f64;
+        for &i in &order {
+            let cache = net.forward(train.image(i));
+            let (loss, dlogits) = softmax_cross_entropy(cache.logits(), train.label(i));
+            loss_sum += f64::from(loss);
+            net.backward(&cache, &dlogits, lr);
+        }
+        final_loss = loss_sum / train.len() as f64;
+    }
+    let correct = (0..test.len())
+        .filter(|&i| net.predict(test.image(i)) == test.label(i))
+        .count();
+    let outcome = TrainOutcome {
+        scheme: scheme.map_or_else(|| "Original".to_owned(), |s| s.label()),
+        test_accuracy_pct: 100.0 * correct as f64 / test.len() as f64,
+        final_loss,
+        conv_params: net.conv_param_count(),
+    };
+    (outcome, net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (train, test) = SyntheticDataset::pair(64, 32, 5 << 16);
+        let quick = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let one = train_and_evaluate(None, &train, &test, &quick);
+        let longer = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        };
+        let more = train_and_evaluate(None, &train, &test, &longer);
+        assert!(more.final_loss < one.final_loss, "{} vs {}", more.final_loss, one.final_loss);
+    }
+
+    #[test]
+    fn dense_model_learns_the_synthetic_task() {
+        let (train, test) = SyntheticDataset::pair(200, 100, 9 << 16);
+        let cfg = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        };
+        let outcome = train_and_evaluate(None, &train, &test, &cfg);
+        assert!(
+            outcome.test_accuracy_pct > 45.0,
+            "accuracy {}",
+            outcome.test_accuracy_pct
+        );
+    }
+
+    #[test]
+    fn tied_models_stay_close_to_dense_accuracy() {
+        // The Table II claim in miniature: transferred training costs
+        // little accuracy despite 2.25x / 4x fewer conv parameters.
+        let (train, test) = SyntheticDataset::pair(200, 100, 11 << 16);
+        let cfg = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        };
+        let dense = train_and_evaluate(None, &train, &test, &cfg);
+        let dcnn = train_and_evaluate(Some(TransferScheme::DCNN4), &train, &test, &cfg);
+        let scnn = train_and_evaluate(Some(TransferScheme::Scnn), &train, &test, &cfg);
+        assert!(dcnn.conv_params < dense.conv_params);
+        assert!(scnn.conv_params < dcnn.conv_params);
+        for tied in [&dcnn, &scnn] {
+            assert!(
+                tied.test_accuracy_pct > dense.test_accuracy_pct - 20.0,
+                "{}: {} vs dense {}",
+                tied.scheme,
+                tied.test_accuracy_pct,
+                dense.test_accuracy_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Closed-form compression and acceleration analysis (paper Eq. 1–5 and
+//! the Fig. 19 ablation factors).
+//!
+//! These formulas are the analytic ground truth: property tests in
+//! `tfe-sim` assert that the simulator's *counted* MACs and parameters
+//! match them on every layer.
+
+use crate::scheme::TransferScheme;
+use crate::scnn::{Orientation, ORIENTATIONS, STORED_BASES};
+use tfe_tensor::shape::LayerShape;
+
+/// Which redundancy-elimination techniques are enabled — the Fig. 19
+/// ablation axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReuseConfig {
+    /// Product and partial-sum reuse (horizontal, within a filter row).
+    pub ppsr: bool,
+    /// Entire-row result reuse (vertical, across filter rows).
+    pub errr: bool,
+}
+
+impl ReuseConfig {
+    /// Both techniques on — the shipping TFE configuration.
+    pub const FULL: ReuseConfig = ReuseConfig { ppsr: true, errr: true };
+    /// Both techniques off — the naive transferred-filter implementation.
+    pub const NONE: ReuseConfig = ReuseConfig { ppsr: false, errr: false };
+    /// PPSR only.
+    pub const PPSR_ONLY: ReuseConfig = ReuseConfig { ppsr: true, errr: false };
+    /// ERRR only.
+    pub const ERRR_ONLY: ReuseConfig = ReuseConfig { ppsr: false, errr: true };
+}
+
+impl Default for ReuseConfig {
+    fn default() -> Self {
+        ReuseConfig::FULL
+    }
+}
+
+/// Paper Eq. 1: parameters of an original CNN layer,
+/// `NUM_P_O = N × M × K²`.
+#[must_use]
+pub fn original_params(shape: &LayerShape) -> u64 {
+    shape.params()
+}
+
+/// Paper Eq. 1: MACs of an original CNN layer,
+/// `NUM_M_O = E × F × N × M × K²`.
+#[must_use]
+pub fn original_macs(shape: &LayerShape) -> u64 {
+    shape.macs()
+}
+
+/// Paper Eq. 2: parameters of the DCNN representation,
+/// `NUM_P_D = M / (Z−K+1)² × N × Z²`.
+///
+/// Exact when `(Z−K+1)²` divides `M`; otherwise the trailing partial meta
+/// filter is charged in full (ceiling division), which is what a real
+/// weight memory must store.
+#[must_use]
+pub fn dcnn_params(shape: &LayerShape, z: usize) -> u64 {
+    let g = group_count(z, shape.k());
+    let meta_filters = (shape.m() as u64).div_ceil(g as u64);
+    meta_filters * shape.n() as u64 * (z * z) as u64
+}
+
+/// Paper Eq. 2: MACs of a *direct* (no reuse) DCNN implementation — equal
+/// to the original layer's MACs, since every transferred filter is
+/// convolved independently.
+#[must_use]
+pub fn dcnn_direct_macs(shape: &LayerShape) -> u64 {
+    shape.macs()
+}
+
+/// Paper Eq. 3: MACs of the DCNN on the TFE with full reuse,
+/// `NUM_M_T = E × F × M × Z² × N / (Z−K+1)²`.
+#[must_use]
+pub fn dcnn_tfe_macs(shape: &LayerShape, z: usize) -> u64 {
+    dcnn_macs_with(shape, z, ReuseConfig::FULL)
+}
+
+/// MACs of the DCNN on the TFE under an arbitrary reuse configuration
+/// (Fig. 19 ablation).
+///
+/// Per meta-filter row step, the naive cost is `(Z−K+1) × K` multiplies;
+/// PPSR reduces it to `Z`. The identical factor applies vertically for
+/// ERRR. With `G = (Z−K+1)²` transferred filters per meta filter:
+///
+/// * none:        `E·F·N·M·K²`           (direct, Eq. 2)
+/// * PPSR only:   `E·F·N·M·K²  × Z/((Z−K+1)K)` (horizontal factor)
+/// * ERRR only:   symmetric vertical factor
+/// * both:        `E·F·N·M·Z²/G`          (Eq. 3)
+#[must_use]
+pub fn dcnn_macs_with(shape: &LayerShape, z: usize, reuse: ReuseConfig) -> u64 {
+    let k = shape.k() as u64;
+    let per_axis = (z as u64).saturating_sub(k) + 1;
+    let spatial = shape.e() as u64 * shape.f() as u64 * shape.n() as u64 * shape.m() as u64;
+    let h_cost = if reuse.ppsr { z as u64 } else { per_axis * k };
+    let v_cost = if reuse.errr { z as u64 } else { per_axis * k };
+    // Cost per transferred-filter group, divided back per filter:
+    // spatial already includes all M filters; each group of G = per_axis²
+    // filters costs h_cost × v_cost instead of G × K².
+    spatial * h_cost * v_cost / (per_axis * per_axis)
+}
+
+/// Paper Eq. 4/5: DCNN parameter (and MAC) reduction ratio,
+/// `(Z−K+1)² × K² / Z²`.
+#[must_use]
+pub fn dcnn_param_reduction(z: usize, k: usize) -> f64 {
+    let per_axis = (z - k + 1) as f64;
+    per_axis * per_axis * (k * k) as f64 / (z * z) as f64
+}
+
+/// Paper Eq. 5: DCNN MAC reduction ratio — identical to Eq. 4.
+#[must_use]
+pub fn dcnn_mac_reduction(z: usize, k: usize) -> f64 {
+    dcnn_param_reduction(z, k)
+}
+
+/// SCNN parameter count: `2 × N × K²` per orbit of eight filters (partial
+/// trailing orbits charged in full).
+#[must_use]
+pub fn scnn_params(shape: &LayerShape) -> u64 {
+    let orbits = (shape.m() as u64).div_ceil(crate::scnn::ORBIT as u64);
+    orbits * STORED_BASES as u64 * shape.n() as u64 * (shape.k() * shape.k()) as u64
+}
+
+/// SCNN MACs on the TFE under a reuse configuration.
+///
+/// Of the eight orbit orientations, two are stored bases (always
+/// computed); each remaining member is free exactly when the reuse
+/// machinery for all of its required flips is enabled (Section V.E).
+#[must_use]
+pub fn scnn_macs_with(shape: &LayerShape, reuse: ReuseConfig) -> u64 {
+    let computed = ORIENTATIONS
+        .iter()
+        .filter(|&&g| {
+            let o = Orientation::of(g);
+            let h_free = !o.flip_h || reuse.ppsr;
+            let v_free = !o.flip_v || reuse.errr;
+            !(h_free && v_free) || o.is_stored()
+        })
+        .count() as u64;
+    shape.macs() * computed / crate::scnn::ORBIT as u64
+}
+
+/// SCNN parameter reduction ratio: orbit size over stored bases (4×).
+#[must_use]
+pub fn scnn_param_reduction() -> f64 {
+    crate::scnn::ORBIT as f64 / STORED_BASES as f64
+}
+
+/// SCNN MAC reduction ratio under a reuse configuration.
+#[must_use]
+pub fn scnn_mac_reduction(reuse: ReuseConfig) -> f64 {
+    let unit = LayerShape::conv("unit", 1, 8, 8, 8, 3, 1, 1)
+        .expect("static unit layer shape is valid");
+    unit.macs() as f64 / scnn_macs_with(&unit, reuse) as f64
+}
+
+/// Per-layer parameters under a scheme, respecting the per-layer transfer
+/// policy (untransferable layers keep their dense parameters).
+#[must_use]
+pub fn scheme_params(shape: &LayerShape, scheme: TransferScheme) -> u64 {
+    if !scheme.applies_to(shape) {
+        return shape.params();
+    }
+    match scheme {
+        TransferScheme::Dcnn { .. } => {
+            let z = scheme
+                .effective_meta(shape.k())
+                .expect("applies_to implies an effective meta extent");
+            dcnn_params(shape, z)
+        }
+        TransferScheme::Scnn => scnn_params(shape),
+    }
+}
+
+/// Per-layer TFE MACs under a scheme and reuse configuration
+/// (untransferable layers run conventionally at their dense MAC count).
+#[must_use]
+pub fn scheme_macs(shape: &LayerShape, scheme: TransferScheme, reuse: ReuseConfig) -> u64 {
+    if !scheme.applies_to(shape) {
+        return shape.macs();
+    }
+    match scheme {
+        TransferScheme::Dcnn { .. } => {
+            let z = scheme
+                .effective_meta(shape.k())
+                .expect("applies_to implies an effective meta extent");
+            dcnn_macs_with(shape, z, reuse)
+        }
+        TransferScheme::Scnn => scnn_macs_with(shape, reuse),
+    }
+}
+
+fn group_count(z: usize, k: usize) -> usize {
+    let per_axis = z.saturating_sub(k) + 1;
+    per_axis * per_axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vgg_layer() -> LayerShape {
+        LayerShape::conv("conv", 64, 64, 56, 56, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn eq4_eq5_paper_values() {
+        // Z=4, K=3 -> 2.25x; Z=6, K=3 -> 4x (Fig. 17: "2.27x" and "4.0x").
+        assert_eq!(dcnn_param_reduction(4, 3), 2.25);
+        assert_eq!(dcnn_param_reduction(6, 3), 4.0);
+        assert_eq!(dcnn_mac_reduction(6, 3), 4.0);
+        // Z=6, K=5 (GoogLeNet heterogeneous meta): 4*25/36.
+        assert!((dcnn_param_reduction(6, 5) - 100.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn largest_reduction_at_k_equal_half_z_plus_one() {
+        // Section V.E: K = (Z+1)/2 maximizes the reduction for fixed Z.
+        let z = 7;
+        let best_k = usize::div_ceil(z, 2);
+        let best = dcnn_param_reduction(z, best_k);
+        for k in 2..=z {
+            assert!(dcnn_param_reduction(z, k) <= best + 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn dcnn_tfe_macs_matches_eq3() {
+        let shape = vgg_layer();
+        // Eq. 3 with M divisible by G: E·F·M·Z²·N / (Z−K+1)².
+        let z = 6u64;
+        let expected = shape.e() as u64 * shape.f() as u64 * shape.m() as u64 * z * z
+            * shape.n() as u64
+            / 16;
+        assert_eq!(dcnn_tfe_macs(&shape, 6), expected);
+        // And the ratio against Eq. 1 equals Eq. 5.
+        let ratio = shape.macs() as f64 / dcnn_tfe_macs(&shape, 6) as f64;
+        assert!((ratio - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig19_dcnn_ablation_factors() {
+        let shape = vgg_layer();
+        let base = shape.macs() as f64;
+        // 4x4 DCNN: PPSR and ERRR each give 1.5x, combined 2.25x.
+        let p = base / dcnn_macs_with(&shape, 4, ReuseConfig::PPSR_ONLY) as f64;
+        let e = base / dcnn_macs_with(&shape, 4, ReuseConfig::ERRR_ONLY) as f64;
+        let full = base / dcnn_macs_with(&shape, 4, ReuseConfig::FULL) as f64;
+        assert!((p - 1.5).abs() < 1e-9);
+        assert!((e - 1.5).abs() < 1e-9);
+        assert!((full - 2.25).abs() < 1e-9);
+        // 6x6 DCNN: 2.0x each, 4.0x combined.
+        let p6 = base / dcnn_macs_with(&shape, 6, ReuseConfig::PPSR_ONLY) as f64;
+        let full6 = base / dcnn_macs_with(&shape, 6, ReuseConfig::FULL) as f64;
+        assert!((p6 - 2.0).abs() < 1e-9);
+        assert!((full6 - 4.0).abs() < 1e-9);
+        // No reuse: direct implementation, no savings (Eq. 2).
+        assert_eq!(dcnn_macs_with(&shape, 6, ReuseConfig::NONE), shape.macs());
+    }
+
+    #[test]
+    fn fig19_scnn_ablation_factors() {
+        // Stored 2 of 8; PPSR alone frees 2, ERRR alone frees 2, both free 6.
+        assert!((scnn_mac_reduction(ReuseConfig::NONE) - 1.0).abs() < 1e-9);
+        assert!((scnn_mac_reduction(ReuseConfig::PPSR_ONLY) - 8.0 / 6.0).abs() < 1e-9);
+        assert!((scnn_mac_reduction(ReuseConfig::ERRR_ONLY) - 8.0 / 6.0).abs() < 1e-9);
+        assert!((scnn_mac_reduction(ReuseConfig::FULL) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scnn_param_reduction_is_4x() {
+        assert_eq!(scnn_param_reduction(), 4.0);
+        let shape = vgg_layer();
+        assert_eq!(shape.params() / scnn_params(&shape), 4);
+    }
+
+    #[test]
+    fn dcnn_params_charge_partial_meta_filters() {
+        // M = 10 with G = 4 needs ceil(10/4) = 3 meta filters.
+        let shape = LayerShape::conv("c", 2, 10, 8, 8, 3, 1, 1).unwrap();
+        assert_eq!(dcnn_params(&shape, 4), 3 * 2 * 16);
+    }
+
+    #[test]
+    fn untransferable_layers_keep_dense_costs() {
+        let pw = LayerShape::conv("pw", 64, 64, 28, 28, 1, 1, 0).unwrap();
+        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+            assert_eq!(scheme_params(&pw, scheme), pw.params());
+            assert_eq!(scheme_macs(&pw, scheme, ReuseConfig::FULL), pw.macs());
+        }
+        let fc = LayerShape::fully_connected("fc", 4096, 1000).unwrap();
+        assert_eq!(scheme_macs(&fc, TransferScheme::Scnn, ReuseConfig::FULL), fc.macs());
+    }
+
+    #[test]
+    fn scheme_dispatch_uses_heterogeneous_meta() {
+        // 5x5 filter under DCNN4 uses the 6x6 meta filter.
+        let shape = LayerShape::conv("inc5", 16, 32, 14, 14, 5, 1, 2).unwrap();
+        let params = scheme_params(&shape, TransferScheme::DCNN4);
+        assert_eq!(params, dcnn_params(&shape, 6));
+    }
+}

@@ -1,0 +1,254 @@
+//! The dihedral group D4 acting on square filters.
+//!
+//! SCNN (Fig. 2(b) of the paper) derives effective filters from a base
+//! filter through "rotation by a step of 90° and horizontal/vertical
+//! flipping". This module implements those transformations on row-major
+//! `K × K` grids and exposes the full eight-element group so orbits can be
+//! enumerated and composition laws property-tested.
+
+/// One element of the dihedral group D4 (symmetries of the square).
+///
+/// The names follow the geometric action on a filter grid: `Rot90` rotates
+/// the weights 90° counter-clockwise, `FlipH` mirrors left–right (the
+/// paper's "horizontally symmetric" filters), `FlipV` mirrors top–bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum D4 {
+    /// Identity.
+    Id,
+    /// 90° counter-clockwise rotation.
+    Rot90,
+    /// 180° rotation.
+    Rot180,
+    /// 270° counter-clockwise rotation.
+    Rot270,
+    /// Horizontal mirror (left–right flip; reverses each row).
+    FlipH,
+    /// Vertical mirror (top–bottom flip; reverses row order).
+    FlipV,
+    /// Flip across the main diagonal (transpose).
+    FlipD,
+    /// Flip across the anti-diagonal.
+    FlipA,
+}
+
+impl D4 {
+    /// All eight group elements, in a stable order.
+    pub const ALL: [D4; 8] = [
+        D4::Id,
+        D4::Rot90,
+        D4::Rot180,
+        D4::Rot270,
+        D4::FlipH,
+        D4::FlipV,
+        D4::FlipD,
+        D4::FlipA,
+    ];
+
+    /// Maps a source coordinate `(y, x)` in a `k × k` grid to the
+    /// coordinate holding its value after applying `self`.
+    ///
+    /// Concretely, `transformed[self.apply_index(k, y, x)] = original[(y, x)]`.
+    #[must_use]
+    pub fn apply_index(self, k: usize, y: usize, x: usize) -> (usize, usize) {
+        let last = k - 1;
+        match self {
+            D4::Id => (y, x),
+            D4::Rot90 => (last - x, y),
+            D4::Rot180 => (last - y, last - x),
+            D4::Rot270 => (x, last - y),
+            D4::FlipH => (y, last - x),
+            D4::FlipV => (last - y, x),
+            D4::FlipD => (x, y),
+            D4::FlipA => (last - x, last - y),
+        }
+    }
+
+    /// The group inverse.
+    #[must_use]
+    pub fn inverse(self) -> D4 {
+        match self {
+            D4::Rot90 => D4::Rot270,
+            D4::Rot270 => D4::Rot90,
+            other => other, // identity, 180° and all flips are involutions
+        }
+    }
+
+    /// Group composition: `self.then(g)` applies `self` first, then `g`.
+    #[must_use]
+    pub fn then(self, g: D4) -> D4 {
+        // Compose by tracking where two probe points land. The action on
+        // a 3x3 grid distinguishes all eight elements.
+        let k = 3;
+        let probe = [(0usize, 1usize), (1usize, 0usize)];
+        let mut landed = [(0usize, 0usize); 2];
+        for (i, &(y, x)) in probe.iter().enumerate() {
+            let (y1, x1) = self.apply_index(k, y, x);
+            landed[i] = g.apply_index(k, y1, x1);
+        }
+        for candidate in D4::ALL {
+            if probe
+                .iter()
+                .zip(&landed)
+                .all(|(&(y, x), &l)| candidate.apply_index(k, y, x) == l)
+            {
+                return candidate;
+            }
+        }
+        unreachable!("composition of two D4 elements is always a D4 element")
+    }
+
+    /// Decomposes the element as `flips ∘ rotation-base`, where the base is
+    /// either `Id` or `Rot90` — the two orientations the SCNN engine stores
+    /// — and the flips are the horizontal/vertical mirrors the PPSR (h) and
+    /// ERRR (v) machinery can derive for free (Section V.E).
+    ///
+    /// Returns `(base, flip_h, flip_v)` such that applying `base`, then
+    /// `FlipH` if `flip_h`, then `FlipV` if `flip_v`, equals `self`.
+    #[must_use]
+    pub fn decompose(self) -> (D4, bool, bool) {
+        match self {
+            D4::Id => (D4::Id, false, false),
+            D4::FlipH => (D4::Id, true, false),
+            D4::FlipV => (D4::Id, false, true),
+            D4::Rot180 => (D4::Id, true, true),
+            D4::Rot90 => (D4::Rot90, false, false),
+            D4::FlipA => (D4::Rot90, true, false),
+            D4::FlipD => (D4::Rot90, false, true),
+            D4::Rot270 => (D4::Rot90, true, true),
+        }
+    }
+}
+
+/// Applies a D4 element to a row-major `k × k` grid, returning the
+/// transformed grid.
+///
+/// # Panics
+///
+/// Panics if `grid.len() != k * k`.
+#[must_use]
+pub fn transform_grid<T: Copy + Default>(grid: &[T], k: usize, g: D4) -> Vec<T> {
+    assert_eq!(grid.len(), k * k, "grid length must be k*k");
+    let mut out = vec![T::default(); k * k];
+    for y in 0..k {
+        for x in 0..k {
+            let (ty, tx) = g.apply_index(k, y, x);
+            out[ty * k + tx] = grid[y * k + x];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRID: [i32; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+    #[test]
+    fn identity_is_noop() {
+        assert_eq!(transform_grid(&GRID, 3, D4::Id), GRID.to_vec());
+    }
+
+    #[test]
+    fn rot90_counter_clockwise() {
+        // 1 2 3      3 6 9
+        // 4 5 6  ->  2 5 8
+        // 7 8 9      1 4 7
+        assert_eq!(
+            transform_grid(&GRID, 3, D4::Rot90),
+            vec![3, 6, 9, 2, 5, 8, 1, 4, 7]
+        );
+    }
+
+    #[test]
+    fn flip_h_reverses_rows() {
+        assert_eq!(
+            transform_grid(&GRID, 3, D4::FlipH),
+            vec![3, 2, 1, 6, 5, 4, 9, 8, 7]
+        );
+    }
+
+    #[test]
+    fn flip_v_reverses_row_order() {
+        assert_eq!(
+            transform_grid(&GRID, 3, D4::FlipV),
+            vec![7, 8, 9, 4, 5, 6, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn rot180_equals_fliph_then_flipv() {
+        let direct = transform_grid(&GRID, 3, D4::Rot180);
+        let via_flips = transform_grid(&transform_grid(&GRID, 3, D4::FlipH), 3, D4::FlipV);
+        assert_eq!(direct, via_flips);
+    }
+
+    #[test]
+    fn flipd_is_transpose() {
+        assert_eq!(
+            transform_grid(&GRID, 3, D4::FlipD),
+            vec![1, 4, 7, 2, 5, 8, 3, 6, 9]
+        );
+    }
+
+    #[test]
+    fn every_element_composed_with_inverse_is_identity() {
+        for g in D4::ALL {
+            assert_eq!(g.then(g.inverse()), D4::Id, "{g:?}");
+            assert_eq!(g.inverse().then(g), D4::Id, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        for a in D4::ALL {
+            for b in D4::ALL {
+                let composed = transform_grid(&GRID, 3, a.then(b));
+                let sequential = transform_grid(&transform_grid(&GRID, 3, a), 3, b);
+                assert_eq!(composed, sequential, "{a:?} then {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_is_closed_and_has_eight_elements() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for a in D4::ALL {
+            for b in D4::ALL {
+                seen.insert(a.then(b));
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn works_on_even_extent() {
+        let grid = [1, 2, 3, 4]; // 2x2
+        assert_eq!(transform_grid(&grid, 2, D4::Rot180), vec![4, 3, 2, 1]);
+        assert_eq!(transform_grid(&grid, 2, D4::FlipH), vec![2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn decomposition_reconstructs_every_element() {
+        for g in D4::ALL {
+            let (base, flip_h, flip_v) = g.decompose();
+            let mut composed = base;
+            if flip_h {
+                composed = composed.then(D4::FlipH);
+            }
+            if flip_v {
+                composed = composed.then(D4::FlipV);
+            }
+            assert_eq!(composed, g, "decomposition of {g:?}");
+        }
+    }
+
+    #[test]
+    fn decomposition_bases_are_only_id_and_rot90() {
+        for g in D4::ALL {
+            let (base, _, _) = g.decompose();
+            assert!(matches!(base, D4::Id | D4::Rot90), "{g:?} -> {base:?}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Error type for transferred-filter construction and conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransferError {
+    /// The meta filter extent `Z` is smaller than the effective filter
+    /// extent `K`, so no transferred filter can be extracted.
+    MetaSmallerThanFilter {
+        /// Meta filter extent.
+        z: usize,
+        /// Effective filter extent.
+        k: usize,
+    },
+    /// The layer kind cannot be transferred (1×1, depth-wise, FC). The TFE
+    /// runs such layers in conventional mode instead; constructing a
+    /// transferred representation for them is a caller bug.
+    NotTransferable {
+        /// Why the layer is untransferable.
+        reason: &'static str,
+    },
+    /// A raw-data constructor received a buffer of the wrong length.
+    DataLengthMismatch {
+        /// Required element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// An extent parameter was zero.
+    ZeroExtent {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// A filter-count does not fit the scheme's grouping (e.g. the caller
+    /// asked for more transferred filters than a meta filter provides).
+    GroupingMismatch {
+        /// Description of the violated constraint.
+        what: &'static str,
+        /// The number of filters requested.
+        requested: usize,
+        /// The number available under the scheme.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::MetaSmallerThanFilter { z, k } => {
+                write!(f, "meta filter extent {z} is smaller than filter extent {k}")
+            }
+            TransferError::NotTransferable { reason } => {
+                write!(f, "layer cannot be transferred: {reason}")
+            }
+            TransferError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data length mismatch: expected {expected} elements, got {actual}")
+            }
+            TransferError::ZeroExtent { what } => write!(f, "{what} must be nonzero"),
+            TransferError::GroupingMismatch {
+                what,
+                requested,
+                available,
+            } => write!(f, "grouping mismatch ({what}): requested {requested}, available {available}"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TransferError::MetaSmallerThanFilter { z: 2, k: 3 };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<TransferError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! The other two transferred-filter algorithms from Section II: CReLU and
+//! MBA.
+//!
+//! The paper implements DCNN and SCNN on the TFE datapath and notes that
+//! CReLU and MBA "can both compress the network size \[but\] are implemented
+//! on the conventional CNN architecture through specific control logic".
+//! We provide them as extensions: their compression arithmetic feeds the
+//! factor-effectiveness analysis of Section V.E (they share the SCNN's
+//! compression/acceleration behaviour on canonical layers), and their
+//! functional semantics are available for the training substrate.
+
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+
+/// CReLU (concatenated ReLU, Shang et al. 2016): the layer stores `M/2`
+/// filters; the other half are their negations, and the activation
+/// concatenates positive and negative phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CRelu;
+
+impl CRelu {
+    /// Parameters stored for a layer of `M` effective filters: half the
+    /// dense count (negated filters are derived).
+    #[must_use]
+    pub fn stored_params(shape: &LayerShape) -> u64 {
+        shape.params().div_ceil(2)
+    }
+
+    /// Parameter reduction factor (2×).
+    #[must_use]
+    pub fn param_reduction() -> f64 {
+        2.0
+    }
+
+    /// MACs on a negation-aware datapath: products for a filter and its
+    /// negation differ only in sign, so each pair is computed once (2×).
+    #[must_use]
+    pub fn macs(shape: &LayerShape) -> u64 {
+        shape.macs().div_ceil(2)
+    }
+
+    /// Expands the stored half-bank `[M/2, N, K, K]` into the effective
+    /// `[M, N, K, K]` bank with negated copies.
+    #[must_use]
+    pub fn expand(stored: &Tensor4<f32>) -> Tensor4<f32> {
+        let [half, n, kh, kw] = stored.dims();
+        Tensor4::from_fn([2 * half, n, kh, kw], |[m, c, y, x]| {
+            if m < half {
+                stored.get([m, c, y, x])
+            } else {
+                -stored.get([m - half, c, y, x])
+            }
+        })
+    }
+}
+
+/// MBA (multi-bias nonlinear activation, Li et al. 2016): one stored
+/// filter serves `B` effective output maps that differ only in their bias
+/// before the nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mba {
+    /// Number of biases (effective maps) per stored filter.
+    pub biases: usize,
+}
+
+impl Mba {
+    /// Creates an MBA configuration with `biases` effective maps per
+    /// stored filter. The paper's typical configuration is 2–4.
+    #[must_use]
+    pub fn new(biases: usize) -> Self {
+        Mba { biases: biases.max(1) }
+    }
+
+    /// Parameters stored: the filter bank shrinks by the bias multiplicity
+    /// (bias storage itself is negligible: one scalar per map).
+    #[must_use]
+    pub fn stored_params(&self, shape: &LayerShape) -> u64 {
+        shape.params().div_ceil(self.biases as u64)
+    }
+
+    /// MACs: the convolution for each stored filter runs once; adding a
+    /// bias per effective map is not a MAC in the paper's accounting.
+    #[must_use]
+    pub fn macs(&self, shape: &LayerShape) -> u64 {
+        shape.macs().div_ceil(self.biases as u64)
+    }
+
+    /// Applies the multi-bias expansion to one stored-filter response plane
+    /// (pre-activation values), producing `biases` biased copies.
+    #[must_use]
+    pub fn expand_plane(&self, plane: &[f32], bias_values: &[f32]) -> Vec<Vec<f32>> {
+        bias_values
+            .iter()
+            .take(self.biases)
+            .map(|&b| plane.iter().map(|&v| v + b).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv("c", 4, 8, 8, 8, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn crelu_halves_params_and_macs() {
+        let shape = layer();
+        assert_eq!(CRelu::stored_params(&shape) * 2, shape.params());
+        assert_eq!(CRelu::macs(&shape) * 2, shape.macs());
+        assert_eq!(CRelu::param_reduction(), 2.0);
+    }
+
+    #[test]
+    fn crelu_expansion_negates_second_half() {
+        let stored = Tensor4::from_fn([2, 1, 3, 3], |[m, _, y, x]| (m * 9 + y * 3 + x) as f32);
+        let full = CRelu::expand(&stored);
+        assert_eq!(full.dims(), [4, 1, 3, 3]);
+        assert_eq!(full.get([2, 0, 1, 1]), -stored.get([0, 0, 1, 1]));
+        assert_eq!(full.get([3, 0, 2, 2]), -stored.get([1, 0, 2, 2]));
+    }
+
+    #[test]
+    fn mba_divides_by_bias_multiplicity() {
+        let shape = layer();
+        let mba = Mba::new(4);
+        assert_eq!(mba.stored_params(&shape) * 4, shape.params());
+        assert_eq!(mba.macs(&shape) * 4, shape.macs());
+    }
+
+    #[test]
+    fn mba_expand_plane_applies_each_bias() {
+        let mba = Mba::new(2);
+        let planes = mba.expand_plane(&[1.0, 2.0], &[0.5, -0.5]);
+        assert_eq!(planes, vec![vec![1.5, 2.5], vec![0.5, 1.5]]);
+    }
+
+    #[test]
+    fn mba_zero_biases_clamped_to_one() {
+        let mba = Mba::new(0);
+        assert_eq!(mba.biases, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Converting a trained dense network into transferred form.
+//!
+//! The paper converts networks *before* training ("networks are first
+//! converted to the transferred filter-based networks and pre-trained",
+//! Section V.A) — the `tfe-train` crate does that with weight tying. For
+//! post-hoc conversion of an already-trained dense bank (useful in the
+//! examples and as an initialization for fine-tuning), this module fits
+//! the compressed representation by least squares:
+//!
+//! * **DCNN** — each meta-filter weight is the mean of all dense-filter
+//!   weights that map onto it under the translation structure (the exact
+//!   least-squares solution, since each meta weight appears with
+//!   coefficient 1 in each constraint).
+//! * **SCNN** — each base is the mean of the orbit members re-aligned to
+//!   the base orientation (the least-squares projection onto the tied
+//!   weight space).
+
+use crate::d4::D4;
+use crate::layer::TransferredLayer;
+use crate::meta::MetaFilter;
+use crate::scheme::TransferScheme;
+use crate::scnn::{transform_channels, Orientation, ScnnGroup, ORBIT, ORIENTATIONS};
+use crate::TransferError;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+
+/// Fits a transferred representation to a dense `[M, N, K, K]` bank under
+/// `scheme` (least-squares projection; see module docs).
+///
+/// Untransferable layers are returned dense and unchanged.
+///
+/// # Errors
+///
+/// Returns [`TransferError::NotTransferable`] for depth-wise layers and
+/// [`TransferError::DataLengthMismatch`] if the bank disagrees with
+/// `shape`.
+pub fn fit_layer(
+    weights: &Tensor4<f32>,
+    shape: &LayerShape,
+    scheme: TransferScheme,
+) -> Result<TransferredLayer, TransferError> {
+    TransferScheme::check_supported(shape)?;
+    let dims = weights.dims();
+    if dims != [shape.m(), shape.n(), shape.k(), shape.k()] {
+        return Err(TransferError::DataLengthMismatch {
+            expected: shape.m() * shape.n() * shape.k() * shape.k(),
+            actual: weights.len(),
+        });
+    }
+    if !scheme.applies_to(shape) {
+        return Ok(TransferredLayer::Dense {
+            weights: weights.clone(),
+        });
+    }
+    match scheme {
+        TransferScheme::Dcnn { .. } => {
+            let z = scheme
+                .effective_meta(shape.k())
+                .expect("applies_to implies effective meta");
+            fit_dcnn(weights, shape, z)
+        }
+        TransferScheme::Scnn => fit_scnn(weights, shape),
+    }
+}
+
+fn fit_dcnn(
+    weights: &Tensor4<f32>,
+    shape: &LayerShape,
+    z: usize,
+) -> Result<TransferredLayer, TransferError> {
+    let k = shape.k();
+    let per_axis = z - k + 1;
+    let group = per_axis * per_axis;
+    let meta_count = shape.m().div_ceil(group);
+    let mut metas = Vec::with_capacity(meta_count);
+    for g in 0..meta_count {
+        // Accumulate each dense filter of this group into its window of
+        // the meta grid, then average by coverage count.
+        let mut sums = vec![0.0f64; shape.n() * z * z];
+        let mut counts = vec![0u32; shape.n() * z * z];
+        for (slot, m) in (g * group..((g + 1) * group).min(shape.m())).enumerate() {
+            let (dy, dx) = (slot / per_axis, slot % per_axis);
+            for c in 0..shape.n() {
+                for y in 0..k {
+                    for x in 0..k {
+                        let idx = c * z * z + (dy + y) * z + (dx + x);
+                        sums[idx] += f64::from(weights.get([m, c, y, x]));
+                        counts[idx] += 1;
+                    }
+                }
+            }
+        }
+        let data: Vec<f32> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &n)| if n == 0 { 0.0 } else { (s / f64::from(n)) as f32 })
+            .collect();
+        metas.push(MetaFilter::new(shape.n(), z, data)?);
+    }
+    Ok(TransferredLayer::Dcnn {
+        k,
+        m: shape.m(),
+        metas,
+    })
+}
+
+fn fit_scnn(weights: &Tensor4<f32>, shape: &LayerShape) -> Result<TransferredLayer, TransferError> {
+    let (n, k) = (shape.n(), shape.k());
+    let per = n * k * k;
+    let group_count = shape.m().div_ceil(ORBIT);
+    let mut groups = Vec::with_capacity(group_count);
+    for g in 0..group_count {
+        let mut sums = [vec![0.0f64; per], vec![0.0f64; per]];
+        let mut counts = [0u32; 2];
+        for (slot, m) in (g * ORBIT..((g + 1) * ORBIT).min(shape.m())).enumerate() {
+            let orientation = ORIENTATIONS[slot];
+            let o = Orientation::of(orientation);
+            // Re-align this member back to its base orientation.
+            let member: Vec<f32> = (0..per)
+                .map(|i| {
+                    let c = i / (k * k);
+                    let y = (i % (k * k)) / k;
+                    let x = i % k;
+                    weights.get([m, c, y, x])
+                })
+                .collect();
+            let aligned = transform_channels(&member, n, k, base_inverse(orientation));
+            for (s, v) in sums[o.base].iter_mut().zip(&aligned) {
+                *s += f64::from(*v);
+            }
+            counts[o.base] += 1;
+        }
+        let base_vec = |idx: usize| -> Vec<f32> {
+            sums[idx]
+                .iter()
+                .map(|&s| {
+                    if counts[idx] == 0 {
+                        0.0
+                    } else {
+                        (s / f64::from(counts[idx])) as f32
+                    }
+                })
+                .collect()
+        };
+        let base0 = base_vec(0);
+        let base1 = if counts[1] == 0 {
+            transform_channels(&base0, n, k, D4::Rot90)
+        } else {
+            base_vec(1)
+        };
+        groups.push(ScnnGroup::from_bases(n, k, base0, base1)?);
+    }
+    Ok(TransferredLayer::Scnn {
+        m: shape.m(),
+        groups,
+    })
+}
+
+/// The transformation taking orbit member `g` back to its stored base
+/// orientation (inverse of the flips applied after the base).
+fn base_inverse(g: D4) -> D4 {
+    let (base, flip_h, flip_v) = g.decompose();
+    // member = base then flips; aligned = member with flips undone.
+    let mut undo = D4::Id;
+    if flip_v {
+        undo = undo.then(D4::FlipV);
+    }
+    if flip_h {
+        undo = undo.then(D4::FlipH);
+    }
+    debug_assert_eq!(base.then(D4::Id), base);
+    undo
+}
+
+/// Root-mean-square error between a dense bank and the expansion of its
+/// fitted transferred representation — the compression fidelity metric
+/// used by the examples.
+///
+/// # Errors
+///
+/// Propagates errors from [`fit_layer`] and expansion.
+pub fn fit_rmse(
+    weights: &Tensor4<f32>,
+    shape: &LayerShape,
+    scheme: TransferScheme,
+) -> Result<f64, TransferError> {
+    let fitted = fit_layer(weights, shape, scheme)?;
+    let expanded = fitted.expand_to_dense()?;
+    let mut sum = 0.0f64;
+    for (idx, v) in weights.indexed_iter() {
+        let d = f64::from(v - expanded.get(idx));
+        sum += d * d;
+    }
+    Ok((sum / weights.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((*seed >> 16) as f32 / 65536.0) - 0.5
+    }
+
+    #[test]
+    fn fitting_an_exactly_transferred_bank_is_lossless_dcnn() {
+        let shape = LayerShape::conv("c", 2, 8, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 41;
+        let layer =
+            TransferredLayer::random(&shape, TransferScheme::DCNN4, || det(&mut seed)).unwrap();
+        let dense = layer.expand_to_dense().unwrap();
+        let rmse = fit_rmse(&dense, &shape, TransferScheme::DCNN4).unwrap();
+        assert!(rmse < 1e-6, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn fitting_an_exactly_transferred_bank_is_lossless_scnn() {
+        let shape = LayerShape::conv("c", 2, 8, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 43;
+        let layer =
+            TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+        let dense = layer.expand_to_dense().unwrap();
+        let rmse = fit_rmse(&dense, &shape, TransferScheme::Scnn).unwrap();
+        assert!(rmse < 1e-6, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn fitting_random_weights_is_lossy_but_bounded() {
+        let shape = LayerShape::conv("c", 2, 8, 8, 8, 3, 1, 1).unwrap();
+        let weights = Tensor4::from_fn([8, 2, 3, 3], |[m, c, y, x]| {
+            ((m * 131 + c * 31 + y * 7 + x) % 13) as f32 / 13.0 - 0.5
+        });
+        let rmse = fit_rmse(&weights, &shape, TransferScheme::DCNN4).unwrap();
+        assert!(rmse > 0.0);
+        // Projection can never exceed the data's own RMS.
+        let rms: f64 = (weights
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            / weights.len() as f64)
+            .sqrt();
+        assert!(rmse <= rms + 1e-9);
+    }
+
+    #[test]
+    fn fit_preserves_filter_count_with_partial_groups() {
+        let shape = LayerShape::conv("c", 1, 10, 8, 8, 3, 1, 1).unwrap();
+        let weights = Tensor4::from_fn([10, 1, 3, 3], |[m, _, y, x]| (m + y + x) as f32);
+        let fitted = fit_layer(&weights, &shape, TransferScheme::Scnn).unwrap();
+        assert_eq!(fitted.filters(), 10);
+        assert_eq!(fitted.expand_to_dense().unwrap().dims()[0], 10);
+    }
+
+    #[test]
+    fn pointwise_fit_returns_dense_unchanged() {
+        let shape = LayerShape::conv("pw", 4, 4, 8, 8, 1, 1, 0).unwrap();
+        let weights = Tensor4::from_fn([4, 4, 1, 1], |[m, c, _, _]| (m * 4 + c) as f32);
+        let fitted = fit_layer(&weights, &shape, TransferScheme::DCNN6).unwrap();
+        assert_eq!(fitted, TransferredLayer::Dense { weights });
+    }
+
+    #[test]
+    fn wrong_bank_shape_rejected() {
+        let shape = LayerShape::conv("c", 2, 8, 8, 8, 3, 1, 1).unwrap();
+        let weights = Tensor4::<f32>::zeros([8, 2, 5, 5]);
+        assert!(fit_layer(&weights, &shape, TransferScheme::DCNN4).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! The structural representation of one transferred layer.
+//!
+//! [`TransferredLayer`] is what the TFE weight memory holds for a layer:
+//! either the dense filter bank (conventional mode) or the compressed
+//! source parameters (meta filters / SCNN bases). Its
+//! [`expand_to_dense`](TransferredLayer::expand_to_dense) method recovers
+//! the mathematically equivalent dense bank — the oracle used by the
+//! simulator's correctness tests.
+
+use crate::meta::MetaFilter;
+use crate::scheme::TransferScheme;
+use crate::scnn::ScnnGroup;
+use crate::TransferError;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+
+/// A layer's weights in transferred (or dense) form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferredLayer {
+    /// Conventional dense weights `[M, N, K, K]` — untransferable layers
+    /// and layers the per-layer policy keeps dense (e.g. AlexNet conv1).
+    Dense {
+        /// The dense filter bank.
+        weights: Tensor4<f32>,
+    },
+    /// DCNN: a list of meta filters, each yielding `(Z−K+1)²` transferred
+    /// filters; the final meta filter may be partially used when `M` is
+    /// not a multiple of the group size.
+    Dcnn {
+        /// Effective filter extent `K`.
+        k: usize,
+        /// Total number of effective filters `M`.
+        m: usize,
+        /// The stored meta filters.
+        metas: Vec<MetaFilter>,
+    },
+    /// SCNN: a list of orbit groups, each yielding eight oriented filters;
+    /// the final group may be partially used.
+    Scnn {
+        /// Total number of effective filters `M`.
+        m: usize,
+        /// The stored orbit groups (two bases each).
+        groups: Vec<ScnnGroup>,
+    },
+}
+
+impl TransferredLayer {
+    /// Number of stored parameters — what the weight memory holds.
+    #[must_use]
+    pub fn stored_params(&self) -> u64 {
+        match self {
+            TransferredLayer::Dense { weights } => weights.len() as u64,
+            TransferredLayer::Dcnn { metas, .. } => {
+                metas.iter().map(|m| m.stored_params() as u64).sum()
+            }
+            TransferredLayer::Scnn { groups, .. } => {
+                groups.iter().map(|g| g.stored_params() as u64).sum()
+            }
+        }
+    }
+
+    /// Number of effective filters (`M`).
+    #[must_use]
+    pub fn filters(&self) -> usize {
+        match self {
+            TransferredLayer::Dense { weights } => weights.dims()[0],
+            TransferredLayer::Dcnn { m, .. } | TransferredLayer::Scnn { m, .. } => *m,
+        }
+    }
+
+    /// Whether the layer runs in transferred mode on the TFE.
+    #[must_use]
+    pub fn is_transferred(&self) -> bool {
+        !matches!(self, TransferredLayer::Dense { .. })
+    }
+
+    /// Expands to the mathematically equivalent dense `[M, N, K, K]` bank.
+    ///
+    /// This is the oracle: convolving the input with this bank must produce
+    /// the same ofmaps as the TFE's reuse machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransferError`] if the stored representation is
+    /// internally inconsistent (wrong channel counts or extents).
+    pub fn expand_to_dense(&self) -> Result<Tensor4<f32>, TransferError> {
+        match self {
+            TransferredLayer::Dense { weights } => Ok(weights.clone()),
+            TransferredLayer::Dcnn { k, m, metas } => {
+                let first = metas.first().ok_or(TransferError::GroupingMismatch {
+                    what: "meta filter list",
+                    requested: *m,
+                    available: 0,
+                })?;
+                let channels = first.channels();
+                let mut data = Vec::with_capacity(m * channels * k * k);
+                let mut produced = 0usize;
+                'outer: for meta in metas {
+                    if meta.channels() != channels {
+                        return Err(TransferError::GroupingMismatch {
+                            what: "meta filter channel count",
+                            requested: meta.channels(),
+                            available: channels,
+                        });
+                    }
+                    let per_axis = meta.offsets_per_axis(*k)?;
+                    for dy in 0..per_axis {
+                        for dx in 0..per_axis {
+                            if produced == *m {
+                                break 'outer;
+                            }
+                            data.extend(meta.extract(*k, dy, dx)?);
+                            produced += 1;
+                        }
+                    }
+                }
+                if produced < *m {
+                    return Err(TransferError::GroupingMismatch {
+                        what: "effective filters from meta filters",
+                        requested: *m,
+                        available: produced,
+                    });
+                }
+                Tensor4::from_vec([*m, channels, *k, *k], data).map_err(|_| {
+                    TransferError::DataLengthMismatch {
+                        expected: m * channels * k * k,
+                        actual: 0,
+                    }
+                })
+            }
+            TransferredLayer::Scnn { m, groups } => {
+                let first = groups.first().ok_or(TransferError::GroupingMismatch {
+                    what: "SCNN group list",
+                    requested: *m,
+                    available: 0,
+                })?;
+                let (channels, k) = (first.channels(), first.k());
+                let mut data = Vec::with_capacity(m * channels * k * k);
+                let mut produced = 0usize;
+                'outer: for group in groups {
+                    if group.channels() != channels || group.k() != k {
+                        return Err(TransferError::GroupingMismatch {
+                            what: "SCNN group geometry",
+                            requested: group.channels() * group.k(),
+                            available: channels * k,
+                        });
+                    }
+                    for i in 0..crate::scnn::ORBIT {
+                        if produced == *m {
+                            break 'outer;
+                        }
+                        data.extend(group.orient(i));
+                        produced += 1;
+                    }
+                }
+                if produced < *m {
+                    return Err(TransferError::GroupingMismatch {
+                        what: "effective filters from SCNN groups",
+                        requested: *m,
+                        available: produced,
+                    });
+                }
+                Tensor4::from_vec([*m, channels, k, k], data).map_err(|_| {
+                    TransferError::DataLengthMismatch {
+                        expected: m * channels * k * k,
+                        actual: 0,
+                    }
+                })
+            }
+        }
+    }
+
+    /// Builds a randomly-initialized transferred layer for `shape` under
+    /// `scheme` (drawing weights from `next` — typically a closure over an
+    /// RNG). Layers the scheme does not transfer come back dense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::NotTransferable`] for depth-wise layers.
+    pub fn random(
+        shape: &LayerShape,
+        scheme: TransferScheme,
+        mut next: impl FnMut() -> f32,
+    ) -> Result<Self, TransferError> {
+        TransferScheme::check_supported(shape)?;
+        if !scheme.applies_to(shape) {
+            let weights = Tensor4::from_fn(
+                [shape.m(), shape.n(), shape.k(), shape.k()],
+                |_| next(),
+            );
+            return Ok(TransferredLayer::Dense { weights });
+        }
+        match scheme {
+            TransferScheme::Dcnn { .. } => {
+                let z = scheme
+                    .effective_meta(shape.k())
+                    .expect("applies_to implies effective meta");
+                let group = scheme.group_size(shape.k());
+                let meta_count = shape.m().div_ceil(group);
+                let metas = (0..meta_count)
+                    .map(|_| MetaFilter::from_fn(shape.n(), z, |_, _, _| next()))
+                    .collect();
+                Ok(TransferredLayer::Dcnn {
+                    k: shape.k(),
+                    m: shape.m(),
+                    metas,
+                })
+            }
+            TransferScheme::Scnn => {
+                let group_count = shape.m().div_ceil(crate::scnn::ORBIT);
+                let per = shape.n() * shape.k() * shape.k();
+                let groups = (0..group_count)
+                    .map(|_| {
+                        let base0: Vec<f32> = (0..per).map(|_| next()).collect();
+                        let base1: Vec<f32> = (0..per).map(|_| next()).collect();
+                        ScnnGroup::from_bases(shape.n(), shape.k(), base0, base1)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(TransferredLayer::Scnn {
+                    m: shape.m(),
+                    groups,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::conv::conv2d_f32;
+
+    fn det(seed: &mut u32) -> f32 {
+        // Small deterministic LCG for test weight generation.
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((*seed >> 16) as f32 / 65536.0) - 0.5
+    }
+
+    #[test]
+    fn dcnn_expansion_matches_filter_count_and_params() {
+        let shape = LayerShape::conv("c", 3, 8, 10, 10, 3, 1, 1).unwrap();
+        let mut seed = 7;
+        let layer =
+            TransferredLayer::random(&shape, TransferScheme::DCNN4, || det(&mut seed)).unwrap();
+        // 8 filters / group of 4 = 2 meta filters of 3 x 16 weights.
+        assert_eq!(layer.stored_params(), 2 * 3 * 16);
+        let dense = layer.expand_to_dense().unwrap();
+        assert_eq!(dense.dims(), [8, 3, 3, 3]);
+    }
+
+    #[test]
+    fn scnn_expansion_matches_filter_count_and_params() {
+        let shape = LayerShape::conv("c", 2, 16, 10, 10, 3, 1, 1).unwrap();
+        let mut seed = 3;
+        let layer =
+            TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+        // 16 filters / orbit of 8 = 2 groups of 2 bases x 2 x 9 weights.
+        assert_eq!(layer.stored_params(), 2 * 2 * 2 * 9);
+        let dense = layer.expand_to_dense().unwrap();
+        assert_eq!(dense.dims(), [16, 2, 3, 3]);
+    }
+
+    #[test]
+    fn partial_group_truncates_expansion() {
+        let shape = LayerShape::conv("c", 1, 6, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 11;
+        let layer =
+            TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+        let dense = layer.expand_to_dense().unwrap();
+        assert_eq!(dense.dims()[0], 6);
+        // Storage still charges the full group (one orbit).
+        assert_eq!(layer.stored_params(), 2 * 9);
+    }
+
+    #[test]
+    fn untransferable_layers_come_back_dense() {
+        let pw = LayerShape::conv("pw", 4, 4, 8, 8, 1, 1, 0).unwrap();
+        let mut seed = 5;
+        let layer =
+            TransferredLayer::random(&pw, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+        assert!(!layer.is_transferred());
+        assert_eq!(layer.stored_params(), pw.params());
+    }
+
+    #[test]
+    fn depthwise_layer_rejected() {
+        let dw = LayerShape::depthwise("dw", 4, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 5;
+        let err = TransferredLayer::random(&dw, TransferScheme::Scnn, || det(&mut seed))
+            .unwrap_err();
+        assert!(matches!(err, TransferError::NotTransferable { .. }));
+    }
+
+    #[test]
+    fn dcnn_expanded_bank_convolves_like_shared_weights() {
+        // Convolving with the expanded bank must show the translation
+        // property: output of filter (0,1) at column x equals output of
+        // filter (0,0) at column x computed on a shifted window. We verify
+        // via an impulse input.
+        let shape = LayerShape::conv("c", 1, 4, 6, 6, 3, 1, 0).unwrap();
+        let meta = MetaFilter::from_fn(1, 4, |_, y, x| (y * 4 + x) as f32);
+        let layer = TransferredLayer::Dcnn {
+            k: 3,
+            m: 4,
+            metas: vec![meta.clone()],
+        };
+        let dense = layer.expand_to_dense().unwrap();
+        let mut input = Tensor4::zeros([1, 1, 6, 6]);
+        input.set([0, 0, 2, 2], 1.0);
+        let out = conv2d_f32(&input, &dense, None, &shape).unwrap();
+        // For an impulse at (2,2), output(m, y, x) = w_m(2-y, 2-x).
+        // Filter 1 is the meta window at (0,1): w(y,x) = meta(y, x+1).
+        assert_eq!(out.get([0, 1, 0, 0]), meta.get(0, 2, 3));
+        assert_eq!(out.get([0, 0, 0, 0]), meta.get(0, 2, 2));
+    }
+
+    #[test]
+    fn filters_accessor_reports_m() {
+        let shape = LayerShape::conv("c", 1, 12, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 17;
+        let layer =
+            TransferredLayer::random(&shape, TransferScheme::DCNN6, || det(&mut seed)).unwrap();
+        assert_eq!(layer.filters(), 12);
+        assert!(layer.is_transferred());
+    }
+}

@@ -1,0 +1,48 @@
+//! Transferred-filter algorithms (Section II of the TFE paper).
+//!
+//! Transferred-filter methods compress a CNN by storing a small set of
+//! *source* parameters from which many effective filters are derived by a
+//! cheap geometric transformation:
+//!
+//! * **DCNN** (doubly convolutional, Zhai et al. 2016) — a `Z × Z` *meta
+//!   filter* stores the weights; every `K × K` window of it (there are
+//!   `(Z−K+1)²`) is one *transferred filter*. See [`meta`].
+//! * **SCNN** (symmetry CNN, Cohen & Welling 2016) — a base filter's D4
+//!   orbit (rotations by 90° and horizontal/vertical flips) supplies eight
+//!   orientations from two stored bases. See [`scnn`] and [`d4`].
+//! * **CReLU** and **MBA** — filter negation and multi-bias variants,
+//!   provided as extensions in [`extensions`].
+//!
+//! [`layer::TransferredLayer`] is the structural representation shared with
+//! the simulator; [`layer::TransferredLayer::expand_to_dense`] recovers the
+//! equivalent dense filter bank, which is the oracle used everywhere to
+//! prove the redundancy-elimination machinery computes the right values.
+//! [`analysis`] implements the paper's closed-form compression formulas
+//! (Eq. 1–5).
+//!
+//! # Example
+//!
+//! ```
+//! use tfe_transfer::analysis;
+//!
+//! // Paper Eq. 4/5 at Z = 6, K = 3: a 4x parameter and MAC reduction.
+//! assert_eq!(analysis::dcnn_param_reduction(6, 3), 4.0);
+//! assert_eq!(analysis::dcnn_mac_reduction(6, 3), 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod d4;
+pub mod extensions;
+pub mod fit;
+pub mod layer;
+pub mod meta;
+pub mod scheme;
+pub mod scnn;
+
+mod error;
+
+pub use error::TransferError;
+pub use scheme::TransferScheme;

@@ -1,0 +1,273 @@
+//! DCNN meta filters (Fig. 2(a) of the paper).
+//!
+//! A meta filter is an `N`-channel `Z × Z` weight grid. The DCNN's
+//! transferred filters are the `(Z−K+1)²` translated `K × K` windows of the
+//! meta filter, enumerated row-major by their `(dy, dx)` offset — the same
+//! order the TFE's PPSR/ERRR machinery produces their partial sums.
+
+use crate::TransferError;
+use tfe_tensor::tensor::Tensor4;
+
+/// An `N`-channel `Z × Z` meta filter.
+///
+/// ```
+/// use tfe_transfer::meta::MetaFilter;
+///
+/// # fn main() -> Result<(), tfe_transfer::TransferError> {
+/// let meta = MetaFilter::from_fn(1, 4, |_, y, x| (y * 4 + x) as f32);
+/// // A 4x4 meta filter yields (4-3+1)^2 = 4 transferred 3x3 filters.
+/// assert_eq!(meta.transferred_count(3)?, 4);
+/// let tf = meta.extract(3, 0, 1)?; // window at row 0, col 1
+/// assert_eq!(tf[0], 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaFilter {
+    channels: usize,
+    z: usize,
+    /// Channel-major, then row-major weights: `data[c * z * z + y * z + x]`.
+    data: Vec<f32>,
+}
+
+impl MetaFilter {
+    /// Creates a meta filter from channel-major, row-major weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::ZeroExtent`] if `channels` or `z` is zero
+    /// and [`TransferError::DataLengthMismatch`] if `data` has the wrong
+    /// length.
+    pub fn new(channels: usize, z: usize, data: Vec<f32>) -> Result<Self, TransferError> {
+        if channels == 0 {
+            return Err(TransferError::ZeroExtent { what: "meta filter channels" });
+        }
+        if z == 0 {
+            return Err(TransferError::ZeroExtent { what: "meta filter extent" });
+        }
+        let expected = channels * z * z;
+        if data.len() != expected {
+            return Err(TransferError::DataLengthMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(MetaFilter { channels, z, data })
+    }
+
+    /// Creates a meta filter by evaluating `f(channel, y, x)`.
+    #[must_use]
+    pub fn from_fn(channels: usize, z: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(channels * z * z);
+        for c in 0..channels {
+            for y in 0..z {
+                for x in 0..z {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        MetaFilter { channels, z, data }
+    }
+
+    /// Number of channels (`N`).
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Meta filter extent (`Z`).
+    #[must_use]
+    pub fn z(&self) -> usize {
+        self.z
+    }
+
+    /// The stored weight at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    #[must_use]
+    pub fn get(&self, channel: usize, y: usize, x: usize) -> f32 {
+        assert!(channel < self.channels && y < self.z && x < self.z);
+        self.data[channel * self.z * self.z + y * self.z + x]
+    }
+
+    /// Number of stored weights (`N × Z²`) — the DCNN's parameter cost for
+    /// this group of transferred filters (paper Eq. 2).
+    #[must_use]
+    pub fn stored_params(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of `K × K` transferred filters this meta filter yields:
+    /// `(Z − K + 1)²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::MetaSmallerThanFilter`] if `k > z`.
+    pub fn transferred_count(&self, k: usize) -> Result<usize, TransferError> {
+        if k > self.z {
+            return Err(TransferError::MetaSmallerThanFilter { z: self.z, k });
+        }
+        let per_axis = self.z - k + 1;
+        Ok(per_axis * per_axis)
+    }
+
+    /// Offsets per axis for `K × K` extraction (`Z − K + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::MetaSmallerThanFilter`] if `k > z`.
+    pub fn offsets_per_axis(&self, k: usize) -> Result<usize, TransferError> {
+        if k > self.z {
+            return Err(TransferError::MetaSmallerThanFilter { z: self.z, k });
+        }
+        Ok(self.z - k + 1)
+    }
+
+    /// Extracts the transferred filter at offset `(dy, dx)` as
+    /// channel-major, row-major `K × K` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::MetaSmallerThanFilter`] if `k > z` and
+    /// [`TransferError::GroupingMismatch`] if the offset exceeds `Z − K`.
+    pub fn extract(&self, k: usize, dy: usize, dx: usize) -> Result<Vec<f32>, TransferError> {
+        let per_axis = self.offsets_per_axis(k)?;
+        if dy >= per_axis || dx >= per_axis {
+            return Err(TransferError::GroupingMismatch {
+                what: "transferred filter offset",
+                requested: dy.max(dx),
+                available: per_axis - 1,
+            });
+        }
+        let mut out = Vec::with_capacity(self.channels * k * k);
+        for c in 0..self.channels {
+            for y in 0..k {
+                for x in 0..k {
+                    out.push(self.get(c, dy + y, dx + x));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expands all transferred filters into a dense `[G, N, K, K]` bank
+    /// where `G = (Z−K+1)²`, ordered row-major by `(dy, dx)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::MetaSmallerThanFilter`] if `k > z`.
+    pub fn expand(&self, k: usize) -> Result<Tensor4<f32>, TransferError> {
+        let per_axis = self.offsets_per_axis(k)?;
+        let g = per_axis * per_axis;
+        let mut data = Vec::with_capacity(g * self.channels * k * k);
+        for dy in 0..per_axis {
+            for dx in 0..per_axis {
+                data.extend(self.extract(k, dy, dx)?);
+            }
+        }
+        Ok(Tensor4::from_vec([g, self.channels, k, k], data)
+            .expect("expansion length is g * channels * k * k by construction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_meta(channels: usize, z: usize) -> MetaFilter {
+        MetaFilter::from_fn(channels, z, |c, y, x| (c * 100 + y * 10 + x) as f32)
+    }
+
+    #[test]
+    fn counts_for_paper_configurations() {
+        let meta4 = counting_meta(1, 4);
+        let meta6 = counting_meta(1, 6);
+        assert_eq!(meta4.transferred_count(3).unwrap(), 4);
+        assert_eq!(meta6.transferred_count(3).unwrap(), 16);
+        assert_eq!(meta6.transferred_count(5).unwrap(), 4);
+    }
+
+    #[test]
+    fn extraction_is_translation() {
+        let meta = counting_meta(1, 4);
+        // Offset (0,0): rows 0..3, cols 0..3.
+        assert_eq!(
+            meta.extract(3, 0, 0).unwrap(),
+            vec![0., 1., 2., 10., 11., 12., 20., 21., 22.]
+        );
+        // Offset (1,1): rows 1..4, cols 1..4.
+        assert_eq!(
+            meta.extract(3, 1, 1).unwrap(),
+            vec![11., 12., 13., 21., 22., 23., 31., 32., 33.]
+        );
+    }
+
+    #[test]
+    fn adjacent_transferred_filters_share_weights() {
+        // The defining redundancy the TFE exploits: filter (0,0) columns
+        // 1..3 equal filter (0,1) columns 0..2.
+        let meta = counting_meta(2, 4);
+        let a = meta.extract(3, 0, 0).unwrap();
+        let b = meta.extract(3, 0, 1).unwrap();
+        for c in 0..2 {
+            for y in 0..3 {
+                for x in 0..2 {
+                    let ai = c * 9 + y * 3 + (x + 1);
+                    let bi = c * 9 + y * 3 + x;
+                    assert_eq!(a[ai], b[bi]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_orders_row_major_by_offset() {
+        let meta = counting_meta(1, 4);
+        let bank = meta.expand(3).unwrap();
+        assert_eq!(bank.dims(), [4, 1, 3, 3]);
+        // Filter index 1 corresponds to offset (0, 1).
+        assert_eq!(bank.get([1, 0, 0, 0]), meta.get(0, 0, 1));
+        // Filter index 2 corresponds to offset (1, 0).
+        assert_eq!(bank.get([2, 0, 0, 0]), meta.get(0, 1, 0));
+    }
+
+    #[test]
+    fn k_equal_z_yields_single_filter() {
+        let meta = counting_meta(1, 3);
+        assert_eq!(meta.transferred_count(3).unwrap(), 1);
+        let bank = meta.expand(3).unwrap();
+        assert_eq!(bank.dims(), [1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn oversized_k_rejected() {
+        let meta = counting_meta(1, 4);
+        assert!(matches!(
+            meta.extract(5, 0, 0),
+            Err(TransferError::MetaSmallerThanFilter { z: 4, k: 5 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_offset_rejected() {
+        let meta = counting_meta(1, 4);
+        assert!(meta.extract(3, 2, 0).is_err());
+        assert!(meta.extract(3, 0, 2).is_err());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(MetaFilter::new(0, 4, vec![]).is_err());
+        assert!(MetaFilter::new(1, 0, vec![]).is_err());
+        assert!(MetaFilter::new(1, 2, vec![0.0; 3]).is_err());
+        assert!(MetaFilter::new(1, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn stored_params_matches_eq2_per_group() {
+        let meta = counting_meta(3, 6);
+        assert_eq!(meta.stored_params(), 3 * 36);
+    }
+}

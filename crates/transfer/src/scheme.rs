@@ -1,0 +1,198 @@
+//! Transfer schemes — the paper's evaluated configurations.
+
+use crate::TransferError;
+use tfe_tensor::shape::{ConvKind, LayerShape};
+
+/// A transferred-filter scheme, as evaluated in the paper.
+///
+/// The paper sweeps three configurations: the 4×4 and 6×6 meta-filter
+/// DCNNs and the SCNN. [`TransferScheme::Dcnn`] carries the *preferred*
+/// meta extent; per-layer the effective extent may differ (heterogeneous
+/// meta filters for GoogLeNet's 5×5 layers — Section V.C.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferScheme {
+    /// Doubly CNN with a `Z × Z` meta filter.
+    Dcnn {
+        /// Meta filter extent `Z`.
+        z: usize,
+    },
+    /// Symmetry CNN (D4 orbits of eight, two stored bases).
+    Scnn,
+}
+
+impl TransferScheme {
+    /// The paper's 4×4 DCNN configuration.
+    pub const DCNN4: TransferScheme = TransferScheme::Dcnn { z: 4 };
+    /// The paper's 6×6 DCNN configuration.
+    pub const DCNN6: TransferScheme = TransferScheme::Dcnn { z: 6 };
+
+    /// A short label matching the paper's figures (e.g. `"DCNN4x4"`).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            TransferScheme::Dcnn { z } => format!("DCNN{z}x{z}"),
+            TransferScheme::Scnn => "SCNN".to_owned(),
+        }
+    }
+
+    /// The meta extent actually used for a layer with filter extent `k`,
+    /// or `None` if the layer cannot be transferred under this scheme.
+    ///
+    /// Mirrors the paper's per-layer policy:
+    /// * `k == 1` is never transferable;
+    /// * DCNN needs `Z > K` to extract more than one filter — for `K = 5`
+    ///   a heterogeneous 6×6 meta filter is used even in the 4×4
+    ///   configuration (GoogLeNet), and large filters (`K ≥ 7`, e.g.
+    ///   AlexNet's 11×11 conv1) are kept dense to preserve accuracy;
+    /// * SCNN applies to any `k ≥ 2` canonical convolution.
+    #[must_use]
+    pub fn effective_meta(self, k: usize) -> Option<usize> {
+        match self {
+            TransferScheme::Dcnn { z } => match k {
+                0 | 1 => None,
+                _ if k >= 8 => None,
+                5 => Some(6),
+                7 => Some(8),
+                _ if k < z => Some(z),
+                // k between z and 6: grow the meta filter just enough to
+                // provide a 2x2 grid of translations.
+                _ if k < 6 => Some(k + 1),
+                _ => None,
+            },
+            TransferScheme::Scnn => None,
+        }
+    }
+
+    /// Number of effective filters derived per stored group for a layer
+    /// with filter extent `k`, or 1 if untransferable (each filter stands
+    /// alone).
+    #[must_use]
+    pub fn group_size(self, k: usize) -> usize {
+        match self {
+            TransferScheme::Dcnn { .. } => self
+                .effective_meta(k)
+                .map_or(1, |z| (z - k + 1) * (z - k + 1)),
+            TransferScheme::Scnn => {
+                if k >= 2 {
+                    crate::scnn::ORBIT
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Whether this scheme transfers a layer of the given shape at all.
+    #[must_use]
+    pub fn applies_to(self, shape: &LayerShape) -> bool {
+        shape.kind().transferable() && self.group_size(shape.k()) > 1
+    }
+
+    /// Validates that the scheme itself is well-formed (meta extent ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::ZeroExtent`] for a degenerate meta extent.
+    pub fn validate(self) -> Result<(), TransferError> {
+        if let TransferScheme::Dcnn { z } = self {
+            if z < 2 {
+                return Err(TransferError::ZeroExtent { what: "meta filter extent" });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejects layer kinds the TFE does not support at all (depth-wise
+    /// convolution — the paper's MobileNet exclusion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::NotTransferable`] for depth-wise layers.
+    pub fn check_supported(shape: &LayerShape) -> Result<(), TransferError> {
+        if shape.kind() == ConvKind::DepthWise {
+            return Err(TransferError::NotTransferable {
+                reason: "depth-wise convolution removes cross-filter redundancy (MobileNet-like networks are excluded by the paper)",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for TransferScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(TransferScheme::DCNN4.label(), "DCNN4x4");
+        assert_eq!(TransferScheme::DCNN6.label(), "DCNN6x6");
+        assert_eq!(TransferScheme::Scnn.label(), "SCNN");
+    }
+
+    #[test]
+    fn group_sizes_for_3x3_filters() {
+        assert_eq!(TransferScheme::DCNN4.group_size(3), 4);
+        assert_eq!(TransferScheme::DCNN6.group_size(3), 16);
+        assert_eq!(TransferScheme::Scnn.group_size(3), 8);
+    }
+
+    #[test]
+    fn pointwise_never_transfers() {
+        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+            assert_eq!(scheme.group_size(1), 1, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_meta_for_googlenet_5x5() {
+        // Both DCNN configurations fall back to a 6x6 meta for 5x5 filters.
+        assert_eq!(TransferScheme::DCNN4.effective_meta(5), Some(6));
+        assert_eq!(TransferScheme::DCNN6.effective_meta(5), Some(6));
+        assert_eq!(TransferScheme::DCNN4.group_size(5), 4);
+    }
+
+    #[test]
+    fn heterogeneous_meta_for_7x7_first_layers() {
+        // SqueezeNet/GoogLeNet/ResANet conv1 (7x7) transfers through an
+        // 8x8 meta filter: (8-7+1)^2 = 4 filters per meta.
+        assert_eq!(TransferScheme::DCNN6.effective_meta(7), Some(8));
+        assert_eq!(TransferScheme::DCNN6.group_size(7), 4);
+    }
+
+    #[test]
+    fn alexnet_11x11_kept_dense() {
+        assert_eq!(TransferScheme::DCNN4.effective_meta(11), None);
+        assert_eq!(TransferScheme::DCNN6.effective_meta(11), None);
+        assert_eq!(TransferScheme::DCNN6.group_size(11), 1);
+    }
+
+    #[test]
+    fn applies_to_respects_layer_kind() {
+        let conv = LayerShape::conv("c", 16, 16, 8, 8, 3, 1, 1).unwrap();
+        let pw = LayerShape::conv("p", 16, 16, 8, 8, 1, 1, 0).unwrap();
+        let fc = LayerShape::fully_connected("f", 64, 10).unwrap();
+        assert!(TransferScheme::Scnn.applies_to(&conv));
+        assert!(!TransferScheme::Scnn.applies_to(&pw));
+        assert!(!TransferScheme::Scnn.applies_to(&fc));
+    }
+
+    #[test]
+    fn depthwise_is_rejected_outright() {
+        let dw = LayerShape::depthwise("dw", 8, 8, 8, 3, 1, 1).unwrap();
+        assert!(TransferScheme::check_supported(&dw).is_err());
+        let conv = LayerShape::conv("c", 8, 8, 8, 8, 3, 1, 1).unwrap();
+        assert!(TransferScheme::check_supported(&conv).is_ok());
+    }
+
+    #[test]
+    fn degenerate_meta_rejected() {
+        assert!(TransferScheme::Dcnn { z: 1 }.validate().is_err());
+        assert!(TransferScheme::DCNN4.validate().is_ok());
+    }
+}

@@ -1,0 +1,330 @@
+//! SCNN symmetry orbits (Fig. 2(b) of the paper).
+//!
+//! An SCNN group derives eight effective filters — the D4 orbit — from two
+//! *stored* base filters: the original orientation and its 90° rotation.
+//! The six remaining orientations are recovered in hardware for free:
+//! horizontal flips by PPSR, vertical flips by ERRR, and the 180°/270°
+//! rotations by both together (Section V.E: "either technique can only
+//! accelerate two of eight filters").
+
+use crate::d4::{transform_grid, D4};
+use crate::TransferError;
+use tfe_tensor::tensor::Tensor4;
+
+/// Number of orientations in a full SCNN orbit.
+pub const ORBIT: usize = 8;
+
+/// Number of base filters the engine stores per orbit (identity and 90°).
+pub const STORED_BASES: usize = 2;
+
+/// The eight orbit orientations in the order the TFE emits their ofmaps.
+///
+/// The order interleaves the two stored bases with their derived flips so
+/// that index `i` maps to `(base = i / 4, flips = i % 4)`.
+pub const ORIENTATIONS: [D4; ORBIT] = [
+    D4::Id,
+    D4::FlipH,
+    D4::FlipV,
+    D4::Rot180,
+    D4::Rot90,
+    D4::FlipA,
+    D4::FlipD,
+    D4::Rot270,
+];
+
+/// How one orbit member is obtained from its stored base — which reuse
+/// machinery the datapath needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Orientation {
+    /// Index of the stored base filter (0 = identity, 1 = 90° rotation).
+    pub base: usize,
+    /// Derived through PPSR's horizontal-symmetric partial-sum reuse.
+    pub flip_h: bool,
+    /// Derived through ERRR's vertical (entire-row) result reuse.
+    pub flip_v: bool,
+}
+
+impl Orientation {
+    /// Classifies a D4 element relative to the stored bases.
+    #[must_use]
+    pub fn of(g: D4) -> Orientation {
+        let (base, flip_h, flip_v) = g.decompose();
+        Orientation {
+            base: usize::from(base == D4::Rot90),
+            flip_h,
+            flip_v,
+        }
+    }
+
+    /// Whether this orientation requires no derivation (it *is* a stored
+    /// base, so the PE array computes it directly).
+    #[must_use]
+    pub fn is_stored(self) -> bool {
+        !self.flip_h && !self.flip_v
+    }
+}
+
+/// One SCNN group: the stored base filters of a single orbit.
+///
+/// Each base is an `N`-channel `K × K` filter in channel-major, row-major
+/// layout, exactly as [`crate::meta::MetaFilter`] stores weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScnnGroup {
+    channels: usize,
+    k: usize,
+    /// Base 0: the original orientation.
+    base0: Vec<f32>,
+    /// Base 1: the 90°-rotated orientation (stored explicitly because the
+    /// row-wise datapath cannot derive a rotation from row partial sums).
+    base1: Vec<f32>,
+}
+
+impl ScnnGroup {
+    /// Creates a group from the identity-orientation base filter; the 90°
+    /// base is derived (as it would be at network-conversion time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::ZeroExtent`] for zero extents or
+    /// [`TransferError::DataLengthMismatch`] for a bad buffer length.
+    pub fn from_base(channels: usize, k: usize, base0: Vec<f32>) -> Result<Self, TransferError> {
+        if channels == 0 {
+            return Err(TransferError::ZeroExtent { what: "group channels" });
+        }
+        if k == 0 {
+            return Err(TransferError::ZeroExtent { what: "filter extent" });
+        }
+        let expected = channels * k * k;
+        if base0.len() != expected {
+            return Err(TransferError::DataLengthMismatch {
+                expected,
+                actual: base0.len(),
+            });
+        }
+        let base1 = transform_channels(&base0, channels, k, D4::Rot90);
+        Ok(ScnnGroup {
+            channels,
+            k,
+            base0,
+            base1,
+        })
+    }
+
+    /// Creates a group with two independently trained bases (the general
+    /// case: SCNN training ties weights within, not across, rotations).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScnnGroup::from_base`], checked for both
+    /// buffers.
+    pub fn from_bases(
+        channels: usize,
+        k: usize,
+        base0: Vec<f32>,
+        base1: Vec<f32>,
+    ) -> Result<Self, TransferError> {
+        let mut group = Self::from_base(channels, k, base0)?;
+        let expected = channels * k * k;
+        if base1.len() != expected {
+            return Err(TransferError::DataLengthMismatch {
+                expected,
+                actual: base1.len(),
+            });
+        }
+        group.base1 = base1;
+        Ok(group)
+    }
+
+    /// Number of channels (`N`).
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Filter extent (`K`).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The stored base filter for `index` ∈ {0, 1}.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[must_use]
+    pub fn base(&self, index: usize) -> &[f32] {
+        match index {
+            0 => &self.base0,
+            1 => &self.base1,
+            other => panic!("SCNN group has 2 stored bases, index {other} requested"),
+        }
+    }
+
+    /// Stored parameter count: `2 × N × K²` per orbit of 8 — the paper's
+    /// 4× SCNN parameter reduction.
+    #[must_use]
+    pub fn stored_params(&self) -> usize {
+        self.base0.len() + self.base1.len()
+    }
+
+    /// Materializes the orbit member with the given orientation index
+    /// (see [`ORIENTATIONS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    #[must_use]
+    pub fn orient(&self, index: usize) -> Vec<f32> {
+        let g = ORIENTATIONS[index];
+        let o = Orientation::of(g);
+        let base = self.base(o.base);
+        let mut out = base.to_vec();
+        if o.flip_h {
+            out = transform_channels(&out, self.channels, self.k, D4::FlipH);
+        }
+        if o.flip_v {
+            out = transform_channels(&out, self.channels, self.k, D4::FlipV);
+        }
+        out
+    }
+
+    /// Expands the full orbit into a dense `[8, N, K, K]` filter bank in
+    /// [`ORIENTATIONS`] order.
+    #[must_use]
+    pub fn expand(&self) -> Tensor4<f32> {
+        let mut data = Vec::with_capacity(ORBIT * self.channels * self.k * self.k);
+        for i in 0..ORBIT {
+            data.extend(self.orient(i));
+        }
+        Tensor4::from_vec([ORBIT, self.channels, self.k, self.k], data)
+            .expect("orbit expansion has 8 * channels * k * k elements by construction")
+    }
+}
+
+/// Applies a D4 transformation channel-by-channel to a channel-major bank
+/// of `k × k` grids.
+#[must_use]
+pub fn transform_channels(data: &[f32], channels: usize, k: usize, g: D4) -> Vec<f32> {
+    let per = k * k;
+    debug_assert_eq!(data.len(), channels * per);
+    let mut out = Vec::with_capacity(data.len());
+    for c in 0..channels {
+        out.extend(transform_grid(&data[c * per..(c + 1) * per], k, g));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_group() -> ScnnGroup {
+        let base: Vec<f32> = (0..18).map(|v| v as f32).collect();
+        ScnnGroup::from_base(2, 3, base).unwrap()
+    }
+
+    #[test]
+    fn orbit_and_storage_constants_match_paper() {
+        assert_eq!(ORBIT, 8);
+        assert_eq!(STORED_BASES, 2);
+        // Parameter reduction = 8 filters / 2 stored = 4x (Fig. 17).
+        assert_eq!(ORBIT / STORED_BASES, 4);
+    }
+
+    #[test]
+    fn orientation_classification() {
+        // Exactly two orientations are stored directly.
+        let stored = ORIENTATIONS
+            .iter()
+            .filter(|&&g| Orientation::of(g).is_stored())
+            .count();
+        assert_eq!(stored, STORED_BASES);
+        // PPSR alone (flip_h, no flip_v) derives exactly two of eight.
+        let ppsr_only = ORIENTATIONS
+            .iter()
+            .map(|&g| Orientation::of(g))
+            .filter(|o| o.flip_h && !o.flip_v)
+            .count();
+        assert_eq!(ppsr_only, 2);
+        // ERRR alone derives exactly two of eight.
+        let errr_only = ORIENTATIONS
+            .iter()
+            .map(|&g| Orientation::of(g))
+            .filter(|o| !o.flip_h && o.flip_v)
+            .count();
+        assert_eq!(errr_only, 2);
+        // The 180/270 rotations need both (the paper's observation).
+        let both = ORIENTATIONS
+            .iter()
+            .map(|&g| Orientation::of(g))
+            .filter(|o| o.flip_h && o.flip_v)
+            .count();
+        assert_eq!(both, 2);
+    }
+
+    #[test]
+    fn orient_matches_direct_d4_action() {
+        let group = counting_group();
+        for (i, &g) in ORIENTATIONS.iter().enumerate() {
+            let expected = transform_channels(group.base(0), 2, 3, g);
+            let got = group.orient(i);
+            // Orientations deriving from base 1 only match when base1 is
+            // the rotation of base0 (true for from_base construction).
+            assert_eq!(got, expected, "orientation {g:?}");
+        }
+    }
+
+    #[test]
+    fn independent_bases_are_respected() {
+        let base0: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let base1: Vec<f32> = (0..9).map(|v| (v * v) as f32).collect();
+        let group = ScnnGroup::from_bases(1, 3, base0.clone(), base1.clone()).unwrap();
+        assert_eq!(group.orient(0), base0);
+        assert_eq!(group.orient(4), base1);
+        // FlipA = flipH of base1 under our decomposition.
+        assert_eq!(group.orient(5), transform_channels(&base1, 1, 3, D4::FlipH));
+    }
+
+    #[test]
+    fn expand_has_eight_distinct_filters_for_asymmetric_base() {
+        let group = counting_group();
+        let bank = group.expand();
+        assert_eq!(bank.dims(), [8, 2, 3, 3]);
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for m in 0..8 {
+            let key: Vec<i64> = (0..2)
+                .flat_map(|c| (0..3).flat_map(move |y| (0..3).map(move |x| (c, y, x))))
+                .map(|(c, y, x)| bank.get([m, c, y, x]) as i64)
+                .collect();
+            seen.insert(key);
+        }
+        assert_eq!(seen.len(), 8, "counting base has a trivial stabilizer");
+    }
+
+    #[test]
+    fn stored_params_give_4x_reduction() {
+        let group = counting_group();
+        let dense_params = ORBIT * 2 * 9;
+        assert_eq!(dense_params / group.stored_params(), 4);
+    }
+
+    #[test]
+    fn symmetric_base_collapses_orbit() {
+        // A fully symmetric filter (all ones) yields identical orientations
+        // — the degenerate case the engine must still handle.
+        let group = ScnnGroup::from_base(1, 3, vec![1.0; 9]).unwrap();
+        for i in 1..8 {
+            assert_eq!(group.orient(i), group.orient(0));
+        }
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ScnnGroup::from_base(0, 3, vec![]).is_err());
+        assert!(ScnnGroup::from_base(1, 0, vec![]).is_err());
+        assert!(ScnnGroup::from_base(1, 3, vec![0.0; 8]).is_err());
+        assert!(ScnnGroup::from_bases(1, 3, vec![0.0; 9], vec![0.0; 8]).is_err());
+    }
+}

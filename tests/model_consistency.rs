@@ -1,0 +1,115 @@
+//! Consistency between the three levels of modelling: the closed-form
+//! analysis (paper Eq. 1–5), the per-layer performance model, and the
+//! functional datapath's counted multiplies.
+//!
+//! The analysis assumes edge-free convolution (every output position
+//! costs the amortized shared-row rate), while the functional datapath
+//! pays for padded-row edges; the two must agree within the edge
+//! fraction.
+
+use tfe::sim::functional::run_layer;
+use tfe::tensor::fixed::Fx16;
+use tfe::tensor::shape::LayerShape;
+use tfe::tensor::tensor::Tensor4;
+use tfe::transfer::analysis::{self, ReuseConfig};
+use tfe::transfer::layer::TransferredLayer;
+use tfe::transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    (((*seed >> 20) & 0xf) as f32 - 7.5) / 4.0
+}
+
+/// Relative edge overhead bound for an `hw × hw` layer with extent `k`
+/// and `pad`: the functional model processes `(H + 2p + k − 1)`-ish rows
+/// of `(W + 2p)` elements where the analysis charges `E × F`.
+fn edge_bound(shape: &LayerShape, row_len: usize) -> f64 {
+    let wp = (shape.w() + 2 * shape.pad()) as f64;
+    let hp = (shape.h() + 2 * shape.pad()) as f64;
+    let horizontal = wp / shape.f() as f64;
+    let vertical = (hp + row_len as f64) / shape.e() as f64;
+    horizontal * vertical - 1.0 + 0.05
+}
+
+fn check_counts(shape: &LayerShape, scheme: TransferScheme, seed: u32) {
+    let mut wseed = seed;
+    let layer = TransferredLayer::random(shape, scheme, || det(&mut wseed)).unwrap();
+    let mut iseed = seed + 1;
+    let input = Tensor4::from_fn([1, shape.n(), shape.h(), shape.w()], |_| {
+        Fx16::from_f32(det(&mut iseed))
+    });
+    for reuse in [ReuseConfig::FULL, ReuseConfig::PPSR_ONLY, ReuseConfig::ERRR_ONLY] {
+        let functional = run_layer(&input, &layer, shape, reuse).unwrap();
+        let analytic = analysis::scheme_macs(shape, scheme, reuse);
+        let measured = functional.counters.multiplies;
+        let rel = (measured as f64 - analytic as f64) / analytic as f64;
+        let bound = edge_bound(shape, 8);
+        assert!(
+            rel.abs() <= bound,
+            "{shape} {} {reuse:?}: measured {measured}, analytic {analytic}, rel {rel:.3}, bound {bound:.3}",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn functional_multiplies_match_analysis_dcnn4() {
+    let shape = LayerShape::conv("c", 2, 16, 20, 20, 3, 1, 1).unwrap();
+    check_counts(&shape, TransferScheme::DCNN4, 71);
+}
+
+#[test]
+fn functional_multiplies_match_analysis_dcnn6() {
+    let shape = LayerShape::conv("c", 1, 16, 24, 24, 3, 1, 1).unwrap();
+    check_counts(&shape, TransferScheme::DCNN6, 73);
+}
+
+#[test]
+fn functional_multiplies_match_analysis_scnn() {
+    let shape = LayerShape::conv("c", 2, 16, 20, 20, 3, 1, 1).unwrap();
+    check_counts(&shape, TransferScheme::Scnn, 79);
+}
+
+/// The performance model's multiply counts are exactly the analysis
+/// formulas evaluated over the plan — no drift between the two layers of
+/// the stack.
+#[test]
+fn perf_model_equals_analysis_over_whole_networks() {
+    use tfe::nets::zoo;
+    use tfe::sim::perf::{NetworkPerf, PerfConfig};
+    for net in zoo::all() {
+        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+            let plan = net.plan(scheme);
+            let perf = NetworkPerf::evaluate(&plan, &PerfConfig::default());
+            assert_eq!(
+                perf.total_counters().multiplies,
+                plan.tfe_macs(ReuseConfig::FULL),
+                "{} {}",
+                net.name(),
+                scheme.label()
+            );
+        }
+    }
+}
+
+/// Parameter accounting agrees between the structural representation
+/// (actual stored buffers) and the analysis formulas, whenever `M` fits
+/// whole groups.
+#[test]
+fn structural_params_equal_analysis_params() {
+    for (scheme, m) in [
+        (TransferScheme::DCNN4, 16usize),
+        (TransferScheme::DCNN6, 32),
+        (TransferScheme::Scnn, 24),
+    ] {
+        let shape = LayerShape::conv("p", 3, m, 12, 12, 3, 1, 1).unwrap();
+        let mut seed = 83;
+        let layer = TransferredLayer::random(&shape, scheme, || det(&mut seed)).unwrap();
+        assert_eq!(
+            layer.stored_params(),
+            analysis::scheme_params(&shape, scheme),
+            "{}",
+            scheme.label()
+        );
+    }
+}

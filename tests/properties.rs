@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the D4 group, fixed-point arithmetic, meta-filter
+//! extraction, orbit expansion, and the analysis formulas.
+
+use proptest::prelude::*;
+use tfe::tensor::fixed::{Accum, Fx16};
+use tfe::tensor::shape::LayerShape;
+use tfe::transfer::analysis;
+use tfe::transfer::d4::{transform_grid, D4};
+use tfe::transfer::meta::MetaFilter;
+use tfe::transfer::scnn::ScnnGroup;
+
+fn arb_d4() -> impl Strategy<Value = D4> {
+    prop::sample::select(D4::ALL.to_vec())
+}
+
+proptest! {
+    /// Applying any D4 element and then its inverse restores every grid.
+    #[test]
+    fn d4_inverse_restores_grid(
+        g in arb_d4(),
+        grid in prop::collection::vec(-100i32..100, 9),
+    ) {
+        let transformed = transform_grid(&grid, 3, g);
+        let restored = transform_grid(&transformed, 3, g.inverse());
+        prop_assert_eq!(restored, grid);
+    }
+
+    /// Composition in the group matches sequential application on grids
+    /// of any extent.
+    #[test]
+    fn d4_composition_is_action_composition(
+        a in arb_d4(),
+        b in arb_d4(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let grid: Vec<i64> = (0..k * k).map(|i| (seed as i64 * 31 + i as i64 * 7) % 101).collect();
+        let composed = transform_grid(&grid, k, a.then(b));
+        let sequential = transform_grid(&transform_grid(&grid, k, a), k, b);
+        prop_assert_eq!(composed, sequential);
+    }
+
+    /// Fx16 round-trips through f32 exactly.
+    #[test]
+    fn fx16_f32_round_trip(bits in any::<i16>()) {
+        let x = Fx16::from_bits(bits);
+        prop_assert_eq!(Fx16::from_f32(x.to_f32()), x);
+    }
+
+    /// Widening multiplication is exact in the integer (bit) domain:
+    /// Q8.8 × Q8.8 = Q16.16 with no rounding.
+    #[test]
+    fn widening_mul_is_exact(a in any::<i16>(), b in any::<i16>()) {
+        let x = Fx16::from_bits(a);
+        let y = Fx16::from_bits(b);
+        prop_assert_eq!(x.widening_mul(y).to_bits(), i32::from(a) * i32::from(b));
+    }
+
+    /// Accumulator addition is associative and commutative on in-range
+    /// values (no saturation regime).
+    #[test]
+    fn accum_addition_commutes(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+        let (x, y) = (Accum::from_bits(a), Accum::from_bits(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    /// Every transferred filter extracted from a meta filter is a
+    /// contiguous window: adjacent extraction offsets share all but one
+    /// column of weights.
+    #[test]
+    fn meta_extraction_sharing(
+        z in 4usize..8,
+        seed in 0u32..500,
+    ) {
+        let k = 3;
+        let meta = MetaFilter::from_fn(1, z, |_, y, x| (seed as f32) + (y * z + x) as f32);
+        for dx in 0..z - k {
+            let a = meta.extract(k, 0, dx).unwrap();
+            let b = meta.extract(k, 0, dx + 1).unwrap();
+            for y in 0..k {
+                for x in 0..k - 1 {
+                    prop_assert_eq!(a[y * k + x + 1], b[y * k + x]);
+                }
+            }
+        }
+    }
+
+    /// Meta expansion always yields (Z-K+1)^2 filters of K^2 weights and
+    /// round-trips through extraction.
+    #[test]
+    fn meta_expand_shape(z in 3usize..9, k in 2usize..6, seed in 0u32..100) {
+        prop_assume!(k <= z);
+        let meta = MetaFilter::from_fn(2, z, |c, y, x| (c + y + x + seed as usize) as f32);
+        let bank = meta.expand(k).unwrap();
+        let per_axis = z - k + 1;
+        prop_assert_eq!(bank.dims(), [per_axis * per_axis, 2, k, k]);
+        // Filter 0 equals extraction at (0, 0).
+        let direct = meta.extract(k, 0, 0).unwrap();
+        for (i, &v) in direct.iter().enumerate() {
+            let c = i / (k * k);
+            let y = (i % (k * k)) / k;
+            let x = i % k;
+            prop_assert_eq!(bank.get([0, c, y, x]), v);
+        }
+    }
+
+    /// SCNN orbits: every orientation has the same multiset of weights as
+    /// its base (transformations permute, never change, values).
+    #[test]
+    fn orbit_members_are_permutations(seed in 0u32..500) {
+        let base: Vec<f32> = (0..9).map(|i| ((seed + i) % 17) as f32).collect();
+        let group = ScnnGroup::from_base(1, 3, base.clone()).unwrap();
+        let mut sorted_base = base;
+        sorted_base.sort_by(f32::total_cmp);
+        for oi in 0..4 {
+            // First four orientations derive from base 0.
+            let mut member = group.orient(oi);
+            member.sort_by(f32::total_cmp);
+            prop_assert_eq!(&member, &sorted_base);
+        }
+    }
+
+    /// Eq. 4/5: the reduction formula is symmetric in its two factors and
+    /// bounded by K^2 (the reduction can never beat one-weight-per-filter).
+    #[test]
+    fn analysis_reduction_bounds(z in 2usize..10, k in 2usize..10) {
+        prop_assume!(k <= z);
+        let red = analysis::dcnn_param_reduction(z, k);
+        prop_assert!(red >= 1.0 - 1e-12);
+        prop_assert!(red <= (k * k) as f64);
+    }
+
+    /// Analysis MAC formulas: full reuse never does worse than partial
+    /// reuse, which never does worse than none.
+    #[test]
+    fn reuse_monotonicity(
+        n in 1usize..4,
+        m in 1usize..5,
+        hw in 6usize..16,
+    ) {
+        use tfe::transfer::analysis::ReuseConfig;
+        let shape = LayerShape::conv("p", n, m * 8, hw, hw, 3, 1, 1).unwrap();
+        for scheme in [
+            tfe::transfer::TransferScheme::DCNN4,
+            tfe::transfer::TransferScheme::DCNN6,
+            tfe::transfer::TransferScheme::Scnn,
+        ] {
+            let full = analysis::scheme_macs(&shape, scheme, ReuseConfig::FULL);
+            let ppsr = analysis::scheme_macs(&shape, scheme, ReuseConfig::PPSR_ONLY);
+            let none = analysis::scheme_macs(&shape, scheme, ReuseConfig::NONE);
+            prop_assert!(full <= ppsr);
+            prop_assert!(ppsr <= none);
+            prop_assert_eq!(none, shape.macs());
+        }
+    }
+
+    /// Layer shapes: derived output extents are consistent with the MAC
+    /// and parameter formulas for arbitrary valid configurations.
+    #[test]
+    fn layer_shape_invariants(
+        n in 1usize..8,
+        m in 1usize..8,
+        hw in 3usize..32,
+        k in 1usize..6,
+        stride in 1usize..3,
+        pad in 0usize..3,
+    ) {
+        prop_assume!(k <= hw + 2 * pad);
+        let shape = LayerShape::conv("p", n, m, hw, hw, k, stride, pad).unwrap();
+        prop_assert!(shape.e() >= 1);
+        prop_assert_eq!(
+            shape.macs(),
+            shape.e() as u64 * shape.f() as u64 * shape.params()
+        );
+    }
+}
+
+mod pipeline_props {
+    use proptest::prelude::*;
+    use tfe::sim::ppsr::{row_correlate, row_correlate_rev};
+    use tfe::sim::sr_pipeline::{DcnnRowPipeline, ScnnRowPipeline};
+    use tfe::tensor::fixed::Fx16;
+
+    fn fx_vec(len: usize, seed: u64) -> Vec<Fx16> {
+        (0..len)
+            .map(|i| {
+                let v = ((seed as i64 * 31 + i as i64 * 17) % 33 - 16) as f32 / 4.0;
+                Fx16::from_f32(v)
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// The cycle-stepped DCNN pipeline emits exactly the row engine's
+        /// results for arbitrary Z, K and row lengths.
+        #[test]
+        fn dcnn_pipeline_equals_row_engine(
+            z in 2usize..8,
+            k in 2usize..8,
+            extra in 0usize..12,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(k <= z);
+            let meta = fx_vec(z, seed);
+            let input = fx_vec(k + extra, seed.wrapping_add(1));
+            let (results, cycles) = DcnnRowPipeline::run_row(&meta, &input, k);
+            prop_assert_eq!(cycles, input.len() as u64);
+            for (dx, result) in results.iter().enumerate() {
+                let expected = row_correlate(&meta[dx..dx + k], &input);
+                prop_assert_eq!(result, &expected, "dx={}", dx);
+            }
+        }
+
+        /// The SCNN pipeline's two directions equal forward and mirrored
+        /// correlation for arbitrary K.
+        #[test]
+        fn scnn_pipeline_equals_both_correlations(
+            k in 1usize..8,
+            extra in 0usize..12,
+            seed in 0u64..500,
+        ) {
+            let base = fx_vec(k, seed);
+            let input = fx_vec(k + extra, seed.wrapping_add(7));
+            let (fwd, rev, _) = ScnnRowPipeline::run_row(&base, &input);
+            prop_assert_eq!(fwd, row_correlate(&base, &input));
+            prop_assert_eq!(rev, row_correlate_rev(&base, &input));
+        }
+    }
+}
+
+mod datapath_props {
+    use proptest::prelude::*;
+    use tfe::sim::functional::run_layer;
+    use tfe::tensor::conv::conv2d_fx;
+    use tfe::tensor::fixed::Fx16;
+    use tfe::tensor::shape::LayerShape;
+    use tfe::tensor::tensor::Tensor4;
+    use tfe::transfer::analysis::ReuseConfig;
+    use tfe::transfer::layer::TransferredLayer;
+    use tfe::transfer::TransferScheme;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        (((*seed >> 20) & 0xf) as f32 - 7.5) / 4.0
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The full functional datapath is bit-exact against the oracle
+        /// for randomized geometry, scheme, stride and reuse config.
+        #[test]
+        fn functional_datapath_is_bit_exact(
+            n in 1usize..3,
+            groups in 1usize..3,
+            hw in 7usize..11,
+            pad in 0usize..2,
+            stride in 1usize..3,
+            scheme_pick in 0usize..3,
+            ppsr in any::<bool>(),
+            errr in any::<bool>(),
+            seed in 1u32..10_000,
+        ) {
+            let (scheme, m) = match scheme_pick {
+                0 => (TransferScheme::DCNN4, groups * 4),
+                1 => (TransferScheme::DCNN6, groups * 16),
+                _ => (TransferScheme::Scnn, groups * 8),
+            };
+            let shape = LayerShape::conv("p", n, m, hw, hw, 3, stride, pad).unwrap();
+            let mut wseed = seed;
+            let layer = TransferredLayer::random(&shape, scheme, || det(&mut wseed)).unwrap();
+            let mut iseed = seed.wrapping_mul(7).wrapping_add(3);
+            let input = Tensor4::from_fn([1, n, hw, hw], |_| Fx16::from_f32(det(&mut iseed)));
+            let reuse = ReuseConfig { ppsr, errr };
+            let got = run_layer(&input, &layer, &shape, reuse).unwrap();
+            let dense = layer.expand_to_dense().unwrap().map(Fx16::from_f32);
+            let oracle = conv2d_fx(&input, &dense, &shape).unwrap();
+            prop_assert_eq!(got.output, oracle);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Robustness and failure-injection tests: thread-safety of the public
+//! types, saturation behaviour of the fixed-point datapath under extreme
+//! inputs, and misuse of the memory-system primitives.
+
+use tfe::core::{Engine, NetworkReport};
+use tfe::sim::counters::Counters;
+use tfe::sim::errr::RowRing;
+use tfe::sim::functional::run_layer;
+use tfe::tensor::fixed::{Accum, Fx16};
+use tfe::tensor::shape::LayerShape;
+use tfe::tensor::tensor::Tensor4;
+use tfe::transfer::analysis::ReuseConfig;
+use tfe::transfer::layer::TransferredLayer;
+use tfe::transfer::TransferScheme;
+
+/// Key public types are Send + Sync (C-SEND-SYNC): the engine and its
+/// reports can be shared across threads for parallel sweeps.
+#[test]
+fn public_types_are_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Engine>();
+    check::<NetworkReport>();
+    check::<tfe::nets::Network>();
+    check::<tfe::sim::perf::NetworkPerf>();
+    check::<tfe::eyeriss::EyerissPerf>();
+    check::<TransferredLayer>();
+    check::<Fx16>();
+    check::<Accum>();
+    check::<tfe::tensor::TensorError>();
+    check::<tfe::sim::SimError>();
+    check::<tfe::transfer::TransferError>();
+    check::<tfe::core::EngineError>();
+}
+
+/// The engine can actually be driven from multiple threads.
+#[test]
+fn engine_runs_concurrently() {
+    let engine = std::sync::Arc::new(Engine::new());
+    let handles: Vec<_> = ["VGGNet", "ResNet", "GoogLeNet"]
+        .into_iter()
+        .map(|net| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                engine.run_network(net, TransferScheme::Scnn).unwrap().conv_speedup
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() > 1.0);
+    }
+}
+
+/// Extreme (saturating) weights and inputs never panic the datapath, and
+/// the TFE's saturating accumulators match the oracle's — saturation is
+/// part of the golden semantics, not an afterthought.
+#[test]
+fn saturating_inputs_match_oracle() {
+    use tfe::tensor::conv::conv2d_fx;
+    let shape = LayerShape::conv("sat", 2, 8, 8, 8, 3, 1, 1).unwrap();
+    // All-maximum weights and inputs overflow a 3x3x2 window's Q16.16 sum.
+    let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || 127.0).unwrap();
+    let input = Tensor4::filled([1, 2, 8, 8], Fx16::MAX);
+    let got = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+    let dense = layer.expand_to_dense().unwrap().map(Fx16::from_f32);
+    let oracle = conv2d_fx(&input, &dense, &shape).unwrap();
+    assert_eq!(got.output, oracle);
+}
+
+/// Reuse order matters: reading a recycled ERRR row is a scheduling bug
+/// and surfaces as `None`, never as stale data.
+#[test]
+fn row_ring_misuse_is_detected() {
+    let mut ring = RowRing::new(2);
+    let mut counters = Counters::new();
+    for i in 0..4usize {
+        ring.insert(i, vec![vec![vec![Accum::ZERO; 4]]], &mut counters);
+    }
+    assert!(ring.read(0, 0, 0, &mut counters).is_none());
+    assert!(ring.read(1, 0, 0, &mut counters).is_none());
+    assert!(ring.read(3, 0, 0, &mut counters).is_some());
+}
+
+/// A zero input produces a zero ofmap with zero-valued (but fully
+/// counted) work — the clock-gating case.
+#[test]
+fn zero_input_produces_zero_output() {
+    let shape = LayerShape::conv("z", 1, 8, 6, 6, 3, 1, 1).unwrap();
+    let mut seed = 5u32;
+    let layer = TransferredLayer::random(&shape, TransferScheme::DCNN4, || {
+        seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((seed >> 16) as f32 / 65536.0) - 0.5
+    })
+    .unwrap();
+    let input = Tensor4::filled([1, 1, 6, 6], Fx16::ZERO);
+    let out = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+    assert!(out.output.as_slice().iter().all(|&a| a == Accum::ZERO));
+    assert!(out.counters.multiplies > 0, "broadcast still walks the rows");
+}
+
+/// Degenerate geometry: a 1x1 ifmap with a 1x1 filter — the smallest
+/// legal layer — round-trips every path.
+#[test]
+fn smallest_legal_layer() {
+    let shape = LayerShape::conv("tiny", 1, 1, 1, 1, 1, 1, 0).unwrap();
+    let weights = Tensor4::filled([1, 1, 1, 1], 0.5f32);
+    let layer = TransferredLayer::Dense { weights };
+    let input = Tensor4::filled([1, 1, 1, 1], Fx16::from_f32(2.0));
+    let out = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+    assert_eq!(out.output.get([0, 0, 0, 0]).to_f32(), 1.0);
+}
