@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints (warnings are errors), build, full test suite.
+# Run from the repository root. Offline by design — every dependency is a
+# workspace path crate (see compat/README.md).
+set -eu
+
+cargo fmt --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo build --release --offline
+cargo test -q --offline

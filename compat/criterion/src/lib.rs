@@ -1,0 +1,155 @@
+//! Offline facade standing in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so the real `criterion`
+//! crate is replaced by this vendored facade implementing the API subset
+//! the benches use: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of statistical
+//! sampling it times a fixed iteration budget and prints mean
+//! nanoseconds per iteration — enough to compare variants by hand.
+//!
+//! Tune the per-benchmark iteration budget with `CRITERION_ITERS`
+//! (default 100; warm-up runs `max(budget / 10, 1)` iterations first).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Times closures for one named benchmark.
+pub struct Bencher {
+    iters: u64,
+    last_ns: Option<u128>,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration budget (after a short
+    /// warm-up) and records the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..(self.iters / 10).max(1) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns = Some(elapsed.as_nanos() / u128::from(self.iters.max(1)));
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Overrides the iteration budget (mirrors criterion's statistical
+    /// sample size knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Benchmarks one closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_named(name, self.iters, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+        }
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup {
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the iteration budget for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Benchmarks one closure under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_named(&full, self.iters, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, iters: u64, f: &mut F) {
+    let mut bencher = Bencher {
+        iters,
+        last_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.last_ns {
+        Some(ns) => println!("bench {name:<50} {ns:>12} ns/iter ({iters} iters)"),
+        None => println!("bench {name:<50} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group as a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut criterion = Criterion::default();
+        criterion.sample_size(10).bench_function("smoke", |b| {
+            b.iter(|| black_box(1u64 + 1));
+        });
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| black_box(2u64 * 2)));
+        group.finish();
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline facade standing in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so the real `proptest`
+//! crate is replaced by this vendored facade implementing the subset the
+//! test suite uses: the [`proptest!`] macro, range/`any`/`select`/
+//! `collection::vec` strategies, `prop_assert*`/`prop_assume`, and
+//! [`ProptestConfig::with_cases`]. Each test runs a fixed number of
+//! deterministically seeded random cases (seeded by the test's name, so
+//! failures reproduce across runs). There is **no shrinking**: a failing
+//! case reports the iteration number and assertion message only.
+//!
+//! The default case count is 64, overridable with the
+//! `PROPTEST_CASES` environment variable.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Outcome of one generated test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "case rejected by prop_assume!"),
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator; [`proptest!`] derives the seed from the test
+    /// name so each test has a stable, independent stream.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator (mirrors `proptest::strategy::Strategy`, without
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Types with a whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T` (mirrors `proptest::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy combinators under their upstream module paths.
+pub mod prop {
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy picking uniformly from a fixed list.
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let index = rng.below(self.items.len() as u64) as usize;
+                self.items[index].clone()
+            }
+        }
+
+        /// Uniform choice from a non-empty vector.
+        ///
+        /// # Panics
+        ///
+        /// Panics (at sample time) if `items` is empty.
+        #[must_use]
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy generating fixed-length vectors.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                (0..self.len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A vector of exactly `len` elements drawn from `element`.
+        #[must_use]
+        pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// FNV-1a hash of the test name, used as the per-test RNG seed.
+#[must_use]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Defines property tests: each function's arguments are drawn from the
+/// given strategies for a configurable number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_seed($crate::seed_from_name(stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(100).max(1000),
+                                "too many prop_assume! rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property {} failed at case {}: {}",
+                                stringify!($name),
+                                accepted,
+                                message
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(v in -10i32..10, w in 3usize..7) {
+            prop_assert!((-10..10).contains(&v));
+            prop_assert!((3..7).contains(&w));
+        }
+
+        /// Assume rejects without failing.
+        #[test]
+        fn assume_filters(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        /// Collections have the requested length.
+        #[test]
+        fn vec_strategy_len(items in prop::collection::vec(0i32..5, 9)) {
+            prop_assert_eq!(items.len(), 9);
+            prop_assert!(items.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        /// Select picks from the list.
+        #[test]
+        fn select_picks_members(x in prop::sample::select(vec![2u8, 3, 5, 7])) {
+            prop_assert!([2u8, 3, 5, 7].contains(&x));
+        }
+
+        /// `any` covers the whole domain type-checkedly.
+        #[test]
+        fn any_compiles(bits in any::<i16>(), flag in any::<bool>()) {
+            let _ = (bits, flag);
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_from_name("a"), seed_from_name("b"));
+        assert_eq!(seed_from_name("a"), seed_from_name("a"));
+    }
+
+    use crate::seed_from_name;
+}

@@ -1,0 +1,425 @@
+//! Offline facade standing in for the `rayon` crate.
+//!
+//! The workspace builds without network access, so the real `rayon`
+//! crate is replaced by this vendored facade implementing the API subset
+//! the engine uses: `par_iter()` / `into_par_iter()` with `map` +
+//! `collect::<Vec<_>>()`, [`join`], [`current_num_threads`], and
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
+//!
+//! Execution model: the index space is split into `threads` contiguous
+//! chunks, each chunk is evaluated on its own scoped `std::thread`, and
+//! the per-chunk result vectors are concatenated **in chunk order**.
+//! Output ordering is therefore identical to the sequential path for
+//! every thread count (real rayon's `collect` gives the same guarantee).
+//! With one thread (or one item) no threads are spawned at all.
+//!
+//! Thread-count resolution, highest priority first:
+//! 1. an enclosing [`ThreadPool::install`] scope,
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. the `TFE_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Active `install` override; 0 means "not inside an install scope".
+static POOL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads parallel operations will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let overridden = POOL_OVERRIDE.load(Ordering::SeqCst);
+    if overridden > 0 {
+        return overridden;
+    }
+    for var in ["RAYON_NUM_THREADS", "TFE_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `0..len` through `f` across the current thread budget,
+/// concatenating per-chunk results in chunk order (deterministic).
+fn par_map_indices<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            chunks.push(handle.join().expect("rayon facade worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for mut chunk in chunks {
+        out.append(&mut chunk);
+    }
+    out
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("rayon facade join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Sinks that a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the sink from the ordered result vector.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Minimal parallel-iterator pipeline: every adapter resolves to an
+/// ordered `Vec` of mapped results.
+pub trait ParallelIterator: Sized {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Evaluates the pipeline into an ordered vector.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> MapIter<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        MapIter { base: self, f }
+    }
+
+    /// Collects the pipeline's results, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    /// Runs `f` on every element (ordering of side effects is
+    /// per-chunk; the facade still evaluates every element exactly once).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).run();
+    }
+
+    /// Sums the produced elements in input order.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// A `map` adapter over another parallel iterator.
+pub struct MapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for MapIter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let MapIter { base, f } = self;
+        let items = base.run();
+        let len = items.len();
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = len.div_ceil(threads);
+        let mut batches: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
+        let mut drain = items.into_iter();
+        for _ in 0..threads {
+            batches.push(drain.by_ref().take(chunk).collect());
+        }
+        let f = &f;
+        let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                chunks.push(handle.join().expect("rayon facade worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for mut chunk in chunks {
+            out.append(&mut chunk);
+        }
+        out
+    }
+}
+
+/// Parallel iterator over a slice's elements by reference.
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        let items = self.items;
+        par_map_indices(items.len(), |i| &items[i])
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn run(self) -> Vec<usize> {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        par_map_indices(len, |i| start + i)
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the
+/// facade, kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread-count override.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (auto-detected) thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads (0 = auto-detect).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. The facade cannot fail here.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A thread-count scope: the facade spawns scoped threads per operation
+/// rather than keeping a pool alive, so this only carries the count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the active budget,
+    /// restoring the previous budget afterwards (also on panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.store(self.0, Ordering::SeqCst);
+            }
+        }
+        let _restore = Restore(POOL_OVERRIDE.swap(self.threads, Ordering::SeqCst));
+        f()
+    }
+
+    /// This pool's thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The glob-importable API surface (mirrors `rayon::prelude`).
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 3 + 1).collect());
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter_matches_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<usize> = pool.install(|| (5..25).into_par_iter().map(|i| i * i).collect());
+        let expected: Vec<usize> = (5..25).map(|i| i * i).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 7));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let got: Vec<i32> = empty.par_iter().map(|x| *x).collect();
+        assert!(got.is_empty());
+        let one = [41];
+        let got: Vec<i32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(got, vec![42]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! `serde`/`serde_derive` crates are replaced by a small vendored facade
+//! (see `compat/serde`). The facade's data model is a JSON-like
+//! [`Value`] tree; these derives generate field-by-field conversions for
+//! plain named-field structs, which is the only shape the workspace uses.
+//!
+//! Unsupported shapes (tuple structs, enums, generics) produce a
+//! `compile_error!` so misuse is caught at build time rather than
+//! silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the facade's `Serialize` trait for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives the facade's `Deserialize` trait for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});")
+                .parse()
+                .expect("error expansion parses")
+        }
+    };
+    let name = &parsed.name;
+    let mut body = String::new();
+    match direction {
+        Direction::Serialize => {
+            body.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n"
+            ));
+            for field in &parsed.fields {
+                body.push_str(&format!(
+                    "        fields.push(({field:?}.to_string(), ::serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            body.push_str("        ::serde::Value::Object(fields)\n    }\n}\n");
+        }
+        Direction::Deserialize => {
+            body.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        ::std::result::Result::Ok({name} {{\n"
+            ));
+            for field in &parsed.fields {
+                body.push_str(&format!(
+                    "            {field}: ::serde::Deserialize::from_value(value.get_field({field:?}).ok_or_else(|| ::serde::DeError::missing_field({field:?}))?)?,\n"
+                ));
+            }
+            body.push_str("        })\n    }\n}\n");
+        }
+    }
+    body.parse().expect("generated impl parses")
+}
+
+struct ParsedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Walks the derive input and extracts the struct name plus its named
+/// fields. Attributes and visibility modifiers are skipped; anything that
+/// is not a plain named-field struct is rejected.
+fn parse_struct(input: TokenStream) -> Result<ParsedStruct, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility up to the `struct` keyword.
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected a struct name".to_owned()),
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err(
+                    "the vendored serde derives support only named-field structs, not enums"
+                        .to_owned(),
+                );
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "expected a struct item".to_owned())?;
+    // The next brace group holds the fields; a `<` first means generics,
+    // which the facade does not support.
+    let fields_group = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(
+                    "tuple structs are not supported by the vendored serde derives".to_owned(),
+                );
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(
+                    "generic structs are not supported by the vendored serde derives".to_owned(),
+                );
+            }
+            Some(_) => {}
+            None => return Err("expected a braced field list".to_owned()),
+        }
+    };
+    Ok(ParsedStruct {
+        name,
+        fields: parse_fields(fields_group.stream())?,
+    })
+}
+
+/// Extracts field names from a struct body, skipping attributes,
+/// visibility and the type tokens (commas nested inside `<...>` or any
+/// bracketed group do not terminate a field).
+fn parse_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments arrive as #[doc = ...]).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next(); // the [...] group
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+            if ident.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let Some(token) = tokens.next() else { break };
+        let TokenTree::Ident(field) = token else {
+            return Err("expected a field name".to_owned());
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field '{field}'")),
+        }
+        // Consume the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0usize;
+        for type_token in tokens.by_ref() {
+            match type_token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field.to_string());
+    }
+    Ok(fields)
+}

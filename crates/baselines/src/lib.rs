@@ -32,8 +32,8 @@
 pub mod computation_reduction;
 pub mod reported;
 pub mod sparse_kernel;
-pub mod winograd_kernel;
 pub mod weight_compression;
+pub mod winograd_kernel;
 
 use tfe_nets::Network;
 

@@ -98,9 +98,7 @@ pub fn transform_input(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
 /// `Aᵀ = [[1, 1, 1, 0], [0, 1, -1, -1]]`.
 #[must_use]
 pub fn transform_output(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
-    let at = |row: &[f32; 4]| -> [f32; 2] {
-        [row[0] + row[1] + row[2], row[1] - row[2] - row[3]]
-    };
+    let at = |row: &[f32; 4]| -> [f32; 2] { [row[0] + row[1] + row[2], row[1] - row[2] - row[3]] };
     let mut cols = [[0.0f32; 4]; 2];
     for j in 0..4 {
         let col = [m[0][j], m[1][j], m[2][j], m[3][j]];
@@ -278,9 +276,7 @@ mod tests {
         let input = Tensor4::filled([1, 2, 12, 12], 1.0f32);
         let weights = Tensor4::filled([4, 2, 3, 3], 1.0f32);
         let (_, counters) = winograd_conv2d(&input, &weights, &shape).unwrap();
-        assert!(
-            (counters.multiply_reduction() - Winograd::tile_multiply_reduction()).abs() < 1e-9
-        );
+        assert!((counters.multiply_reduction() - Winograd::tile_multiply_reduction()).abs() < 1e-9);
     }
 
     #[test]

@@ -8,7 +8,9 @@ use tfe_sim::errr::{combine_rows, RowRing};
 use tfe_tensor::fixed::{Accum, Fx16};
 
 fn row(v: f32, len: usize) -> Vec<Accum> {
-    (0..len).map(|_| Fx16::from_f32(v).widening_mul(Fx16::ONE)).collect()
+    (0..len)
+        .map(|_| Fx16::from_f32(v).widening_mul(Fx16::ONE))
+        .collect()
 }
 
 fn bench_errr(c: &mut Criterion) {

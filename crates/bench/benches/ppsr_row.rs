@@ -4,22 +4,38 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tfe_sim::counters::Counters;
-use tfe_sim::ppsr::{dcnn_row_pass, scnn_row_pass};
-use tfe_tensor::fixed::Fx16;
+use tfe_sim::ppsr::{dcnn_row_pass, row_correlate, row_correlate_rev, scnn_row_pass};
+use tfe_tensor::fixed::{Accum, Fx16};
 
 fn bench_ppsr(c: &mut Criterion) {
-    let meta_row: Vec<Fx16> = (0..6).map(|i| Fx16::from_f32(i as f32 * 0.25 - 0.5)).collect();
-    let input: Vec<Fx16> = (0..226).map(|i| Fx16::from_f32(((i % 13) as f32 - 6.0) / 8.0)).collect();
+    let meta_row: Vec<Fx16> = (0..6)
+        .map(|i| Fx16::from_f32(i as f32 * 0.25 - 0.5))
+        .collect();
+    let input: Vec<Fx16> = (0..226)
+        .map(|i| Fx16::from_f32(((i % 13) as f32 - 6.0) / 8.0))
+        .collect();
     c.bench_function("dcnn_row_pass z6 k3 w226 (PPSR on)", |b| {
         b.iter(|| {
             let mut counters = Counters::new();
-            dcnn_row_pass(black_box(&meta_row), black_box(&input), 3, true, &mut counters)
+            dcnn_row_pass(
+                black_box(&meta_row),
+                black_box(&input),
+                3,
+                true,
+                &mut counters,
+            )
         })
     });
     c.bench_function("dcnn_row_pass z6 k3 w226 (PPSR off)", |b| {
         b.iter(|| {
             let mut counters = Counters::new();
-            dcnn_row_pass(black_box(&meta_row), black_box(&input), 3, false, &mut counters)
+            dcnn_row_pass(
+                black_box(&meta_row),
+                black_box(&input),
+                3,
+                false,
+                &mut counters,
+            )
         })
     });
     let base_row: Vec<Fx16> = (0..3).map(|i| Fx16::from_f32(i as f32 - 1.0)).collect();
@@ -31,5 +47,31 @@ fn bench_ppsr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ppsr);
+/// Compares the allocation-free reversed correlation against the old
+/// allocate-a-reversed-copy formulation it replaced, with the forward
+/// correlation as the floor.
+fn bench_row_correlate_rev(c: &mut Criterion) {
+    let weights: Vec<Fx16> = (0..7)
+        .map(|i| Fx16::from_f32(i as f32 * 0.125 - 0.375))
+        .collect();
+    let input: Vec<Fx16> = (0..226)
+        .map(|i| Fx16::from_f32(((i % 13) as f32 - 6.0) / 8.0))
+        .collect();
+    let mut group = c.benchmark_group("row_correlate_rev");
+    group.bench_function("forward (floor)", |b| {
+        b.iter(|| row_correlate(black_box(&weights), black_box(&input)))
+    });
+    group.bench_function("reverse-indexed (current)", |b| {
+        b.iter(|| row_correlate_rev(black_box(&weights), black_box(&input)))
+    });
+    group.bench_function("allocate-reversed-copy (old)", |b| {
+        b.iter(|| -> Vec<Accum> {
+            let rev: Vec<Fx16> = black_box(&weights).iter().rev().copied().collect();
+            row_correlate(&rev, black_box(&input))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppsr, bench_row_correlate_rev);
 criterion_main!(benches);

@@ -1,10 +1,14 @@
-//! Simulator throughput: the functional datapath on a small layer and
-//! the per-layer performance model over whole networks.
+//! Simulator throughput: the functional datapath on a small layer, the
+//! per-layer performance model over whole networks, and batched-image
+//! throughput scaling against the worker-thread count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tfe_nets::zoo;
+use tfe_sim::batch::{run_batch, BatchOptions};
 use tfe_sim::functional::run_layer;
+use tfe_sim::network::FunctionalNetwork;
 use tfe_sim::perf::{NetworkPerf, PerfConfig};
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::shape::LayerShape;
@@ -35,5 +39,75 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim);
+/// Batched-image throughput (images/sec) scaling against the thread
+/// count, on a VGG-16-style stack of functional stages. Whole ImageNet
+/// VGG-16 is too large for value-level simulation, so this uses a
+/// narrowed VGG prefix (same 3×3 conv + pool topology, reduced channel
+/// counts and resolution) — every image still walks multiple chained
+/// PPSR/ERRR layers. Also re-times the perf model's layer fan-out on the
+/// full VGG-16 plan per thread count.
+fn bench_batch_scaling(c: &mut Criterion) {
+    let mut seed = 17;
+    // VGG prefix topology: two 3x3 conv stages then pool, twice.
+    let shapes = vec![
+        (
+            LayerShape::conv("v1", 3, 8, 24, 24, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("v2", 8, 8, 24, 24, 3, 1, 1).unwrap(), true),
+        (
+            LayerShape::conv("v3", 8, 16, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::conv("v4", 16, 16, 12, 12, 3, 1, 1).unwrap(),
+            true,
+        ),
+    ];
+    let net = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+    let images: Vec<Tensor4<Fx16>> = (0..16)
+        .map(|_| Tensor4::from_fn([1, 3, 24, 24], |_| Fx16::from_f32(det(&mut seed))))
+        .collect();
+
+    let vgg_plan = zoo::vgg16().plan(TransferScheme::Scnn);
+    let cfg = PerfConfig::default();
+
+    let mut baseline_ips = None;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let rounds = 3u32;
+        for _ in 0..rounds {
+            let out = run_batch(
+                black_box(&net),
+                black_box(&images),
+                ReuseConfig::FULL,
+                BatchOptions::with_threads(threads),
+            )
+            .unwrap();
+            black_box(out);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let ips = (images.len() as u32 * rounds) as f64 / elapsed;
+        let speedup = ips / *baseline_ips.get_or_insert(ips);
+        println!(
+            "sim_throughput/batch_vgg_prefix threads={threads:<2} {ips:>9.1} images/sec \
+             (x{speedup:.2} vs 1 thread)"
+        );
+    }
+
+    let mut group = c.benchmark_group("perf_model_thread_scaling");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(&format!("vgg16_scnn_t{threads}"), |b| {
+            b.iter(|| pool.install(|| NetworkPerf::evaluate(black_box(&vgg_plan), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_batch_scaling);
 criterion_main!(benches);

@@ -51,7 +51,10 @@ fn main() {
             "extensions": extensions,
             "safm_ablation": safm,
         });
-        println!("{}", serde_json::to_string_pretty(&all).expect("results serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&all).expect("results serialize")
+        );
         return;
     }
     println!("{}", ex::table2::render(&table2));

@@ -3,5 +3,8 @@
 
 fn main() {
     let result = tfe_bench::experiments::extensions_table::run();
-    print!("{}", tfe_bench::experiments::extensions_table::render(&result));
+    print!(
+        "{}",
+        tfe_bench::experiments::extensions_table::render(&result)
+    );
 }

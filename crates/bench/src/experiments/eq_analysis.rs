@@ -74,7 +74,13 @@ mod tests {
     #[test]
     fn paper_anchor_values() {
         let r = run();
-        let get = |z, k| r.points.iter().find(|p| p.z == z && p.k == k).unwrap().reduction;
+        let get = |z, k| {
+            r.points
+                .iter()
+                .find(|p| p.z == z && p.k == k)
+                .unwrap()
+                .reduction
+        };
         assert_eq!(get(4, 3), 2.25);
         assert_eq!(get(6, 3), 4.0);
         assert!((get(6, 5) - 100.0 / 36.0).abs() < 1e-12);
@@ -100,7 +106,13 @@ mod tests {
         // K = Z means a single transferred filter: reduction K^2/Z^2 = 1,
         // i.e. no compression — the regime boundary the table exposes.
         let r = run();
-        let get = |z, k| r.points.iter().find(|p| p.z == z && p.k == k).unwrap().reduction;
+        let get = |z, k| {
+            r.points
+                .iter()
+                .find(|p| p.z == z && p.k == k)
+                .unwrap()
+                .reduction
+        };
         assert_eq!(get(5, 5), 1.0);
         assert!(get(9, 8) > 1.0);
     }

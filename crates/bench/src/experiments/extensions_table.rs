@@ -46,7 +46,11 @@ pub fn run() -> ExtensionsTable {
     let dense_params = layer.params() as f64;
     let dense_macs = layer.macs() as f64;
     let mut rows = Vec::new();
-    for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+    for scheme in [
+        TransferScheme::DCNN4,
+        TransferScheme::DCNN6,
+        TransferScheme::Scnn,
+    ] {
         rows.push(AlgorithmRow {
             algorithm: scheme.label(),
             param_reduction: dense_params / analysis::scheme_params(&layer, scheme) as f64,

@@ -76,9 +76,27 @@ pub fn render(result: &Fig14) -> String {
         &["component", "area", "paper area", "power", "paper power"],
     );
     let rows = [
-        ("memory + registers", result.area_pct.0, PAPER.area.0, result.power_pct.0, PAPER.power.0),
-        ("PE array", result.area_pct.1, PAPER.area.1, result.power_pct.1, PAPER.power.1),
-        ("control / static", result.area_pct.2, PAPER.area.2, result.power_pct.2, PAPER.power.2),
+        (
+            "memory + registers",
+            result.area_pct.0,
+            PAPER.area.0,
+            result.power_pct.0,
+            PAPER.power.0,
+        ),
+        (
+            "PE array",
+            result.area_pct.1,
+            PAPER.area.1,
+            result.power_pct.1,
+            PAPER.power.1,
+        ),
+        (
+            "control / static",
+            result.area_pct.2,
+            PAPER.area.2,
+            result.power_pct.2,
+            PAPER.power.2,
+        ),
     ];
     for (name, a, pa, p, pp) in rows {
         table.row(&[name.to_owned(), pct(a), pct(pa), pct(p), pct(pp)]);

@@ -2,6 +2,7 @@
 //! scheme.
 
 use crate::format::{ratio, Table};
+use rayon::prelude::*;
 use serde::Serialize;
 use tfe_core::Engine;
 
@@ -45,22 +46,34 @@ pub fn run(engine: &Engine) -> Fig15 {
 }
 
 /// Runs the sweep over an arbitrary network list (Table V reuses this).
+///
+/// The network × scheme cells are independent, so they are evaluated
+/// across the ambient thread budget; the result order stays
+/// network-major exactly as the sequential sweep produced it.
 #[must_use]
 pub fn run_over(engine: &Engine, networks: &[&str]) -> Fig15 {
-    let mut points = Vec::new();
-    for net in networks {
-        for scheme in super::schemes() {
+    let cells: Vec<_> = networks
+        .iter()
+        .flat_map(|net| {
+            super::schemes()
+                .into_iter()
+                .map(move |scheme| (*net, scheme))
+        })
+        .collect();
+    let points: Vec<SpeedupPoint> = cells
+        .par_iter()
+        .map(|&(net, scheme)| {
             let report = engine
                 .run_network(net, scheme)
                 .expect("sweep networks exist in the zoo");
-            points.push(SpeedupPoint {
-                network: (*net).to_owned(),
+            SpeedupPoint {
+                network: net.to_owned(),
                 scheme: scheme.label(),
                 conv: report.conv_speedup,
                 overall: report.overall_speedup,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     let averages = |pick: fn(&SpeedupPoint) -> f64| -> Vec<(String, f64)> {
         super::schemes()
             .iter()
@@ -179,7 +192,10 @@ mod tests {
                 .conv
         };
         for scheme in ["DCNN4x4", "DCNN6x6"] {
-            assert!(conv("VGGNet", scheme) > conv("GoogLeNet", scheme), "{scheme}");
+            assert!(
+                conv("VGGNet", scheme) > conv("GoogLeNet", scheme),
+                "{scheme}"
+            );
             assert!(conv("ResNet", scheme) > conv("AlexNet", scheme), "{scheme}");
         }
     }

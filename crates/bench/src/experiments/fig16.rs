@@ -45,7 +45,9 @@ pub fn run(engine: &Engine) -> Fig16 {
         points.push(MethodPoint {
             method: model.name().to_owned(),
             param_reduction: model.param_reduction(&net),
-            speedup: model.conv_speedup(&net).expect("pruning models always answer"),
+            speedup: model
+                .conv_speedup(&net)
+                .expect("pruning models always answer"),
         });
     }
     let tfe = engine
@@ -62,7 +64,10 @@ pub fn run(engine: &Engine) -> Fig16 {
         .filter(|p| p.method != "TFE (SCNN)")
         .map(|p| (p.method.clone(), tfe_speedup / p.speedup))
         .collect();
-    Fig16 { points, tfe_factors }
+    Fig16 {
+        points,
+        tfe_factors,
+    }
 }
 
 /// Renders the figure's rows.
@@ -70,7 +75,13 @@ pub fn run(engine: &Engine) -> Fig16 {
 pub fn render(result: &Fig16) -> String {
     let mut table = Table::new(
         "Fig. 16: weight-compression comparison on AlexNet CONV layers",
-        &["method", "param reduction", "speedup vs Eyeriss", "TFE/method", "paper TFE/method"],
+        &[
+            "method",
+            "param reduction",
+            "speedup vs Eyeriss",
+            "TFE/method",
+            "paper TFE/method",
+        ],
     );
     for p in &result.points {
         let factor = result

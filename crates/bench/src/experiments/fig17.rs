@@ -61,7 +61,12 @@ pub fn run(engine: &Engine) -> Fig17 {
 pub fn render(result: &Fig17) -> String {
     let mut table = Table::new(
         "Fig. 17: computation-reduction comparison on VGGNet CONV layers",
-        &["method", "param reduction", "speedup vs Eyeriss", "accuracy loss"],
+        &[
+            "method",
+            "param reduction",
+            "speedup vs Eyeriss",
+            "accuracy loss",
+        ],
     );
     for p in &result.points {
         table.row(&[

@@ -2,6 +2,7 @@
 //! on VGGNet (the ablation of the two techniques).
 
 use crate::format::{ratio, Table};
+use rayon::prelude::*;
 use serde::Serialize;
 use tfe_core::Engine;
 use tfe_transfer::analysis::ReuseConfig;
@@ -39,22 +40,34 @@ const CONFIGS: [(&str, ReuseConfig); 4] = [
 ];
 
 /// Runs the ablation on VGGNet.
+///
+/// The scheme × reuse-configuration cells are independent, so they are
+/// evaluated across the ambient thread budget; the result order stays
+/// scheme-major exactly as the sequential sweep produced it.
 #[must_use]
 pub fn run() -> Fig19 {
-    let mut points = Vec::new();
-    for scheme in super::schemes() {
-        for (label, reuse) in CONFIGS {
+    let cells: Vec<_> = super::schemes()
+        .into_iter()
+        .flat_map(|scheme| {
+            CONFIGS
+                .into_iter()
+                .map(move |(label, reuse)| (scheme, label, reuse))
+        })
+        .collect();
+    let points = cells
+        .par_iter()
+        .map(|&(scheme, label, reuse)| {
             let engine = Engine::with_reuse(reuse);
             let r = engine
                 .run_network("VGGNet", scheme)
                 .expect("VGG exists in the zoo");
-            points.push(AblationPoint {
+            AblationPoint {
                 scheme: scheme.label(),
                 reuse: label.to_owned(),
                 mac_reduction: r.conv_mac_reduction,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Fig19 { points }
 }
 
@@ -63,7 +76,14 @@ pub fn run() -> Fig19 {
 pub fn render(result: &Fig19) -> String {
     let mut table = Table::new(
         "Fig. 19: MAC reduction on VGGNet with/without PPSR and ERRR",
-        &["scheme", "none", "PPSR only", "ERRR only", "PPSR+ERRR", "paper (P/E/both)"],
+        &[
+            "scheme",
+            "none",
+            "PPSR only",
+            "ERRR only",
+            "PPSR+ERRR",
+            "paper (P/E/both)",
+        ],
     );
     for scheme in super::schemes() {
         let label = scheme.label();
@@ -104,7 +124,10 @@ mod tests {
     fn no_reuse_means_no_reduction() {
         let r = run();
         for scheme in ["DCNN4x4", "DCNN6x6", "SCNN"] {
-            assert!((reduction(&r, scheme, "none") - 1.0).abs() < 1e-9, "{scheme}");
+            assert!(
+                (reduction(&r, scheme, "none") - 1.0).abs() < 1e-9,
+                "{scheme}"
+            );
         }
     }
 

@@ -6,13 +6,13 @@
 pub mod eq_analysis;
 pub mod extensions_table;
 pub mod fig14;
-pub mod safm_ablation;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod safm_ablation;
 pub mod table2;
 pub mod table3;
 pub mod table4;
@@ -22,7 +22,11 @@ pub mod table5;
 #[must_use]
 pub fn schemes() -> [tfe_transfer::TransferScheme; 3] {
     use tfe_transfer::TransferScheme;
-    [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn]
+    [
+        TransferScheme::DCNN4,
+        TransferScheme::DCNN6,
+        TransferScheme::Scnn,
+    ]
 }
 
 /// The four mainstream evaluation networks of Fig. 15, by name.

@@ -71,8 +71,8 @@ pub fn run() -> SafmAblation {
     // design writes every product to its PE's stacked register.
     let preadd = evaluate("SAFM pre-add (shipping)", 1.0 - PAPER_REDUCTION_PCT / 100.0);
     let per_pe = evaluate("per-PE SRs (ablated)", 1.0);
-    let reduction_pct = 100.0
-        * (1.0 - preadd.register_accesses as f64 / per_pe.register_accesses.max(1) as f64);
+    let reduction_pct =
+        100.0 * (1.0 - preadd.register_accesses as f64 / per_pe.register_accesses.max(1) as f64);
     SafmAblation {
         configs: vec![preadd, per_pe],
         reduction_pct,
@@ -84,7 +84,12 @@ pub fn run() -> SafmAblation {
 pub fn render(result: &SafmAblation) -> String {
     let mut table = Table::new(
         "SAFM ablation: cross-ifmap pre-addition vs per-PE stacked registers",
-        &["configuration", "SR accesses", "register energy", "on-chip power"],
+        &[
+            "configuration",
+            "SR accesses",
+            "register energy",
+            "on-chip power",
+        ],
     );
     for c in &result.configs {
         table.row(&[
@@ -110,7 +115,11 @@ mod tests {
     #[test]
     fn preadd_reduction_matches_paper_claim() {
         let r = run();
-        assert!((r.reduction_pct - PAPER_REDUCTION_PCT).abs() < 0.5, "{}", r.reduction_pct);
+        assert!(
+            (r.reduction_pct - PAPER_REDUCTION_PCT).abs() < 0.5,
+            "{}",
+            r.reduction_pct
+        );
     }
 
     #[test]
@@ -118,7 +127,12 @@ mod tests {
         let r = run();
         let preadd = &r.configs[0];
         let per_pe = &r.configs[1];
-        assert!(per_pe.power_mw > preadd.power_mw * 1.2, "{} vs {}", per_pe.power_mw, preadd.power_mw);
+        assert!(
+            per_pe.power_mw > preadd.power_mw * 1.2,
+            "{} vs {}",
+            per_pe.power_mw,
+            preadd.power_mw
+        );
         assert!(per_pe.register_mj > preadd.register_mj);
     }
 }

@@ -42,17 +42,57 @@ pub fn run() -> Table3 {
 pub fn render(result: &Table3) -> String {
     let mut table = Table::new(
         "Table III: technical specifications",
-        &["field", "TFE (modelled)", "Eyeriss (published)", "paper TFE"],
+        &[
+            "field",
+            "TFE (modelled)",
+            "Eyeriss (published)",
+            "paper TFE",
+        ],
     );
     let t = &result.tfe;
     let e = &result.eyeriss;
-    table.row(&["technology".into(), t.technology.clone(), e.technology.clone(), "TSMC 65nm 1P8M".into()]);
-    table.row(&["voltage".into(), format!("{} V", t.voltage_v), format!("{} V", e.voltage_v), "1 V".into()]);
-    table.row(&["frequency".into(), format!("{} MHz", t.frequency_mhz), format!("{} MHz", e.frequency_mhz), "200 MHz".into()]);
-    table.row(&["memory".into(), format!("{:.1} KB", t.memory_kb), format!("{:.1} KB", e.memory_kb), "160.0 KB".into()]);
-    table.row(&["#PEs".into(), t.pes.to_string(), e.pes.to_string(), "256".into()]);
-    table.row(&["area".into(), format!("{:.2} mm^2", t.area_mm2), format!("{:.2} mm^2", e.area_mm2), format!("{:.2} mm^2", PAPER.tfe.0)]);
-    table.row(&["power".into(), format!("{:.1} mW", t.power_mw), format!("{:.1} mW", e.power_mw), format!("{:.1} mW", PAPER.tfe.1)]);
+    table.row(&[
+        "technology".into(),
+        t.technology.clone(),
+        e.technology.clone(),
+        "TSMC 65nm 1P8M".into(),
+    ]);
+    table.row(&[
+        "voltage".into(),
+        format!("{} V", t.voltage_v),
+        format!("{} V", e.voltage_v),
+        "1 V".into(),
+    ]);
+    table.row(&[
+        "frequency".into(),
+        format!("{} MHz", t.frequency_mhz),
+        format!("{} MHz", e.frequency_mhz),
+        "200 MHz".into(),
+    ]);
+    table.row(&[
+        "memory".into(),
+        format!("{:.1} KB", t.memory_kb),
+        format!("{:.1} KB", e.memory_kb),
+        "160.0 KB".into(),
+    ]);
+    table.row(&[
+        "#PEs".into(),
+        t.pes.to_string(),
+        e.pes.to_string(),
+        "256".into(),
+    ]);
+    table.row(&[
+        "area".into(),
+        format!("{:.2} mm^2", t.area_mm2),
+        format!("{:.2} mm^2", e.area_mm2),
+        format!("{:.2} mm^2", PAPER.tfe.0),
+    ]);
+    table.row(&[
+        "power".into(),
+        format!("{:.1} mW", t.power_mw),
+        format!("{:.1} mW", e.power_mw),
+        format!("{:.1} mW", PAPER.tfe.1),
+    ]);
     let mut s = table.render();
     s.push_str(&format!(
         "\narea advantage: {:.2}x (paper 1.73x), power advantage: {:.2}x (paper 4.15x)\n",

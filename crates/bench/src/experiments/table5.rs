@@ -64,7 +64,14 @@ pub fn paired(result: &Table5) -> Vec<PairedRow> {
 pub fn render(result: &Table5) -> String {
     let mut table = Table::new(
         "Table V: CONV/overall speedup on recent networks",
-        &["network", "scheme", "conv", "overall", "paper conv", "paper overall"],
+        &[
+            "network",
+            "scheme",
+            "conv",
+            "overall",
+            "paper conv",
+            "paper overall",
+        ],
     );
     for row in paired(result) {
         table.row(&[

@@ -40,9 +40,10 @@ impl Table {
     /// Renders the table with aligned fixed-width columns.
     #[must_use]
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

@@ -202,7 +202,11 @@ impl Engine {
     pub fn run_all(&self) -> Vec<NetworkReport> {
         let mut reports = Vec::new();
         for network in zoo::all() {
-            for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+            for scheme in [
+                TransferScheme::DCNN4,
+                TransferScheme::DCNN6,
+                TransferScheme::Scnn,
+            ] {
                 reports.push(self.run(&network, scheme));
             }
         }
@@ -242,10 +246,22 @@ mod tests {
         let engine = Engine::new();
         let r = engine.run_network("VGGNet", TransferScheme::Scnn).unwrap();
         // Paper: conv 3.45x, overall 3.2-3.4x, params 4x, EE ~13x.
-        assert!((3.0..3.8).contains(&r.conv_speedup), "conv {}", r.conv_speedup);
+        assert!(
+            (3.0..3.8).contains(&r.conv_speedup),
+            "conv {}",
+            r.conv_speedup
+        );
         assert!(r.overall_speedup < r.conv_speedup);
-        assert!((3.8..=4.0).contains(&r.param_reduction), "params {}", r.param_reduction);
-        assert!((10.0..18.0).contains(&r.energy_efficiency), "ee {}", r.energy_efficiency);
+        assert!(
+            (3.8..=4.0).contains(&r.param_reduction),
+            "params {}",
+            r.param_reduction
+        );
+        assert!(
+            (10.0..18.0).contains(&r.energy_efficiency),
+            "ee {}",
+            r.energy_efficiency
+        );
     }
 
     #[test]

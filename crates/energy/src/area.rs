@@ -139,7 +139,11 @@ mod tests {
             b.memory_register_fraction()
         );
         // PE array is a minority (paper: 16.5 %).
-        assert!((0.10..0.30).contains(&b.pe_fraction()), "pe {}", b.pe_fraction());
+        assert!(
+            (0.10..0.30).contains(&b.pe_fraction()),
+            "pe {}",
+            b.pe_fraction()
+        );
         // Control fraction equals the configured 8.8 %.
         assert!((b.control_fraction() - 0.088).abs() < 1e-9);
     }

@@ -109,8 +109,7 @@ impl EnergyModel {
     pub fn breakdown(&self, counters: &Counters, runtime_seconds: f64) -> EnergyBreakdown {
         let c = &self.constants;
         let pj_to_mj = 1e-9;
-        let pe_mj = (counters.multiplies as f64 * c.multiply_pj
-            + counters.adds as f64 * c.add_pj)
+        let pe_mj = (counters.multiplies as f64 * c.multiply_pj + counters.adds as f64 * c.add_pj)
             * pj_to_mj;
         let register_mj = (counters.register_accesses() as f64
             + counters.multiplies as f64 * c.operand_reads_per_multiply)

@@ -1,8 +1,8 @@
 //! Technical-specification tables (Table III of the paper).
 
 use crate::area::AreaModel;
-use serde::Serialize;
 use crate::power::{EnergyModel, EYERISS_POWER_MW};
+use serde::Serialize;
 use tfe_nets::zoo;
 use tfe_sim::config::TfeConfig;
 use tfe_sim::perf::{NetworkPerf, PerfConfig};

@@ -37,7 +37,10 @@ impl RsCounters {
     /// Total scratchpad accesses.
     #[must_use]
     pub fn total_spad_accesses(&self) -> u64 {
-        self.filter_spad_reads + self.input_spad_reads + self.psum_spad_reads + self.psum_spad_writes
+        self.filter_spad_reads
+            + self.input_spad_reads
+            + self.psum_spad_reads
+            + self.psum_spad_writes
     }
 
     /// Accesses per MAC (the RS dataflow's defining constant: 4).
@@ -131,7 +134,8 @@ pub fn run_layer_rs(
                     for c in 0..shape.n() {
                         let filter_row: Vec<Fx16> =
                             (0..k).map(|kx| weights.get([m, c, ky, kx])).collect();
-                        let row = pe_row_conv(&filter_row, &padded[c][oy * s + ky], s, &mut counters);
+                        let row =
+                            pe_row_conv(&filter_row, &padded[c][oy * s + ky], s, &mut counters);
                         for (acc, v) in window.iter_mut().zip(row) {
                             *acc += v;
                         }

@@ -160,8 +160,18 @@ impl NetworkPlan {
     #[must_use]
     pub fn conv_param_reduction(&self) -> f64 {
         let conv = |l: &&LayerPlan| !l.layer().is_fc();
-        let dense: u64 = self.layers.iter().filter(conv).map(|l| l.layer().params()).sum();
-        let stored: u64 = self.layers.iter().filter(conv).map(LayerPlan::stored_params).sum();
+        let dense: u64 = self
+            .layers
+            .iter()
+            .filter(conv)
+            .map(|l| l.layer().params())
+            .sum();
+        let stored: u64 = self
+            .layers
+            .iter()
+            .filter(conv)
+            .map(LayerPlan::stored_params)
+            .sum();
         dense as f64 / stored as f64
     }
 

@@ -154,15 +154,114 @@ pub fn googlenet() -> Network {
         conv("conv2/3x3_reduce", 64, 64, 56, 1, 1, 0),
         conv("conv2/3x3", 64, 192, 56, 3, 1, 1).with_pool(max_pool(3, 2)),
     ];
-    inception(&mut layers, "inception_3a", 28, 192, 64, 96, 128, 16, 32, 32);
-    inception(&mut layers, "inception_3b", 28, 256, 128, 128, 192, 32, 96, 64);
-    inception(&mut layers, "inception_4a", 14, 480, 192, 96, 208, 16, 48, 64);
-    inception(&mut layers, "inception_4b", 14, 512, 160, 112, 224, 24, 64, 64);
-    inception(&mut layers, "inception_4c", 14, 512, 128, 128, 256, 24, 64, 64);
-    inception(&mut layers, "inception_4d", 14, 512, 112, 144, 288, 32, 64, 64);
-    inception(&mut layers, "inception_4e", 14, 528, 256, 160, 320, 32, 128, 128);
-    inception(&mut layers, "inception_5a", 7, 832, 256, 160, 320, 32, 128, 128);
-    inception(&mut layers, "inception_5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    inception(
+        &mut layers,
+        "inception_3a",
+        28,
+        192,
+        64,
+        96,
+        128,
+        16,
+        32,
+        32,
+    );
+    inception(
+        &mut layers,
+        "inception_3b",
+        28,
+        256,
+        128,
+        128,
+        192,
+        32,
+        96,
+        64,
+    );
+    inception(
+        &mut layers,
+        "inception_4a",
+        14,
+        480,
+        192,
+        96,
+        208,
+        16,
+        48,
+        64,
+    );
+    inception(
+        &mut layers,
+        "inception_4b",
+        14,
+        512,
+        160,
+        112,
+        224,
+        24,
+        64,
+        64,
+    );
+    inception(
+        &mut layers,
+        "inception_4c",
+        14,
+        512,
+        128,
+        128,
+        256,
+        24,
+        64,
+        64,
+    );
+    inception(
+        &mut layers,
+        "inception_4d",
+        14,
+        512,
+        112,
+        144,
+        288,
+        32,
+        64,
+        64,
+    );
+    inception(
+        &mut layers,
+        "inception_4e",
+        14,
+        528,
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+    );
+    inception(
+        &mut layers,
+        "inception_5a",
+        7,
+        832,
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+    );
+    inception(
+        &mut layers,
+        "inception_5b",
+        7,
+        832,
+        384,
+        192,
+        384,
+        48,
+        128,
+        128,
+    );
     layers.push(fc("fc", 1024, 1000));
     Network::new("GoogLeNet", layers)
 }
@@ -177,7 +276,10 @@ pub fn googlenet() -> Network {
 /// Panics if `blocks_per_stage` is zero.
 #[must_use]
 pub fn resnet_cifar(blocks_per_stage: usize) -> Network {
-    assert!(blocks_per_stage > 0, "a ResNet needs at least one block per stage");
+    assert!(
+        blocks_per_stage > 0,
+        "a ResNet needs at least one block per stage"
+    );
     let depth = 6 * blocks_per_stage + 2;
     let mut layers = vec![conv("conv1", 3, 16, 32, 3, 1, 1)];
     let stages: [(usize, usize, usize); 3] = [(16, 32, 1), (32, 16, 2), (64, 8, 3)];
@@ -198,7 +300,15 @@ pub fn resnet_cifar(blocks_per_stage: usize) -> Network {
                 stride,
                 1,
             ));
-            layers.push(conv(&format!("conv{stage}_{block}b"), width, width, hw, 3, 1, 1));
+            layers.push(conv(
+                &format!("conv{stage}_{block}b"),
+                width,
+                width,
+                hw,
+                3,
+                1,
+                1,
+            ));
         }
     }
     layers.push(fc("fc", 64, 10));
@@ -250,12 +360,20 @@ pub fn densenet121() -> Network {
         channels += len * GROWTH;
         if b + 1 < block_sizes.len() {
             layers.push(
-                conv(&format!("transition{}", b + 1), channels, channels / 2, hw, 1, 1, 0)
-                    .with_pool(PoolSpec {
-                        kind: PoolKind::Average,
-                        window: 2,
-                        stride: 2,
-                    }),
+                conv(
+                    &format!("transition{}", b + 1),
+                    channels,
+                    channels / 2,
+                    hw,
+                    1,
+                    1,
+                    0,
+                )
+                .with_pool(PoolSpec {
+                    kind: PoolKind::Average,
+                    window: 2,
+                    stride: 2,
+                }),
             );
             channels /= 2;
             hw /= 2;
@@ -309,7 +427,15 @@ fn residual_unit(
     let out_hw = hw / stride;
     layers.push(conv(&format!("{name}/1x1b"), cmid, cout, out_hw, 1, 1, 0));
     if cin != cout || stride != 1 {
-        layers.push(conv(&format!("{name}/shortcut"), cin, cout, hw, 1, stride, 0));
+        layers.push(conv(
+            &format!("{name}/shortcut"),
+            cin,
+            cout,
+            hw,
+            1,
+            stride,
+            0,
+        ));
     }
 }
 
@@ -384,7 +510,15 @@ pub fn mobilenet() -> Network {
     ];
     for (i, &(cin, cout, hw, stride)) in blocks.iter().enumerate() {
         layers.push(depthwise(&format!("dw{}", i + 1), cin, hw, stride));
-        layers.push(conv(&format!("pw{}", i + 1), cin, cout, hw / stride, 1, 1, 0));
+        layers.push(conv(
+            &format!("pw{}", i + 1),
+            cin,
+            cout,
+            hw / stride,
+            1,
+            1,
+            0,
+        ));
     }
     layers.push(fc("fc", 1024, 1000));
     Network::new("MobileNet", layers)
@@ -442,10 +576,16 @@ mod tests {
     fn vgg16_totals_match_literature() {
         let net = vgg16();
         // ~15.35 GMAC conv, ~123.6 M FC params, 13 conv + 3 fc layers.
-        assert!((15 * GMAC..16 * GMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert!(
+            (15 * GMAC..16 * GMAC).contains(&net.conv_macs()),
+            "{}",
+            net.conv_macs()
+        );
         assert_eq!(net.conv_layers().count(), 13);
         assert_eq!(net.fc_layers().count(), 3);
-        assert!((123_000_000..124_000_000).contains(&net.fc_layers().map(|l| l.params()).sum::<u64>()));
+        assert!(
+            (123_000_000..124_000_000).contains(&net.fc_layers().map(|l| l.params()).sum::<u64>())
+        );
         // Conv params ~14.7 M.
         assert!((14 * MMAC..15 * MMAC).contains(&net.conv_params()));
     }
@@ -458,7 +598,11 @@ mod tests {
         let frac = net.fc_macs() as f64 / net.total_macs() as f64;
         assert!(frac > 0.08, "fc fraction {frac}");
         // Grouped conv totals ~666 MMAC.
-        assert!((600 * MMAC..750 * MMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert!(
+            (600 * MMAC..750 * MMAC).contains(&net.conv_macs()),
+            "{}",
+            net.conv_macs()
+        );
     }
 
     #[test]
@@ -473,7 +617,11 @@ mod tests {
     fn googlenet_conv_macs_in_expected_range() {
         // ~1.5 GMAC of convolution (literature: ~1.58 GMAC fwd total).
         let net = googlenet();
-        assert!((GMAC..2 * GMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert!(
+            (GMAC..2 * GMAC).contains(&net.conv_macs()),
+            "{}",
+            net.conv_macs()
+        );
         // 1x1 layers must be a substantial minority of conv MACs.
         let one_by_one: u64 = net
             .conv_layers()
@@ -490,7 +638,11 @@ mod tests {
         assert_eq!(net.conv_layers().count(), 55);
         assert_eq!(net.fc_macs(), 640);
         // ~126 MMAC (literature figure for ResNet-56 on CIFAR).
-        assert!((100 * MMAC..160 * MMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert!(
+            (100 * MMAC..160 * MMAC).contains(&net.conv_macs()),
+            "{}",
+            net.conv_macs()
+        );
         // Nearly everything is 3x3.
         let k3: u64 = net
             .conv_layers()
@@ -529,7 +681,11 @@ mod tests {
         assert_eq!(net.conv_layers().count(), 26);
         assert_eq!(net.fc_layers().count(), 0);
         // Literature: ~0.7-0.9 GMAC.
-        assert!((500 * MMAC..GMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert!(
+            (500 * MMAC..GMAC).contains(&net.conv_macs()),
+            "{}",
+            net.conv_macs()
+        );
     }
 
     #[test]
@@ -572,7 +728,16 @@ mod tests {
 
     #[test]
     fn by_name_resolves_all_aliases() {
-        for name in ["AlexNet", "vgg", "VGGNet", "googlenet", "ResNet", "DenseNet", "SqueezeNet", "ResANet"] {
+        for name in [
+            "AlexNet",
+            "vgg",
+            "VGGNet",
+            "googlenet",
+            "ResNet",
+            "DenseNet",
+            "SqueezeNet",
+            "ResANet",
+        ] {
             assert!(by_name(name).is_some(), "{name}");
         }
         assert!(by_name("mobilenet").is_some());
@@ -591,7 +756,11 @@ mod tests {
         let frac = transferable as f64 / net.conv_macs() as f64;
         assert!(frac < 0.05, "transferable fraction {frac}");
         // MobileNet v1: ~569 MMAC of convolution.
-        assert!((400 * MMAC..700 * MMAC).contains(&net.conv_macs()), "{}", net.conv_macs());
+        assert!(
+            (400 * MMAC..700 * MMAC).contains(&net.conv_macs()),
+            "{}",
+            net.conv_macs()
+        );
         // Not part of the paper's sweeps.
         assert!(all().iter().all(|n| n.name() != "MobileNet"));
     }

@@ -1,0 +1,198 @@
+//! Batched multi-image evaluation of one functional network — the
+//! "serve heavy traffic" entry point.
+//!
+//! [`run_batch`] pushes a batch of independent input images through one
+//! [`FunctionalNetwork`] plan, fanning the images out across the thread
+//! budget. Each image is evaluated by the exact sequential per-image
+//! path ([`FunctionalNetwork::run`]), results are collected in input
+//! order, and per-image [`Counters`] are merged in input order via
+//! [`Counters::merge`] — so both the activation values and the merged
+//! totals are **bit-identical** to a sequential loop over the batch, for
+//! every thread count (`tests/parallel_parity.rs` asserts this).
+//!
+//! Thread budget: [`BatchOptions::threads`] pins an explicit count;
+//! otherwise the engine uses the ambient budget (`RAYON_NUM_THREADS` /
+//! `TFE_THREADS` environment variables, defaulting to the machine's
+//! available parallelism). Layer evaluation inside each image also fans
+//! out over filter groups under the same budget, so very small batches
+//! still scale.
+
+use crate::counters::Counters;
+use crate::network::{FunctionalNetwork, NetworkOutput};
+use crate::SimError;
+use rayon::prelude::*;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+
+/// Knobs for a batched evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Worker-thread count for this batch; `None` uses the ambient
+    /// budget (`RAYON_NUM_THREADS` / `TFE_THREADS`, else all cores).
+    pub threads: Option<usize>,
+}
+
+impl BatchOptions {
+    /// Options pinning an explicit worker-thread count.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions {
+            threads: Some(threads),
+        }
+    }
+}
+
+/// Result of a batched evaluation.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Per-image network outputs, in input order. Each retains its own
+    /// per-image counter set.
+    pub outputs: Vec<NetworkOutput>,
+    /// All per-image counters merged in input order.
+    pub counters: Counters,
+}
+
+/// Evaluates a batch of independent `[1, N, H, W]`-shaped (or any
+/// batch-dim) input images through one network plan.
+///
+/// # Errors
+///
+/// Propagates the first per-image [`SimError`] in input order (the same
+/// error a sequential loop would hit first).
+pub fn run_batch(
+    net: &FunctionalNetwork,
+    inputs: &[Tensor4<Fx16>],
+    reuse: ReuseConfig,
+    options: BatchOptions,
+) -> Result<BatchOutput, SimError> {
+    let evaluate = || -> Result<BatchOutput, SimError> {
+        let results: Vec<Result<NetworkOutput, SimError>> = inputs
+            .par_iter()
+            .map(|input| net.run(input, reuse))
+            .collect();
+        let outputs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let mut counters = Counters::new();
+        for output in &outputs {
+            counters.merge(&output.counters);
+        }
+        Ok(BatchOutput { outputs, counters })
+    };
+    match options.threads {
+        Some(threads) => rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .map_err(|_| SimError::UnsupportedLayer {
+                reason: "failed to build the batch thread pool",
+            })?
+            .install(evaluate),
+        None => evaluate(),
+    }
+}
+
+/// Splits a `[B, C, H, W]` tensor into `B` single-image `[1, C, H, W]`
+/// tensors, the input format [`run_batch`] fans out over.
+#[must_use]
+pub fn split_batch(input: &Tensor4<Fx16>) -> Vec<Tensor4<Fx16>> {
+    let [batch, c, h, w] = input.dims();
+    (0..batch)
+        .map(|b| Tensor4::from_fn([1, c, h, w], |[_, ci, y, x]| input.get([b, ci, y, x])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::shape::LayerShape;
+    use tfe_transfer::TransferScheme;
+
+    fn det(seed: &mut u32) -> f32 {
+        *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        (((*seed >> 20) & 0xf) as f32 - 7.5) / 8.0
+    }
+
+    fn small_net(seed: &mut u32) -> FunctionalNetwork {
+        let shapes = vec![
+            (LayerShape::conv("b1", 1, 8, 8, 8, 3, 1, 1).unwrap(), true),
+            (LayerShape::conv("b2", 8, 8, 4, 4, 3, 1, 1).unwrap(), false),
+        ];
+        FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(seed)).unwrap()
+    }
+
+    fn images(count: usize, seed: &mut u32) -> Vec<Tensor4<Fx16>> {
+        (0..count)
+            .map(|_| Tensor4::from_fn([1, 1, 8, 8], |_| Fx16::from_f32(det(seed))))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_bit_exactly() {
+        let mut seed = 5;
+        let net = small_net(&mut seed);
+        let inputs = images(6, &mut seed);
+        let sequential: Vec<NetworkOutput> = inputs
+            .iter()
+            .map(|i| net.run(i, ReuseConfig::FULL).unwrap())
+            .collect();
+        for threads in [1, 2, 4] {
+            let batched = run_batch(
+                &net,
+                &inputs,
+                ReuseConfig::FULL,
+                BatchOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(batched.outputs.len(), sequential.len());
+            for (b, s) in batched.outputs.iter().zip(&sequential) {
+                assert_eq!(b.activations, s.activations, "threads={threads}");
+                assert_eq!(b.counters, s.counters, "threads={threads}");
+            }
+            let expected: Counters = sequential.iter().map(|s| s.counters).sum();
+            assert_eq!(batched.counters, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut seed = 9;
+        let net = small_net(&mut seed);
+        let out = run_batch(&net, &[], ReuseConfig::FULL, BatchOptions::default()).unwrap();
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.counters, Counters::new());
+    }
+
+    #[test]
+    fn split_batch_round_trips() {
+        let mut seed = 3;
+        let packed = Tensor4::from_fn([3, 2, 4, 4], |_| Fx16::from_f32(det(&mut seed)));
+        let split = split_batch(&packed);
+        assert_eq!(split.len(), 3);
+        for (b, img) in split.iter().enumerate() {
+            assert_eq!(img.dims(), [1, 2, 4, 4]);
+            for c in 0..2 {
+                for y in 0..4 {
+                    for x in 0..4 {
+                        assert_eq!(img.get([0, c, y, x]), packed.get([b, c, y, x]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_image_error_is_the_first_in_input_order() {
+        let mut seed = 7;
+        let net = small_net(&mut seed);
+        let mut inputs = images(3, &mut seed);
+        // Wrong channel count for the second image.
+        inputs[1] = Tensor4::from_fn([1, 2, 8, 8], |_| Fx16::from_f32(det(&mut seed)));
+        let err = run_batch(&net, &inputs, ReuseConfig::FULL, BatchOptions::default());
+        assert!(matches!(
+            err,
+            Err(SimError::OperandMismatch {
+                what: "input channels",
+                ..
+            })
+        ));
+    }
+}

@@ -68,6 +68,17 @@ impl Counters {
     pub fn sram_accesses(&self) -> u64 {
         self.psum_mem_reads + self.psum_mem_writes + self.input_mem_reads + self.weight_reads
     }
+
+    /// Folds another counter set into this one, component-wise.
+    ///
+    /// This is the reduction step of the parallel engine: each worker
+    /// accumulates its own `Counters`, and the driver merges them in a
+    /// fixed (work-unit) order. Because every field is a `u64` sum,
+    /// merged totals are identical to sequential accumulation for any
+    /// thread count or merge order.
+    pub fn merge(&mut self, other: &Counters) {
+        *self += *other;
+    }
 }
 
 impl Add for Counters {
@@ -146,6 +157,32 @@ mod tests {
         ];
         let total: Counters = parts.into_iter().sum();
         assert_eq!(total.dram_bits, 48);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let parts = [
+            Counters {
+                multiplies: 10,
+                adds: 3,
+                ..Counters::new()
+            },
+            Counters {
+                multiplies: 7,
+                psum_mem_writes: 9,
+                ..Counters::new()
+            },
+            Counters {
+                cycles: 100,
+                ..Counters::new()
+            },
+        ];
+        let mut merged = Counters::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        let summed: Counters = parts.into_iter().sum();
+        assert_eq!(merged, summed);
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnsupportedStride { stride } => {
-                write!(f, "functional datapath supports stride 1 only, got {stride}")
+                write!(
+                    f,
+                    "functional datapath supports stride 1 only, got {stride}"
+                )
             }
             SimError::UnsupportedLayer { reason } => {
                 write!(f, "layer unsupported by the TFE: {reason}")
@@ -41,7 +44,10 @@ impl fmt::Display for SimError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "operand mismatch for {what}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "operand mismatch for {what}: expected {expected}, got {actual}"
+            ),
             SimError::Transfer(e) => write!(f, "transfer representation error: {e}"),
         }
     }

@@ -13,8 +13,61 @@
 //! schedule correct.
 
 use crate::counters::Counters;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
 use tfe_tensor::fixed::Accum;
+
+/// Why a [`RowRing`] read could not be served. Every variant is a
+/// scheduling bug in the caller, but they point at different bugs:
+/// requesting an evicted row means the ring is under-provisioned (or the
+/// window walk runs ahead of the schedule), while requesting a row that
+/// was never inserted means the row pass itself was skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingReadError {
+    /// The row was inserted earlier but its memory has been recycled.
+    Evicted {
+        /// The requested input-row index.
+        row_index: usize,
+    },
+    /// The row was never inserted into the ring.
+    NeverInserted {
+        /// The requested input-row index.
+        row_index: usize,
+    },
+    /// The row is resident but has no stream at the requested indices.
+    MissingStream {
+        /// The requested input-row index.
+        row_index: usize,
+        /// The requested filter-row index.
+        filter_row: usize,
+        /// The requested variant index.
+        variant: usize,
+    },
+}
+
+impl fmt::Display for RingReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RingReadError::Evicted { row_index } => write!(
+                f,
+                "row {row_index} was recycled before it was read (ring under-provisioned)"
+            ),
+            RingReadError::NeverInserted { row_index } => {
+                write!(f, "row {row_index} was never inserted into the ring")
+            }
+            RingReadError::MissingStream {
+                row_index,
+                filter_row,
+                variant,
+            } => write!(
+                f,
+                "row {row_index} has no stream (filter_row {filter_row}, variant {variant})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RingReadError {}
 
 /// One resident input row's results: for every (filter-row, variant)
 /// stream the engine produced, a vector of per-position partial sums.
@@ -40,6 +93,10 @@ pub struct RowRing {
     slots: VecDeque<RowSlot>,
     /// Number of slot evictions (memory recycles) that occurred.
     recycles: u64,
+    /// Every row index ever inserted, so a failed read can distinguish
+    /// "recycled too early" from "never computed". Bounded by the number
+    /// of distinct input rows in a layer pass.
+    ever_inserted: HashSet<usize>,
 }
 
 impl RowRing {
@@ -55,6 +112,7 @@ impl RowRing {
             capacity,
             slots: VecDeque::with_capacity(capacity),
             recycles: 0,
+            ever_inserted: HashSet::new(),
         }
     }
 
@@ -87,13 +145,46 @@ impl RowRing {
             self.slots.pop_front();
             self.recycles += 1;
         }
+        self.ever_inserted.insert(row_index);
         self.slots.push_back(RowSlot { row_index, streams });
     }
 
     /// Reads the result stream `(filter_row, variant)` of input row
-    /// `row_index`, counting the PSum-memory reads. Returns `None` if the
-    /// row was already recycled or never inserted — a scheduling bug in
-    /// the caller.
+    /// `row_index`, counting the PSum-memory reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RingReadError`] naming the scheduling bug: the row was
+    /// recycled before use, never inserted at all, or resident without
+    /// the requested stream.
+    pub fn try_read(
+        &self,
+        row_index: usize,
+        filter_row: usize,
+        variant: usize,
+        counters: &mut Counters,
+    ) -> Result<&[Accum], RingReadError> {
+        let Some(slot) = self.slots.iter().find(|s| s.row_index == row_index) else {
+            if self.ever_inserted.contains(&row_index) {
+                return Err(RingReadError::Evicted { row_index });
+            }
+            return Err(RingReadError::NeverInserted { row_index });
+        };
+        let stream = slot
+            .streams
+            .get(filter_row)
+            .and_then(|per_row| per_row.get(variant))
+            .ok_or(RingReadError::MissingStream {
+                row_index,
+                filter_row,
+                variant,
+            })?;
+        counters.psum_mem_reads += stream.len() as u64;
+        Ok(stream)
+    }
+
+    /// [`RowRing::try_read`] with the error collapsed to `None`, for
+    /// callers that handle all failure modes identically.
     #[must_use]
     pub fn read(
         &self,
@@ -102,10 +193,7 @@ impl RowRing {
         variant: usize,
         counters: &mut Counters,
     ) -> Option<&[Accum]> {
-        let slot = self.slots.iter().find(|s| s.row_index == row_index)?;
-        let stream = slot.streams.get(filter_row)?.get(variant)?;
-        counters.psum_mem_reads += stream.len() as u64;
-        Some(stream)
+        self.try_read(row_index, filter_row, variant, counters).ok()
     }
 
     /// Whether a row is currently resident.
@@ -117,6 +205,13 @@ impl RowRing {
 
 /// Sums the window result for one output position set: adds `parts`
 /// element-wise, counting the adder-tree activations.
+///
+/// # Panics
+///
+/// Panics if the parts have mismatched lengths. (This used to be a
+/// `debug_assert!`, which meant release builds silently truncated the
+/// window sum to the shortest part via `zip` — a misaligned schedule
+/// would corrupt outputs instead of failing.)
 #[must_use]
 pub fn combine_rows(parts: &[&[Accum]], counters: &mut Counters) -> Vec<Accum> {
     let Some(first) = parts.first() else {
@@ -124,7 +219,7 @@ pub fn combine_rows(parts: &[&[Accum]], counters: &mut Counters) -> Vec<Accum> {
     };
     let mut out = first.to_vec();
     for part in &parts[1..] {
-        debug_assert_eq!(part.len(), out.len(), "window parts must align");
+        assert_eq!(part.len(), out.len(), "window parts must align");
         for (acc, &p) in out.iter_mut().zip(part.iter()) {
             *acc += p;
         }
@@ -180,6 +275,46 @@ mod tests {
         ring.insert(1, one_stream(&[2.0]), &mut c);
         assert!(ring.read(0, 0, 0, &mut c).is_none());
         assert!(ring.read(1, 0, 0, &mut c).is_some());
+    }
+
+    #[test]
+    fn try_read_distinguishes_failure_modes() {
+        let mut ring = RowRing::new(1);
+        let mut c = Counters::new();
+        ring.insert(0, one_stream(&[1.0]), &mut c);
+        ring.insert(1, one_stream(&[2.0]), &mut c);
+        // Row 0 was inserted, then recycled by row 1's arrival.
+        assert_eq!(
+            ring.try_read(0, 0, 0, &mut c),
+            Err(RingReadError::Evicted { row_index: 0 })
+        );
+        // Row 9 was never computed.
+        assert_eq!(
+            ring.try_read(9, 0, 0, &mut c),
+            Err(RingReadError::NeverInserted { row_index: 9 })
+        );
+        // Row 1 is resident but only has stream (0, 0).
+        assert_eq!(
+            ring.try_read(1, 2, 0, &mut c),
+            Err(RingReadError::MissingStream {
+                row_index: 1,
+                filter_row: 2,
+                variant: 0
+            })
+        );
+        // Failed reads must not count PSum-memory traffic.
+        assert_eq!(c.psum_mem_reads, 0);
+        assert!(ring.try_read(1, 0, 0, &mut c).is_ok());
+        assert_eq!(c.psum_mem_reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window parts must align")]
+    fn combine_rows_rejects_misaligned_parts() {
+        let mut c = Counters::new();
+        let a: Vec<Accum> = [1.0, 2.0].iter().map(|&v| acc(v)).collect();
+        let b: Vec<Accum> = vec![acc(0.5)];
+        let _ = combine_rows(&[&a, &b], &mut c);
     }
 
     #[test]

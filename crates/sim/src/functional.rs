@@ -14,6 +14,7 @@ use crate::counters::Counters;
 use crate::errr::{combine_rows, RowRing};
 use crate::ppsr::{conventional_row_pass, dcnn_row_pass, scnn_row_pass};
 use crate::SimError;
+use rayon::prelude::*;
 use tfe_tensor::fixed::{Accum, Fx16};
 use tfe_tensor::shape::{ConvKind, LayerShape};
 use tfe_tensor::tensor::Tensor4;
@@ -76,26 +77,129 @@ pub fn run_layer(
         }
     }
 
+    // Enumerate the layer's independent work units (filter / transfer
+    // groups). Anything fallible — meta offset validation — happens here,
+    // before the fan-out, so the units themselves are infallible.
+    let kinds: Vec<UnitKind> = match layer {
+        TransferredLayer::Dense { .. } => (0..shape.m()).map(|m| UnitKind::Dense { m }).collect(),
+        TransferredLayer::Dcnn { k, metas, .. } => metas
+            .iter()
+            .enumerate()
+            .map(|(g, meta)| {
+                Ok(UnitKind::Dcnn {
+                    g,
+                    per_axis: meta.offsets_per_axis(*k)?,
+                })
+            })
+            .collect::<Result<_, tfe_transfer::TransferError>>()?,
+        TransferredLayer::Scnn { groups, .. } => {
+            (0..groups.len()).map(|g| UnitKind::Scnn { g }).collect()
+        }
+    };
+    let padded: Vec<Vec<Vec<Vec<Fx16>>>> =
+        (0..batch).map(|b| padded_planes(input, b, shape)).collect();
+    let units: Vec<(usize, UnitKind)> = (0..batch)
+        .flat_map(|b| kinds.iter().map(move |&kind| (b, kind)))
+        .collect();
+
+    // Fan the units out across the thread budget (`rayon` preserves the
+    // unit order in the collected vector), then merge values and counters
+    // in that fixed order: the result is bit-identical to the sequential
+    // evaluation for every thread count.
+    let results: Vec<UnitResult> = units
+        .par_iter()
+        .map(|&(b, kind)| run_unit(&padded[b], layer, shape, reuse, b, kind))
+        .collect();
+
     let mut counters = Counters {
         dense_macs: shape.macs() * batch as u64,
         ..Counters::new()
     };
     let mut output = Tensor4::zeros([batch, shape.m(), shape.e(), shape.f()]);
-    for b in 0..batch {
-        let padded = padded_planes(input, b, shape);
-        match layer {
-            TransferredLayer::Dense { weights } => {
-                run_conventional(&padded, weights, shape, b, &mut output, &mut counters);
-            }
-            TransferredLayer::Dcnn { k, m, metas } => {
-                run_dcnn(&padded, *k, *m, metas, shape, reuse, b, &mut output, &mut counters)?;
-            }
-            TransferredLayer::Scnn { m, groups } => {
-                run_scnn(&padded, *m, groups, shape, reuse, b, &mut output, &mut counters);
+    for result in results {
+        counters.merge(&result.counters);
+        for (m, plane) in result.planes {
+            for (oy, row) in plane.iter().enumerate() {
+                for (ox, &v) in row.iter().enumerate() {
+                    output.set([result.batch, m, oy, ox], v);
+                }
             }
         }
     }
     Ok(FunctionalOutput { output, counters })
+}
+
+/// One independently evaluable slice of a layer: the filters of a single
+/// dense filter, DCNN meta group, or SCNN orbit group, for one batch
+/// image. Units touch disjoint `(batch, channel)` output slices, so they
+/// can run on any thread in any order.
+#[derive(Debug, Clone, Copy)]
+enum UnitKind {
+    /// One dense filter `m`.
+    Dense {
+        /// The filter index.
+        m: usize,
+    },
+    /// One DCNN meta-filter group.
+    Dcnn {
+        /// The meta-group index.
+        g: usize,
+        /// Transferred offsets per axis (`Z − K + 1`), pre-validated.
+        per_axis: usize,
+    },
+    /// One SCNN orbit group.
+    Scnn {
+        /// The orbit-group index.
+        g: usize,
+    },
+}
+
+/// What one work unit produced: ofmap planes for its channels plus the
+/// events it counted.
+struct UnitResult {
+    batch: usize,
+    /// `(channel, plane[e][f])` pairs, each `e × f`.
+    planes: Vec<(usize, Vec<Vec<Accum>>)>,
+    counters: Counters,
+}
+
+fn run_unit(
+    padded: &[Vec<Vec<Fx16>>],
+    layer: &TransferredLayer,
+    shape: &LayerShape,
+    reuse: ReuseConfig,
+    b: usize,
+    kind: UnitKind,
+) -> UnitResult {
+    let mut counters = Counters::new();
+    let planes = match (kind, layer) {
+        (UnitKind::Dense { m }, TransferredLayer::Dense { weights }) => {
+            vec![(
+                m,
+                conventional_unit(padded, weights, shape, m, &mut counters),
+            )]
+        }
+        (UnitKind::Dcnn { g, per_axis }, TransferredLayer::Dcnn { k, m, metas }) => dcnn_unit(
+            padded,
+            *k,
+            *m,
+            &metas[g],
+            g,
+            per_axis,
+            shape,
+            reuse,
+            &mut counters,
+        ),
+        (UnitKind::Scnn { g }, TransferredLayer::Scnn { m, groups }) => {
+            scnn_unit(padded, *m, &groups[g], g, shape, reuse, &mut counters)
+        }
+        _ => unreachable!("unit kind always matches the layer that enumerated it"),
+    };
+    UnitResult {
+        batch: b,
+        planes,
+        counters,
+    }
 }
 
 /// Executes one layer and drives its ofmaps through the output memory
@@ -158,23 +262,26 @@ fn padded_planes(input: &Tensor4<Fx16>, b: usize, shape: &LayerShape) -> Vec<Vec
 
 fn quantize_filter_row(data: &[f32], c: usize, k: usize, row: usize) -> Vec<Fx16> {
     let start = c * k * k + row * k;
-    data[start..start + k].iter().copied().map(Fx16::from_f32).collect()
+    data[start..start + k]
+        .iter()
+        .copied()
+        .map(Fx16::from_f32)
+        .collect()
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_conventional(
+/// Computes one dense filter's ofmap plane (`e × f`).
+fn conventional_unit(
     padded: &[Vec<Vec<Fx16>>],
     weights: &Tensor4<f32>,
     shape: &LayerShape,
-    b: usize,
-    output: &mut Tensor4<Accum>,
+    m: usize,
     counters: &mut Counters,
-) {
-    let (k, e, f, m_count) = (shape.k(), shape.e(), shape.f(), shape.m());
+) -> Vec<Vec<Accum>> {
+    let (k, e, f) = (shape.k(), shape.e(), shape.f());
     let s = shape.stride();
     let full_w = shape.w() + 2 * shape.pad() - k + 1;
-    for m in 0..m_count {
-        for oy in 0..e {
+    (0..e)
+        .map(|oy| {
             let mut parts: Vec<Vec<Accum>> = Vec::with_capacity(k);
             for ky in 0..k {
                 let mut row_sum = vec![Accum::ZERO; full_w];
@@ -191,121 +298,125 @@ fn run_conventional(
             }
             let refs: Vec<&[Accum]> = parts.iter().map(Vec::as_slice).collect();
             let window = combine_rows(&refs, counters);
-            for ox in 0..f {
-                output.set([b, m, oy, ox], window[ox * s]);
-            }
-        }
-    }
+            (0..f).map(|ox| window[ox * s]).collect()
+        })
+        .collect()
 }
 
+/// Computes one DCNN meta group's ofmap planes: `(channel, plane)` for
+/// every transferred offset this (possibly partial) group emits.
 #[allow(clippy::too_many_arguments)]
-fn run_dcnn(
+fn dcnn_unit(
     padded: &[Vec<Vec<Fx16>>],
     k: usize,
     m_count: usize,
-    metas: &[tfe_transfer::meta::MetaFilter],
+    meta: &tfe_transfer::meta::MetaFilter,
+    g: usize,
+    per_axis: usize,
     shape: &LayerShape,
     reuse: ReuseConfig,
-    b: usize,
-    output: &mut Tensor4<Accum>,
     counters: &mut Counters,
-) -> Result<(), SimError> {
+) -> Vec<(usize, Vec<Vec<Accum>>)> {
     let (e, f) = (shape.e(), shape.f());
     let s = shape.stride();
     let full_w = shape.w() + 2 * shape.pad() - k + 1;
-    for (g, meta) in metas.iter().enumerate() {
-        let z = meta.z();
-        let per_axis = meta.offsets_per_axis(k)?;
-        // One channel-summed PPSR pass set for input row `i`: streams
-        // indexed [meta_row][dx][x].
-        let pass = |i: usize, counters: &mut Counters| -> Vec<Vec<Vec<Accum>>> {
-            (0..z)
-                .map(|kr| {
-                    let mut per_dx = vec![vec![Accum::ZERO; full_w]; per_axis];
-                    for (c, plane) in padded.iter().enumerate() {
-                        let meta_row: Vec<Fx16> = (0..z)
-                            .map(|x| Fx16::from_f32(meta.get(c, kr, x)))
-                            .collect();
-                        let res = dcnn_row_pass(&meta_row, &plane[i], k, reuse.ppsr, counters);
-                        for (dx, stream) in res.into_iter().enumerate() {
-                            for (acc, v) in per_dx[dx].iter_mut().zip(stream) {
-                                *acc += v;
-                            }
-                        }
-                    }
-                    per_dx
-                })
-                .collect()
-        };
+    let z = meta.z();
+    let mut planes: Vec<(usize, Vec<Vec<Accum>>)> = (0..per_axis * per_axis)
+        .map(|o| g * per_axis * per_axis + o)
+        .filter(|&m| m < m_count)
+        .map(|m| (m, vec![Vec::new(); e]))
+        .collect();
+    let mut plane_row = |m: usize, oy: usize, row: Vec<Accum>| {
+        let local = m - g * per_axis * per_axis;
+        planes[local].1[oy] = row;
+    };
 
-        if reuse.errr {
-            let mut ring = RowRing::new(k);
-            for oy in 0..e {
-                let first_needed = oy * s;
-                let last_needed = oy * s + k - 1;
-                for i in first_needed..=last_needed {
-                    if !ring.contains(i) {
-                        let streams = pass(i, counters);
-                        ring.insert(i, streams, counters);
+    // One channel-summed PPSR pass set for input row `i`: streams
+    // indexed [meta_row][dx][x].
+    let pass = |i: usize, counters: &mut Counters| -> Vec<Vec<Vec<Accum>>> {
+        (0..z)
+            .map(|kr| {
+                let mut per_dx = vec![vec![Accum::ZERO; full_w]; per_axis];
+                for (c, plane) in padded.iter().enumerate() {
+                    let meta_row: Vec<Fx16> =
+                        (0..z).map(|x| Fx16::from_f32(meta.get(c, kr, x))).collect();
+                    let res = dcnn_row_pass(&meta_row, &plane[i], k, reuse.ppsr, counters);
+                    for (dx, stream) in res.into_iter().enumerate() {
+                        for (acc, v) in per_dx[dx].iter_mut().zip(stream) {
+                            *acc += v;
+                        }
                     }
                 }
-                for dy in 0..per_axis {
-                    for dx in 0..per_axis {
-                        let m = g * per_axis * per_axis + dy * per_axis + dx;
-                        if m >= m_count {
-                            continue;
-                        }
-                        let parts: Vec<&[Accum]> = (0..k)
-                            .map(|ky| {
-                                ring.read(oy * s + ky, dy + ky, dx, counters)
-                                    .expect("row still resident within the window")
-                            })
-                            .collect();
-                        let window = combine_rows(&parts, counters);
-                        for ox in 0..f {
-                            output.set([b, m, oy, ox], window[ox * s]);
-                        }
-                    }
+                per_dx
+            })
+            .collect()
+    };
+
+    if reuse.errr {
+        let mut ring = RowRing::new(k);
+        for oy in 0..e {
+            let first_needed = oy * s;
+            let last_needed = oy * s + k - 1;
+            for i in first_needed..=last_needed {
+                if !ring.contains(i) {
+                    let streams = pass(i, counters);
+                    ring.insert(i, streams, counters);
                 }
             }
-        } else {
-            // No ERRR: every (output row, vertical offset) recomputes its
-            // row passes (Fig. 4's repetition).
-            for oy in 0..e {
-                // Compute the full pass per needed input row *per dy use*.
-                for dy in 0..per_axis {
-                    let mut per_row: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
-                    for ky in 0..k {
-                        let streams = pass_single_row(
-                            padded,
-                            meta,
-                            k,
-                            dy + ky,
-                            oy * s + ky,
-                            full_w,
-                            per_axis,
-                            reuse.ppsr,
-                            counters,
-                        );
-                        per_row.push(streams);
+            for dy in 0..per_axis {
+                for dx in 0..per_axis {
+                    let m = g * per_axis * per_axis + dy * per_axis + dx;
+                    if m >= m_count {
+                        continue;
                     }
-                    for dx in 0..per_axis {
-                        let m = g * per_axis * per_axis + dy * per_axis + dx;
-                        if m >= m_count {
-                            continue;
-                        }
-                        let parts: Vec<&[Accum]> =
-                            per_row.iter().map(|streams| streams[dx].as_slice()).collect();
-                        let window = combine_rows(&parts, counters);
-                        for ox in 0..f {
-                            output.set([b, m, oy, ox], window[ox * s]);
-                        }
+                    let parts: Vec<&[Accum]> = (0..k)
+                        .map(|ky| {
+                            ring.read(oy * s + ky, dy + ky, dx, counters)
+                                .expect("row still resident within the window")
+                        })
+                        .collect();
+                    let window = combine_rows(&parts, counters);
+                    plane_row(m, oy, (0..f).map(|ox| window[ox * s]).collect());
+                }
+            }
+        }
+    } else {
+        // No ERRR: every (output row, vertical offset) recomputes its
+        // row passes (Fig. 4's repetition).
+        for oy in 0..e {
+            // Compute the full pass per needed input row *per dy use*.
+            for dy in 0..per_axis {
+                let mut per_row: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
+                for ky in 0..k {
+                    let streams = pass_single_row(
+                        padded,
+                        meta,
+                        k,
+                        dy + ky,
+                        oy * s + ky,
+                        full_w,
+                        per_axis,
+                        reuse.ppsr,
+                        counters,
+                    );
+                    per_row.push(streams);
+                }
+                for dx in 0..per_axis {
+                    let m = g * per_axis * per_axis + dy * per_axis + dx;
+                    if m >= m_count {
+                        continue;
                     }
+                    let parts: Vec<&[Accum]> = per_row
+                        .iter()
+                        .map(|streams| streams[dx].as_slice())
+                        .collect();
+                    let window = combine_rows(&parts, counters);
+                    plane_row(m, oy, (0..f).map(|ox| window[ox * s]).collect());
                 }
             }
         }
     }
-    Ok(())
+    planes
 }
 
 /// One channel-summed pass of a single meta row (used by the no-ERRR
@@ -342,115 +453,116 @@ fn orientation_index(base: usize, flip_h: bool, flip_v: bool) -> usize {
     base * 4 + usize::from(flip_h) + 2 * usize::from(flip_v)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_scnn(
+/// Computes one SCNN orbit group's ofmap planes: `(channel, plane)` for
+/// every orbit member this (possibly partial) group emits.
+fn scnn_unit(
     padded: &[Vec<Vec<Fx16>>],
     m_count: usize,
-    groups: &[tfe_transfer::scnn::ScnnGroup],
+    group: &tfe_transfer::scnn::ScnnGroup,
+    g: usize,
     shape: &LayerShape,
     reuse: ReuseConfig,
-    b: usize,
-    output: &mut Tensor4<Accum>,
     counters: &mut Counters,
-) {
+) -> Vec<(usize, Vec<Vec<Accum>>)> {
     let (k, e, f, n) = (shape.k(), shape.e(), shape.f(), shape.n());
     let s = shape.stride();
     let full_w = shape.w() + 2 * shape.pad() - k + 1;
-    for (g, group) in groups.iter().enumerate() {
-        // Source of each emitted member. PPSR/ERRR derive flips only from
-        // the *stored* base filters (Section V.E: an orientation whose
-        // required flips are not all covered by enabled machinery runs
-        // conventionally with its own materialized weights — it cannot
-        // chain off another derived orientation).
-        let source_of = |oi: usize| -> (usize, usize, bool) {
-            let o = Orientation::of(ORIENTATIONS[oi]);
-            let h_covered = !o.flip_h || reuse.ppsr;
-            let v_covered = !o.flip_v || reuse.errr;
-            if h_covered && v_covered {
-                (
-                    orientation_index(o.base, false, false),
-                    usize::from(o.flip_h),
-                    o.flip_v,
-                )
-            } else {
-                (oi, 0, false)
-            }
-        };
-        // Which orientations must run their own row passes: the sources of
-        // the members this (possibly partial) group emits.
-        let computed: Vec<usize> = {
-            let mut sources: Vec<usize> = (0..ORBIT)
-                .filter(|&oi| g * ORBIT + oi < m_count)
-                .map(|oi| source_of(oi).0)
-                .collect();
-            sources.sort_unstable();
-            sources.dedup();
-            sources
-        };
+    let mut planes: Vec<(usize, Vec<Vec<Accum>>)> = (0..ORBIT)
+        .map(|oi| g * ORBIT + oi)
+        .filter(|&m| m < m_count)
+        .map(|m| (m, vec![Vec::new(); e]))
+        .collect();
 
-        // A ring per computed orientation; streams[kr] = [fwd, rev?].
-        let mut rings: Vec<Option<RowRing>> = (0..ORBIT)
-            .map(|oi| computed.contains(&oi).then(|| RowRing::new(k)))
+    // Source of each emitted member. PPSR/ERRR derive flips only from
+    // the *stored* base filters (Section V.E: an orientation whose
+    // required flips are not all covered by enabled machinery runs
+    // conventionally with its own materialized weights — it cannot
+    // chain off another derived orientation).
+    let source_of = |oi: usize| -> (usize, usize, bool) {
+        let o = Orientation::of(ORIENTATIONS[oi]);
+        let h_covered = !o.flip_h || reuse.ppsr;
+        let v_covered = !o.flip_v || reuse.errr;
+        if h_covered && v_covered {
+            (
+                orientation_index(o.base, false, false),
+                usize::from(o.flip_h),
+                o.flip_v,
+            )
+        } else {
+            (oi, 0, false)
+        }
+    };
+    // Which orientations must run their own row passes: the sources of
+    // the members this (possibly partial) group emits.
+    let computed: Vec<usize> = {
+        let mut sources: Vec<usize> = (0..ORBIT)
+            .filter(|&oi| g * ORBIT + oi < m_count)
+            .map(|oi| source_of(oi).0)
             .collect();
-        let oriented: Vec<Vec<f32>> = (0..ORBIT).map(|oi| group.orient(oi)).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    };
 
-        for oy in 0..e {
-            // Refresh rings with any newly needed input rows.
-            for &oi in &computed {
-                for i in oy * s..oy * s + k {
-                    let ring = rings[oi].as_mut().expect("computed orientation has a ring");
-                    if ring.contains(i) {
-                        continue;
-                    }
-                    let mut streams: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
-                    for kr in 0..k {
-                        let mut fwd_sum = vec![Accum::ZERO; full_w];
-                        let mut rev_sum = reuse.ppsr.then(|| vec![Accum::ZERO; full_w]);
-                        for (c, plane) in padded.iter().enumerate() {
-                            debug_assert!(c < n);
-                            let w_row = quantize_filter_row(&oriented[oi], c, k, kr);
-                            let (fwd, rev) = scnn_row_pass(&w_row, &plane[i], reuse.ppsr, counters);
-                            for (acc, v) in fwd_sum.iter_mut().zip(fwd) {
-                                *acc += v;
-                            }
-                            if let (Some(rs), Some(rev)) = (rev_sum.as_mut(), rev) {
-                                for (acc, v) in rs.iter_mut().zip(rev) {
-                                    *acc += v;
-                                }
-                            }
-                        }
-                        let mut variants = vec![fwd_sum];
-                        if let Some(rs) = rev_sum {
-                            variants.push(rs);
-                        }
-                        streams.push(variants);
-                    }
-                    ring.insert(i, streams, counters);
-                }
-            }
+    // A ring per computed orientation; streams[kr] = [fwd, rev?].
+    let mut rings: Vec<Option<RowRing>> = (0..ORBIT)
+        .map(|oi| computed.contains(&oi).then(|| RowRing::new(k)))
+        .collect();
+    let oriented: Vec<Vec<f32>> = (0..ORBIT).map(|oi| group.orient(oi)).collect();
 
-            // Emit every orbit member from its source ring.
-            for oi in 0..ORBIT {
-                let m = g * ORBIT + oi;
-                if m >= m_count {
+    for oy in 0..e {
+        // Refresh rings with any newly needed input rows.
+        for &oi in &computed {
+            for i in oy * s..oy * s + k {
+                let ring = rings[oi].as_mut().expect("computed orientation has a ring");
+                if ring.contains(i) {
                     continue;
                 }
-                let (src, direction, row_flip) = source_of(oi);
-                let ring = rings[src].as_ref().expect("source orientation is computed");
-                let parts: Vec<&[Accum]> = (0..k)
-                    .map(|ky| {
-                        let kr = if row_flip { k - 1 - ky } else { ky };
-                        ring.read(oy * s + ky, kr, direction, counters)
-                            .expect("row still resident within the window")
-                    })
-                    .collect();
-                let window = combine_rows(&parts, counters);
-                for ox in 0..f {
-                    output.set([b, m, oy, ox], window[ox * s]);
+                let mut streams: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
+                for kr in 0..k {
+                    let mut fwd_sum = vec![Accum::ZERO; full_w];
+                    let mut rev_sum = reuse.ppsr.then(|| vec![Accum::ZERO; full_w]);
+                    for (c, plane) in padded.iter().enumerate() {
+                        debug_assert!(c < n);
+                        let w_row = quantize_filter_row(&oriented[oi], c, k, kr);
+                        let (fwd, rev) = scnn_row_pass(&w_row, &plane[i], reuse.ppsr, counters);
+                        for (acc, v) in fwd_sum.iter_mut().zip(fwd) {
+                            *acc += v;
+                        }
+                        if let (Some(rs), Some(rev)) = (rev_sum.as_mut(), rev) {
+                            for (acc, v) in rs.iter_mut().zip(rev) {
+                                *acc += v;
+                            }
+                        }
+                    }
+                    let mut variants = vec![fwd_sum];
+                    if let Some(rs) = rev_sum {
+                        variants.push(rs);
+                    }
+                    streams.push(variants);
                 }
+                ring.insert(i, streams, counters);
             }
         }
+
+        // Emit every orbit member from its source ring. `planes` holds
+        // only the members below the layer's filter count, in orbit
+        // order, so its local index is the orientation.
+        for (oi, plane) in planes.iter_mut().enumerate() {
+            let (src, direction, row_flip) = source_of(oi);
+            let ring = rings[src].as_ref().expect("source orientation is computed");
+            let parts: Vec<&[Accum]> = (0..k)
+                .map(|ky| {
+                    let kr = if row_flip { k - 1 - ky } else { ky };
+                    ring.read(oy * s + ky, kr, direction, counters)
+                        .expect("row still resident within the window")
+                })
+                .collect();
+            let window = combine_rows(&parts, counters);
+            plane.1[oy] = (0..f).map(|ox| window[ox * s]).collect();
+        }
     }
+    planes
 }
 
 #[cfg(test)]
@@ -491,10 +603,7 @@ mod tests {
             ReuseConfig::NONE,
         ] {
             let got = run_layer(&input, layer, shape, reuse).unwrap();
-            assert_eq!(
-                got.output, expected,
-                "mismatch under {reuse:?} for {shape}"
-            );
+            assert_eq!(got.output, expected, "mismatch under {reuse:?} for {shape}");
         }
     }
 
@@ -651,7 +760,10 @@ mod tests {
         let input = Tensor4::filled([1, 3, 8, 8], Fx16::ZERO);
         assert!(matches!(
             run_layer(&input, &layer, &shape, ReuseConfig::FULL),
-            Err(SimError::OperandMismatch { what: "input channels", .. })
+            Err(SimError::OperandMismatch {
+                what: "input channels",
+                ..
+            })
         ));
     }
 
@@ -680,9 +792,14 @@ mod tests {
         let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
         let input = random_input(&shape, &mut 17);
 
-        let (activations, _) =
-            run_layer_with_output(&input, &layer, &shape, ReuseConfig::FULL, OutputConfig::RELU_POOL2)
-                .unwrap();
+        let (activations, _) = run_layer_with_output(
+            &input,
+            &layer,
+            &shape,
+            ReuseConfig::FULL,
+            OutputConfig::RELU_POOL2,
+        )
+        .unwrap();
 
         // Reference: oracle conv -> quantized relu -> 2x2 tile pool.
         let expected_acc = oracle(&input, &layer, &shape);

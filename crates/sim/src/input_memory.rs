@@ -36,7 +36,10 @@ impl std::fmt::Display for InputMemoryError {
             InputMemoryError::CapacityExceeded {
                 requested,
                 capacity,
-            } => write!(f, "fill of {requested} words exceeds the {capacity}-word half"),
+            } => write!(
+                f,
+                "fill of {requested} words exceeds the {capacity}-word half"
+            ),
             InputMemoryError::Empty => write!(f, "read from an unfilled input-memory half"),
         }
     }
@@ -152,7 +155,11 @@ impl WeightRegister {
     ///
     /// Returns [`InputMemoryError::CapacityExceeded`] if the set exceeds
     /// the register.
-    pub fn load(&mut self, weights: &[Fx16], counters: &mut Counters) -> Result<(), InputMemoryError> {
+    pub fn load(
+        &mut self,
+        weights: &[Fx16],
+        counters: &mut Counters,
+    ) -> Result<(), InputMemoryError> {
         if weights.len() > self.capacity {
             return Err(InputMemoryError::CapacityExceeded {
                 requested: weights.len(),

@@ -12,8 +12,8 @@
 use crate::counters::Counters;
 use crate::functional::run_layer;
 use crate::output::{process_plane, OutputConfig};
-use tfe_tensor::fixed::Accum;
 use crate::SimError;
+use tfe_tensor::fixed::Accum;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::shape::LayerShape;
 use tfe_tensor::tensor::Tensor4;
@@ -131,7 +131,11 @@ impl FunctionalNetwork {
     /// # Errors
     ///
     /// Propagates per-stage simulation errors.
-    pub fn run(&self, input: &Tensor4<Fx16>, reuse: ReuseConfig) -> Result<NetworkOutput, SimError> {
+    pub fn run(
+        &self,
+        input: &Tensor4<Fx16>,
+        reuse: ReuseConfig,
+    ) -> Result<NetworkOutput, SimError> {
         let mut current = input.clone();
         let mut counters = Counters::new();
         for stage in &self.stages {
@@ -149,7 +153,11 @@ impl FunctionalNetwork {
                         .get(c)
                         .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)));
                     let rows: Vec<Vec<Accum>> = (0..e)
-                        .map(|y| (0..f).map(|x| result.output.get([b, c, y, x]) + bias).collect())
+                        .map(|y| {
+                            (0..f)
+                                .map(|x| result.output.get([b, c, y, x]) + bias)
+                                .collect()
+                        })
                         .collect();
                     per_channel.push(process_plane(&rows, stage.output, &mut counters));
                 }
@@ -158,7 +166,11 @@ impl FunctionalNetwork {
             // Re-tensorize (and re-quantize) the pooled activations for
             // the next stage — the DAM's output format.
             let rows = activations[0][0].len();
-            let cols = if rows == 0 { 0 } else { activations[0][0][0].len() };
+            let cols = if rows == 0 {
+                0
+            } else {
+                activations[0][0][0].len()
+            };
             current = Tensor4::from_fn([batch, channels, rows, cols], |[b, c, y, x]| {
                 Fx16::from_f32(activations[b][c][y][x])
             });
@@ -192,16 +204,19 @@ mod tests {
     #[test]
     fn network_runs_and_produces_expected_geometry() {
         let mut seed = 7;
-        let net = FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || {
-            det(&mut seed)
-        })
-        .unwrap();
+        let net =
+            FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || det(&mut seed))
+                .unwrap();
         let input = Tensor4::from_fn([1, 1, 12, 12], |_| Fx16::from_f32(det(&mut seed)));
         let out = net.run(&input, ReuseConfig::FULL).unwrap();
         assert_eq!(out.activations.dims(), [1, 8, 3, 3]);
         assert!(out.counters.multiplies > 0);
         // Ideal 4x, shaved by padded-row edges on these tiny maps.
-        assert!(out.counters.mac_reduction() > 2.2, "{}", out.counters.mac_reduction());
+        assert!(
+            out.counters.mac_reduction() > 2.2,
+            "{}",
+            out.counters.mac_reduction()
+        );
     }
 
     #[test]
@@ -253,10 +268,9 @@ mod tests {
     #[test]
     fn compression_reported_across_network() {
         let mut seed = 11;
-        let scnn = FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || {
-            det(&mut seed)
-        })
-        .unwrap();
+        let scnn =
+            FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || det(&mut seed))
+                .unwrap();
         let mut seed = 11;
         let dense_stages: Vec<(LayerShape, bool)> = two_stage_shapes();
         let dense = FunctionalNetwork::random(
@@ -264,8 +278,7 @@ mod tests {
                 .iter()
                 .map(|(s, p)| {
                     (
-                        LayerShape::conv(s.name(), s.n(), s.m(), s.h(), s.w(), 1, 1, 0)
-                            .unwrap(),
+                        LayerShape::conv(s.name(), s.n(), s.m(), s.h(), s.w(), 1, 1, 0).unwrap(),
                         *p,
                     )
                 })
@@ -274,7 +287,7 @@ mod tests {
             || det(&mut seed),
         );
         let _ = dense; // pointwise layers come back dense; just the API check
-        // SCNN stores 4x fewer conv weights than the dense equivalent.
+                       // SCNN stores 4x fewer conv weights than the dense equivalent.
         let dense_params: u64 = two_stage_shapes().iter().map(|(s, _)| s.params()).sum();
         assert_eq!(dense_params, scnn.stored_params() * 4);
     }

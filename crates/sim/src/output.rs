@@ -228,7 +228,10 @@ mod tests {
     fn row_wise_pooling_matches_tile_reference() {
         let mut counters = Counters::new();
         let data: Vec<f32> = (0..36).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
-        let rows: Vec<Vec<Accum>> = data.chunks(6).map(|r| r.iter().map(|&v| acc(v)).collect()).collect();
+        let rows: Vec<Vec<Accum>> = data
+            .chunks(6)
+            .map(|r| r.iter().map(|&v| acc(v)).collect())
+            .collect();
         let out = process_plane(&rows, OutputConfig::RELU_POOL2, &mut counters);
 
         // Reference: relu then 2x2 max pool on the whole tile.

@@ -25,6 +25,7 @@ use crate::config::TfeConfig;
 use crate::counters::Counters;
 use crate::memory;
 use crate::safm;
+use rayon::prelude::*;
 use tfe_nets::{LayerPlan, NetworkPlan, TransferMode};
 use tfe_transfer::analysis::ReuseConfig;
 
@@ -193,13 +194,17 @@ pub struct NetworkPerf {
 
 impl NetworkPerf {
     /// Evaluates every layer of a plan.
+    ///
+    /// Layers are independent under the analytic model, so they are
+    /// evaluated across the ambient thread budget; results come back in
+    /// plan order, identical to a sequential evaluation.
     #[must_use]
     pub fn evaluate(plan: &NetworkPlan, cfg: &PerfConfig) -> NetworkPerf {
         NetworkPerf {
             network_name: plan.network_name().to_owned(),
             layers: plan
                 .layers()
-                .iter()
+                .par_iter()
                 .map(|l| LayerPerf::evaluate(l, cfg))
                 .collect(),
             frequency_hz: cfg.hw.frequency_hz,

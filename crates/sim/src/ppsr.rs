@@ -27,11 +27,7 @@ pub fn row_correlate(weights: &[Fx16], input: &[Fx16]) -> Vec<Accum> {
     }
     let out_len = input.len() - k + 1;
     (0..out_len)
-        .map(|x| {
-            (0..k)
-                .map(|j| input[x + j].widening_mul(weights[j]))
-                .sum()
-        })
+        .map(|x| (0..k).map(|j| input[x + j].widening_mul(weights[j])).sum())
         .collect()
 }
 
@@ -39,8 +35,22 @@ pub fn row_correlate(weights: &[Fx16], input: &[Fx16]) -> Vec<Accum> {
 /// weight row, `out[x] = Σ_j input[x + j] · weights[k−1−j]`.
 #[must_use]
 pub fn row_correlate_rev(weights: &[Fx16], input: &[Fx16]) -> Vec<Accum> {
-    let rev: Vec<Fx16> = weights.iter().rev().copied().collect();
-    row_correlate(&rev, input)
+    let k = weights.len();
+    if input.len() < k {
+        return Vec::new();
+    }
+    // Index the weight row in reverse instead of materialising a
+    // reversed copy: this runs once per (row, input row) pair in the hot
+    // SCNN path, so the per-call allocation is measurable (see
+    // benches/ppsr_row.rs, `row_correlate_rev/*`).
+    let out_len = input.len() - k + 1;
+    (0..out_len)
+        .map(|x| {
+            (0..k)
+                .map(|j| input[x + j].widening_mul(weights[k - 1 - j]))
+                .sum()
+        })
+        .collect()
 }
 
 /// One DCNN PPSR row pass: a meta row of `Z` weights against one input
@@ -63,12 +73,28 @@ pub fn dcnn_row_pass(
     counters: &mut Counters,
 ) -> Vec<Vec<Accum>> {
     let z = meta_row.len();
-    assert!(k >= 1 && k <= z, "transferred extent must satisfy 1 <= K <= Z");
+    assert!(
+        k >= 1 && k <= z,
+        "transferred extent must satisfy 1 <= K <= Z"
+    );
     let offsets = z - k + 1;
-    let per_elem = if ppsr { z } else { offsets * k };
-    counters.multiplies += (per_elem * input.len()) as u64;
-    counters.adds += (per_elem.saturating_sub(1) * input.len()) as u64;
-    counters.sr_writes += (offsets * input.len()) as u64;
+    let out_len = (input.len() + 1).saturating_sub(k);
+    if ppsr {
+        // Every broadcast element activates all Z multipliers once and
+        // ripples through the Z−1 stacked adders; the shared products are
+        // staged in the SR group, one write per offset lane.
+        counters.multiplies += (z * input.len()) as u64;
+        counters.adds += (z.saturating_sub(1) * input.len()) as u64;
+        counters.sr_writes += (offsets * input.len()) as u64;
+    } else {
+        // Reuse disabled (Fig. 5(a) ablation): each offset recomputes its
+        // row independently in a plain PE. Products live in per-PE
+        // pipeline registers, so no SR-group traffic is charged, and each
+        // of the `out_len` outputs per offset costs K−1 adder
+        // activations.
+        counters.multiplies += (offsets * k * input.len()) as u64;
+        counters.adds += (offsets * k.saturating_sub(1) * out_len) as u64;
+    }
     (0..offsets)
         .map(|dx| row_correlate(&meta_row[dx..dx + k], input))
         .collect()
@@ -88,14 +114,24 @@ pub fn scnn_row_pass(
     counters: &mut Counters,
 ) -> (Vec<Accum>, Option<Vec<Accum>>) {
     let k = base_row.len();
+    let out_len = (input.len() + 1).saturating_sub(k);
     counters.multiplies += (k * input.len()) as u64;
-    counters.adds += (k.saturating_sub(1) * input.len()) as u64;
-    counters.sr_writes += input.len() as u64;
+    // Each result stream has `out_len` outputs, and combining K products
+    // into one output costs K−1 adder activations. (The earlier model
+    // charged (K−1)·input.len(), overcounting the K−1 edge positions
+    // that produce no output.)
+    counters.adds += (k.saturating_sub(1) * out_len) as u64;
     let fwd = row_correlate(base_row, input);
     if ppsr {
-        counters.sr_writes += input.len() as u64;
+        // The products are staged in the SR pair so the mirrored stream
+        // can consume them in reverse order: one SR write per product
+        // stage per direction, plus the mirrored stream's own adds.
+        counters.sr_writes += 2 * input.len() as u64;
+        counters.adds += (k.saturating_sub(1) * out_len) as u64;
         (fwd, Some(row_correlate_rev(base_row, input)))
     } else {
+        // Reuse disabled: a plain PE computing one direction keeps its
+        // products in per-PE registers — no SR-group traffic.
         (fwd, None)
     }
 }
@@ -109,8 +145,9 @@ pub fn conventional_row_pass(
     counters: &mut Counters,
 ) -> Vec<Accum> {
     let k = filter_row.len();
+    let out_len = (input.len() + 1).saturating_sub(k);
     counters.multiplies += (k * input.len()) as u64;
-    counters.adds += (k.saturating_sub(1) * input.len()) as u64;
+    counters.adds += (k.saturating_sub(1) * out_len) as u64;
     row_correlate(filter_row, input)
 }
 
@@ -152,8 +189,14 @@ mod tests {
         let mut c = Counters::new();
         let results = dcnn_row_pass(&meta, &input, 3, true, &mut c);
         assert_eq!(results.len(), 2);
-        assert_eq!(as_f32(&results[0]), as_f32(&row_correlate(&meta[0..3], &input)));
-        assert_eq!(as_f32(&results[1]), as_f32(&row_correlate(&meta[1..4], &input)));
+        assert_eq!(
+            as_f32(&results[0]),
+            as_f32(&row_correlate(&meta[0..3], &input))
+        );
+        assert_eq!(
+            as_f32(&results[1]),
+            as_f32(&row_correlate(&meta[1..4], &input))
+        );
     }
 
     #[test]
@@ -186,6 +229,39 @@ mod tests {
         assert_eq!(as_f32(&rev), as_f32(&row_correlate_rev(&base, &input)));
         // Same multiplies, twice the outputs.
         assert_eq!(with.multiplies, without.multiplies);
+    }
+
+    #[test]
+    fn dcnn_reuse_off_charges_no_sr_writes() {
+        // The reuse-off ablation models plain PEs with private pipeline
+        // registers: SR-group traffic must stay zero or the ablation's
+        // energy story double-counts register writes as SRAM-class SRs.
+        let meta = fx(&[0.5, -1.0, 2.0, 1.5]);
+        let input = fx(&[1.0; 12]);
+        let mut with = Counters::new();
+        let mut without = Counters::new();
+        let _ = dcnn_row_pass(&meta, &input, 3, true, &mut with);
+        let _ = dcnn_row_pass(&meta, &input, 3, false, &mut without);
+        assert_eq!(without.sr_writes, 0);
+        // With PPSR: one SR write per offset lane per broadcast element.
+        assert_eq!(with.sr_writes, 2 * 12);
+    }
+
+    #[test]
+    fn scnn_adds_match_output_count() {
+        // K = 3, 5 input elements → 3 outputs per stream; each output
+        // costs K−1 = 2 adds.
+        let base = fx(&[1.0, -2.0, 0.5]);
+        let input = fx(&[0.5, 1.0, 1.5, -1.0, 2.0]);
+        let mut with = Counters::new();
+        let (_, rev) = scnn_row_pass(&base, &input, true, &mut with);
+        assert!(rev.is_some());
+        // Two streams with PPSR.
+        assert_eq!(with.adds, 2 * 2 * 3);
+        let mut without = Counters::new();
+        let _ = scnn_row_pass(&base, &input, false, &mut without);
+        assert_eq!(without.adds, 2 * 3);
+        assert_eq!(without.sr_writes, 0);
     }
 
     #[test]

@@ -98,8 +98,7 @@ pub fn conventional_utilization(cfg: &TfeConfig, k: usize) -> f64 {
         return 1.0;
     }
     let tiles = static_tiles(cfg, mapping.sub_extent);
-    let coverage =
-        (tiles * mapping.sub_extent * mapping.sub_extent) as f64 / cfg.pes() as f64;
+    let coverage = (tiles * mapping.sub_extent * mapping.sub_extent) as f64 / cfg.pes() as f64;
     let useful = mapping.useful_weights as f64 / mapping.pes_per_filter() as f64;
     useful * coverage
 }

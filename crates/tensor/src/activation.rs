@@ -64,7 +64,10 @@ pub fn softmax_channels(input: &Tensor4<f32>) -> Tensor4<f32> {
             denom += (input.get([b, ch, 0, 0]) - max).exp();
         }
         for ch in 0..c {
-            out.set([b, ch, 0, 0], (input.get([b, ch, 0, 0]) - max).exp() / denom);
+            out.set(
+                [b, ch, 0, 0],
+                (input.get([b, ch, 0, 0]) - max).exp() / denom,
+            );
         }
     }
     out

@@ -258,12 +258,12 @@ mod tests {
     #[test]
     fn fixed_point_matches_f32_for_representable_values() {
         let shape = small_shape();
-        let input =
-            Tensor4::from_fn([1, 2, 5, 5], |[_, c, y, x]| (c as f32 + y as f32 - x as f32) * 0.25);
-        let weights =
-            Tensor4::from_fn([3, 2, 3, 3], |[m, c, y, x]| {
-                (m as f32 - c as f32 + y as f32 * x as f32) * 0.125
-            });
+        let input = Tensor4::from_fn([1, 2, 5, 5], |[_, c, y, x]| {
+            (c as f32 + y as f32 - x as f32) * 0.25
+        });
+        let weights = Tensor4::from_fn([3, 2, 3, 3], |[m, c, y, x]| {
+            (m as f32 - c as f32 + y as f32 * x as f32) * 0.125
+        });
         let fout = conv2d_f32(&input, &weights, None, &shape).unwrap();
         let qout = conv2d_fx(
             &input.map(Fx16::from_f32),
@@ -286,15 +286,20 @@ mod tests {
         let input = Tensor4::zeros([1, 2, 5, 5]);
         let weights = Tensor4::<f32>::zeros([3, 2, 5, 5]); // wrong K
         let err = conv2d_f32(&input, &weights, None, &shape).unwrap_err();
-        assert!(matches!(err, TensorError::ShapeMismatch { what: "filter height", .. }));
+        assert!(matches!(
+            err,
+            TensorError::ShapeMismatch {
+                what: "filter height",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn fully_connected_is_matvec() {
         let shape = LayerShape::fully_connected("fc", 3, 2).unwrap();
         let input = Tensor4::from_vec([1, 3, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
-        let weights =
-            Tensor4::from_vec([2, 3, 1, 1], vec![1.0, 0.0, 0.0, 0.5, 0.5, 0.5]).unwrap();
+        let weights = Tensor4::from_vec([2, 3, 1, 1], vec![1.0, 0.0, 0.0, 0.5, 0.5, 0.5]).unwrap();
         let out = fully_connected_f32(&input, &weights, None, &shape).unwrap();
         assert_eq!(out.get([0, 0, 0, 0]), 1.0);
         assert_eq!(out.get([0, 1, 0, 0]), 3.0);

@@ -56,7 +56,10 @@ impl fmt::Display for TensorError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "shape mismatch for {what}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "shape mismatch for {what}: expected {expected}, got {actual}"
+            ),
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds for extent {bound}")
             }

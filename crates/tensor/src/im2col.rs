@@ -38,7 +38,10 @@ pub fn im2col(
         }
     }
     if batch >= b {
-        return Err(TensorError::IndexOutOfBounds { index: batch, bound: b });
+        return Err(TensorError::IndexOutOfBounds {
+            index: batch,
+            bound: b,
+        });
     }
     let (k, e, f) = (shape.k(), shape.e(), shape.f());
     let (stride, pad, dilation) = (shape.stride(), shape.pad(), shape.dilation());
@@ -54,13 +57,9 @@ pub fn im2col(
                     for ox in 0..f {
                         let ix = (ox * stride + kx * dilation) as isize - pad as isize;
                         let col = oy * f + ox;
-                        if iy >= 0
-                            && iy < shape.h() as isize
-                            && ix >= 0
-                            && ix < shape.w() as isize
+                        if iy >= 0 && iy < shape.h() as isize && ix >= 0 && ix < shape.w() as isize
                         {
-                            out[row * cols + col] =
-                                input.get([batch, c, iy as usize, ix as usize]);
+                            out[row * cols + col] = input.get([batch, c, iy as usize, ix as usize]);
                         }
                     }
                 }

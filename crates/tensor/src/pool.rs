@@ -127,7 +127,9 @@ pub fn pool_rows_max(previous: &[f32], current: &[f32]) -> Vec<f32> {
 /// Horizontal (`1 × 2`) max pooling of one row — the `Pool_Reg` phase.
 #[must_use]
 pub fn pool_row_horizontal_max(row: &[f32]) -> Vec<f32> {
-    row.chunks_exact(2).map(|pair| pair[0].max(pair[1])).collect()
+    row.chunks_exact(2)
+        .map(|pair| pair[0].max(pair[1]))
+        .collect()
 }
 
 #[cfg(test)]

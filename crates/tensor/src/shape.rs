@@ -106,7 +106,17 @@ impl LayerShape {
         stride: usize,
         pad: usize,
     ) -> Result<Self, TensorError> {
-        Self::with_kind(name, ConvKind::DepthWise, channels, channels, h, w, k, stride, pad)
+        Self::with_kind(
+            name,
+            ConvKind::DepthWise,
+            channels,
+            channels,
+            h,
+            w,
+            k,
+            stride,
+            pad,
+        )
     }
 
     /// Creates a fully connected layer shape with `inputs` input features
@@ -118,7 +128,17 @@ impl LayerShape {
     ///
     /// Returns [`TensorError::InvalidDimension`] if either count is zero.
     pub fn fully_connected(name: &str, inputs: usize, outputs: usize) -> Result<Self, TensorError> {
-        Self::with_kind(name, ConvKind::FullyConnected, inputs, outputs, 1, 1, 1, 1, 0)
+        Self::with_kind(
+            name,
+            ConvKind::FullyConnected,
+            inputs,
+            outputs,
+            1,
+            1,
+            1,
+            1,
+            0,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]

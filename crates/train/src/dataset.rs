@@ -50,7 +50,7 @@ impl SyntheticDataset {
             // Additive noise over the whole canvas.
             for y in 0..SIZE {
                 for x in 0..SIZE {
-                    let noisy = img.get([0, 0, y, x]) + rng.gen_range(-0.15..0.15);
+                    let noisy = img.get([0, 0, y, x]) + rng.gen_range(-0.15f32..0.15);
                     img.set([0, 0, y, x], noisy);
                 }
             }

@@ -182,6 +182,10 @@ mod tests {
             train_and_evaluate_with_model(Some(TransferScheme::Scnn), &train, &test, &cfg);
         let deployed = DeployedCnn::from_trained(&model).unwrap();
         let (_, out) = deployed.predict(test.image(0)).unwrap();
-        assert!(out.counters.mac_reduction() > 2.0, "{}", out.counters.mac_reduction());
+        assert!(
+            out.counters.mac_reduction() > 2.0,
+            "{}",
+            out.counters.mac_reduction()
+        );
     }
 }

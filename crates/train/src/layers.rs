@@ -147,7 +147,10 @@ pub fn maxpool_backward(
                     let pos = argmax[idx];
                     idx += 1;
                     let (y, x) = (pos / w, pos % w);
-                    din.set([b, ch, y, x], din.get([b, ch, y, x]) + dout.get([b, ch, oy, ox]));
+                    din.set(
+                        [b, ch, y, x],
+                        din.get([b, ch, y, x]) + dout.get([b, ch, oy, ox]),
+                    );
                 }
             }
         }
@@ -195,9 +198,15 @@ mod tests {
         for &idx in &[[0, 0, 0, 0], [1, 1, 2, 2], [2, 0, 1, 1]] {
             let orig = weights.get(idx);
             weights.set(idx, orig + eps);
-            let up: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            let up: f32 = conv_forward(&input, &weights, &bias, &shape)
+                .as_slice()
+                .iter()
+                .sum();
             weights.set(idx, orig - eps);
-            let down: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            let down: f32 = conv_forward(&input, &weights, &bias, &shape)
+                .as_slice()
+                .iter()
+                .sum();
             weights.set(idx, orig);
             let numerical = (up - down) / (2.0 * eps);
             assert!(
@@ -226,9 +235,15 @@ mod tests {
         for &idx in &[[0, 0, 0, 0], [0, 0, 2, 3], [0, 0, 3, 3]] {
             let orig = input.get(idx);
             input.set(idx, orig + eps);
-            let up: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            let up: f32 = conv_forward(&input, &weights, &bias, &shape)
+                .as_slice()
+                .iter()
+                .sum();
             input.set(idx, orig - eps);
-            let down: f32 = conv_forward(&input, &weights, &bias, &shape).as_slice().iter().sum();
+            let down: f32 = conv_forward(&input, &weights, &bias, &shape)
+                .as_slice()
+                .iter()
+                .sum();
             input.set(idx, orig);
             let numerical = (up - down) / (2.0 * eps);
             assert!(
@@ -250,11 +265,7 @@ mod tests {
 
     #[test]
     fn maxpool_round_trip_routes_gradient_to_argmax() {
-        let input = Tensor4::from_vec(
-            [1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let input = Tensor4::from_vec([1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]).unwrap();
         let (out, argmax) = maxpool_forward(&input);
         assert_eq!(out.get([0, 0, 0, 0]), 5.0);
         let dout = Tensor4::filled([1, 1, 1, 1], 2.0f32);

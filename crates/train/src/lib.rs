@@ -30,6 +30,6 @@ pub mod net;
 pub mod train;
 
 pub use dataset::SyntheticDataset;
-pub use net::{ConvParam, SmallCnn};
 pub use deploy::{deployed_accuracy, DeployedCnn};
+pub use net::{ConvParam, SmallCnn};
 pub use train::{train_and_evaluate, train_and_evaluate_with_model, TrainConfig, TrainOutcome};

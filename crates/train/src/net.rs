@@ -300,8 +300,8 @@ impl SmallCnn {
     /// (never the case for DCNN 4×4 / SCNN).
     #[must_use]
     pub fn new(scheme: Option<TransferScheme>, mut next: impl FnMut() -> f32) -> SmallCnn {
-        let s1 = LayerShape::conv("conv1", 1, WIDTH, 16, 16, 3, 1, 1)
-            .expect("static experiment shape");
+        let s1 =
+            LayerShape::conv("conv1", 1, WIDTH, 16, 16, 3, 1, 1).expect("static experiment shape");
         let s2 = LayerShape::conv("conv2", WIDTH, WIDTH, 8, 8, 3, 1, 1)
             .expect("static experiment shape");
         let classes = crate::dataset::CLASSES;
@@ -419,13 +419,12 @@ impl SmallCnn {
                 self.fc_w[c * flat_len + i] -= lr * g * flat[i];
             }
         }
-        let dp2 = Tensor4::from_vec(cache.p2.dims(), dflat)
-            .expect("flat gradient has the pooled extent");
+        let dp2 =
+            Tensor4::from_vec(cache.p2.dims(), dflat).expect("flat gradient has the pooled extent");
         // Pool2 / ReLU2 / Conv2.
         let da2 = layers::maxpool_backward(cache.a2.dims(), &cache.p2_argmax, &dp2);
         let dc2 = layers::relu_backward(&cache.a2, &da2);
-        let (dp1, dw2, db2) =
-            layers::conv_backward(&cache.p1, &cache.w2, &dc2, &self.conv2.shape);
+        let (dp1, dw2, db2) = layers::conv_backward(&cache.p1, &cache.w2, &dc2, &self.conv2.shape);
         self.conv2.param.apply_grad(&dw2, lr);
         for (b, g) in self.conv2.bias.iter_mut().zip(db2) {
             *b -= lr * g;
@@ -433,8 +432,7 @@ impl SmallCnn {
         // Pool1 / ReLU1 / Conv1.
         let da1 = layers::maxpool_backward(cache.a1.dims(), &cache.p1_argmax, &dp1);
         let dc1 = layers::relu_backward(&cache.a1, &da1);
-        let (_, dw1, db1) =
-            layers::conv_backward(&cache.input, &cache.w1, &dc1, &self.conv1.shape);
+        let (_, dw1, db1) = layers::conv_backward(&cache.input, &cache.w1, &dc1, &self.conv1.shape);
         self.conv1.param.apply_grad(&dw1, lr);
         for (b, g) in self.conv1.bias.iter_mut().zip(db1) {
             *b -= lr * g;
@@ -485,9 +483,8 @@ mod tests {
         // every transferred filter position that reads it.
         let shape = LayerShape::conv("t", 1, 4, 4, 4, 3, 1, 1).unwrap();
         let mut param = ConvParam::init(&shape, Some(TransferScheme::DCNN4), || 0.0);
-        let dense_grad = Tensor4::from_fn([4, 1, 3, 3], |[m, _, y, x]| {
-            (m * 100 + y * 10 + x) as f32
-        });
+        let dense_grad =
+            Tensor4::from_fn([4, 1, 3, 3], |[m, _, y, x]| (m * 100 + y * 10 + x) as f32);
         param.apply_grad(&dense_grad, 1.0);
         let ConvParam::Dcnn { metas, .. } = &param else {
             panic!("expected dcnn param")
@@ -550,9 +547,7 @@ mod tests {
         // exact orbit expansion (weights never drift apart).
         let mut s = 13;
         let mut net = SmallCnn::new(Some(TransferScheme::Scnn), || det(&mut s));
-        let input = Tensor4::from_fn([1, 1, 16, 16], |[_, _, y, x]| {
-            (y as f32 - x as f32) / 16.0
-        });
+        let input = Tensor4::from_fn([1, 1, 16, 16], |[_, _, y, x]| (y as f32 - x as f32) / 16.0);
         for step in 0..3 {
             let cache = net.forward(&input);
             let (_, dlogits) = softmax_cross_entropy(cache.logits(), step % 10);

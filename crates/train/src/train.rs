@@ -113,7 +113,12 @@ mod tests {
             ..TrainConfig::default()
         };
         let more = train_and_evaluate(None, &train, &test, &longer);
-        assert!(more.final_loss < one.final_loss, "{} vs {}", more.final_loss, one.final_loss);
+        assert!(
+            more.final_loss < one.final_loss,
+            "{} vs {}",
+            more.final_loss,
+            one.final_loss
+        );
     }
 
     #[test]

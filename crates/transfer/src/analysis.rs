@@ -21,13 +21,25 @@ pub struct ReuseConfig {
 
 impl ReuseConfig {
     /// Both techniques on — the shipping TFE configuration.
-    pub const FULL: ReuseConfig = ReuseConfig { ppsr: true, errr: true };
+    pub const FULL: ReuseConfig = ReuseConfig {
+        ppsr: true,
+        errr: true,
+    };
     /// Both techniques off — the naive transferred-filter implementation.
-    pub const NONE: ReuseConfig = ReuseConfig { ppsr: false, errr: false };
+    pub const NONE: ReuseConfig = ReuseConfig {
+        ppsr: false,
+        errr: false,
+    };
     /// PPSR only.
-    pub const PPSR_ONLY: ReuseConfig = ReuseConfig { ppsr: true, errr: false };
+    pub const PPSR_ONLY: ReuseConfig = ReuseConfig {
+        ppsr: true,
+        errr: false,
+    };
     /// ERRR only.
-    pub const ERRR_ONLY: ReuseConfig = ReuseConfig { ppsr: false, errr: true };
+    pub const ERRR_ONLY: ReuseConfig = ReuseConfig {
+        ppsr: false,
+        errr: true,
+    };
 }
 
 impl Default for ReuseConfig {
@@ -152,8 +164,8 @@ pub fn scnn_param_reduction() -> f64 {
 /// SCNN MAC reduction ratio under a reuse configuration.
 #[must_use]
 pub fn scnn_mac_reduction(reuse: ReuseConfig) -> f64 {
-    let unit = LayerShape::conv("unit", 1, 8, 8, 8, 3, 1, 1)
-        .expect("static unit layer shape is valid");
+    let unit =
+        LayerShape::conv("unit", 1, 8, 8, 8, 3, 1, 1).expect("static unit layer shape is valid");
     unit.macs() as f64 / scnn_macs_with(&unit, reuse) as f64
 }
 
@@ -232,9 +244,8 @@ mod tests {
         let shape = vgg_layer();
         // Eq. 3 with M divisible by G: E·F·M·Z²·N / (Z−K+1)².
         let z = 6u64;
-        let expected = shape.e() as u64 * shape.f() as u64 * shape.m() as u64 * z * z
-            * shape.n() as u64
-            / 16;
+        let expected =
+            shape.e() as u64 * shape.f() as u64 * shape.m() as u64 * z * z * shape.n() as u64 / 16;
         assert_eq!(dcnn_tfe_macs(&shape, 6), expected);
         // And the ratio against Eq. 1 equals Eq. 5.
         let ratio = shape.macs() as f64 / dcnn_tfe_macs(&shape, 6) as f64;
@@ -287,12 +298,19 @@ mod tests {
     #[test]
     fn untransferable_layers_keep_dense_costs() {
         let pw = LayerShape::conv("pw", 64, 64, 28, 28, 1, 1, 0).unwrap();
-        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
             assert_eq!(scheme_params(&pw, scheme), pw.params());
             assert_eq!(scheme_macs(&pw, scheme, ReuseConfig::FULL), pw.macs());
         }
         let fc = LayerShape::fully_connected("fc", 4096, 1000).unwrap();
-        assert_eq!(scheme_macs(&fc, TransferScheme::Scnn, ReuseConfig::FULL), fc.macs());
+        assert_eq!(
+            scheme_macs(&fc, TransferScheme::Scnn, ReuseConfig::FULL),
+            fc.macs()
+        );
     }
 
     #[test]

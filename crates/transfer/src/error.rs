@@ -47,20 +47,29 @@ impl fmt::Display for TransferError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransferError::MetaSmallerThanFilter { z, k } => {
-                write!(f, "meta filter extent {z} is smaller than filter extent {k}")
+                write!(
+                    f,
+                    "meta filter extent {z} is smaller than filter extent {k}"
+                )
             }
             TransferError::NotTransferable { reason } => {
                 write!(f, "layer cannot be transferred: {reason}")
             }
             TransferError::DataLengthMismatch { expected, actual } => {
-                write!(f, "data length mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "data length mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TransferError::ZeroExtent { what } => write!(f, "{what} must be nonzero"),
             TransferError::GroupingMismatch {
                 what,
                 requested,
                 available,
-            } => write!(f, "grouping mismatch ({what}): requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "grouping mismatch ({what}): requested {requested}, available {available}"
+            ),
         }
     }
 }

@@ -68,7 +68,9 @@ impl Mba {
     /// stored filter. The paper's typical configuration is 2–4.
     #[must_use]
     pub fn new(biases: usize) -> Self {
-        Mba { biases: biases.max(1) }
+        Mba {
+            biases: biases.max(1),
+        }
     }
 
     /// Parameters stored: the filter bank shrinks by the bias multiplicity

@@ -93,7 +93,13 @@ fn fit_dcnn(
         let data: Vec<f32> = sums
             .iter()
             .zip(&counts)
-            .map(|(&s, &n)| if n == 0 { 0.0 } else { (s / f64::from(n)) as f32 })
+            .map(|(&s, &n)| {
+                if n == 0 {
+                    0.0
+                } else {
+                    (s / f64::from(n)) as f32
+                }
+            })
             .collect();
         metas.push(MetaFilter::new(shape.n(), z, data)?);
     }

@@ -184,10 +184,8 @@ impl TransferredLayer {
     ) -> Result<Self, TransferError> {
         TransferScheme::check_supported(shape)?;
         if !scheme.applies_to(shape) {
-            let weights = Tensor4::from_fn(
-                [shape.m(), shape.n(), shape.k(), shape.k()],
-                |_| next(),
-            );
+            let weights =
+                Tensor4::from_fn([shape.m(), shape.n(), shape.k(), shape.k()], |_| next());
             return Ok(TransferredLayer::Dense { weights });
         }
         match scheme {
@@ -276,8 +274,7 @@ mod tests {
     fn untransferable_layers_come_back_dense() {
         let pw = LayerShape::conv("pw", 4, 4, 8, 8, 1, 1, 0).unwrap();
         let mut seed = 5;
-        let layer =
-            TransferredLayer::random(&pw, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+        let layer = TransferredLayer::random(&pw, TransferScheme::Scnn, || det(&mut seed)).unwrap();
         assert!(!layer.is_transferred());
         assert_eq!(layer.stored_params(), pw.params());
     }
@@ -286,8 +283,8 @@ mod tests {
     fn depthwise_layer_rejected() {
         let dw = LayerShape::depthwise("dw", 4, 8, 8, 3, 1, 1).unwrap();
         let mut seed = 5;
-        let err = TransferredLayer::random(&dw, TransferScheme::Scnn, || det(&mut seed))
-            .unwrap_err();
+        let err =
+            TransferredLayer::random(&dw, TransferScheme::Scnn, || det(&mut seed)).unwrap_err();
         assert!(matches!(err, TransferError::NotTransferable { .. }));
     }
 

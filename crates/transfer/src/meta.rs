@@ -40,10 +40,14 @@ impl MetaFilter {
     /// length.
     pub fn new(channels: usize, z: usize, data: Vec<f32>) -> Result<Self, TransferError> {
         if channels == 0 {
-            return Err(TransferError::ZeroExtent { what: "meta filter channels" });
+            return Err(TransferError::ZeroExtent {
+                what: "meta filter channels",
+            });
         }
         if z == 0 {
-            return Err(TransferError::ZeroExtent { what: "meta filter extent" });
+            return Err(TransferError::ZeroExtent {
+                what: "meta filter extent",
+            });
         }
         let expected = channels * z * z;
         if data.len() != expected {
@@ -57,7 +61,11 @@ impl MetaFilter {
 
     /// Creates a meta filter by evaluating `f(channel, y, x)`.
     #[must_use]
-    pub fn from_fn(channels: usize, z: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        channels: usize,
+        z: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
         let mut data = Vec::with_capacity(channels * z * z);
         for c in 0..channels {
             for y in 0..z {

@@ -96,7 +96,9 @@ impl TransferScheme {
     pub fn validate(self) -> Result<(), TransferError> {
         if let TransferScheme::Dcnn { z } = self {
             if z < 2 {
-                return Err(TransferError::ZeroExtent { what: "meta filter extent" });
+                return Err(TransferError::ZeroExtent {
+                    what: "meta filter extent",
+                });
             }
         }
         Ok(())
@@ -144,7 +146,11 @@ mod tests {
 
     #[test]
     fn pointwise_never_transfers() {
-        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
             assert_eq!(scheme.group_size(1), 1, "{scheme}");
         }
     }

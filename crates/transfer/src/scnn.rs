@@ -89,10 +89,14 @@ impl ScnnGroup {
     /// [`TransferError::DataLengthMismatch`] for a bad buffer length.
     pub fn from_base(channels: usize, k: usize, base0: Vec<f32>) -> Result<Self, TransferError> {
         if channels == 0 {
-            return Err(TransferError::ZeroExtent { what: "group channels" });
+            return Err(TransferError::ZeroExtent {
+                what: "group channels",
+            });
         }
         if k == 0 {
-            return Err(TransferError::ZeroExtent { what: "filter extent" });
+            return Err(TransferError::ZeroExtent {
+                what: "filter extent",
+            });
         }
         let expected = channels * k * k;
         if base0.len() != expected {

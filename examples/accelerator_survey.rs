@@ -12,14 +12,24 @@ use tfe::core::{Engine, TransferScheme};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new();
     let networks = [
-        "AlexNet", "VGGNet", "GoogLeNet", "ResNet", "DenseNet", "SqueezeNet", "ResANet",
+        "AlexNet",
+        "VGGNet",
+        "GoogLeNet",
+        "ResNet",
+        "DenseNet",
+        "SqueezeNet",
+        "ResANet",
     ];
     println!(
         "{:<11} {:<8} {:>9} {:>9} {:>8} {:>9} {:>9}",
         "network", "scheme", "conv x", "overall x", "param x", "offchip x", "EE x"
     );
     for net in networks {
-        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
             let r = engine.run_network(net, scheme)?;
             println!(
                 "{:<11} {:<8} {:>9.2} {:>9.2} {:>8.2} {:>9.2} {:>9.2}",

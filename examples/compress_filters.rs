@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dense = Tensor4::from_fn([16, 4, 3, 3], |_| det(&mut seed));
 
     println!("dense layer: {} parameters", dense.len());
-    for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+    for scheme in [
+        TransferScheme::DCNN4,
+        TransferScheme::DCNN6,
+        TransferScheme::Scnn,
+    ] {
         let fitted = fit_layer(&dense, &shape, scheme)?;
         let rmse = fit_rmse(&dense, &shape, scheme)?;
         println!(
@@ -46,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // check it against the reference convolution of its expansion.
         let input = Tensor4::from_fn([1, 4, 12, 12], |_| Fx16::from_f32(det(&mut seed)));
         let result = run_layer(&input, &fitted, &shape, ReuseConfig::FULL)?;
-        let oracle = conv2d_fx(&input, &fitted.expand_to_dense()?.map(Fx16::from_f32), &shape)?;
+        let oracle = conv2d_fx(
+            &input,
+            &fitted.expand_to_dense()?.map(Fx16::from_f32),
+            &shape,
+        )?;
         assert_eq!(result.output, oracle, "datapath must be bit-exact");
         println!(
             "         datapath verified bit-exact; MAC reduction {:.2}x ({} multiplies vs {} dense)",

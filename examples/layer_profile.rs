@@ -9,15 +9,19 @@ use tfe::core::{Engine, TransferScheme};
 use tfe::nets::zoo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "AlexNet".to_owned());
-    let network = zoo::by_name(&name)
-        .ok_or_else(|| format!("unknown network '{name}'"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "AlexNet".to_owned());
+    let network = zoo::by_name(&name).ok_or_else(|| format!("unknown network '{name}'"))?;
 
     let engine = Engine::new();
     let tfe = engine.tfe_perf(&network, TransferScheme::Scnn);
     let eyeriss = engine.eyeriss_perf(&network);
 
-    println!("{} under SCNN on the TFE (vs Eyeriss, normalized PEs)\n", network.name());
+    println!(
+        "{} under SCNN on the TFE (vs Eyeriss, normalized PEs)\n",
+        network.name()
+    );
     println!(
         "{:<24} {:<14} {:>7} {:>12} {:>12} {:>9}",
         "layer", "mode", "util", "tfe cycles", "ey cycles", "speedup"

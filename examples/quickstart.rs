@@ -32,6 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("conv MAC reduction:      {:.2}x", report.conv_mac_reduction);
     println!("off-chip access saving:  {:.2}x", report.offchip_reduction);
     println!("modelled TFE power:      {:.1} mW", report.tfe_power_mw);
-    println!("energy efficiency:       {:.2}x Eyeriss", report.energy_efficiency);
+    println!(
+        "energy efficiency:       {:.2}x Eyeriss",
+        report.energy_efficiency
+    );
     Ok(())
 }

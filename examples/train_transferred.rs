@@ -18,13 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learning_rate: 0.05,
         seed: 7,
     };
-    println!("training 3 variants on {} samples, testing on {}", train.len(), test.len());
+    println!(
+        "training 3 variants on {} samples, testing on {}",
+        train.len(),
+        test.len()
+    );
     println!(
         "{:<10} {:>9} {:>12} {:>11} {:>14}",
         "scheme", "f32 acc", "conv params", "final loss", "TFE (Q8.8) acc"
     );
     let mut dense_acc = None;
-    for scheme in [None, Some(TransferScheme::DCNN4), Some(TransferScheme::Scnn)] {
+    for scheme in [
+        None,
+        Some(TransferScheme::DCNN4),
+        Some(TransferScheme::Scnn),
+    ] {
         let (o, model) = train_and_evaluate_with_model(scheme, &train, &test, &cfg);
         // Deploy the trained model onto the functional TFE datapath and
         // measure the quantized accuracy — the full train-compress-deploy

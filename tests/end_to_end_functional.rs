@@ -38,7 +38,8 @@ fn check(shape: &LayerShape, scheme: TransferScheme, seed: u32) {
     ] {
         let got = run_layer(&input, &layer, shape, reuse).expect("functional sim succeeds");
         assert_eq!(
-            got.output, oracle,
+            got.output,
+            oracle,
             "{shape} under {} with {reuse:?}",
             scheme.label()
         );
@@ -118,8 +119,7 @@ fn tfe_and_eyeriss_dataflows_agree_bit_exactly() {
 
     let shape = LayerShape::conv("x", 2, 16, 10, 10, 3, 1, 1).unwrap();
     let mut seed = 101;
-    let layer =
-        TransferredLayer::random(&shape, TransferScheme::DCNN6, || det(&mut seed)).unwrap();
+    let layer = TransferredLayer::random(&shape, TransferScheme::DCNN6, || det(&mut seed)).unwrap();
     let input = Tensor4::from_fn([1, 2, 10, 10], |_| Fx16::from_f32(det(&mut seed)));
     let dense = layer.expand_to_dense().unwrap().map(Fx16::from_f32);
 
@@ -146,7 +146,10 @@ fn functional_network_runs_under_every_scheme() {
         (TransferScheme::Scnn, 8),
     ] {
         let shapes = vec![
-            (LayerShape::conv("s1", 1, m1, 16, 16, 3, 1, 1).unwrap(), true),
+            (
+                LayerShape::conv("s1", 1, m1, 16, 16, 3, 1, 1).unwrap(),
+                true,
+            ),
             (LayerShape::conv("s2", m1, m1, 8, 8, 3, 1, 1).unwrap(), true),
         ];
         let mut seed = 31;
@@ -156,6 +159,11 @@ fn functional_network_runs_under_every_scheme() {
         assert_eq!(out.activations.dims(), [1, m1, 4, 4], "{}", scheme.label());
         // Ideal 2.25x-4x per scheme; tiny 12x12/6x6 maps pay heavy edge
         // overhead, so require a conservative floor.
-        assert!(out.counters.mac_reduction() > 1.4, "{}: {}", scheme.label(), out.counters.mac_reduction());
+        assert!(
+            out.counters.mac_reduction() > 1.4,
+            "{}: {}",
+            scheme.label(),
+            out.counters.mac_reduction()
+        );
     }
 }

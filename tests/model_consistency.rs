@@ -38,7 +38,11 @@ fn check_counts(shape: &LayerShape, scheme: TransferScheme, seed: u32) {
     let input = Tensor4::from_fn([1, shape.n(), shape.h(), shape.w()], |_| {
         Fx16::from_f32(det(&mut iseed))
     });
-    for reuse in [ReuseConfig::FULL, ReuseConfig::PPSR_ONLY, ReuseConfig::ERRR_ONLY] {
+    for reuse in [
+        ReuseConfig::FULL,
+        ReuseConfig::PPSR_ONLY,
+        ReuseConfig::ERRR_ONLY,
+    ] {
         let functional = run_layer(&input, &layer, shape, reuse).unwrap();
         let analytic = analysis::scheme_macs(shape, scheme, reuse);
         let measured = functional.counters.multiplies;
@@ -78,7 +82,11 @@ fn perf_model_equals_analysis_over_whole_networks() {
     use tfe::nets::zoo;
     use tfe::sim::perf::{NetworkPerf, PerfConfig};
     for net in zoo::all() {
-        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
             let plan = net.plan(scheme);
             let perf = NetworkPerf::evaluate(&plan, &PerfConfig::default());
             assert_eq!(

@@ -35,7 +35,11 @@ fn abstract_conv_speedup_averages() {
 fn overall_speedup_lags_conv_speedup() {
     let engine = Engine::new();
     for net in ["AlexNet", "VGGNet", "GoogLeNet", "ResNet"] {
-        for scheme in [TransferScheme::DCNN4, TransferScheme::DCNN6, TransferScheme::Scnn] {
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
             let r = engine.run_network(net, scheme).unwrap();
             assert!(
                 r.overall_speedup <= r.conv_speedup + 1e-9,

@@ -1,0 +1,184 @@
+//! Parallel/batched evaluation parity: the rayon-backed fan-out in
+//! `tfe::sim::functional` and the batch engine in `tfe::sim::batch` must
+//! be bit-identical to sequential evaluation at every thread count, and
+//! the merged [`Counters`] must equal the sequential totals exactly.
+//!
+//! The guarantee rests on two properties: work units (per-image, per
+//! filter/transfer group) are pure functions of their inputs, and their
+//! results — output planes and per-unit counters — are merged in a fixed
+//! order independent of which thread produced them.
+
+use tfe::sim::batch::{run_batch, split_batch, BatchOptions};
+use tfe::sim::counters::Counters;
+use tfe::sim::functional::run_layer;
+use tfe::sim::network::{FunctionalNetwork, NetworkOutput};
+use tfe::tensor::fixed::Fx16;
+use tfe::tensor::shape::LayerShape;
+use tfe::tensor::tensor::Tensor4;
+use tfe::transfer::analysis::ReuseConfig;
+use tfe::transfer::layer::TransferredLayer;
+use tfe::transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+/// A small randomized two-stage network (conv → conv+pool) whose filter
+/// count is compatible with every scheme (8 is a multiple of the DCNN4
+/// window count 4, the DCNN6 window count 16 needs m=16, SCNN needs a
+/// multiple of 8).
+fn small_net(scheme: TransferScheme, seed: u32) -> FunctionalNetwork {
+    let m = match scheme {
+        TransferScheme::Dcnn { z: 6 } => 16,
+        _ => 8,
+    };
+    let shapes = vec![
+        (
+            LayerShape::conv("p1", 3, m, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("p2", m, m, 12, 12, 3, 1, 1).unwrap(), true),
+    ];
+    let mut s = seed;
+    FunctionalNetwork::random(&shapes, scheme, || det(&mut s)).unwrap()
+}
+
+fn images(count: usize, seed: u32) -> Vec<Tensor4<Fx16>> {
+    let mut s = seed;
+    (0..count)
+        .map(|_| Tensor4::from_fn([1, 3, 12, 12], |_| Fx16::from_f32(det(&mut s))))
+        .collect()
+}
+
+/// Sequential reference: one image at a time through `net.run`, counters
+/// accumulated in input order.
+fn sequential(
+    net: &FunctionalNetwork,
+    inputs: &[Tensor4<Fx16>],
+    reuse: ReuseConfig,
+) -> (Vec<NetworkOutput>, Counters) {
+    let mut total = Counters::new();
+    let outputs: Vec<NetworkOutput> = inputs
+        .iter()
+        .map(|img| net.run(img, reuse).unwrap())
+        .collect();
+    for out in &outputs {
+        total.merge(&out.counters);
+    }
+    (outputs, total)
+}
+
+#[test]
+fn batched_parallel_is_bit_identical_to_sequential() {
+    for scheme in [
+        TransferScheme::DCNN4,
+        TransferScheme::DCNN6,
+        TransferScheme::Scnn,
+    ] {
+        let net = small_net(scheme, 41);
+        let inputs = images(6, 977);
+        let (seq_outputs, seq_total) = sequential(&net, &inputs, ReuseConfig::FULL);
+
+        for threads in [1usize, 2, 3, 4, 8] {
+            let batch = run_batch(
+                &net,
+                &inputs,
+                ReuseConfig::FULL,
+                BatchOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(batch.outputs.len(), seq_outputs.len());
+            for (got, want) in batch.outputs.iter().zip(&seq_outputs) {
+                assert_eq!(
+                    got.activations, want.activations,
+                    "{scheme:?} activations diverge at {threads} threads"
+                );
+                assert_eq!(
+                    got.counters, want.counters,
+                    "{scheme:?} per-image counters diverge at {threads} threads"
+                );
+            }
+            assert_eq!(
+                batch.counters, seq_total,
+                "{scheme:?} merged counters diverge at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn reuse_ablations_stay_parity_under_parallelism() {
+    // The counter deltas between reuse configurations are the paper's
+    // headline metric, so parity must hold for every ablation cell, not
+    // just the full configuration.
+    let net = small_net(TransferScheme::Scnn, 7);
+    let inputs = images(4, 1234);
+    for reuse in [
+        ReuseConfig::NONE,
+        ReuseConfig::PPSR_ONLY,
+        ReuseConfig::ERRR_ONLY,
+        ReuseConfig::FULL,
+    ] {
+        let (seq_outputs, seq_total) = sequential(&net, &inputs, reuse);
+        let batch = run_batch(&net, &inputs, reuse, BatchOptions::with_threads(4)).unwrap();
+        for (got, want) in batch.outputs.iter().zip(&seq_outputs) {
+            assert_eq!(got.activations, want.activations);
+        }
+        assert_eq!(batch.counters, seq_total);
+    }
+}
+
+#[test]
+fn run_layer_is_thread_count_invariant() {
+    // The intra-layer fan-out (ofmap channels / transfer groups) must be
+    // invariant to the ambient rayon thread budget on its own, without
+    // the batch engine in the loop.
+    let shape = LayerShape::conv("inv", 4, 16, 10, 10, 3, 1, 1).unwrap();
+    let mut wseed = 5;
+    let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut wseed)).unwrap();
+    let input = Tensor4::from_fn([2, 4, 10, 10], |_| Fx16::from_f32(det(&mut wseed)));
+
+    let reference = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+    for threads in [1usize, 2, 3, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let got = pool.install(|| run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap());
+        assert_eq!(got.output, reference.output, "{threads} threads");
+        assert_eq!(got.counters, reference.counters, "{threads} threads");
+    }
+}
+
+#[test]
+fn split_batch_then_run_batch_matches_multi_batch_tensor() {
+    // Feeding a [B, C, H, W] tensor through `run_layer` directly and
+    // splitting it into B singleton images for the batch engine must
+    // agree on both values and counter totals.
+    let net = small_net(TransferScheme::DCNN4, 99);
+    let mut s = 3141;
+    let stacked = Tensor4::from_fn([3, 3, 12, 12], |_| Fx16::from_f32(det(&mut s)));
+    let singles = split_batch(&stacked);
+    assert_eq!(singles.len(), 3);
+
+    let whole = net.run(&stacked, ReuseConfig::FULL).unwrap();
+    let batch = run_batch(&net, &singles, ReuseConfig::FULL, BatchOptions::default()).unwrap();
+
+    let [_, c, h, w] = whole.activations.dims();
+    for (b, out) in batch.outputs.iter().enumerate() {
+        assert_eq!(out.activations.dims(), [1, c, h, w]);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    assert_eq!(
+                        out.activations.get([0, ci, y, x]),
+                        whole.activations.get([b, ci, y, x]),
+                        "image {b} plane {ci} at ({y},{x})"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(batch.counters, whole.counters);
+}

@@ -41,7 +41,10 @@ fn engine_runs_concurrently() {
         .map(|net| {
             let engine = engine.clone();
             std::thread::spawn(move || {
-                engine.run_network(net, TransferScheme::Scnn).unwrap().conv_speedup
+                engine
+                    .run_network(net, TransferScheme::Scnn)
+                    .unwrap()
+                    .conv_speedup
             })
         })
         .collect();
@@ -94,7 +97,10 @@ fn zero_input_produces_zero_output() {
     let input = Tensor4::filled([1, 1, 6, 6], Fx16::ZERO);
     let out = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
     assert!(out.output.as_slice().iter().all(|&a| a == Accum::ZERO));
-    assert!(out.counters.multiplies > 0, "broadcast still walks the rows");
+    assert!(
+        out.counters.multiplies > 0,
+        "broadcast still walks the rows"
+    );
 }
 
 /// Degenerate geometry: a 1x1 ifmap with a 1x1 filter — the smallest
