@@ -7,4 +7,9 @@ set -eu
 cargo fmt --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline
+cargo build --release --offline --examples
 cargo test -q --offline
+# The serving stack's integration tests exercise threads, sockets, and
+# shutdown paths — run them explicitly so a filtered test invocation can
+# never silently skip them.
+cargo test -q --offline --test serve_smoke

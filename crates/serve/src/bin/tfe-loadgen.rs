@@ -1,0 +1,215 @@
+//! `tfe-loadgen` — open-loop load generator for the serving stack.
+//!
+//! Drives a [`tfe_serve::Service`] (in-process, fully offline) with
+//! Poisson-ish arrivals: exponential inter-arrival gaps drawn from the
+//! vendored `rand` facade under a fixed seed, submitted open-loop — the
+//! generator never waits for a response before the next arrival, so
+//! overload shows up as queue-full rejections instead of silently
+//! throttled offered load.
+//!
+//! ```sh
+//! cargo run --release -p tfe-serve --bin tfe-loadgen -- \
+//!     --rate 200 --duration 5 --seed 1
+//! ```
+//!
+//! The report prints p50/p95/p99/max latency, achieved throughput,
+//! rejection/expiry counts, the merged simulator counters, and a final
+//! machine-readable JSON snapshot line.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use tfe_serve::{demo, Rejected, ServeConfig, Service};
+
+struct Args {
+    rate: f64,
+    duration: f64,
+    seed: u64,
+    batch_size: usize,
+    delay_us: u64,
+    queue: usize,
+    executors: usize,
+    threads: Option<usize>,
+    deadline_ms: Option<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            rate: 200.0,
+            duration: 5.0,
+            seed: 1,
+            batch_size: 8,
+            delay_us: 2000,
+            queue: 256,
+            executors: 2,
+            threads: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+tfe-loadgen: open-loop Poisson load generator for the TFE serving stack
+
+USAGE:
+    tfe-loadgen [--rate R] [--duration S] [--seed N] [--batch-size B]
+                [--delay-us U] [--queue Q] [--executors E] [--threads T]
+                [--deadline-ms D]
+
+OPTIONS:
+    --rate R         offered arrival rate, requests/second   [default: 200]
+    --duration S     run length in seconds                   [default: 5]
+    --seed N         RNG seed for arrivals and inputs        [default: 1]
+    --batch-size B   micro-batch flush size                  [default: 8]
+    --delay-us U     micro-batch flush delay, microseconds   [default: 2000]
+    --queue Q        request-queue capacity                  [default: 256]
+    --executors E    executor worker count                   [default: 2]
+    --threads T      worker threads per batch                [default: ambient]
+    --deadline-ms D  per-request deadline, milliseconds      [default: none]
+";
+
+fn parse_to<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--rate" => args.rate = parse_to(&value, &flag)?,
+            "--duration" => args.duration = parse_to(&value, &flag)?,
+            "--seed" => args.seed = parse_to(&value, &flag)?,
+            "--batch-size" => args.batch_size = parse_to(&value, &flag)?,
+            "--delay-us" => args.delay_us = parse_to(&value, &flag)?,
+            "--queue" => args.queue = parse_to(&value, &flag)?,
+            "--executors" => args.executors = parse_to(&value, &flag)?,
+            "--threads" => args.threads = Some(parse_to(&value, &flag)?),
+            "--deadline-ms" => args.deadline_ms = Some(parse_to(&value, &flag)?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    // `is_finite` + `<= 0.0` also rejects NaN, which `> 0.0` alone lets
+    // through via negation.
+    if !args.rate.is_finite() || args.rate <= 0.0 {
+        return Err("--rate must be positive".to_owned());
+    }
+    if !args.duration.is_finite() || args.duration <= 0.0 {
+        return Err("--duration must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("{e}\n\n{USAGE}"))?;
+
+    let net = demo::demo_network(args.seed as u32 ^ 0x5eed);
+    let config = ServeConfig {
+        max_batch_size: args.batch_size,
+        max_batch_delay: Duration::from_micros(args.delay_us),
+        queue_capacity: args.queue,
+        executors: args.executors,
+        batch_threads: args.threads,
+        default_deadline: args.deadline_ms.map(Duration::from_millis),
+        ..ServeConfig::default()
+    };
+    let service = Service::start(net, config)?;
+    let client = service.client();
+
+    let images = demo::demo_images(64, args.seed as u32 ^ 0x1a6e);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    println!(
+        "offering ~{:.0} req/s for {:.1}s (seed {}, batch ≤{}, delay {}µs, queue {}, {} executor(s))",
+        args.rate, args.duration, args.seed, args.batch_size, args.delay_us, args.queue,
+        args.executors
+    );
+
+    let start = Instant::now();
+    let end = start + Duration::from_secs_f64(args.duration);
+    let mut next_arrival = start;
+    let mut offered = 0u64;
+    let mut rejected_at_submit = 0u64;
+    let mut tickets = Vec::new();
+
+    loop {
+        // Exponential inter-arrival gap: -ln(1 - U) / rate.
+        let u: f64 = rng.gen();
+        let gap = -(1.0 - u).ln() / args.rate;
+        next_arrival += Duration::from_secs_f64(gap);
+        if next_arrival >= end {
+            break;
+        }
+        let now = Instant::now();
+        if next_arrival > now {
+            std::thread::sleep(next_arrival - now);
+        }
+        let image = images[offered as usize % images.len()].clone();
+        offered += 1;
+        match client.submit(image) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(Rejected::QueueFull { .. }) => rejected_at_submit += 1,
+            Err(other) => return Err(other.into()),
+        }
+    }
+    let offered_window = start.elapsed();
+
+    // Open loop is over; now settle every outstanding request.
+    let mut completed = 0u64;
+    let mut expired = 0u64;
+    let mut other_failures = 0u64;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => completed += 1,
+            Err(Rejected::DeadlineExceeded) => expired += 1,
+            Err(_) => other_failures += 1,
+        }
+    }
+    let snapshot = service.shutdown();
+
+    let achieved = completed as f64 / offered_window.as_secs_f64();
+    println!();
+    println!(
+        "offered:     {offered} requests ({:.1} req/s)",
+        offered as f64 / offered_window.as_secs_f64()
+    );
+    println!("completed:   {completed} ({achieved:.1} req/s)");
+    println!("rejected:    {rejected_at_submit} (queue full)");
+    println!("expired:     {expired} (deadline)");
+    if other_failures > 0 {
+        println!("failed:      {other_failures}");
+    }
+    println!(
+        "batches:     {} (mean size {:.2})",
+        snapshot.batches,
+        snapshot.mean_batch_size()
+    );
+    println!("latency p50: {} µs", snapshot.p50_us);
+    println!("latency p95: {} µs", snapshot.p95_us);
+    println!("latency p99: {} µs", snapshot.p99_us);
+    println!("latency max: {} µs", snapshot.max_us);
+    println!(
+        "sim MACs:    {} of {} dense ({:.2}x reduction)",
+        snapshot.counters.multiplies,
+        snapshot.counters.dense_macs,
+        snapshot.counters.mac_reduction()
+    );
+    println!(
+        "sim memory:  {} SRAM word accesses, {} register accesses",
+        snapshot.counters.sram_accesses(),
+        snapshot.counters.register_accesses()
+    );
+    println!();
+    println!("{}", serde_json::to_string(&snapshot)?);
+    Ok(())
+}

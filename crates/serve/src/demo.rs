@@ -1,0 +1,70 @@
+//! A small deterministic demo network and input pool shared by the
+//! quickstart example, the load generator, the latency bench, and the
+//! smoke tests.
+//!
+//! Whole ImageNet-scale networks are far too large for value-level
+//! simulation, so serving demos use a purpose-built two-stage SCNN
+//! network (the same topology the parity tests exercise). Weights and
+//! images derive from an explicit seed through a fixed LCG, so every
+//! run — and every host — sees identical values.
+
+use tfe_sim::network::FunctionalNetwork;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::TransferScheme;
+
+/// Input geometry the demo network accepts: `[1, C, H, W]`.
+pub const DEMO_INPUT_DIMS: [usize; 4] = [1, 3, 12, 12];
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+/// Builds the deterministic two-stage demo network (SCNN transfer,
+/// conv 3→8 then conv 8→8 with 2×2 pooling).
+#[must_use]
+pub fn demo_network(seed: u32) -> FunctionalNetwork {
+    let shapes = vec![
+        (
+            LayerShape::conv("serve1", 3, 8, 12, 12, 3, 1, 1).expect("static demo shape"),
+            false,
+        ),
+        (
+            LayerShape::conv("serve2", 8, 8, 12, 12, 3, 1, 1).expect("static demo shape"),
+            true,
+        ),
+    ];
+    let mut state = seed;
+    FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut state))
+        .expect("static demo network is well-formed")
+}
+
+/// Generates `count` deterministic demo input images.
+#[must_use]
+pub fn demo_images(count: usize, seed: u32) -> Vec<Tensor4<Fx16>> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| Tensor4::from_fn(DEMO_INPUT_DIMS, |_| Fx16::from_f32(det(&mut state))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_transfer::analysis::ReuseConfig;
+
+    #[test]
+    fn demo_network_is_deterministic_and_runs() {
+        let a = demo_network(7);
+        let b = demo_network(7);
+        let images = demo_images(2, 99);
+        let out_a = a.run(&images[0], ReuseConfig::FULL).unwrap();
+        let out_b = b.run(&images[0], ReuseConfig::FULL).unwrap();
+        assert_eq!(out_a.activations, out_b.activations);
+        assert_eq!(out_a.counters, out_b.counters);
+        assert_eq!(images[0].dims(), DEMO_INPUT_DIMS);
+        assert_ne!(images[0], images[1]);
+    }
+}

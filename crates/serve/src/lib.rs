@@ -1,0 +1,59 @@
+//! `tfe-serve` — a dynamic-batching inference service on the TFE
+//! simulator.
+//!
+//! The ROADMAP's north star is a system that serves heavy traffic; this
+//! crate supplies the serving story on top of the batched evaluation
+//! engine (`tfe_sim::batch::run_batch`):
+//!
+//! * **Admission control & backpressure** — a bounded request queue
+//!   rejects arrivals beyond capacity with a typed
+//!   [`Rejected::QueueFull`]; per-request deadlines drop expired work
+//!   before it wastes a batch slot; shutdown drains everything already
+//!   admitted.
+//! * **Dynamic micro-batching** — pending requests coalesce into
+//!   batches, flushing at `max_batch_size` or after `max_batch_delay`,
+//!   whichever comes first (the serving analogue of the paper's
+//!   ping-pong input memory keeping the PE array fed).
+//! * **Bit-identical results** — every batched request returns exactly
+//!   the activations and counters that a direct
+//!   [`FunctionalNetwork::run`](tfe_sim::network::FunctionalNetwork::run)
+//!   call would produce; batching is invisible to the caller.
+//! * **Two front-ends** — an in-process [`Client`] handle and a
+//!   std-only [`TcpServer`] speaking a length-prefixed JSON protocol
+//!   ([`protocol`]) over the vendored serde facades.
+//! * **Metrics** — fixed-bucket latency histograms (p50/p95/p99),
+//!   throughput/rejection counters, a queue-depth gauge, and merged
+//!   simulator [`Counters`](tfe_sim::counters::Counters), exposed via a
+//!   stats request on the same protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use tfe_serve::{demo, Service, ServeConfig};
+//!
+//! let service = Service::start(demo::demo_network(7), ServeConfig::default()).unwrap();
+//! let client = service.client();
+//! let image = demo::demo_images(1, 42).remove(0);
+//! let reply = client.infer(image).unwrap();
+//! assert!(reply.counters.multiplies > 0);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+
+pub mod config;
+pub mod demo;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod service;
+pub mod tcp;
+
+pub use config::ServeConfig;
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use service::{Client, InferenceReply, Rejected, ServeResult, Service, Ticket};
+pub use tcp::TcpServer;

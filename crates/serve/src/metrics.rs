@@ -1,0 +1,318 @@
+//! Service metrics: latency histograms, throughput/rejection counters,
+//! queue-depth gauge, and merged simulator [`Counters`].
+//!
+//! The registry is lock-light — monotonic event counts are atomics; only
+//! the latency histogram and the merged sim counters sit behind mutexes,
+//! touched once per completed request / executed batch. A
+//! [`MetricsSnapshot`] is a plain serializable struct, so the stats
+//! request on the wire protocol and the load-generator report both emit
+//! it as JSON via the vendored serde facade.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tfe_sim::counters::Counters;
+
+/// Number of latency buckets: powers of two from 1 µs to ~2¹⁵ seconds.
+const BUCKETS: usize = 35;
+
+/// Fixed-bucket latency histogram in microseconds.
+///
+/// Bucket `k` (for `k ≥ 1`) counts latencies in `[2^(k-1), 2^k)` µs;
+/// bucket 0 counts sub-microsecond completions. Quantiles are reported
+/// as the upper bound of the bucket holding the requested rank, clamped
+/// to the exact maximum — a deterministic over-estimate that is at most
+/// 2× the true quantile.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observed latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket_index(us)] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum recorded latency in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, as the upper
+    /// bound of the covering bucket; 0 when nothing was recorded.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for (k, count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let upper = if k == 0 { 1 } else { 1u64 << k };
+                return upper.min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+}
+
+/// Shared metrics registry for one service instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+    /// Cumulative sim counters since service start.
+    total_counters: Mutex<Counters>,
+    /// Sim counters since the last [`take_window`](Self::take_window).
+    window_counters: Mutex<Counters>,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one arrival (admitted or not).
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one queue-full rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts requests dropped because their deadline expired before
+    /// they reached a batch slot.
+    pub fn record_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts requests that failed with a simulator error.
+    pub fn record_failed(&self, n: u64) {
+        self.failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one formed micro-batch of `n` requests.
+    pub fn record_batch(&self, n: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one completed request and records its latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency
+            .lock()
+            .expect("latency lock poisoned")
+            .record(latency);
+    }
+
+    /// Folds one executed batch's merged sim counters into the
+    /// cumulative and window accumulators.
+    pub fn merge_counters(&self, counters: &Counters) {
+        self.total_counters
+            .lock()
+            .expect("counters lock poisoned")
+            .merge(counters);
+        self.window_counters
+            .lock()
+            .expect("counters lock poisoned")
+            .merge(counters);
+    }
+
+    /// Returns and resets the since-last-call window of merged sim
+    /// counters (used by sweeps that want per-cell deltas).
+    pub fn take_window(&self) -> Counters {
+        let mut window = self.window_counters.lock().expect("counters lock poisoned");
+        std::mem::take(&mut *window)
+    }
+
+    /// Number of completed requests so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Captures a consistent-enough snapshot for reporting. The caller
+    /// supplies the current queue depth (the gauge lives with the queue).
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let latency = self.latency.lock().expect("latency lock poisoned");
+        let counters = *self.total_counters.lock().expect("counters lock poisoned");
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+            p50_us: latency.quantile_us(0.50),
+            p95_us: latency.quantile_us(0.95),
+            p99_us: latency.quantile_us(0.99),
+            max_us: latency.max_us(),
+            counters,
+        }
+    }
+}
+
+/// A point-in-time, JSON-serializable view of a [`Metrics`] registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Total arrivals, admitted or not.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests dropped after their deadline expired in the queue.
+    pub expired: u64,
+    /// Requests failed by a simulator error.
+    pub failed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests that rode those batches (mean batch size =
+    /// `batched_requests / batches`).
+    pub batched_requests: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Median latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency upper bound, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Exact maximum latency, microseconds.
+    pub max_us: u64,
+    /// Merged simulator counters across every executed request.
+    pub counters: Counters,
+}
+
+impl MetricsSnapshot {
+    /// Mean formed micro-batch size; 0 when no batch has run.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [1u64, 2, 3, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max_us(), 10_000);
+        // Median rank 3 lands in the bucket holding 3 µs → upper bound 4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99 rank 6 lands in the 10 ms bucket → upper bound 2^14,
+        // clamped to the exact max.
+        assert_eq!(h.quantile_us(0.99), 10_000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        let mut state = 1u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Duration::from_micros(state % 50_000));
+        }
+        let qs = [0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            assert!(h.quantile_us(pair[0]) <= h.quantile_us(pair[1]));
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_with_counters() {
+        let m = Metrics::new();
+        m.record_submitted();
+        m.record_completed(Duration::from_micros(250));
+        m.record_batch(1);
+        m.merge_counters(&Counters {
+            dense_macs: 64,
+            multiplies: 16,
+            ..Counters::new()
+        });
+        let snap = m.snapshot(3);
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.counters.dense_macs, 64);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn window_counters_reset_but_totals_accumulate() {
+        let m = Metrics::new();
+        let c = Counters {
+            multiplies: 5,
+            ..Counters::new()
+        };
+        m.merge_counters(&c);
+        assert_eq!(m.take_window().multiplies, 5);
+        m.merge_counters(&c);
+        assert_eq!(m.take_window().multiplies, 5);
+        assert_eq!(m.take_window().multiplies, 0);
+        assert_eq!(m.snapshot(0).counters.multiplies, 10);
+    }
+}

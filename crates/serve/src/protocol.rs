@@ -1,0 +1,421 @@
+//! The serving wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian payload length followed by one
+//! UTF-8 JSON object carrying a `"kind"` discriminator. Activations
+//! travel as raw Q8.8 bit patterns (`i16` per sample), so a response is
+//! bit-identical to the in-process result — JSON float formatting never
+//! touches the data path.
+//!
+//! Requests: `infer` (dims + bits + optional relative `deadline_ms`) and
+//! `stats`. Responses: `ok` (dims + bits + per-request counters +
+//! latency), `rejected` (a stable reason string from
+//! [`Rejected::reason`](crate::service::Rejected::reason)), `stats`
+//! (a [`MetricsSnapshot`]), and `error` (malformed request).
+//!
+//! Everything rides the vendored `serde`/`serde_json` facades — the
+//! protocol adds no network or serialization dependencies.
+
+use crate::metrics::MetricsSnapshot;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{self, Read, Write};
+use tfe_sim::counters::Counters;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::tensor::Tensor4;
+
+/// Upper bound on one frame's payload (guards against hostile or
+/// corrupt length prefixes).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Protocol-level failure: transport or message shape.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The payload was not a well-formed protocol message.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ProtocolError {
+    fn from(e: serde_json::Error) -> Self {
+        ProtocolError::Malformed(e.to_string())
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates stream errors; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_BYTES");
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// Propagates stream errors; rejects oversized length prefixes and EOF
+/// inside a frame.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut first = [0u8; 1];
+    loop {
+        return match reader.read(&mut first) {
+            Ok(0) => Ok(None),
+            Ok(_) => read_frame_after(first[0], reader).map(Some),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => Err(e),
+        };
+    }
+}
+
+/// Completes a frame whose first length byte was already consumed (the
+/// polled TCP accept path reads one byte with a timeout, then finishes
+/// the frame without losing it).
+///
+/// # Errors
+///
+/// Propagates stream errors; rejects oversized length prefixes.
+pub fn read_frame_after(first: u8, reader: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut rest = [0u8; 3];
+    reader.read_exact(&mut rest)?;
+    let len = u32::from_be_bytes([first, rest[0], rest[1], rest[2]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Run one `[1, C, H, W]` image.
+    Infer {
+        /// The input image.
+        input: Tensor4<Fx16>,
+        /// Optional deadline relative to server receipt, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Fetch a metrics snapshot.
+    Stats,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone)]
+pub enum WireResponse {
+    /// Successful inference.
+    Ok {
+        /// Output activations (bit-identical to the in-process result).
+        activations: Tensor4<Fx16>,
+        /// This request's simulator counters.
+        counters: Counters,
+        /// Admission-to-completion latency, microseconds.
+        latency_us: u64,
+    },
+    /// The request was refused or dropped.
+    Rejected {
+        /// Stable reason identifier (`queue_full`, `deadline_exceeded`,
+        /// `shutting_down`, `sim_error`).
+        reason: String,
+    },
+    /// Metrics snapshot.
+    Stats {
+        /// The snapshot at receipt time.
+        metrics: MetricsSnapshot,
+    },
+    /// The request could not be understood.
+    Error {
+        /// Human-readable diagnosis.
+        message: String,
+    },
+}
+
+fn tensor_to_fields(t: &Tensor4<Fx16>) -> (Value, Value) {
+    let dims = Value::Array(t.dims().iter().map(|&d| Value::U64(d as u64)).collect());
+    let bits = Value::Array(
+        t.as_slice()
+            .iter()
+            .map(|fx| Value::I64(i64::from(fx.to_bits())))
+            .collect(),
+    );
+    (dims, bits)
+}
+
+fn tensor_from_fields(value: &Value) -> Result<Tensor4<Fx16>, ProtocolError> {
+    let dims: Vec<u64> = field(value, "dims")?;
+    let bits: Vec<i16> = field(value, "bits")?;
+    let dims: [usize; 4] = dims
+        .iter()
+        .map(|&d| usize::try_from(d).map_err(|_| malformed("dimension out of range")))
+        .collect::<Result<Vec<_>, _>>()?
+        .try_into()
+        .map_err(|_| malformed("dims must have exactly 4 entries"))?;
+    let samples: Vec<Fx16> = bits.into_iter().map(Fx16::from_bits).collect();
+    Tensor4::from_vec(dims, samples).map_err(|e| malformed(format!("tensor shape mismatch: {e}")))
+}
+
+fn malformed(message: impl Into<String>) -> ProtocolError {
+    ProtocolError::Malformed(message.into())
+}
+
+fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, ProtocolError> {
+    let inner = value
+        .get_field(name)
+        .ok_or_else(|| malformed(format!("missing field '{name}'")))?;
+    T::from_value(inner).map_err(|e| malformed(format!("field '{name}': {e}")))
+}
+
+fn kind_of(value: &Value) -> Result<String, ProtocolError> {
+    field(value, "kind")
+}
+
+impl WireRequest {
+    /// Renders the request as one JSON payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            WireRequest::Infer { input, deadline_ms } => {
+                let (dims, bits) = tensor_to_fields(input);
+                let mut fields = vec![
+                    ("kind".to_owned(), Value::Str("infer".to_owned())),
+                    ("dims".to_owned(), dims),
+                    ("bits".to_owned(), bits),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".to_owned(), Value::U64(*ms)));
+                }
+                Value::Object(fields)
+            }
+            WireRequest::Stats => {
+                Value::Object(vec![("kind".to_owned(), Value::Str("stats".to_owned()))])
+            }
+        };
+        serde_json::to_string(&value).expect("facade rendering is infallible")
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] for bad JSON, an unknown kind, or a
+    /// shape mismatch.
+    pub fn from_json(text: &str) -> Result<WireRequest, ProtocolError> {
+        let value: Value = serde_json::from_str(text)?;
+        match kind_of(&value)?.as_str() {
+            "infer" => Ok(WireRequest::Infer {
+                input: tensor_from_fields(&value)?,
+                deadline_ms: match value.get_field("deadline_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(
+                        u64::from_value(v)
+                            .map_err(|e| malformed(format!("field 'deadline_ms': {e}")))?,
+                    ),
+                },
+            }),
+            "stats" => Ok(WireRequest::Stats),
+            other => Err(malformed(format!("unknown request kind '{other}'"))),
+        }
+    }
+}
+
+impl WireResponse {
+    /// Renders the response as one JSON payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            WireResponse::Ok {
+                activations,
+                counters,
+                latency_us,
+            } => {
+                let (dims, bits) = tensor_to_fields(activations);
+                Value::Object(vec![
+                    ("kind".to_owned(), Value::Str("ok".to_owned())),
+                    ("dims".to_owned(), dims),
+                    ("bits".to_owned(), bits),
+                    ("counters".to_owned(), counters.to_value()),
+                    ("latency_us".to_owned(), Value::U64(*latency_us)),
+                ])
+            }
+            WireResponse::Rejected { reason } => Value::Object(vec![
+                ("kind".to_owned(), Value::Str("rejected".to_owned())),
+                ("reason".to_owned(), Value::Str(reason.clone())),
+            ]),
+            WireResponse::Stats { metrics } => Value::Object(vec![
+                ("kind".to_owned(), Value::Str("stats".to_owned())),
+                ("metrics".to_owned(), metrics.to_value()),
+            ]),
+            WireResponse::Error { message } => Value::Object(vec![
+                ("kind".to_owned(), Value::Str("error".to_owned())),
+                ("message".to_owned(), Value::Str(message.clone())),
+            ]),
+        };
+        serde_json::to_string(&value).expect("facade rendering is infallible")
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] for bad JSON, an unknown kind, or a
+    /// shape mismatch.
+    pub fn from_json(text: &str) -> Result<WireResponse, ProtocolError> {
+        let value: Value = serde_json::from_str(text)?;
+        match kind_of(&value)?.as_str() {
+            "ok" => Ok(WireResponse::Ok {
+                activations: tensor_from_fields(&value)?,
+                counters: field(&value, "counters")?,
+                latency_us: field(&value, "latency_us")?,
+            }),
+            "rejected" => Ok(WireResponse::Rejected {
+                reason: field(&value, "reason")?,
+            }),
+            "stats" => Ok(WireResponse::Stats {
+                metrics: field(&value, "metrics")?,
+            }),
+            "error" => Ok(WireResponse::Error {
+                message: field(&value, "message")?,
+            }),
+            other => Err(malformed(format!("unknown response kind '{other}'"))),
+        }
+    }
+}
+
+/// Blocking request/response round-trip over any byte stream (the
+/// client side of the protocol — used by the smoke tests and any
+/// external caller).
+///
+/// # Errors
+///
+/// Transport failures or a malformed / truncated response.
+pub fn roundtrip<S: Read + Write>(
+    stream: &mut S,
+    request: &WireRequest,
+) -> Result<WireResponse, ProtocolError> {
+    write_frame(stream, request.to_json().as_bytes())?;
+    let frame =
+        read_frame(stream)?.ok_or_else(|| malformed("connection closed before the response"))?;
+    let text = std::str::from_utf8(&frame).map_err(|_| malformed("response is not UTF-8"))?;
+    WireResponse::from_json(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tensor() -> Tensor4<Fx16> {
+        Tensor4::from_fn([1, 2, 3, 3], |[_, c, y, x]| {
+            Fx16::from_bits((c as i16 * 100 + y as i16 * 10 + x as i16) - 55)
+        })
+    }
+
+    #[test]
+    fn infer_request_round_trips_bit_exactly() {
+        let request = WireRequest::Infer {
+            input: demo_tensor(),
+            deadline_ms: Some(250),
+        };
+        let back = WireRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn stats_request_round_trips() {
+        let text = WireRequest::Stats.to_json();
+        assert_eq!(WireRequest::from_json(&text).unwrap(), WireRequest::Stats);
+    }
+
+    #[test]
+    fn ok_response_round_trips() {
+        let response = WireResponse::Ok {
+            activations: demo_tensor(),
+            counters: Counters {
+                dense_macs: 42,
+                multiplies: 10,
+                ..Counters::new()
+            },
+            latency_us: 1234,
+        };
+        match WireResponse::from_json(&response.to_json()).unwrap() {
+            WireResponse::Ok {
+                activations,
+                counters,
+                latency_us,
+            } => {
+                assert_eq!(activations, demo_tensor());
+                assert_eq!(counters.dense_macs, 42);
+                assert_eq!(latency_us, 1234);
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(WireRequest::from_json("not json").is_err());
+        assert!(WireRequest::from_json(r#"{"kind":"warp"}"#).is_err());
+        // dims/bits disagreement.
+        assert!(
+            WireRequest::from_json(r#"{"kind":"infer","dims":[1,1,2,2],"bits":[0,0,0]}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buffer: Vec<u8> = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buffer: Vec<u8> = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        buffer.truncate(buffer.len() - 2);
+        let mut cursor = io::Cursor::new(buffer);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

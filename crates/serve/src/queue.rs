@@ -1,0 +1,246 @@
+//! A bounded multi-producer blocking queue — the admission-control and
+//! hand-off primitive of the serving pipeline.
+//!
+//! Two instances appear in a running service:
+//!
+//! * the **request queue**, where [`try_push`](BoundedQueue::try_push)
+//!   implements admission control: a full queue rejects the request
+//!   immediately instead of building an unbounded backlog;
+//! * the **batch queue** between the batcher and the executor pool, where
+//!   [`push_blocking`](BoundedQueue::push_blocking) provides backpressure:
+//!   when every executor is busy, the batcher stalls, the request queue
+//!   fills, and new arrivals are shed at the front door.
+//!
+//! Closing the queue ([`close`](BoundedQueue::close)) rejects new pushes
+//! but lets consumers drain everything already admitted, which is what
+//! gives the service its graceful-shutdown semantics.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the item was not admitted.
+    Full,
+    /// The queue has been closed; no new work is accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue with blocking pop and optional blocking push.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (callers validate via `ServeConfig`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Current number of queued items (the queue-depth gauge).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission bound this queue was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking push: admits the item or refuses immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space instead of refusing.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] if the queue is (or becomes) closed while
+    /// waiting.
+    pub fn push_blocking(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Blocking pop: waits until an item is available.
+    ///
+    /// Returns `None` once the queue is closed **and** drained — the
+    /// consumer's signal that no more work will ever arrive.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Pop with a deadline: waits until an item arrives, the `deadline`
+    /// passes, or the queue is closed and drained. Returns `None` in the
+    /// latter two cases (the batcher treats both as "flush what you
+    /// have").
+    pub fn pop_until(&self, deadline: Instant) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`PushError::Closed`]; already-admitted items remain poppable.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_blocking(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop_blocking(), Some(2));
+        assert_eq!(q.pop_blocking(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_old() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed));
+        assert_eq!(q.push_blocking("b"), Err(PushError::Closed));
+        assert_eq!(q.pop_blocking(), Some("a"));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn pop_until_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(q.pop_until(deadline), None);
+        assert!(Instant::now() >= deadline);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(10u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(20).unwrap())
+        };
+        // Give the producer time to block, then make space.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_blocking(), Some(10));
+        producer.join().unwrap();
+        assert_eq!(q.pop_blocking(), Some(20));
+    }
+
+    #[test]
+    fn pop_blocking_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_blocking())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

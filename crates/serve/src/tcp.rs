@@ -1,0 +1,167 @@
+//! std-only TCP front-end speaking the length-prefixed JSON protocol.
+//!
+//! The listener runs non-blocking with a short accept poll so shutdown
+//! needs no self-connection trick; each accepted connection gets its own
+//! handler thread that serves frames back-to-back. Handlers idle with a
+//! short read timeout between frames (checking the stop flag), but once
+//! a frame's first byte arrives they finish it without a timeout — no
+//! partial frame is ever dropped.
+
+use crate::protocol::{read_frame_after, write_frame, WireRequest, WireResponse};
+use crate::service::Client;
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Idle read timeout between frames on an open connection.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// A TCP listener serving one [`Client`]'s service.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds and starts serving. Use port 0 for an ephemeral port and
+    /// read it back with [`local_addr`](Self::local_addr).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind(addr: impl ToSocketAddrs, client: Client) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tfe-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &client, &stop))?
+        };
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, waits for every connection handler to finish its
+    /// in-flight frame, and joins the threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, client: &Client, stop: &Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let client = client.clone();
+                let stop = Arc::clone(stop);
+                let spawned = std::thread::Builder::new()
+                    .name("tfe-serve-conn".to_owned())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &client, &stop);
+                    });
+                if let Ok(handle) = spawned {
+                    handlers.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_nonblocking(false)?;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Idle with a timeout so shutdown is observed; a timed-out
+        // single-byte read consumes nothing.
+        stream.set_read_timeout(Some(IDLE_READ_TIMEOUT))?;
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(()), // peer closed cleanly
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        // A frame has started: finish it untimed so it cannot be torn.
+        stream.set_read_timeout(None)?;
+        let payload = read_frame_after(first[0], &mut stream)?;
+        let response = dispatch(&payload, client);
+        write_frame(&mut stream, response.to_json().as_bytes())?;
+    }
+}
+
+/// Executes one decoded frame against the service.
+fn dispatch(payload: &[u8], client: &Client) -> WireResponse {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return WireResponse::Error {
+            message: "payload is not UTF-8".to_owned(),
+        };
+    };
+    match WireRequest::from_json(text) {
+        Ok(WireRequest::Infer { input, deadline_ms }) => {
+            let submitted = match deadline_ms {
+                // An explicit wire deadline overrides the service default.
+                Some(ms) => client.submit_with_deadline(input, Some(Duration::from_millis(ms))),
+                None => client.submit(input),
+            };
+            match submitted.and_then(|ticket| ticket.wait()) {
+                Ok(reply) => WireResponse::Ok {
+                    activations: reply.activations,
+                    counters: reply.counters,
+                    latency_us: u64::try_from(reply.latency.as_micros()).unwrap_or(u64::MAX),
+                },
+                Err(rejected) => WireResponse::Rejected {
+                    reason: rejected.reason().to_owned(),
+                },
+            }
+        }
+        Ok(WireRequest::Stats) => WireResponse::Stats {
+            metrics: client.stats(),
+        },
+        Err(e) => WireResponse::Error {
+            message: e.to_string(),
+        },
+    }
+}

@@ -58,7 +58,10 @@ pub struct BatchOutput {
 ///
 /// # Errors
 ///
-/// Propagates the first per-image [`SimError`] in input order (the same
+/// Returns [`SimError::InvalidConfig`] if `options.threads` is
+/// `Some(0)` — a zero-thread pool could never make progress, so the
+/// request is rejected before any image is evaluated. Otherwise
+/// propagates the first per-image [`SimError`] in input order (the same
 /// error a sequential loop would hit first).
 pub fn run_batch(
     net: &FunctionalNetwork,
@@ -79,8 +82,11 @@ pub fn run_batch(
         Ok(BatchOutput { outputs, counters })
     };
     match options.threads {
+        Some(0) => Err(SimError::InvalidConfig {
+            what: "batch thread count must be at least 1 (got Some(0))",
+        }),
         Some(threads) => rayon::ThreadPoolBuilder::new()
-            .num_threads(threads.max(1))
+            .num_threads(threads)
             .build()
             .map_err(|_| SimError::UnsupportedLayer {
                 reason: "failed to build the batch thread pool",
@@ -177,6 +183,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_thread_request_is_a_typed_error() {
+        let mut seed = 13;
+        let net = small_net(&mut seed);
+        let inputs = images(2, &mut seed);
+        let err = run_batch(
+            &net,
+            &inputs,
+            ReuseConfig::FULL,
+            BatchOptions::with_threads(0),
+        );
+        assert!(
+            matches!(err, Err(SimError::InvalidConfig { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]

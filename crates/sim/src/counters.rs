@@ -5,6 +5,7 @@
 //! microarchitecture, so the energy model (`tfe-energy`) can convert a
 //! counter set into joules with per-event costs.
 
+use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Counts of datapath and memory events for one simulation.
@@ -13,7 +14,11 @@ use std::ops::{Add, AddAssign};
 /// after PPSR/ERRR have removed repetitions. `dense_macs` is the work a
 /// direct implementation would do; `dense_macs / multiplies` is the MAC
 /// reduction of Fig. 19.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Counter sets serialize as flat JSON objects (via the vendored serde
+/// facade), so serving metrics endpoints and load-generator reports can
+/// emit snapshots directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
     /// MACs a dense (uncompressed, no-reuse) implementation would execute.
     pub dense_macs: u64,
@@ -183,6 +188,31 @@ mod tests {
         }
         let summed: Counters = parts.into_iter().sum();
         assert_eq!(merged, summed);
+    }
+
+    #[test]
+    fn counters_round_trip_through_json() {
+        let c = Counters {
+            dense_macs: 1000,
+            multiplies: 250,
+            adds: 750,
+            sr_reads: 11,
+            sr_writes: 22,
+            psum_mem_reads: 33,
+            psum_mem_writes: 44,
+            input_mem_reads: 55,
+            weight_reads: 66,
+            dram_bits: u64::MAX,
+            cycles: 99,
+        };
+        let text = serde_json::to_string(&c).unwrap();
+        assert!(text.contains("\"dense_macs\":1000"), "{text}");
+        assert!(
+            text.contains("\"dram_bits\":18446744073709551615"),
+            "{text}"
+        );
+        let back: Counters = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub enum SimError {
         /// Why the layer is rejected.
         reason: &'static str,
     },
+    /// A caller-supplied configuration value is out of its valid range
+    /// (for example a zero thread count for a batched evaluation).
+    InvalidConfig {
+        /// What was misconfigured and why it is rejected.
+        what: &'static str,
+    },
     /// A weight or activation operand disagreed with the layer shape.
     OperandMismatch {
         /// What was being matched.
@@ -39,6 +45,9 @@ impl fmt::Display for SimError {
             }
             SimError::UnsupportedLayer { reason } => {
                 write!(f, "layer unsupported by the TFE: {reason}")
+            }
+            SimError::InvalidConfig { what } => {
+                write!(f, "invalid configuration: {what}")
             }
             SimError::OperandMismatch {
                 what,

@@ -14,6 +14,9 @@
 //!   their conversion to transferred networks.
 //! * [`sim`] — the TFE simulator: functional datapath (PE array, SR group,
 //!   PPSR, ERRR, SAFM) plus the per-layer performance model.
+//! * [`serve`] — a dynamic-batching inference service over the simulator:
+//!   bounded admission queue, micro-batcher, executor pool, metrics, and
+//!   a length-prefixed JSON TCP protocol.
 //! * [`eyeriss`] — the row-stationary baseline simulator.
 //! * [`energy`] — 65 nm area / energy model (Table III, Fig. 14, Fig. 18).
 //! * [`baselines`] — analytical models of the comparison architectures
@@ -40,6 +43,7 @@ pub use tfe_core as core;
 pub use tfe_energy as energy;
 pub use tfe_eyeriss as eyeriss;
 pub use tfe_nets as nets;
+pub use tfe_serve as serve;
 pub use tfe_sim as sim;
 pub use tfe_tensor as tensor;
 pub use tfe_train as train;
