@@ -13,3 +13,10 @@ cargo test -q --offline
 # shutdown paths — run them explicitly so a filtered test invocation can
 # never silently skip them.
 cargo test -q --offline --test serve_smoke
+# Compile every bench target so bench code cannot rot between releases.
+cargo bench --offline --no-run
+# BENCH=1 additionally runs the prepare/run-split acceptance bench and
+# surfaces its steady-state speedup numbers in the check output.
+if [ "${BENCH:-0}" = "1" ]; then
+    cargo bench --offline -p tfe-bench --bench prepare_vs_naive
+fi

@@ -1,0 +1,136 @@
+//! Prepare/run split payoff: steady-state throughput of the compile-once
+//! [`PreparedNetwork`] engine against the reference
+//! [`FunctionalNetwork::run`] path, which re-quantizes filter rows,
+//! re-expands SCNN orbits, and re-allocates nested padded planes on
+//! every request.
+//!
+//! The sweep mirrors the paper's Fig. 15 network axis — one small
+//! multi-stage network per transfer scheme (DCNN 4×4, DCNN 6×6, SCNN)
+//! plus a VGG-prefix stack — under the full PPSR+ERRR configuration.
+//! Outputs are asserted bit-identical before any timing. The printed
+//! `speedup` line is the ISSUE-3 acceptance number (≥ 1.5× steady-state
+//! throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tfe_sim::network::FunctionalNetwork;
+use tfe_sim::prepared::{PreparedNetwork, Scratch};
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+/// One fig15-style cell: a small multi-stage network under `scheme`
+/// (conv → conv+pool, filter counts compatible with the scheme's group
+/// size) and a matching input image.
+fn sweep_cell(scheme: TransferScheme, seed: u32) -> (FunctionalNetwork, Tensor4<Fx16>) {
+    let m = match scheme {
+        TransferScheme::Dcnn { z: 6 } => 16,
+        _ => 8,
+    };
+    let shapes = vec![
+        (
+            LayerShape::conv("p1", 3, m, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("p2", m, m, 12, 12, 3, 1, 1).unwrap(), true),
+    ];
+    let mut s = seed;
+    let net = FunctionalNetwork::random(&shapes, scheme, || det(&mut s)).unwrap();
+    let input = Tensor4::from_fn([1, 3, 12, 12], |_| Fx16::from_f32(det(&mut s)));
+    (net, input)
+}
+
+/// A deeper VGG-prefix stack (same topology as `sim_throughput`'s batch
+/// bench) — the "serve a real network" shape of the sweep.
+fn vgg_prefix_cell(seed: u32) -> (FunctionalNetwork, Tensor4<Fx16>) {
+    let shapes = vec![
+        (
+            LayerShape::conv("v1", 3, 8, 24, 24, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("v2", 8, 8, 24, 24, 3, 1, 1).unwrap(), true),
+        (
+            LayerShape::conv("v3", 8, 16, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::conv("v4", 16, 16, 12, 12, 3, 1, 1).unwrap(),
+            true,
+        ),
+    ];
+    let mut s = seed;
+    let net = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut s)).unwrap();
+    let input = Tensor4::from_fn([1, 3, 24, 24], |_| Fx16::from_f32(det(&mut s)));
+    (net, input)
+}
+
+fn steady_state_ips(rounds: u32, mut run: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..rounds {
+        run();
+    }
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_prepare_vs_naive(c: &mut Criterion) {
+    let cells: Vec<(&str, FunctionalNetwork, Tensor4<Fx16>)> = vec![
+        {
+            let (net, input) = sweep_cell(TransferScheme::DCNN4, 41);
+            ("dcnn4", net, input)
+        },
+        {
+            let (net, input) = sweep_cell(TransferScheme::DCNN6, 42);
+            ("dcnn6", net, input)
+        },
+        {
+            let (net, input) = sweep_cell(TransferScheme::Scnn, 43);
+            ("scnn", net, input)
+        },
+        {
+            let (net, input) = vgg_prefix_cell(44);
+            ("vgg_prefix_scnn", net, input)
+        },
+    ];
+    let reuse = ReuseConfig::FULL;
+    for (label, net, input) in &cells {
+        let prepared = PreparedNetwork::prepare(net, reuse).unwrap();
+        let mut scratch = Scratch::new();
+        // Warm up both paths and pin bit-identity before timing.
+        let want = net.run(input, reuse).unwrap();
+        let got = prepared.run(input, &mut scratch).unwrap();
+        assert_eq!(got.activations, want.activations, "{label}");
+        assert_eq!(got.counters, want.counters, "{label}");
+
+        c.bench_function(&format!("naive/{label}"), |b| {
+            b.iter(|| net.run(black_box(input), reuse).unwrap())
+        });
+        c.bench_function(&format!("prepared/{label}"), |b| {
+            b.iter(|| prepared.run(black_box(input), &mut scratch).unwrap())
+        });
+
+        // Steady-state throughput ratio — the acceptance number.
+        let rounds = 30;
+        let naive_ips = steady_state_ips(rounds, || {
+            black_box(net.run(input, reuse).unwrap());
+        });
+        let prepared_ips = steady_state_ips(rounds, || {
+            black_box(prepared.run(input, &mut scratch).unwrap());
+        });
+        println!(
+            "prepare_vs_naive/{label:<16} naive {naive_ips:>8.1}/s  prepared {prepared_ips:>8.1}/s  \
+             speedup x{:.2}",
+            prepared_ips / naive_ips
+        );
+    }
+}
+
+criterion_group!(benches, bench_prepare_vs_naive);
+criterion_main!(benches);

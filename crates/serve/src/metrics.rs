@@ -302,6 +302,36 @@ mod tests {
     }
 
     #[test]
+    fn histogram_saturates_at_the_overflow_bucket() {
+        // Latencies at or beyond 2^34 µs (~4.8 hours) — including
+        // durations whose microsecond count does not even fit in u64 —
+        // all land in the last bucket instead of indexing out of bounds.
+        let mut h = LatencyHistogram::new();
+        let huge = [
+            Duration::from_micros(1 << 34),
+            Duration::from_micros((1 << 34) + 123),
+            Duration::from_micros(1 << 60),
+            Duration::from_micros(u64::MAX),
+            // as_micros() > u64::MAX: record() saturates the conversion.
+            Duration::from_secs(u64::MAX),
+        ];
+        for d in huge {
+            h.record(d);
+        }
+        assert_eq!(h.total(), huge.len() as u64);
+        assert_eq!(h.max_us(), u64::MAX);
+        // Every observation sits in the overflow bucket, so every
+        // quantile reports that bucket's upper bound (clamped to max).
+        let overflow_upper = 1u64 << 34;
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), overflow_upper, "q={q}");
+        }
+        // A small observation still resolves below the overflow bucket.
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.quantile_us(0.01), 4);
+    }
+
+    #[test]
     fn window_counters_reset_but_totals_accumulate() {
         let m = Metrics::new();
         let c = Counters {

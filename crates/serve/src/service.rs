@@ -9,11 +9,15 @@
 //!    requests into micro-batches (flush on size or delay) and dropping
 //!    expired work;
 //! 3. an **executor pool** running each micro-batch through
-//!    [`tfe_sim::batch::run_batch`], which evaluates every image by the
-//!    exact sequential per-image path — so responses are bit-identical
-//!    to calling [`FunctionalNetwork::run`] directly, regardless of how
-//!    arrivals were packed into batches (`tests/serve_smoke.rs` asserts
-//!    this under concurrent load).
+//!    [`tfe_sim::batch::run_prepared_batch`] against a
+//!    [`PreparedNetwork`] compiled **once** at [`Service::start`] — all
+//!    filter quantization and orbit expansion is amortized across every
+//!    request the service ever handles, and executors reuse
+//!    [`tfe_sim::prepared::Scratch`] arenas from a shared pool so the
+//!    steady-state hot path allocates nothing. Responses stay
+//!    bit-identical to calling [`FunctionalNetwork::run`] directly,
+//!    regardless of how arrivals were packed into batches
+//!    (`tests/serve_smoke.rs` asserts this under concurrent load).
 //!
 //! Every admitted request is guaranteed a response: if a request is
 //! dropped on any path (including service teardown), its slot resolves
@@ -29,6 +33,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tfe_sim::counters::Counters;
 use tfe_sim::network::FunctionalNetwork;
+use tfe_sim::prepared::{PreparedNetwork, ScratchPool};
 use tfe_sim::SimError;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::tensor::Tensor4;
@@ -182,6 +187,11 @@ impl Drop for Pending {
 /// State shared by the client handles and the pipeline threads.
 pub(crate) struct Shared {
     pub(crate) net: FunctionalNetwork,
+    /// The network compiled once at startup; every request runs against
+    /// this, never re-quantizing weights.
+    pub(crate) prepared: PreparedNetwork,
+    /// Warm per-worker scratch arenas reused across micro-batches.
+    pub(crate) scratches: ScratchPool,
     pub(crate) config: ServeConfig,
     pub(crate) requests: BoundedQueue<Pending>,
     pub(crate) batches: BoundedQueue<MicroBatch>,
@@ -215,7 +225,12 @@ impl Service {
                 what: "cannot serve a network with no stages",
             });
         }
+        // Compile once: all filter quantization and orbit expansion for
+        // the life of the service happens here, before the first request.
+        let prepared = PreparedNetwork::prepare(&net, config.reuse)?;
         let shared = Arc::new(Shared {
+            prepared,
+            scratches: ScratchPool::new(),
             requests: BoundedQueue::new(config.queue_capacity),
             // One formed batch of headroom per executor: when every
             // worker is busy the batcher stalls here, the request queue

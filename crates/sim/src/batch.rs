@@ -19,6 +19,7 @@
 
 use crate::counters::Counters;
 use crate::network::{FunctionalNetwork, NetworkOutput};
+use crate::prepared::{PreparedNetwork, ScratchPool};
 use crate::SimError;
 use rayon::prelude::*;
 use tfe_tensor::fixed::Fx16;
@@ -96,6 +97,88 @@ pub fn run_batch(
     }
 }
 
+/// Evaluates a batch of independent input images through a
+/// [`PreparedNetwork`] — the compile-once fast path behind
+/// [`run_batch`]'s semantics.
+///
+/// Images are divided into at most `worker` contiguous chunks (never
+/// more chunks than images, so no worker receives empty work); each
+/// chunk checks a [`crate::prepared::Scratch`] arena out of `scratches`,
+/// runs its images sequentially through [`PreparedNetwork::run`], and
+/// returns the arena for reuse. Outputs come back in input order and
+/// per-image [`Counters`] merge in input order, so results are
+/// bit-identical to [`run_batch`] on the source network at every thread
+/// count (`tests/parallel_parity.rs` asserts this).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for `Some(0)` threads, otherwise
+/// the first per-image [`SimError`] in input order — the same contract
+/// as [`run_batch`].
+pub fn run_prepared_batch(
+    net: &PreparedNetwork,
+    inputs: &[Tensor4<Fx16>],
+    options: BatchOptions,
+    scratches: &ScratchPool,
+) -> Result<BatchOutput, SimError> {
+    let evaluate = |workers: usize| -> Result<BatchOutput, SimError> {
+        let lengths = chunk_lengths(inputs.len(), workers.max(1));
+        let mut chunks = Vec::with_capacity(lengths.len());
+        let mut start = 0;
+        for len in lengths {
+            chunks.push(&inputs[start..start + len]);
+            start += len;
+        }
+        let per_chunk: Vec<Result<Vec<NetworkOutput>, SimError>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut scratch = scratches.checkout();
+                let result = chunk
+                    .iter()
+                    .map(|input| net.run(input, &mut scratch))
+                    .collect::<Result<Vec<_>, _>>();
+                scratches.restore(scratch);
+                result
+            })
+            .collect();
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for chunk in per_chunk {
+            outputs.extend(chunk?);
+        }
+        let mut counters = Counters::new();
+        for output in &outputs {
+            counters.merge(&output.counters);
+        }
+        Ok(BatchOutput { outputs, counters })
+    };
+    match options.threads {
+        Some(0) => Err(SimError::InvalidConfig {
+            what: "batch thread count must be at least 1 (got Some(0))",
+        }),
+        Some(threads) => rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|_| SimError::UnsupportedLayer {
+                reason: "failed to build the batch thread pool",
+            })?
+            .install(|| evaluate(threads)),
+        None => evaluate(rayon::current_num_threads()),
+    }
+}
+
+/// Contiguous chunk sizes dividing `len` items into at most `chunks`
+/// non-empty pieces: `min(chunks, len)` chunks, sizes differing by at
+/// most one, larger chunks first.
+fn chunk_lengths(len: usize, chunks: usize) -> Vec<usize> {
+    let count = chunks.min(len);
+    if count == 0 {
+        return Vec::new();
+    }
+    let base = len / count;
+    let extra = len % count;
+    (0..count).map(|i| base + usize::from(i < extra)).collect()
+}
+
 /// Splits a `[B, C, H, W]` tensor into `B` single-image `[1, C, H, W]`
 /// tensors, the input format [`run_batch`] fans out over.
 #[must_use]
@@ -103,6 +186,29 @@ pub fn split_batch(input: &Tensor4<Fx16>) -> Vec<Tensor4<Fx16>> {
     let [batch, c, h, w] = input.dims();
     (0..batch)
         .map(|b| Tensor4::from_fn([1, c, h, w], |[_, ci, y, x]| input.get([b, ci, y, x])))
+        .collect()
+}
+
+/// Splits a `[B, C, H, W]` tensor into at most `chunks` contiguous
+/// multi-image pieces for per-worker evaluation.
+///
+/// When `chunks > B` (more threads than images) this returns `B`
+/// singleton chunks rather than padding with empty `[0, C, H, W]`
+/// tensors — every returned chunk is non-empty, and concatenating the
+/// chunks in order reproduces the input batch exactly.
+#[must_use]
+pub fn split_batch_chunks(input: &Tensor4<Fx16>, chunks: usize) -> Vec<Tensor4<Fx16>> {
+    let [batch, c, h, w] = input.dims();
+    let mut start = 0;
+    chunk_lengths(batch, chunks)
+        .into_iter()
+        .map(|len| {
+            let piece = Tensor4::from_fn([len, c, h, w], |[b, ci, y, x]| {
+                input.get([start + b, ci, y, x])
+            });
+            start += len;
+            piece
+        })
         .collect()
 }
 
@@ -183,6 +289,115 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_batch_chunks_never_returns_empty_chunks() {
+        // Regression: more threads than images must yield fewer chunks,
+        // not empty [0, C, H, W] tensors.
+        let mut seed = 21;
+        let packed = Tensor4::from_fn([3, 2, 4, 4], |_| Fx16::from_f32(det(&mut seed)));
+        for chunks in [1usize, 2, 3, 4, 8, 64] {
+            let split = split_batch_chunks(&packed, chunks);
+            assert_eq!(split.len(), chunks.min(3), "chunks={chunks}");
+            let mut b = 0;
+            for piece in &split {
+                let [pb, c, h, w] = piece.dims();
+                assert!(pb > 0, "chunks={chunks} produced an empty chunk");
+                assert_eq!([c, h, w], [2, 4, 4]);
+                for pbi in 0..pb {
+                    for ci in 0..c {
+                        for y in 0..h {
+                            for x in 0..w {
+                                assert_eq!(
+                                    piece.get([pbi, ci, y, x]),
+                                    packed.get([b + pbi, ci, y, x])
+                                );
+                            }
+                        }
+                    }
+                }
+                b += pb;
+            }
+            assert_eq!(b, 3, "chunks={chunks} lost images");
+        }
+        assert!(split_batch_chunks(&packed, 0).is_empty());
+    }
+
+    #[test]
+    fn chunk_lengths_cover_exactly_without_empties() {
+        for len in 0..12usize {
+            for chunks in 1..16usize {
+                let lengths = chunk_lengths(len, chunks);
+                assert_eq!(lengths.iter().sum::<usize>(), len, "{len}/{chunks}");
+                assert_eq!(lengths.len(), chunks.min(len), "{len}/{chunks}");
+                assert!(lengths.iter().all(|&l| l > 0), "{len}/{chunks}");
+                // Balanced: sizes differ by at most one.
+                if let (Some(max), Some(min)) = (lengths.iter().max(), lengths.iter().min()) {
+                    assert!(max - min <= 1, "{len}/{chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_batch_matches_naive_batch_bit_exactly() {
+        use crate::prepared::PreparedNetwork;
+        let mut seed = 17;
+        let net = small_net(&mut seed);
+        let inputs = images(5, &mut seed);
+        let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+        let scratches = ScratchPool::new();
+        let want = run_batch(&net, &inputs, ReuseConfig::FULL, BatchOptions::default()).unwrap();
+        // More threads than images exercises the no-empty-chunk path.
+        for threads in [1usize, 2, 4, 9] {
+            let got = run_prepared_batch(
+                &prepared,
+                &inputs,
+                BatchOptions::with_threads(threads),
+                &scratches,
+            )
+            .unwrap();
+            assert_eq!(got.outputs.len(), want.outputs.len(), "threads={threads}");
+            for (g, w) in got.outputs.iter().zip(&want.outputs) {
+                assert_eq!(g.activations, w.activations, "threads={threads}");
+                assert_eq!(g.counters, w.counters, "threads={threads}");
+            }
+            assert_eq!(got.counters, want.counters, "threads={threads}");
+        }
+        // Ambient-budget path and empty batch.
+        let got =
+            run_prepared_batch(&prepared, &inputs, BatchOptions::default(), &scratches).unwrap();
+        assert_eq!(got.counters, want.counters);
+        let empty =
+            run_prepared_batch(&prepared, &[], BatchOptions::default(), &scratches).unwrap();
+        assert!(empty.outputs.is_empty());
+    }
+
+    #[test]
+    fn prepared_batch_reports_the_first_error_in_input_order() {
+        use crate::prepared::PreparedNetwork;
+        let mut seed = 23;
+        let net = small_net(&mut seed);
+        let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+        let scratches = ScratchPool::new();
+        let mut inputs = images(3, &mut seed);
+        inputs[1] = Tensor4::from_fn([1, 2, 8, 8], |_| Fx16::from_f32(det(&mut seed)));
+        let err = run_prepared_batch(&prepared, &inputs, BatchOptions::default(), &scratches);
+        assert!(matches!(
+            err,
+            Err(SimError::OperandMismatch {
+                what: "input channels",
+                ..
+            })
+        ));
+        let zero = run_prepared_batch(
+            &prepared,
+            &inputs,
+            BatchOptions::with_threads(0),
+            &scratches,
+        );
+        assert!(matches!(zero, Err(SimError::InvalidConfig { .. })));
     }
 
     #[test]

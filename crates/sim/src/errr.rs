@@ -69,6 +69,11 @@ impl fmt::Display for RingReadError {
 
 impl std::error::Error for RingReadError {}
 
+/// The result streams one input row contributes to the ring, indexed
+/// `streams[filter_row][variant][x]` — transferred-filter horizontal
+/// offsets for the DCNN, forward/mirrored directions for the SCNN.
+pub type Streams = Vec<Vec<Vec<Accum>>>;
+
 /// One resident input row's results: for every (filter-row, variant)
 /// stream the engine produced, a vector of per-position partial sums.
 ///
@@ -79,7 +84,7 @@ impl std::error::Error for RingReadError {}
 pub struct RowSlot {
     row_index: usize,
     /// `streams[filter_row][variant][x]`.
-    streams: Vec<Vec<Vec<Accum>>>,
+    streams: Streams,
 }
 
 /// A cyclic ring of PSum row memories.
@@ -130,23 +135,52 @@ impl RowRing {
 
     /// Inserts a freshly computed row, evicting the oldest if full, and
     /// counts the PSum-memory writes.
-    pub fn insert(
+    pub fn insert(&mut self, row_index: usize, streams: Streams, counters: &mut Counters) {
+        let _ = self.insert_recycling(row_index, streams, counters);
+    }
+
+    /// [`RowRing::insert`] returning the evicted slot's stream buffers
+    /// (if an eviction happened) so the caller can reuse their
+    /// allocations for the next row pass — the software analogue of
+    /// Fig. 8's cyclic memory rewrites, and the mechanism the prepared
+    /// engine's [`crate::prepared::Scratch`] uses to keep the steady
+    /// state allocation-free.
+    pub fn insert_recycling(
         &mut self,
         row_index: usize,
-        streams: Vec<Vec<Vec<Accum>>>,
+        streams: Streams,
         counters: &mut Counters,
-    ) {
+    ) -> Option<Streams> {
         let words: usize = streams
             .iter()
             .flat_map(|per_row| per_row.iter().map(Vec::len))
             .sum();
         counters.psum_mem_writes += words as u64;
-        if self.slots.len() == self.capacity {
-            self.slots.pop_front();
+        let evicted = if self.slots.len() == self.capacity {
             self.recycles += 1;
-        }
+            self.slots.pop_front().map(|slot| slot.streams)
+        } else {
+            None
+        };
         self.ever_inserted.insert(row_index);
         self.slots.push_back(RowSlot { row_index, streams });
+        evicted
+    }
+
+    /// Clears the ring for a fresh layer pass, resizing it to
+    /// `capacity` and draining the stream buffers of any still-resident
+    /// slots into `recycle` for reuse. Access statistics
+    /// ([`recycles`](Self::recycles)) restart from zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize, recycle: &mut Vec<Streams>) {
+        assert!(capacity > 0, "row ring needs at least one slot");
+        self.capacity = capacity;
+        self.recycles = 0;
+        self.ever_inserted.clear();
+        recycle.extend(self.slots.drain(..).map(|slot| slot.streams));
     }
 
     /// Reads the result stream `(filter_row, variant)` of input row

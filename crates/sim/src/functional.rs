@@ -448,8 +448,9 @@ fn pass_single_row(
 }
 
 /// Index of an orientation `(base, flip_h, flip_v)` in
-/// [`ORIENTATIONS`] order.
-fn orientation_index(base: usize, flip_h: bool, flip_v: bool) -> usize {
+/// [`ORIENTATIONS`] order. Shared with [`crate::prepared`] so both
+/// engines resolve SCNN source orientations identically.
+pub(crate) fn orientation_index(base: usize, flip_h: bool, flip_v: bool) -> usize {
     base * 4 + usize::from(flip_h) + 2 * usize::from(flip_v)
 }
 

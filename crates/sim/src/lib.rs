@@ -43,6 +43,7 @@ pub mod network;
 pub mod output;
 pub mod perf;
 pub mod ppsr;
+pub mod prepared;
 pub mod safm;
 pub mod sr_pipeline;
 

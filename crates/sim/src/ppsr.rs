@@ -15,6 +15,22 @@
 use crate::counters::Counters;
 use tfe_tensor::fixed::{Accum, Fx16};
 
+/// One correlation output: `Σ_j input[x + j] · weights[j]`, summed in
+/// ascending `j` order from [`Accum::ZERO`].
+///
+/// Both the allocating row passes and the `_acc` accumulate-into
+/// variants route through this helper, so the two families produce the
+/// exact same saturating-addition order (and therefore bit-identical
+/// values).
+#[inline]
+fn correlate_at(weights: &[Fx16], input: &[Fx16], x: usize) -> Accum {
+    weights
+        .iter()
+        .enumerate()
+        .map(|(j, &w)| input[x + j].widening_mul(w))
+        .sum()
+}
+
 /// Forward row correlation: `out[x] = Σ_j input[x + j] · weights[j]`.
 ///
 /// This is the conventional single-filter-row result; exposed as the
@@ -27,7 +43,7 @@ pub fn row_correlate(weights: &[Fx16], input: &[Fx16]) -> Vec<Accum> {
     }
     let out_len = input.len() - k + 1;
     (0..out_len)
-        .map(|x| (0..k).map(|j| input[x + j].widening_mul(weights[j])).sum())
+        .map(|x| correlate_at(weights, input, x))
         .collect()
 }
 
@@ -73,6 +89,36 @@ pub fn dcnn_row_pass(
     counters: &mut Counters,
 ) -> Vec<Vec<Accum>> {
     let z = meta_row.len();
+    let offsets = z.saturating_sub(k) + 1;
+    let out_len = (input.len() + 1).saturating_sub(k);
+    let mut out: Vec<Vec<Accum>> = (0..offsets).map(|_| vec![Accum::ZERO; out_len]).collect();
+    dcnn_row_pass_acc(meta_row, input, k, ppsr, &mut out, counters);
+    out
+}
+
+/// [`dcnn_row_pass`] accumulating into caller-owned offset buffers
+/// instead of allocating fresh ones: `acc[dx][x] += result[dx][x]`.
+///
+/// The prepared engine ([`crate::prepared`]) drives this per input
+/// channel so the per-offset channel sums build up directly in reusable
+/// scratch buffers. Counter accounting is identical to the allocating
+/// form, and each accumulated term is the complete (already `j`-summed)
+/// correlation value, so the saturating-addition order matches the
+/// allocating path's `row_sum[x] += res[x]` loop exactly.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the meta row length, or if `acc` has
+/// fewer than `Z−K+1` buffers of at least `out_len` elements each.
+pub fn dcnn_row_pass_acc(
+    meta_row: &[Fx16],
+    input: &[Fx16],
+    k: usize,
+    ppsr: bool,
+    acc: &mut [Vec<Accum>],
+    counters: &mut Counters,
+) {
+    let z = meta_row.len();
     assert!(
         k >= 1 && k <= z,
         "transferred extent must satisfy 1 <= K <= Z"
@@ -95,9 +141,13 @@ pub fn dcnn_row_pass(
         counters.multiplies += (offsets * k * input.len()) as u64;
         counters.adds += (offsets * k.saturating_sub(1) * out_len) as u64;
     }
-    (0..offsets)
-        .map(|dx| row_correlate(&meta_row[dx..dx + k], input))
-        .collect()
+    for dx in 0..offsets {
+        let weights = &meta_row[dx..dx + k];
+        let lane = &mut acc[dx][..out_len];
+        for (x, slot) in lane.iter_mut().enumerate() {
+            *slot += correlate_at(weights, input, x);
+        }
+    }
 }
 
 /// One SCNN PPSR row pass: a base row of `K` weights against one input
@@ -115,24 +165,69 @@ pub fn scnn_row_pass(
 ) -> (Vec<Accum>, Option<Vec<Accum>>) {
     let k = base_row.len();
     let out_len = (input.len() + 1).saturating_sub(k);
+    let mut fwd = vec![Accum::ZERO; out_len];
+    let mut rev = ppsr.then(|| vec![Accum::ZERO; out_len]);
+    scnn_row_pass_acc(
+        base_row,
+        input,
+        ppsr,
+        &mut fwd,
+        rev.as_deref_mut(),
+        counters,
+    );
+    (fwd, rev)
+}
+
+/// [`scnn_row_pass`] accumulating into caller-owned stream buffers:
+/// `fwd[x] += forward[x]` and, when `ppsr` is enabled,
+/// `rev[x] += mirrored[x]`.
+///
+/// The prepared engine ([`crate::prepared`]) drives this per input
+/// channel so the per-direction channel sums build up directly in
+/// reusable scratch buffers. Counter accounting is identical to the
+/// allocating form; `rev` must be `Some` exactly when `ppsr` is enabled.
+///
+/// # Panics
+///
+/// Panics if a provided buffer is shorter than the stream's `out_len`
+/// outputs, or (in debug builds) if `rev.is_some() != ppsr`.
+pub fn scnn_row_pass_acc(
+    base_row: &[Fx16],
+    input: &[Fx16],
+    ppsr: bool,
+    fwd: &mut [Accum],
+    rev: Option<&mut [Accum]>,
+    counters: &mut Counters,
+) {
+    debug_assert_eq!(
+        ppsr,
+        rev.is_some(),
+        "the mirrored stream exists exactly when PPSR is enabled"
+    );
+    let k = base_row.len();
+    let out_len = (input.len() + 1).saturating_sub(k);
     counters.multiplies += (k * input.len()) as u64;
     // Each result stream has `out_len` outputs, and combining K products
     // into one output costs K−1 adder activations. (The earlier model
     // charged (K−1)·input.len(), overcounting the K−1 edge positions
     // that produce no output.)
     counters.adds += (k.saturating_sub(1) * out_len) as u64;
-    let fwd = row_correlate(base_row, input);
+    for (x, slot) in fwd[..out_len].iter_mut().enumerate() {
+        *slot += correlate_at(base_row, input, x);
+    }
     if ppsr {
         // The products are staged in the SR pair so the mirrored stream
         // can consume them in reverse order: one SR write per product
         // stage per direction, plus the mirrored stream's own adds.
         counters.sr_writes += 2 * input.len() as u64;
         counters.adds += (k.saturating_sub(1) * out_len) as u64;
-        (fwd, Some(row_correlate_rev(base_row, input)))
-    } else {
-        // Reuse disabled: a plain PE computing one direction keeps its
-        // products in per-PE registers — no SR-group traffic.
-        (fwd, None)
+        if let Some(rev) = rev {
+            for (x, slot) in rev[..out_len].iter_mut().enumerate() {
+                *slot += (0..k)
+                    .map(|j| input[x + j].widening_mul(base_row[k - 1 - j]))
+                    .sum::<Accum>();
+            }
+        }
     }
 }
 
@@ -144,11 +239,36 @@ pub fn conventional_row_pass(
     input: &[Fx16],
     counters: &mut Counters,
 ) -> Vec<Accum> {
+    let out_len = (input.len() + 1).saturating_sub(filter_row.len());
+    let mut out = vec![Accum::ZERO; out_len];
+    conventional_row_pass_acc(filter_row, input, &mut out, counters);
+    out
+}
+
+/// [`conventional_row_pass`] accumulating into a caller-owned buffer:
+/// `acc[x] += result[x]`.
+///
+/// The prepared engine ([`crate::prepared`]) drives this per input
+/// channel so the dense per-row channel sum builds up directly in a
+/// reusable scratch buffer. Counter accounting is identical to the
+/// allocating form.
+///
+/// # Panics
+///
+/// Panics if `acc` is shorter than the `out_len` row results.
+pub fn conventional_row_pass_acc(
+    filter_row: &[Fx16],
+    input: &[Fx16],
+    acc: &mut [Accum],
+    counters: &mut Counters,
+) {
     let k = filter_row.len();
     let out_len = (input.len() + 1).saturating_sub(k);
     counters.multiplies += (k * input.len()) as u64;
     counters.adds += (k.saturating_sub(1) * out_len) as u64;
-    row_correlate(filter_row, input)
+    for (x, slot) in acc[..out_len].iter_mut().enumerate() {
+        *slot += correlate_at(filter_row, input, x);
+    }
 }
 
 #[cfg(test)]

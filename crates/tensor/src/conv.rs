@@ -72,36 +72,49 @@ pub fn conv2d_f32(
     shape: &LayerShape,
 ) -> Result<Tensor4<f32>, TensorError> {
     check_operands(input, weights, bias.map(<[f32]>::len), shape)?;
-    let batch = input.dims()[0];
-    let (e, f, k) = (shape.e(), shape.f(), shape.k());
+    let [batch, in_c, in_h, in_w] = input.dims();
+    let w_ch = weights.dims()[1];
+    let (e, f, k, m_count) = (shape.e(), shape.f(), shape.k(), shape.m());
     let (stride, pad) = (shape.stride(), shape.pad());
     let dilation = shape.dilation();
     let depthwise = shape.kind() == ConvKind::DepthWise;
-    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    let in_data = input.as_slice();
+    let w_data = weights.as_slice();
+    let mut out = Tensor4::zeros([batch, m_count, e, f]);
+    let out_data = out.as_mut_slice();
+    // (ky, iy) taps inside the input for the current output row — they
+    // depend on oy only, so they are rebuilt once per row, not per pixel.
+    let mut row_taps: Vec<(usize, usize)> = Vec::with_capacity(k);
     for b in 0..batch {
-        for m in 0..shape.m() {
+        for m in 0..m_count {
+            let bias_m = bias.map_or(0.0, |b| b[m]);
+            let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
             for oy in 0..e {
-                for ox in 0..f {
-                    let mut acc = bias.map_or(0.0, |b| b[m]);
-                    let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
-                    for c in channels {
+                row_taps.clear();
+                for ky in 0..k {
+                    let iy = (oy * stride + ky * dilation) as isize - pad as isize;
+                    if iy >= 0 && iy < in_h as isize {
+                        row_taps.push((ky, iy as usize));
+                    }
+                }
+                let out_row = &mut out_data[((b * m_count + m) * e + oy) * f..][..f];
+                for (ox, slot) in out_row.iter_mut().enumerate() {
+                    let mut acc = bias_m;
+                    for c in channels.clone() {
                         let wc = if depthwise { 0 } else { c };
-                        for ky in 0..k {
-                            let iy = (oy * stride + ky * dilation) as isize - pad as isize;
-                            if iy < 0 || iy >= shape.h() as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
+                        for &(ky, iy) in &row_taps {
+                            let in_row = &in_data[((b * in_c + c) * in_h + iy) * in_w..][..in_w];
+                            let w_row = &w_data[((m * w_ch + wc) * k + ky) * k..][..k];
+                            for (kx, &wv) in w_row.iter().enumerate() {
                                 let ix = (ox * stride + kx * dilation) as isize - pad as isize;
-                                if ix < 0 || ix >= shape.w() as isize {
+                                if ix < 0 || ix >= in_w as isize {
                                     continue;
                                 }
-                                acc += input.get([b, c, iy as usize, ix as usize])
-                                    * weights.get([m, wc, ky, kx]);
+                                acc += in_row[ix as usize] * wv;
                             }
                         }
                     }
-                    out.set([b, m, oy, ox], acc);
+                    *slot = acc;
                 }
             }
         }
@@ -126,37 +139,49 @@ pub fn conv2d_fx(
     shape: &LayerShape,
 ) -> Result<Tensor4<Accum>, TensorError> {
     check_operands(input, weights, None, shape)?;
-    let batch = input.dims()[0];
-    let (e, f, k) = (shape.e(), shape.f(), shape.k());
+    let [batch, in_c, in_h, in_w] = input.dims();
+    let w_ch = weights.dims()[1];
+    let (e, f, k, m_count) = (shape.e(), shape.f(), shape.k(), shape.m());
     let (stride, pad) = (shape.stride(), shape.pad());
     let dilation = shape.dilation();
     let depthwise = shape.kind() == ConvKind::DepthWise;
-    let mut out = Tensor4::zeros([batch, shape.m(), e, f]);
+    let in_data = input.as_slice();
+    let w_data = weights.as_slice();
+    let mut out = Tensor4::zeros([batch, m_count, e, f]);
+    let out_data = out.as_mut_slice();
+    // The accumulation order below (c → ky → kx, border taps skipped) is
+    // load-bearing: [`Accum`] addition saturates, so every consumer that
+    // checks bit-exactness against this oracle preserves the same order.
+    let mut row_taps: Vec<(usize, usize)> = Vec::with_capacity(k);
     for b in 0..batch {
-        for m in 0..shape.m() {
+        for m in 0..m_count {
+            let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
             for oy in 0..e {
-                for ox in 0..f {
+                row_taps.clear();
+                for ky in 0..k {
+                    let iy = (oy * stride + ky * dilation) as isize - pad as isize;
+                    if iy >= 0 && iy < in_h as isize {
+                        row_taps.push((ky, iy as usize));
+                    }
+                }
+                let out_row = &mut out_data[((b * m_count + m) * e + oy) * f..][..f];
+                for (ox, slot) in out_row.iter_mut().enumerate() {
                     let mut acc = Accum::ZERO;
-                    let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
-                    for c in channels {
+                    for c in channels.clone() {
                         let wc = if depthwise { 0 } else { c };
-                        for ky in 0..k {
-                            let iy = (oy * stride + ky * dilation) as isize - pad as isize;
-                            if iy < 0 || iy >= shape.h() as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
+                        for &(ky, iy) in &row_taps {
+                            let in_row = &in_data[((b * in_c + c) * in_h + iy) * in_w..][..in_w];
+                            let w_row = &w_data[((m * w_ch + wc) * k + ky) * k..][..k];
+                            for (kx, &wv) in w_row.iter().enumerate() {
                                 let ix = (ox * stride + kx * dilation) as isize - pad as isize;
-                                if ix < 0 || ix >= shape.w() as isize {
+                                if ix < 0 || ix >= in_w as isize {
                                     continue;
                                 }
-                                acc += input
-                                    .get([b, c, iy as usize, ix as usize])
-                                    .widening_mul(weights.get([m, wc, ky, kx]));
+                                acc += in_row[ix as usize].widening_mul(wv);
                             }
                         }
                     }
-                    out.set([b, m, oy, ox], acc);
+                    *slot = acc;
                 }
             }
         }

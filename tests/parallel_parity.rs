@@ -8,10 +8,12 @@
 //! results — output planes and per-unit counters — are merged in a fixed
 //! order independent of which thread produced them.
 
-use tfe::sim::batch::{run_batch, split_batch, BatchOptions};
+use tfe::sim::batch::{run_batch, run_prepared_batch, split_batch, BatchOptions};
 use tfe::sim::counters::Counters;
 use tfe::sim::functional::run_layer;
-use tfe::sim::network::{FunctionalNetwork, NetworkOutput};
+use tfe::sim::network::{FunctionalNetwork, FunctionalStage, NetworkOutput};
+use tfe::sim::output::OutputConfig;
+use tfe::sim::prepared::{PreparedNetwork, Scratch, ScratchPool};
 use tfe::tensor::fixed::Fx16;
 use tfe::tensor::shape::LayerShape;
 use tfe::tensor::tensor::Tensor4;
@@ -149,6 +151,161 @@ fn run_layer_is_thread_count_invariant() {
         assert_eq!(got.output, reference.output, "{threads} threads");
         assert_eq!(got.counters, reference.counters, "{threads} threads");
     }
+}
+
+#[test]
+fn prepared_network_is_bit_identical_to_naive_run() {
+    // The compile-once engine must agree with the reference engine on
+    // every scheme and every reuse ablation — activations AND counters —
+    // while reusing one Scratch arena across all runs.
+    let mut scratch = Scratch::new();
+    for scheme in [
+        TransferScheme::DCNN4,
+        TransferScheme::DCNN6,
+        TransferScheme::Scnn,
+    ] {
+        let net = small_net(scheme, 41);
+        let inputs = images(3, 977);
+        for reuse in [
+            ReuseConfig::NONE,
+            ReuseConfig::PPSR_ONLY,
+            ReuseConfig::ERRR_ONLY,
+            ReuseConfig::FULL,
+        ] {
+            let prepared = PreparedNetwork::prepare(&net, reuse).unwrap();
+            for (i, img) in inputs.iter().enumerate() {
+                let want = net.run(img, reuse).unwrap();
+                let got = prepared.run(img, &mut scratch).unwrap();
+                assert_eq!(
+                    got.activations, want.activations,
+                    "{scheme:?} {reuse:?} activations diverge on image {i}"
+                );
+                assert_eq!(
+                    got.counters, want.counters,
+                    "{scheme:?} {reuse:?} counters diverge on image {i}"
+                );
+            }
+        }
+    }
+    assert_eq!(scratch.run_quantized_rows(), 0);
+}
+
+#[test]
+fn prepared_network_handles_bias_stride_and_dense_layers() {
+    // Dense (non-transferred) units, per-filter bias (including a bias
+    // vector shorter than M), a ReLU-less stage, stride 2, and batch > 1
+    // all go through the same prepare/run split.
+    let mut s = 2718;
+    let s1 = LayerShape::conv("d1", 2, 3, 8, 8, 3, 1, 1).unwrap();
+    let s2 = LayerShape::conv("d2", 3, 4, 8, 8, 3, 2, 1).unwrap();
+    let w1 = tfe::tensor::tensor::Tensor4::from_fn([3, 2, 3, 3], |_| det(&mut s));
+    let w2 = tfe::tensor::tensor::Tensor4::from_fn([4, 3, 3, 3], |_| det(&mut s));
+    let net = FunctionalNetwork::new(vec![
+        FunctionalStage {
+            shape: s1,
+            weights: TransferredLayer::Dense { weights: w1 },
+            bias: vec![0.25, -0.125, 0.5],
+            output: OutputConfig {
+                relu: false,
+                pool: None,
+            },
+        },
+        FunctionalStage {
+            shape: s2,
+            weights: TransferredLayer::Dense { weights: w2 },
+            bias: vec![0.375],
+            output: OutputConfig {
+                relu: true,
+                pool: Some(2),
+            },
+        },
+    ])
+    .unwrap();
+    let input = Tensor4::from_fn([2, 2, 8, 8], |_| Fx16::from_f32(det(&mut s)));
+
+    let want = net.run(&input, ReuseConfig::FULL).unwrap();
+    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+    let mut scratch = Scratch::new();
+    // Run twice: the second pass exercises warm (recycled) buffers.
+    for _ in 0..2 {
+        let got = prepared.run(&input, &mut scratch).unwrap();
+        assert_eq!(got.activations, want.activations);
+        assert_eq!(got.counters, want.counters);
+    }
+    assert_eq!(scratch.run_quantized_rows(), 0);
+}
+
+#[test]
+fn prepared_network_reports_the_same_shape_errors() {
+    let net = small_net(TransferScheme::Scnn, 11);
+    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+    let mut scratch = Scratch::new();
+    // Wrong channel count: both engines must reject identically.
+    let bad = Tensor4::from_fn([1, 2, 12, 12], |_| Fx16::ZERO);
+    let want = net.run(&bad, ReuseConfig::FULL).unwrap_err();
+    let got = prepared.run(&bad, &mut scratch).unwrap_err();
+    assert_eq!(format!("{got:?}"), format!("{want:?}"));
+    // The scratch survives an errored run and still produces exact
+    // results afterwards.
+    let ok = images(1, 5)[0].clone();
+    let want = net.run(&ok, ReuseConfig::FULL).unwrap();
+    let got = prepared.run(&ok, &mut scratch).unwrap();
+    assert_eq!(got.activations, want.activations);
+    assert_eq!(got.counters, want.counters);
+}
+
+#[test]
+fn prepared_batch_engine_is_thread_count_invariant() {
+    // run_prepared_batch must match the naive batch engine (and thus the
+    // sequential reference) for every thread count, including more
+    // threads than images, with scratch arenas recycled through the pool.
+    for scheme in [
+        TransferScheme::DCNN4,
+        TransferScheme::DCNN6,
+        TransferScheme::Scnn,
+    ] {
+        let net = small_net(scheme, 19);
+        let inputs = images(5, 333);
+        let (seq_outputs, seq_total) = sequential(&net, &inputs, ReuseConfig::FULL);
+        let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+        let scratches = ScratchPool::new();
+        for threads in [1usize, 2, 4, 9] {
+            let batch = run_prepared_batch(
+                &prepared,
+                &inputs,
+                BatchOptions::with_threads(threads),
+                &scratches,
+            )
+            .unwrap();
+            assert_eq!(batch.outputs.len(), seq_outputs.len());
+            for (got, want) in batch.outputs.iter().zip(&seq_outputs) {
+                assert_eq!(
+                    got.activations, want.activations,
+                    "{scheme:?} activations diverge at {threads} threads"
+                );
+                assert_eq!(
+                    got.counters, want.counters,
+                    "{scheme:?} per-image counters diverge at {threads} threads"
+                );
+            }
+            assert_eq!(
+                batch.counters, seq_total,
+                "{scheme:?} merged counters diverge at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn prepare_quantizes_every_row_exactly_once() {
+    let net = small_net(TransferScheme::Scnn, 3);
+    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+    let stats = prepared.stats();
+    // Two SCNN stages: 3→8 and 8→8 filters, one orbit group each, eight
+    // orientations per group, N rows of K=3 per orientation.
+    assert_eq!(stats.scnn_orientations, 16);
+    assert_eq!(stats.weight_rows, 8 * 3 * 3 + 8 * 8 * 3);
+    assert_eq!(stats.weight_values, stats.weight_rows * 3);
 }
 
 #[test]

@@ -279,3 +279,95 @@ mod datapath_props {
         }
     }
 }
+
+mod counter_props {
+    use proptest::prelude::*;
+    use tfe::sim::counters::Counters;
+
+    /// Builds a counter set from eleven field values, in declaration
+    /// order, so the algebraic properties below are checked field by
+    /// field rather than through any aggregate.
+    fn counters_from(v: &[u64; 11]) -> Counters {
+        Counters {
+            dense_macs: v[0],
+            multiplies: v[1],
+            adds: v[2],
+            sr_reads: v[3],
+            sr_writes: v[4],
+            psum_mem_reads: v[5],
+            psum_mem_writes: v[6],
+            input_mem_reads: v[7],
+            weight_reads: v[8],
+            dram_bits: v[9],
+            cycles: v[10],
+        }
+    }
+
+    /// Derives eleven independent field values from one seed
+    /// (splitmix64-style), each bounded below `u32::MAX` so triple sums
+    /// cannot overflow `u64`.
+    fn derive_counters(seed: u64) -> Counters {
+        let mut state = seed;
+        let mut fields = [0u64; 11];
+        for slot in &mut fields {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = (z ^ (z >> 31)) % u64::from(u32::MAX);
+        }
+        counters_from(&fields)
+    }
+
+    proptest! {
+        /// `merge` is associative: merging (a+b)+c and a+(b+c) agree on
+        /// every field, so batch engines may combine per-image counters
+        /// in any grouping (they still do so in input order for clarity).
+        #[test]
+        fn merge_is_associative(
+            a_seed in any::<u64>(),
+            b_seed in any::<u64>(),
+            c_seed in any::<u64>(),
+        ) {
+            let (a, b, c) = (
+                derive_counters(a_seed),
+                derive_counters(b_seed),
+                derive_counters(c_seed),
+            );
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        /// `merge` is commutative: a+b == b+a on every field.
+        #[test]
+        fn merge_is_commutative(a_seed in any::<u64>(), b_seed in any::<u64>()) {
+            let (a, b) = (derive_counters(a_seed), derive_counters(b_seed));
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// `merge` agrees with the `Add`/`Sum` implementations and has
+        /// the zeroed counter set as identity.
+        #[test]
+        fn merge_matches_add_and_has_identity(a_seed in any::<u64>(), b_seed in any::<u64>()) {
+            let (a, b) = (derive_counters(a_seed), derive_counters(b_seed));
+            let mut merged = a;
+            merged.merge(&b);
+            prop_assert_eq!(merged, a + b);
+            let summed: Counters = [a, b].into_iter().sum();
+            prop_assert_eq!(merged, summed);
+            let mut with_zero = a;
+            with_zero.merge(&Counters::new());
+            prop_assert_eq!(with_zero, a);
+        }
+    }
+}
