@@ -15,8 +15,11 @@ cargo test -q --offline
 cargo test -q --offline --test serve_smoke
 # Compile every bench target so bench code cannot rot between releases.
 cargo bench --offline --no-run
-# BENCH=1 additionally runs the prepare/run-split acceptance bench and
+# Rustdoc is part of the public surface: broken intra-doc links or
+# malformed docs fail the gate just like clippy warnings do.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+# BENCH=1 additionally runs the compile/run-split acceptance bench and
 # surfaces its steady-state speedup numbers in the check output.
 if [ "${BENCH:-0}" = "1" ]; then
-    cargo bench --offline -p tfe-bench --bench prepare_vs_naive
+    cargo bench --offline -p tfe-bench --bench engine_speedup
 fi

@@ -3,7 +3,7 @@
 //! This workspace builds in a fully offline environment, so the real
 //! `serde`/`serde_derive` crates are replaced by a small vendored facade
 //! (see `compat/serde`). The facade's data model is a JSON-like
-//! [`Value`] tree; these derives generate field-by-field conversions for
+//! `Value` tree; these derives generate field-by-field conversions for
 //! plain named-field structs, which is the only shape the workspace uses.
 //!
 //! Unsupported shapes (tuple structs, enums, generics) produce a

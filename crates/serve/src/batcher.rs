@@ -10,14 +10,14 @@
 //! they never waste a batch slot.
 //!
 //! **Executor** workers pull formed batches and run them through
-//! [`run_prepared_batch`] against the service's compile-once
-//! [`tfe_sim::prepared::PreparedNetwork`], checking warm scratch arenas
-//! out of the shared pool — batching changes latency and throughput,
-//! never values or per-request counters.
+//! [`run_engine_batch`] against the service's compile-once
+//! [`tfe_sim::engine::Engine`], checking warm scratch arenas out of the
+//! shared pool — batching changes latency and throughput, never values
+//! or per-request counters.
 
 use crate::service::{InferenceReply, Pending, Rejected, Shared};
 use std::time::Instant;
-use tfe_sim::batch::run_prepared_batch;
+use tfe_sim::batch::run_engine_batch;
 use tfe_sim::counters::Counters;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::tensor::Tensor4;
@@ -80,8 +80,8 @@ pub(crate) fn executor_loop(shared: &Shared) {
             .iter()
             .map(|pending| pending.input.clone())
             .collect();
-        match run_prepared_batch(
-            &shared.prepared,
+        match run_engine_batch(
+            &shared.engine,
             &inputs,
             shared.config.batch_options(),
             &shared.scratches,

@@ -1,23 +1,24 @@
 //! The inference service: admission control, micro-batching, a worker
-//! pool, and graceful shutdown around one [`FunctionalNetwork`].
+//! pool, and graceful shutdown around one compiled [`Engine`].
 //!
 //! A [`Service`] owns three moving parts:
 //!
-//! 1. a bounded **request queue** ([`crate::queue`]) where
+//! 1. a bounded **request queue** (the private `queue` module) where
 //!    [`Client::submit`] performs admission control;
-//! 2. one **batcher** thread ([`crate::batcher`]) coalescing queued
-//!    requests into micro-batches (flush on size or delay) and dropping
-//!    expired work;
+//! 2. one **batcher** thread (the private `batcher` module) coalescing
+//!    queued requests into micro-batches (flush on size or delay) and
+//!    dropping expired work;
 //! 3. an **executor pool** running each micro-batch through
-//!    [`tfe_sim::batch::run_prepared_batch`] against a
-//!    [`PreparedNetwork`] compiled **once** at [`Service::start`] — all
-//!    filter quantization and orbit expansion is amortized across every
-//!    request the service ever handles, and executors reuse
-//!    [`tfe_sim::prepared::Scratch`] arenas from a shared pool so the
-//!    steady-state hot path allocates nothing. Responses stay
-//!    bit-identical to calling [`FunctionalNetwork::run`] directly,
-//!    regardless of how arrivals were packed into batches
-//!    (`tests/serve_smoke.rs` asserts this under concurrent load).
+//!    [`tfe_sim::batch::run_engine_batch`] against one
+//!    [`Engine`] compiled **once** at
+//!    [`Service::start`] — all weight-side work is amortized across
+//!    every request the service ever handles, and executors reuse
+//!    [`tfe_sim::engine::Scratch`] arenas from a shared pool bounded to
+//!    the executor count, so the steady-state hot path allocates
+//!    nothing. Responses stay bit-identical to calling
+//!    [`FunctionalNetwork::run`] directly, regardless of how arrivals
+//!    were packed into batches (`tests/serve_smoke.rs` asserts this
+//!    under concurrent load).
 //!
 //! Every admitted request is guaranteed a response: if a request is
 //! dropped on any path (including service teardown), its slot resolves
@@ -32,8 +33,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tfe_sim::counters::Counters;
+use tfe_sim::engine::{Engine, ScratchPool};
 use tfe_sim::network::FunctionalNetwork;
-use tfe_sim::prepared::{PreparedNetwork, ScratchPool};
 use tfe_sim::SimError;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::tensor::Tensor4;
@@ -186,11 +187,11 @@ impl Drop for Pending {
 
 /// State shared by the client handles and the pipeline threads.
 pub(crate) struct Shared {
-    pub(crate) net: FunctionalNetwork,
     /// The network compiled once at startup; every request runs against
-    /// this, never re-quantizing weights.
-    pub(crate) prepared: PreparedNetwork,
-    /// Warm per-worker scratch arenas reused across micro-batches.
+    /// this, never redoing weight-side work.
+    pub(crate) engine: Engine,
+    /// Warm per-worker scratch arenas reused across micro-batches,
+    /// bounded to one arena per executor.
     pub(crate) scratches: ScratchPool,
     pub(crate) config: ServeConfig,
     pub(crate) requests: BoundedQueue<Pending>,
@@ -225,19 +226,19 @@ impl Service {
                 what: "cannot serve a network with no stages",
             });
         }
-        // Compile once: all filter quantization and orbit expansion for
-        // the life of the service happens here, before the first request.
-        let prepared = PreparedNetwork::prepare(&net, config.reuse)?;
+        // Compile once: all weight-side work (row tables, orbit
+        // expansion, bias folding) for the life of the service happens
+        // here, before the first request.
+        let engine = Engine::compile(&net, config.reuse)?;
         let shared = Arc::new(Shared {
-            prepared,
-            scratches: ScratchPool::new(),
+            engine,
+            scratches: ScratchPool::with_capacity(config.executors),
             requests: BoundedQueue::new(config.queue_capacity),
             // One formed batch of headroom per executor: when every
             // worker is busy the batcher stalls here, the request queue
             // fills, and admission control sheds load at the front door.
             batches: BoundedQueue::new(config.executors),
             metrics: Metrics::new(),
-            net,
             config,
         });
         let batcher = {
@@ -397,7 +398,11 @@ impl Client {
     }
 
     fn validate_geometry(&self, input: &Tensor4<Fx16>) -> Result<(), Rejected> {
-        let first = &self.shared.net.stages()[0].shape;
+        let first = self
+            .shared
+            .engine
+            .stage_shape(0)
+            .expect("service network has stages");
         let [batch, c, h, w] = input.dims();
         let checks = [
             ("request batch dimension", 1, batch),

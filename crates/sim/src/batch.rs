@@ -1,25 +1,30 @@
-//! Batched multi-image evaluation of one functional network — the
+//! Batched multi-image evaluation of one compiled engine — the
 //! "serve heavy traffic" entry point.
 //!
-//! [`run_batch`] pushes a batch of independent input images through one
-//! [`FunctionalNetwork`] plan, fanning the images out across the thread
-//! budget. Each image is evaluated by the exact sequential per-image
-//! path ([`FunctionalNetwork::run`]), results are collected in input
-//! order, and per-image [`Counters`] are merged in input order via
-//! [`Counters::merge`] — so both the activation values and the merged
-//! totals are **bit-identical** to a sequential loop over the batch, for
-//! every thread count (`tests/parallel_parity.rs` asserts this).
+//! [`run_engine_batch`] pushes a batch of independent input images
+//! through one compiled [`Engine`], dividing the images into contiguous
+//! per-worker chunks. Each chunk checks a [`Scratch`](crate::engine::Scratch)
+//! arena out of a [`ScratchPool`] and runs its images sequentially
+//! through [`Engine::run`]; outputs come back in input order and
+//! per-image [`Counters`] merge in input order via [`Counters::merge`] —
+//! so both the activation values and the merged totals are
+//! **bit-identical** to a sequential loop over the batch, for every
+//! thread count (`tests/parallel_parity.rs` asserts this).
+//!
+//! [`run_batch`] is the convenience wrapper over a
+//! [`FunctionalNetwork`]: it compiles (or fetches the cached) engine via
+//! [`FunctionalNetwork::engine`] and delegates to [`run_engine_batch`]
+//! with the network's internal scratch pool.
 //!
 //! Thread budget: [`BatchOptions::threads`] pins an explicit count;
-//! otherwise the engine uses the ambient budget (`RAYON_NUM_THREADS` /
+//! otherwise the runner uses the ambient budget (`RAYON_NUM_THREADS` /
 //! `TFE_THREADS` environment variables, defaulting to the machine's
-//! available parallelism). Layer evaluation inside each image also fans
-//! out over filter groups under the same budget, so very small batches
-//! still scale.
+//! available parallelism). Parallelism is across images only — each
+//! image runs sequentially inside one engine pass.
 
 use crate::counters::Counters;
+use crate::engine::{Engine, ScratchPool};
 use crate::network::{FunctionalNetwork, NetworkOutput};
-use crate::prepared::{PreparedNetwork, ScratchPool};
 use crate::SimError;
 use rayon::prelude::*;
 use tfe_tensor::fixed::Fx16;
@@ -57,66 +62,54 @@ pub struct BatchOutput {
 /// Evaluates a batch of independent `[1, N, H, W]`-shaped (or any
 /// batch-dim) input images through one network plan.
 ///
+/// This is a thin wrapper over [`run_engine_batch`]: the network's
+/// cached engine for `reuse` is compiled on first use
+/// ([`FunctionalNetwork::engine`]) and the batch fans out over the
+/// network's internal scratch pool.
+///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] if `options.threads` is
 /// `Some(0)` — a zero-thread pool could never make progress, so the
-/// request is rejected before any image is evaluated. Otherwise
-/// propagates the first per-image [`SimError`] in input order (the same
-/// error a sequential loop would hit first).
+/// request is rejected before any compilation or evaluation. Otherwise
+/// propagates compile-time errors, then the first per-image
+/// [`SimError`] in input order (the same error a sequential loop would
+/// hit first).
 pub fn run_batch(
     net: &FunctionalNetwork,
     inputs: &[Tensor4<Fx16>],
     reuse: ReuseConfig,
     options: BatchOptions,
 ) -> Result<BatchOutput, SimError> {
-    let evaluate = || -> Result<BatchOutput, SimError> {
-        let results: Vec<Result<NetworkOutput, SimError>> = inputs
-            .par_iter()
-            .map(|input| net.run(input, reuse))
-            .collect();
-        let outputs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let mut counters = Counters::new();
-        for output in &outputs {
-            counters.merge(&output.counters);
-        }
-        Ok(BatchOutput { outputs, counters })
-    };
-    match options.threads {
-        Some(0) => Err(SimError::InvalidConfig {
+    if options.threads == Some(0) {
+        return Err(SimError::InvalidConfig {
             what: "batch thread count must be at least 1 (got Some(0))",
-        }),
-        Some(threads) => rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .map_err(|_| SimError::UnsupportedLayer {
-                reason: "failed to build the batch thread pool",
-            })?
-            .install(evaluate),
-        None => evaluate(),
+        });
     }
+    let engine = net.engine(reuse)?;
+    run_engine_batch(engine, inputs, options, net.scratch_pool())
 }
 
-/// Evaluates a batch of independent input images through a
-/// [`PreparedNetwork`] — the compile-once fast path behind
-/// [`run_batch`]'s semantics.
+/// Evaluates a batch of independent input images through a compiled
+/// [`Engine`] — the execution core behind [`run_batch`] and the
+/// `tfe-serve` executors.
 ///
 /// Images are divided into at most `worker` contiguous chunks (never
 /// more chunks than images, so no worker receives empty work); each
-/// chunk checks a [`crate::prepared::Scratch`] arena out of `scratches`,
-/// runs its images sequentially through [`PreparedNetwork::run`], and
-/// returns the arena for reuse. Outputs come back in input order and
+/// chunk checks a [`Scratch`](crate::engine::Scratch) arena out of
+/// `scratches`, runs its images sequentially through [`Engine::run`],
+/// and returns the arena for reuse. Outputs come back in input order and
 /// per-image [`Counters`] merge in input order, so results are
-/// bit-identical to [`run_batch`] on the source network at every thread
-/// count (`tests/parallel_parity.rs` asserts this).
+/// bit-identical to a sequential loop at every thread count
+/// (`tests/parallel_parity.rs` asserts this).
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] for `Some(0)` threads, otherwise
 /// the first per-image [`SimError`] in input order — the same contract
 /// as [`run_batch`].
-pub fn run_prepared_batch(
-    net: &PreparedNetwork,
+pub fn run_engine_batch(
+    engine: &Engine,
     inputs: &[Tensor4<Fx16>],
     options: BatchOptions,
     scratches: &ScratchPool,
@@ -135,7 +128,7 @@ pub fn run_prepared_batch(
                 let mut scratch = scratches.checkout();
                 let result = chunk
                     .iter()
-                    .map(|input| net.run(input, &mut scratch))
+                    .map(|input| engine.run(input, &mut scratch))
                     .collect::<Result<Vec<_>, _>>();
                 scratches.restore(scratch);
                 result
@@ -164,6 +157,27 @@ pub fn run_prepared_batch(
             .install(|| evaluate(threads)),
         None => evaluate(rayon::current_num_threads()),
     }
+}
+
+/// Deprecated name of [`run_engine_batch`], from when the compiled
+/// engine was called `PreparedNetwork`.
+///
+/// This forwarder keeps old call sites compiling; it is a pure rename —
+/// behavior, errors, and bit-level results are identical. New code
+/// should call [`run_engine_batch`] (or [`run_batch`] when starting from
+/// a [`FunctionalNetwork`]).
+///
+/// # Errors
+///
+/// Same contract as [`run_engine_batch`].
+#[deprecated(note = "renamed to `run_engine_batch`")]
+pub fn run_prepared_batch(
+    net: &Engine,
+    inputs: &[Tensor4<Fx16>],
+    options: BatchOptions,
+    scratches: &ScratchPool,
+) -> Result<BatchOutput, SimError> {
+    run_engine_batch(net, inputs, options, scratches)
 }
 
 /// Contiguous chunk sizes dividing `len` items into at most `chunks`
@@ -341,18 +355,17 @@ mod tests {
     }
 
     #[test]
-    fn prepared_batch_matches_naive_batch_bit_exactly() {
-        use crate::prepared::PreparedNetwork;
+    fn engine_batch_matches_wrapper_batch_bit_exactly() {
         let mut seed = 17;
         let net = small_net(&mut seed);
         let inputs = images(5, &mut seed);
-        let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+        let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
         let scratches = ScratchPool::new();
         let want = run_batch(&net, &inputs, ReuseConfig::FULL, BatchOptions::default()).unwrap();
         // More threads than images exercises the no-empty-chunk path.
         for threads in [1usize, 2, 4, 9] {
-            let got = run_prepared_batch(
-                &prepared,
+            let got = run_engine_batch(
+                &engine,
                 &inputs,
                 BatchOptions::with_threads(threads),
                 &scratches,
@@ -366,24 +379,21 @@ mod tests {
             assert_eq!(got.counters, want.counters, "threads={threads}");
         }
         // Ambient-budget path and empty batch.
-        let got =
-            run_prepared_batch(&prepared, &inputs, BatchOptions::default(), &scratches).unwrap();
+        let got = run_engine_batch(&engine, &inputs, BatchOptions::default(), &scratches).unwrap();
         assert_eq!(got.counters, want.counters);
-        let empty =
-            run_prepared_batch(&prepared, &[], BatchOptions::default(), &scratches).unwrap();
+        let empty = run_engine_batch(&engine, &[], BatchOptions::default(), &scratches).unwrap();
         assert!(empty.outputs.is_empty());
     }
 
     #[test]
-    fn prepared_batch_reports_the_first_error_in_input_order() {
-        use crate::prepared::PreparedNetwork;
+    fn engine_batch_reports_the_first_error_in_input_order() {
         let mut seed = 23;
         let net = small_net(&mut seed);
-        let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+        let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
         let scratches = ScratchPool::new();
         let mut inputs = images(3, &mut seed);
         inputs[1] = Tensor4::from_fn([1, 2, 8, 8], |_| Fx16::from_f32(det(&mut seed)));
-        let err = run_prepared_batch(&prepared, &inputs, BatchOptions::default(), &scratches);
+        let err = run_engine_batch(&engine, &inputs, BatchOptions::default(), &scratches);
         assert!(matches!(
             err,
             Err(SimError::OperandMismatch {
@@ -391,12 +401,7 @@ mod tests {
                 ..
             })
         ));
-        let zero = run_prepared_batch(
-            &prepared,
-            &inputs,
-            BatchOptions::with_threads(0),
-            &scratches,
-        );
+        let zero = run_engine_batch(&engine, &inputs, BatchOptions::with_threads(0), &scratches);
         assert!(matches!(zero, Err(SimError::InvalidConfig { .. })));
     }
 

@@ -1,0 +1,619 @@
+//! The run phase: row-pass execution of a compiled [`Engine`].
+//!
+//! Every kernel here reads only the compiled tables in
+//! [`ir`](super::ir) and mutates only a caller-owned
+//! [`Scratch`](super::Scratch) arena. Bit-identity discipline: each
+//! accumulated term is a complete `j`-summed correlation; window parts
+//! combine first-copied-then-added in `ky` order, via the shared `_acc`
+//! kernels in [`crate::ppsr`] and the [`RowRing`](crate::errr::RowRing)
+//! schedule — so every execution path through the engine produces the
+//! same saturating-addition order and the same counter accounting.
+
+use super::ir::{Geo, StageIr, UnitIr};
+use super::scratch::{return_ring, shape_streams, take_ring, KernelBufs, Scratch};
+use super::Engine;
+use crate::counters::Counters;
+use crate::functional::FunctionalOutput;
+use crate::network::NetworkOutput;
+use crate::ppsr::{conventional_row_pass_acc, dcnn_row_pass_acc, scnn_row_pass_acc};
+use crate::SimError;
+use tfe_tensor::fixed::{Accum, Fx16};
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::scnn::ORBIT;
+
+impl Engine {
+    /// Executes the network on a `[batch, N, H, W]` input using
+    /// `scratch` for every intermediate buffer.
+    ///
+    /// After one warm-up request of each geometry the call performs no
+    /// heap allocation in the datapath (only the returned output tensor
+    /// is freshly allocated) and never touches `f32` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OperandMismatch`] when the input (or a
+    /// stage's activations) disagrees with the next stage's geometry.
+    pub fn run(
+        &self,
+        input: &Tensor4<Fx16>,
+        scratch: &mut Scratch,
+    ) -> Result<NetworkOutput, SimError> {
+        let [batch, ic, ih, iw] = input.dims();
+        let mut counters = Counters::new();
+        let mut cur = std::mem::take(&mut scratch.stage_in);
+        let mut next = std::mem::take(&mut scratch.stage_next);
+        cur.clear();
+        cur.extend_from_slice(input.as_slice());
+        let mut dims = (ic, ih, iw);
+        let mut status = Ok(());
+        for stage in &self.stages {
+            match self.run_stage(
+                stage,
+                batch,
+                dims,
+                &mut cur,
+                &mut next,
+                scratch,
+                &mut counters,
+            ) {
+                Ok(out_dims) => dims = out_dims,
+                Err(e) => {
+                    status = Err(e);
+                    break;
+                }
+            }
+        }
+        let result = status.map(|()| {
+            let (c, h, w) = dims;
+            let activations = Tensor4::from_fn([batch, c, h, w], |[b, ci, y, x]| {
+                cur[((b * c + ci) * h + y) * w + x]
+            });
+            NetworkOutput {
+                activations,
+                counters,
+            }
+        });
+        debug_assert_eq!(
+            scratch.run_quantized_rows, 0,
+            "the run phase must never quantize filter rows; all quantization happens in compile()"
+        );
+        scratch.stage_in = cur;
+        scratch.stage_next = next;
+        result
+    }
+
+    /// One full stage: convolution into the accumulator planes, then the
+    /// output memory system into `next`, then the stage swap.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage(
+        &self,
+        stage: &StageIr,
+        batch: usize,
+        dims: (usize, usize, usize),
+        cur: &mut Vec<Fx16>,
+        next: &mut Vec<Fx16>,
+        scratch: &mut Scratch,
+        counters: &mut Counters,
+    ) -> Result<(usize, usize, usize), SimError> {
+        let geo = self.conv_stage(stage, batch, dims, cur, scratch, counters)?;
+        let out_dims = Self::output_stage(stage, &geo, batch, next, scratch, counters);
+        std::mem::swap(cur, next);
+        Ok(out_dims)
+    }
+
+    /// The convolution portion of one stage: validates the input
+    /// geometry, then fills `scratch.out` with the raw `[batch × M × E ×
+    /// F]` accumulator planes (no bias, no activation, no pooling).
+    fn conv_stage(
+        &self,
+        stage: &StageIr,
+        batch: usize,
+        (cc, ch, cw): (usize, usize, usize),
+        cur: &[Fx16],
+        scratch: &mut Scratch,
+        counters: &mut Counters,
+    ) -> Result<Geo, SimError> {
+        let shape = &stage.shape;
+        for (what, expected, actual) in [
+            ("input channels", shape.n(), cc),
+            ("input height", shape.h(), ch),
+            ("input width", shape.w(), cw),
+        ] {
+            if expected != actual {
+                return Err(SimError::OperandMismatch {
+                    what,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        let geo = Geo::of(shape);
+        counters.dense_macs += shape.macs() * batch as u64;
+        let plane_len = geo.e * geo.f;
+        let Scratch {
+            padded, out, bufs, ..
+        } = scratch;
+        out.clear();
+        out.resize(batch * geo.m * plane_len, Accum::ZERO);
+        for b in 0..batch {
+            fill_padded(padded, cur, b, &geo);
+            let out_b = &mut out[b * geo.m * plane_len..][..geo.m * plane_len];
+            for unit in &stage.units {
+                match unit {
+                    UnitIr::Dense { m, base } => dense_unit(
+                        &stage.rows[*base..],
+                        padded,
+                        &geo,
+                        *m,
+                        out_b,
+                        bufs,
+                        counters,
+                    ),
+                    UnitIr::Dcnn {
+                        g,
+                        per_axis,
+                        z,
+                        k,
+                        base,
+                    } => dcnn_unit(
+                        &stage.rows[*base..],
+                        padded,
+                        &geo,
+                        (*g, *per_axis, *z, *k),
+                        self.reuse,
+                        out_b,
+                        bufs,
+                        counters,
+                    ),
+                    UnitIr::Scnn {
+                        g,
+                        base,
+                        emitted,
+                        computed,
+                    } => scnn_unit(
+                        &stage.rows[*base..],
+                        padded,
+                        &geo,
+                        (*g, *emitted),
+                        computed,
+                        &self.scnn_sources,
+                        self.reuse,
+                        out_b,
+                        bufs,
+                        counters,
+                    ),
+                }
+            }
+        }
+        Ok(geo)
+    }
+
+    /// The output portion of one stage: drives every accumulator plane
+    /// in `scratch.out` through bias fold → ReLU → pooling, assembling
+    /// the next stage's activations in `next`. Returns the output
+    /// `(channels, rows, cols)`.
+    fn output_stage(
+        stage: &StageIr,
+        geo: &Geo,
+        batch: usize,
+        next: &mut Vec<Fx16>,
+        scratch: &mut Scratch,
+        counters: &mut Counters,
+    ) -> (usize, usize, usize) {
+        let plane_len = geo.e * geo.f;
+        let (or, oc) = match stage.output.pool {
+            None => (geo.e, geo.f),
+            Some(p) => (geo.e / p, geo.f / p),
+        };
+        next.clear();
+        let Scratch {
+            out,
+            act_row,
+            pool_row,
+            pool_staged,
+            ..
+        } = scratch;
+        for b in 0..batch {
+            for c in 0..geo.m {
+                let plane = &out[(b * geo.m + c) * plane_len..][..plane_len];
+                process_channel(
+                    plane,
+                    geo,
+                    stage.bias[c],
+                    stage.output,
+                    act_row,
+                    pool_row,
+                    pool_staged,
+                    next,
+                    counters,
+                );
+            }
+        }
+        (geo.m, or, oc)
+    }
+
+    /// Runs the convolution of a single-stage engine and returns the raw
+    /// accumulator planes — the layer-level reference contract of
+    /// [`crate::functional::run_layer`], which owns validation and the
+    /// output stage.
+    pub(crate) fn run_conv_only(
+        &self,
+        input: &Tensor4<Fx16>,
+        scratch: &mut Scratch,
+    ) -> Result<FunctionalOutput, SimError> {
+        debug_assert_eq!(
+            self.stages.len(),
+            1,
+            "run_conv_only executes exactly one compiled stage"
+        );
+        let [batch, ic, ih, iw] = input.dims();
+        let mut counters = Counters::new();
+        let stage = &self.stages[0];
+        let geo = self.conv_stage(
+            stage,
+            batch,
+            (ic, ih, iw),
+            input.as_slice(),
+            scratch,
+            &mut counters,
+        )?;
+        let out = &scratch.out;
+        let output = Tensor4::from_fn([batch, geo.m, geo.e, geo.f], |[b, c, y, x]| {
+            out[((b * geo.m + c) * geo.e + y) * geo.f + x]
+        });
+        debug_assert_eq!(
+            scratch.run_quantized_rows, 0,
+            "the run phase must never quantize filter rows; all quantization happens in compile()"
+        );
+        Ok(FunctionalOutput { output, counters })
+    }
+}
+
+/// Copies image `b` of `cur` into the flat zero-padded plane buffer.
+fn fill_padded(padded: &mut Vec<Fx16>, cur: &[Fx16], b: usize, geo: &Geo) {
+    let Geo {
+        n,
+        h,
+        w,
+        pad,
+        ph,
+        pw,
+        ..
+    } = *geo;
+    padded.clear();
+    padded.resize(n * ph * pw, Fx16::ZERO);
+    for c in 0..n {
+        for y in 0..h {
+            let src = &cur[((b * n + c) * h + y) * w..][..w];
+            let dst = (c * ph + y + pad) * pw + pad;
+            padded[dst..dst + w].copy_from_slice(src);
+        }
+    }
+}
+
+/// Adds a later window part into the running window sum, with the same
+/// alignment check as [`crate::errr::combine_rows`].
+fn window_add(window: &mut [Accum], part: &[Accum]) {
+    assert_eq!(part.len(), window.len(), "window parts must align");
+    for (acc, &p) in window.iter_mut().zip(part.iter()) {
+        *acc += p;
+    }
+}
+
+/// Subsamples the combined window into output row `oy` of plane `m`.
+fn emit_row(out_b: &mut [Accum], window: &[Accum], m: usize, oy: usize, geo: &Geo) {
+    let orow = &mut out_b[(m * geo.e + oy) * geo.f..][..geo.f];
+    for (ox, slot) in orow.iter_mut().enumerate() {
+        *slot = window[ox * geo.s];
+    }
+}
+
+/// One dense filter's plane: `K` channel-summed PPSR row parts per
+/// output row, combined by the adder trees.
+fn dense_unit(
+    rows: &[Fx16],
+    padded: &[Fx16],
+    geo: &Geo,
+    m: usize,
+    out_b: &mut [Accum],
+    bufs: &mut KernelBufs,
+    counters: &mut Counters,
+) {
+    let Geo {
+        n, e, k, s, ph, pw, ..
+    } = *geo;
+    let full_w = pw - k + 1;
+    let KernelBufs { window, parts, .. } = bufs;
+    for oy in 0..e {
+        parts.clear();
+        parts.resize(k * full_w, Accum::ZERO);
+        for ky in 0..k {
+            let row_sum = &mut parts[ky * full_w..][..full_w];
+            for c in 0..n {
+                let w_row = &rows[(c * k + ky) * k..][..k];
+                let in_row = &padded[(c * ph + oy * s + ky) * pw..][..pw];
+                conventional_row_pass_acc(w_row, in_row, row_sum, counters);
+            }
+        }
+        window.clear();
+        window.extend_from_slice(&parts[..full_w]);
+        for ky in 1..k {
+            window_add(window, &parts[ky * full_w..][..full_w]);
+        }
+        counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+        emit_row(out_b, window, m, oy, geo);
+    }
+}
+
+/// One DCNN meta group's planes (ERRR ring or per-`dy` recomputation).
+#[allow(clippy::too_many_arguments)]
+fn dcnn_unit(
+    rows: &[Fx16],
+    padded: &[Fx16],
+    geo: &Geo,
+    (g, per_axis, z, k): (usize, usize, usize, usize),
+    reuse: ReuseConfig,
+    out_b: &mut [Accum],
+    bufs: &mut KernelBufs,
+    counters: &mut Counters,
+) {
+    let Geo {
+        n,
+        m: m_count,
+        e,
+        s,
+        ph,
+        pw,
+        ..
+    } = *geo;
+    let full_w = pw - k + 1;
+    if reuse.errr {
+        let mut ring = take_ring(&mut bufs.ring_pool, &mut bufs.streams_pool, k);
+        for oy in 0..e {
+            for i in oy * s..=oy * s + k - 1 {
+                if ring.contains(i) {
+                    continue;
+                }
+                let mut streams = bufs.streams_pool.pop().unwrap_or_default();
+                shape_streams(&mut streams, z, per_axis, full_w);
+                for (kr, per_dx) in streams.iter_mut().enumerate() {
+                    for c in 0..n {
+                        let meta_row = &rows[(c * z + kr) * z..][..z];
+                        let in_row = &padded[(c * ph + i) * pw..][..pw];
+                        dcnn_row_pass_acc(meta_row, in_row, k, reuse.ppsr, per_dx, counters);
+                    }
+                }
+                if let Some(evicted) = ring.insert_recycling(i, streams, counters) {
+                    bufs.streams_pool.push(evicted);
+                }
+            }
+            for dy in 0..per_axis {
+                for dx in 0..per_axis {
+                    let m = g * per_axis * per_axis + dy * per_axis + dx;
+                    if m >= m_count {
+                        continue;
+                    }
+                    let window = &mut bufs.window;
+                    for ky in 0..k {
+                        let part = ring
+                            .read(oy * s + ky, dy + ky, dx, counters)
+                            .expect("row still resident within the window");
+                        if ky == 0 {
+                            window.clear();
+                            window.extend_from_slice(part);
+                        } else {
+                            window_add(window, part);
+                        }
+                    }
+                    counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+                    emit_row(out_b, window, m, oy, geo);
+                }
+            }
+        }
+        return_ring(&mut bufs.ring_pool, &mut bufs.streams_pool, ring);
+    } else {
+        for oy in 0..e {
+            for dy in 0..per_axis {
+                let KernelBufs {
+                    window, per_row, ..
+                } = bufs;
+                shape_streams(per_row, k, per_axis, full_w);
+                for (ky, per_dx) in per_row.iter_mut().enumerate() {
+                    let kr = dy + ky;
+                    let i = oy * s + ky;
+                    for c in 0..n {
+                        let meta_row = &rows[(c * z + kr) * z..][..z];
+                        let in_row = &padded[(c * ph + i) * pw..][..pw];
+                        dcnn_row_pass_acc(meta_row, in_row, k, reuse.ppsr, per_dx, counters);
+                    }
+                }
+                for dx in 0..per_axis {
+                    let m = g * per_axis * per_axis + dy * per_axis + dx;
+                    if m >= m_count {
+                        continue;
+                    }
+                    for (ky, streams) in per_row.iter().enumerate() {
+                        let part = streams[dx].as_slice();
+                        if ky == 0 {
+                            window.clear();
+                            window.extend_from_slice(part);
+                        } else {
+                            window_add(window, part);
+                        }
+                    }
+                    counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+                    emit_row(out_b, window, m, oy, geo);
+                }
+            }
+        }
+    }
+}
+
+/// One SCNN orbit group's planes (per-source rings, derived orientations
+/// read flipped/reversed streams).
+#[allow(clippy::too_many_arguments)]
+fn scnn_unit(
+    rows: &[Fx16],
+    padded: &[Fx16],
+    geo: &Geo,
+    (g, emitted): (usize, usize),
+    computed: &[usize],
+    sources: &[(usize, usize, bool); ORBIT],
+    reuse: ReuseConfig,
+    out_b: &mut [Accum],
+    bufs: &mut KernelBufs,
+    counters: &mut Counters,
+) {
+    let Geo {
+        n, e, k, s, ph, pw, ..
+    } = *geo;
+    let full_w = pw - k + 1;
+    let variants = 1 + usize::from(reuse.ppsr);
+    {
+        let KernelBufs {
+            ring_table,
+            ring_pool,
+            streams_pool,
+            ..
+        } = bufs;
+        ring_table.clear();
+        ring_table.resize_with(ORBIT, || None);
+        for &oi in computed {
+            ring_table[oi] = Some(take_ring(ring_pool, streams_pool, k));
+        }
+    }
+    for oy in 0..e {
+        {
+            let KernelBufs {
+                ring_table,
+                streams_pool,
+                ..
+            } = bufs;
+            for &oi in computed {
+                let ring = ring_table[oi]
+                    .as_mut()
+                    .expect("computed orientation has a ring");
+                for i in oy * s..oy * s + k {
+                    if ring.contains(i) {
+                        continue;
+                    }
+                    let mut streams = streams_pool.pop().unwrap_or_default();
+                    shape_streams(&mut streams, k, variants, full_w);
+                    for (kr, per_kr) in streams.iter_mut().enumerate() {
+                        let (fwd, rest) = per_kr
+                            .split_first_mut()
+                            .expect("at least the forward stream");
+                        let mut rev: Option<&mut [Accum]> =
+                            rest.first_mut().map(|v| v.as_mut_slice());
+                        for c in 0..n {
+                            let w_row = &rows[((oi * n + c) * k + kr) * k..][..k];
+                            let in_row = &padded[(c * ph + i) * pw..][..pw];
+                            scnn_row_pass_acc(
+                                w_row,
+                                in_row,
+                                reuse.ppsr,
+                                fwd,
+                                rev.as_deref_mut(),
+                                counters,
+                            );
+                        }
+                    }
+                    if let Some(evicted) = ring.insert_recycling(i, streams, counters) {
+                        streams_pool.push(evicted);
+                    }
+                }
+            }
+        }
+        for (local, &(src, direction, row_flip)) in sources.iter().enumerate().take(emitted) {
+            let KernelBufs {
+                ring_table, window, ..
+            } = bufs;
+            let ring = ring_table[src]
+                .as_ref()
+                .expect("source orientation is computed");
+            for ky in 0..k {
+                let kr = if row_flip { k - 1 - ky } else { ky };
+                let part = ring
+                    .read(oy * s + ky, kr, direction, counters)
+                    .expect("row still resident within the window");
+                if ky == 0 {
+                    window.clear();
+                    window.extend_from_slice(part);
+                } else {
+                    window_add(window, part);
+                }
+            }
+            counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+            emit_row(out_b, window, g * ORBIT + local, oy, geo);
+        }
+    }
+    let KernelBufs {
+        ring_table,
+        ring_pool,
+        streams_pool,
+        ..
+    } = bufs;
+    for slot in ring_table.iter_mut() {
+        if let Some(ring) = slot.take() {
+            return_ring(ring_pool, streams_pool, ring);
+        }
+    }
+}
+
+/// Drives one ofmap channel plane through the output memory system
+/// (bias fold → ReLU → row-wise pooling), appending the re-quantized
+/// activations to `next` — the flat-buffer mirror of
+/// [`crate::output::OutputSystem`].
+#[allow(clippy::too_many_arguments)]
+fn process_channel(
+    plane: &[Accum],
+    geo: &Geo,
+    bias: Accum,
+    config: crate::output::OutputConfig,
+    act_row: &mut Vec<f32>,
+    pool_row: &mut Vec<f32>,
+    staged: &mut Vec<f32>,
+    next: &mut Vec<Fx16>,
+    counters: &mut Counters,
+) {
+    let (e, f) = (geo.e, geo.f);
+    staged.clear();
+    let mut staged_rows = 0usize;
+    for y in 0..e {
+        let row = &plane[y * f..][..f];
+        act_row.clear();
+        act_row.extend(row.iter().map(|&acc| {
+            let v = acc + bias;
+            let v = if config.relu { v.relu() } else { v };
+            v.to_sample().to_f32()
+        }));
+        let Some(p) = config.pool else {
+            next.extend(act_row.iter().map(|&v| Fx16::from_f32(v)));
+            continue;
+        };
+        counters.sr_writes += act_row.len() as u64;
+        counters.sr_reads += act_row.len() as u64;
+        pool_row.clear();
+        pool_row.extend(
+            act_row
+                .chunks_exact(p)
+                .map(|window| window.iter().copied().fold(f32::NEG_INFINITY, f32::max)),
+        );
+        counters.psum_mem_writes += pool_row.len() as u64;
+        let staged_width = pool_row.len();
+        staged.extend_from_slice(pool_row);
+        staged_rows += 1;
+        if staged_rows == p {
+            counters.psum_mem_reads += staged.len() as u64;
+            for x in 0..staged_width {
+                let best = (0..p)
+                    .map(|r| staged[r * staged_width + x])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                next.push(Fx16::from_f32(best));
+            }
+            staged.clear();
+            staged_rows = 0;
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The compiled layer-IR: per-stage quantized row tables, unit lists,
+//! and the SCNN source-orientation schedule.
+//!
+//! Compilation ([`compile_stage`]) performs all weight-side work of a
+//! stage exactly once: every filter row — dense rows, DCNN meta rows,
+//! all eight SCNN orientations — is quantized into one flat contiguous
+//! [`Fx16`] table, per-unit row-table offsets are recorded, and biases
+//! are pre-folded to accumulator precision. The run phase
+//! (`engine::exec`) only ever reads these tables.
+
+use crate::output::OutputConfig;
+use crate::SimError;
+use tfe_nets::TransferMode;
+use tfe_tensor::fixed::{Accum, Fx16};
+use tfe_tensor::shape::{ConvKind, LayerShape};
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
+
+/// What the compile phase materialized, so callers (and tests) can see
+/// that quantization/orientation work happened exactly once per network
+/// rather than once per request. The run phase takes `&self` and owns a
+/// matching run-side counter
+/// ([`Scratch::run_quantized_rows`](crate::engine::Scratch::run_quantized_rows))
+/// that must stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Filter rows quantized to Q8.8 (dense rows, DCNN meta rows, and
+    /// every row of every SCNN orientation).
+    pub weight_rows: u64,
+    /// Individual weight values quantized across those rows.
+    pub weight_values: u64,
+    /// SCNN orbit members materialized by orientation expansion.
+    pub scnn_orientations: u64,
+}
+
+/// One work unit of a compiled stage, with its offset into the stage's
+/// flat quantized row table.
+#[derive(Debug, Clone)]
+pub(crate) enum UnitIr {
+    /// One dense filter: rows at `base + (c·K + ky)·K`, each `K` long.
+    Dense { m: usize, base: usize },
+    /// One DCNN meta group: meta rows at `base + (c·Z + kr)·Z`, each `Z`
+    /// long. `k` is the transferred extent the layer stores (its own
+    /// field, mirrored from the layer rather than re-derived from the
+    /// shape).
+    Dcnn {
+        g: usize,
+        per_axis: usize,
+        z: usize,
+        k: usize,
+        base: usize,
+    },
+    /// One SCNN orbit group: rows of orientation `oi` at
+    /// `base + ((oi·N + c)·K + kr)·K`, each `K` long. `emitted` is how
+    /// many orbit members this (possibly partial) group emits and
+    /// `computed` the sorted, deduplicated source orientations that must
+    /// run their own row passes under the compiled [`ReuseConfig`].
+    Scnn {
+        g: usize,
+        base: usize,
+        emitted: usize,
+        computed: Vec<usize>,
+    },
+}
+
+/// One compiled stage: geometry, output configuration, pre-quantized
+/// bias, the flat quantized row table, and the unit list.
+#[derive(Debug, Clone)]
+pub(crate) struct StageIr {
+    pub(crate) shape: LayerShape,
+    pub(crate) output: OutputConfig,
+    /// The execution mode this stage compiles to — the same fact a
+    /// [`tfe_nets::LayerPlan`] records, derived here from the actual
+    /// weights so the perf model can be driven off the compiled IR.
+    pub(crate) mode: TransferMode,
+    /// Per-filter bias already folded to accumulator precision
+    /// (`Accum::from_sample(Fx16::from_f32(b))`, [`Accum::ZERO`] where
+    /// the stage supplies none).
+    pub(crate) bias: Vec<Accum>,
+    /// All quantized filter rows of the stage, contiguous.
+    pub(crate) rows: Vec<Fx16>,
+    pub(crate) units: Vec<UnitIr>,
+}
+
+/// Layer geometry snapshot threaded through the run-phase kernels.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Geo {
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    pub(crate) h: usize,
+    pub(crate) w: usize,
+    pub(crate) e: usize,
+    pub(crate) f: usize,
+    pub(crate) k: usize,
+    pub(crate) s: usize,
+    pub(crate) pad: usize,
+    pub(crate) ph: usize,
+    pub(crate) pw: usize,
+}
+
+impl Geo {
+    pub(crate) fn of(shape: &LayerShape) -> Geo {
+        Geo {
+            n: shape.n(),
+            m: shape.m(),
+            h: shape.h(),
+            w: shape.w(),
+            e: shape.e(),
+            f: shape.f(),
+            k: shape.k(),
+            s: shape.stride(),
+            pad: shape.pad(),
+            ph: shape.h() + 2 * shape.pad(),
+            pw: shape.w() + 2 * shape.pad(),
+        }
+    }
+}
+
+/// Index of an orientation `(base, flip_h, flip_v)` in [`ORIENTATIONS`]
+/// order — the shared rule for resolving SCNN source orientations.
+pub(crate) fn orientation_index(base: usize, flip_h: bool, flip_v: bool) -> usize {
+    base * 4 + usize::from(flip_h) + 2 * usize::from(flip_v)
+}
+
+/// Source resolution for one SCNN orbit member under a reuse
+/// configuration: `(source orientation, variant, row flip)`. PPSR/ERRR
+/// derive flips only from the *stored* base filters (Section V.E: an
+/// orientation whose required flips are not all covered by enabled
+/// machinery runs conventionally with its own materialized weights — it
+/// cannot chain off another derived orientation).
+pub(crate) fn source_of(oi: usize, reuse: ReuseConfig) -> (usize, usize, bool) {
+    let o = Orientation::of(ORIENTATIONS[oi]);
+    let h_covered = !o.flip_h || reuse.ppsr;
+    let v_covered = !o.flip_v || reuse.errr;
+    if h_covered && v_covered {
+        (
+            orientation_index(o.base, false, false),
+            usize::from(o.flip_h),
+            o.flip_v,
+        )
+    } else {
+        (oi, 0, false)
+    }
+}
+
+/// Compiles one stage from borrowed parts (so single-layer callers like
+/// [`crate::functional::run_layer`] need not clone their weights into a
+/// network first).
+pub(crate) fn compile_stage(
+    shape: &LayerShape,
+    weights: &TransferredLayer,
+    stage_bias: &[f32],
+    output: OutputConfig,
+    reuse: ReuseConfig,
+    stats: &mut PrepareStats,
+) -> Result<StageIr, SimError> {
+    let shape = shape.clone();
+    if shape.kind() == ConvKind::DepthWise {
+        return Err(SimError::UnsupportedLayer {
+            reason: "depth-wise convolution is excluded by the TFE",
+        });
+    }
+    if shape.dilation() != 1 {
+        return Err(SimError::UnsupportedLayer {
+            reason: "the functional datapath models unit dilation; dilated layers use the performance model",
+        });
+    }
+    if shape.m() != weights.filters() {
+        return Err(SimError::OperandMismatch {
+            what: "layer filter count",
+            expected: shape.m(),
+            actual: weights.filters(),
+        });
+    }
+    let (n, k) = (shape.n(), shape.k());
+    let mut rows: Vec<Fx16> = Vec::new();
+    let mut units: Vec<UnitIr> = Vec::new();
+    let mode = match weights {
+        TransferredLayer::Dense { .. } => TransferMode::Conventional,
+        TransferredLayer::Dcnn { metas, .. } => metas
+            .first()
+            .map_or(TransferMode::Conventional, |meta| TransferMode::Dcnn {
+                z: meta.z(),
+            }),
+        TransferredLayer::Scnn { .. } => TransferMode::Scnn,
+    };
+    match weights {
+        TransferredLayer::Dense { weights } => {
+            for m in 0..shape.m() {
+                let base = rows.len();
+                for c in 0..n {
+                    for ky in 0..k {
+                        stats.weight_rows += 1;
+                        stats.weight_values += k as u64;
+                        for kx in 0..k {
+                            rows.push(Fx16::from_f32(weights.get([m, c, ky, kx])));
+                        }
+                    }
+                }
+                units.push(UnitIr::Dense { m, base });
+            }
+        }
+        TransferredLayer::Dcnn {
+            k: layer_k, metas, ..
+        } => {
+            for (g, meta) in metas.iter().enumerate() {
+                let per_axis = meta.offsets_per_axis(*layer_k)?;
+                let z = meta.z();
+                let base = rows.len();
+                for c in 0..n {
+                    for kr in 0..z {
+                        stats.weight_rows += 1;
+                        stats.weight_values += z as u64;
+                        for x in 0..z {
+                            rows.push(Fx16::from_f32(meta.get(c, kr, x)));
+                        }
+                    }
+                }
+                units.push(UnitIr::Dcnn {
+                    g,
+                    per_axis,
+                    z,
+                    k: *layer_k,
+                    base,
+                });
+            }
+        }
+        TransferredLayer::Scnn { m: m_count, groups } => {
+            for (g, group) in groups.iter().enumerate() {
+                let base = rows.len();
+                for oi in 0..ORBIT {
+                    let oriented = group.orient(oi);
+                    stats.scnn_orientations += 1;
+                    for c in 0..n {
+                        for kr in 0..k {
+                            stats.weight_rows += 1;
+                            stats.weight_values += k as u64;
+                            let start = c * k * k + kr * k;
+                            rows.extend(
+                                oriented[start..start + k]
+                                    .iter()
+                                    .copied()
+                                    .map(Fx16::from_f32),
+                            );
+                        }
+                    }
+                }
+                let emitted = (0..ORBIT).filter(|&oi| g * ORBIT + oi < *m_count).count();
+                let mut computed: Vec<usize> = (0..ORBIT)
+                    .filter(|&oi| g * ORBIT + oi < *m_count)
+                    .map(|oi| source_of(oi, reuse).0)
+                    .collect();
+                computed.sort_unstable();
+                computed.dedup();
+                units.push(UnitIr::Scnn {
+                    g,
+                    base,
+                    emitted,
+                    computed,
+                });
+            }
+        }
+    }
+    let bias = (0..shape.m())
+        .map(|c| {
+            stage_bias
+                .get(c)
+                .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)))
+        })
+        .collect();
+    Ok(StageIr {
+        shape,
+        output,
+        mode,
+        bias,
+        rows,
+        units,
+    })
+}

@@ -1,0 +1,197 @@
+//! The compiled execution engine: one layer-IR behind every run path.
+//!
+//! Every way of executing a network in this crate flows through one
+//! [`Engine`] compiled once from the network's weights:
+//!
+//! * [`crate::network::FunctionalNetwork::run`] — the compatibility
+//!   wrapper: compiles (and caches) an engine per [`ReuseConfig`], then
+//!   runs it.
+//! * [`crate::functional::run_layer`] — the single-layer reference API:
+//!   compiles a one-stage engine and runs only its convolution.
+//! * [`crate::batch::run_engine_batch`] — the batch runner: fans a
+//!   `&Engine` out across worker threads over a [`ScratchPool`].
+//! * `tfe-serve` — the service compiles one engine at startup and every
+//!   executor runs against it.
+//!
+//! The paper's premise (shared with EIE's compile-then-execute split and
+//! UCNN/CoDR, see PAPERS.md) is that reuse structure is a property of
+//! the **weights**, computable once; the engine is that property made
+//! explicit, so every future optimization lands in one executor instead
+//! of two.
+//!
+//! Module map:
+//!
+//! * `mod.rs` (this file) — the [`Engine`] type: [`Engine::compile`]
+//!   and accessors ([`Engine::reuse`], [`Engine::stats`],
+//!   [`Engine::layer_plans`], …).
+//! * `ir.rs` — the compiled stage tables: flat quantized row tables,
+//!   per-unit offsets, SCNN source schedules, [`PrepareStats`].
+//! * `exec.rs` — the row-pass run phase ([`Engine::run`]): PPSR row
+//!   passes, ERRR rings, window combination, the output memory system.
+//! * `scratch.rs` — the run-phase arenas ([`Scratch`]) and the bounded
+//!   [`ScratchPool`] long-lived services check warm arenas out of.
+//!
+//! **Compile** does all weight-side work exactly once: every filter row
+//! of every stage — dense rows, DCNN meta rows, all eight SCNN
+//! orientations — is quantized into one flat contiguous
+//! [`tfe_tensor::fixed::Fx16`] table per stage, the SCNN
+//! source-orientation schedule is resolved against the [`ReuseConfig`],
+//! and per-filter biases are pre-folded to accumulator precision.
+//!
+//! **Run** executes requests against a caller-owned [`Scratch`] arena:
+//! flat padded planes, flat accumulator planes, recycled ERRR ring
+//! stream buffers — after a warm-up request the steady state performs
+//! **no heap allocation** in the datapath and **no weight quantization**
+//! (asserted via [`Scratch::run_quantized_rows`]).
+//!
+//! Correctness anchor: the engine's outputs are pinned bit-exactly
+//! against [`tfe_tensor::conv::conv2d_fx`] on the *expanded* transferred
+//! filters (the reuse machinery must be a pure optimization), and its
+//! counters against the analytic model — see `tests/parallel_parity.rs`
+//! and the oracle tests in [`crate::functional`].
+
+mod exec;
+mod ir;
+mod scratch;
+
+pub use ir::PrepareStats;
+pub use scratch::{Scratch, ScratchPool};
+
+pub(crate) use ir::source_of;
+
+use crate::network::FunctionalNetwork;
+use crate::SimError;
+use tfe_nets::{LayerPlan, NetworkLayer, TransferMode};
+use tfe_tensor::shape::LayerShape;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::scnn::ORBIT;
+
+/// A network compiled for repeated execution: all weight-side work of
+/// every request hoisted into one compile pass.
+///
+/// The reuse configuration is fixed at compile time because the SCNN
+/// source-orientation schedule depends on it.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pub(crate) stages: Vec<ir::StageIr>,
+    pub(crate) reuse: ReuseConfig,
+    /// `scnn_sources[oi]` = `(source orientation, variant, row flip)`.
+    pub(crate) scnn_sources: [(usize, usize, bool); ORBIT],
+    pub(crate) stats: PrepareStats,
+}
+
+impl Engine {
+    /// Compiles `net` for repeated execution under `reuse`: quantizes
+    /// every filter row, expands every SCNN orientation, resolves the
+    /// source schedules, and pre-folds biases.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the same layers [`crate::functional::run_layer`] rejects
+    /// (depth-wise, dilated, filter-count mismatches, inconsistent
+    /// transferred representations) — at compile time instead of on the
+    /// first request.
+    pub fn compile(net: &FunctionalNetwork, reuse: ReuseConfig) -> Result<Self, SimError> {
+        let mut stats = PrepareStats::default();
+        let stages = net
+            .stages()
+            .iter()
+            .map(|stage| {
+                ir::compile_stage(
+                    &stage.shape,
+                    &stage.weights,
+                    &stage.bias,
+                    stage.output,
+                    reuse,
+                    &mut stats,
+                )
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(Engine::from_stages(stages, reuse, stats))
+    }
+
+    /// Compiles a one-stage engine from borrowed layer parts — the
+    /// single-layer path behind [`crate::functional::run_layer`].
+    pub(crate) fn compile_single(
+        shape: &LayerShape,
+        weights: &TransferredLayer,
+        reuse: ReuseConfig,
+    ) -> Result<Self, SimError> {
+        let mut stats = PrepareStats::default();
+        let stage = ir::compile_stage(
+            shape,
+            weights,
+            &[],
+            crate::output::OutputConfig::RELU_ONLY,
+            reuse,
+            &mut stats,
+        )?;
+        Ok(Engine::from_stages(vec![stage], reuse, stats))
+    }
+
+    fn from_stages(stages: Vec<ir::StageIr>, reuse: ReuseConfig, stats: PrepareStats) -> Self {
+        let mut scnn_sources = [(0usize, 0usize, false); ORBIT];
+        for (oi, slot) in scnn_sources.iter_mut().enumerate() {
+            *slot = source_of(oi, reuse);
+        }
+        Engine {
+            stages,
+            reuse,
+            scnn_sources,
+            stats,
+        }
+    }
+
+    /// Compatibility name for [`Engine::compile`], from when the engine
+    /// was called `PreparedNetwork`.
+    #[deprecated(note = "renamed to `Engine::compile`")]
+    pub fn prepare(net: &FunctionalNetwork, reuse: ReuseConfig) -> Result<Self, SimError> {
+        Engine::compile(net, reuse)
+    }
+
+    /// The reuse configuration this engine was compiled for.
+    #[must_use]
+    pub fn reuse(&self) -> ReuseConfig {
+        self.reuse
+    }
+
+    /// What the compile phase materialized.
+    #[must_use]
+    pub fn stats(&self) -> PrepareStats {
+        self.stats
+    }
+
+    /// Number of compiled stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The geometry of stage `index`, when it exists. Stage 0's shape is
+    /// the admission contract for inputs (what `tfe-serve` validates
+    /// requests against).
+    #[must_use]
+    pub fn stage_shape(&self, index: usize) -> Option<&LayerShape> {
+        self.stages.get(index).map(|s| &s.shape)
+    }
+
+    /// The per-layer execution plans this engine compiled to — the same
+    /// mapping facts a [`tfe_nets::NetworkPlan`] records, derived from
+    /// the compiled IR so the analytic perf model
+    /// ([`crate::perf::NetworkPerf::of_engine`]) and the functional
+    /// counters share one source of truth.
+    #[must_use]
+    pub fn layer_plans(&self) -> Vec<LayerPlan> {
+        self.stages
+            .iter()
+            .map(|s| LayerPlan::new(NetworkLayer::new(s.shape.clone()), s.mode))
+            .collect()
+    }
+
+    /// The execution mode each stage compiled to, in stage order.
+    #[must_use]
+    pub fn stage_modes(&self) -> Vec<TransferMode> {
+        self.stages.iter().map(|s| s.mode).collect()
+    }
+}

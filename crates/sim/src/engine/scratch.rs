@@ -1,0 +1,185 @@
+//! Run-phase arenas: the per-request [`Scratch`] buffers and the bounded
+//! [`ScratchPool`] long-lived services check warm arenas out of.
+
+use crate::errr::{RowRing, Streams};
+use std::sync::Mutex;
+use tfe_tensor::fixed::{Accum, Fx16};
+
+/// Reusable per-worker buffers for [`Engine::run`](crate::engine::Engine::run).
+///
+/// Ownership model: one `Scratch` belongs to exactly one in-flight
+/// request at a time (typically one per worker thread — see
+/// [`ScratchPool`]). The engine itself is immutable and shared; every
+/// mutable byte of a request lives here. All buffers are retained
+/// between requests, so the steady state re-uses warm allocations
+/// instead of making new ones.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Flat padded input planes of the current stage/batch image,
+    /// `[channel × padded_h × padded_w]`, strided.
+    pub(crate) padded: Vec<Fx16>,
+    /// Flat ofmap accumulators of the current stage,
+    /// `[batch × M × E × F]`, strided.
+    pub(crate) out: Vec<Accum>,
+    /// Current stage's input activations, flat `[B × C × H × W]`.
+    pub(crate) stage_in: Vec<Fx16>,
+    /// Next stage's activations being assembled.
+    pub(crate) stage_next: Vec<Fx16>,
+    /// One activated (ReLU'd, re-quantized) ofmap row.
+    pub(crate) act_row: Vec<f32>,
+    /// One horizontally pooled row.
+    pub(crate) pool_row: Vec<f32>,
+    /// Horizontally pooled rows awaiting their vertical partners, flat.
+    pub(crate) pool_staged: Vec<f32>,
+    /// Kernel-level buffers (window sums, row parts, ERRR rings).
+    pub(crate) bufs: KernelBufs,
+    /// Filter rows quantized during the run phase. The compiled engine
+    /// has no run-time quantization path, so this stays 0 — asserted
+    /// after every run in debug builds and exposed for tests.
+    pub(crate) run_quantized_rows: u64,
+}
+
+impl Scratch {
+    /// An empty scratch arena; buffers grow to steady-state sizes during
+    /// the first request.
+    #[must_use]
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Filter rows quantized by the run phase with this scratch —
+    /// always 0 (the invariant the compile/run split exists to provide).
+    #[must_use]
+    pub fn run_quantized_rows(&self) -> u64 {
+        self.run_quantized_rows
+    }
+}
+
+/// Buffers used inside a single unit kernel.
+#[derive(Debug, Default)]
+pub(crate) struct KernelBufs {
+    /// Combined window sums for one output row.
+    pub(crate) window: Vec<Accum>,
+    /// Dense path: `K` channel-summed row parts, flat `[K × full_w]`.
+    pub(crate) parts: Vec<Accum>,
+    /// DCNN no-ERRR path: `per_row[ky][dx][x]` stream buffers.
+    pub(crate) per_row: Streams,
+    /// Retired rings awaiting the next unit.
+    pub(crate) ring_pool: Vec<RowRing>,
+    /// SCNN path: per-orientation ring slots (`None` = not computed).
+    pub(crate) ring_table: Vec<Option<RowRing>>,
+    /// Retired stream buffers awaiting the next row pass.
+    pub(crate) streams_pool: Vec<Streams>,
+}
+
+/// Takes a ring from the pool (or makes one) reset to `capacity`,
+/// recycling any stream buffers it still held.
+pub(crate) fn take_ring(
+    pool: &mut Vec<RowRing>,
+    streams_pool: &mut Vec<Streams>,
+    capacity: usize,
+) -> RowRing {
+    let mut ring = pool.pop().unwrap_or_else(|| RowRing::new(capacity));
+    ring.reset(capacity, streams_pool);
+    ring
+}
+
+/// Returns a ring to the pool, draining its stream buffers for reuse.
+pub(crate) fn return_ring(
+    pool: &mut Vec<RowRing>,
+    streams_pool: &mut Vec<Streams>,
+    mut ring: RowRing,
+) {
+    ring.reset(1, streams_pool);
+    pool.push(ring);
+}
+
+/// Shapes a recycled stream buffer to `rows × variants × len`, zeroing
+/// every element (the `_acc` kernels accumulate into it).
+pub(crate) fn shape_streams(streams: &mut Streams, rows: usize, variants: usize, len: usize) {
+    streams.resize_with(rows, Vec::new);
+    for per_row in streams.iter_mut() {
+        per_row.resize_with(variants, Vec::new);
+        for stream in per_row.iter_mut() {
+            stream.clear();
+            stream.resize(len, Accum::ZERO);
+        }
+    }
+}
+
+/// A mutex-guarded, **bounded** pool of [`Scratch`] arenas, checked out
+/// per in-flight request so long-lived services (the batch runner,
+/// `tfe-serve`'s executors) reuse warm buffers across requests and
+/// threads.
+///
+/// The pool retains at most `capacity` idle arenas: a burst of N
+/// concurrent requests can check out N arenas, but [`restore`] drops any
+/// arena beyond the cap instead of retaining its steady-state-sized
+/// buffers forever. The default capacity matches the machine's available
+/// parallelism — one warm arena per worker thread that could plausibly
+/// run concurrently.
+///
+/// [`restore`]: ScratchPool::restore
+#[derive(Debug)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<Scratch>>,
+    capacity: usize,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl ScratchPool {
+    /// An empty pool capped at the machine's available parallelism;
+    /// arenas are created on first checkout.
+    #[must_use]
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ScratchPool::with_capacity(workers)
+    }
+
+    /// An empty pool retaining at most `capacity` idle arenas (0 means
+    /// nothing is ever retained — every checkout starts cold).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ScratchPool {
+            pool: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// The maximum number of idle arenas this pool retains.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many warm arenas are currently idle in the pool — never more
+    /// than [`capacity`](ScratchPool::capacity).
+    #[must_use]
+    pub fn warm(&self) -> usize {
+        self.pool.lock().expect("scratch pool lock poisoned").len()
+    }
+
+    /// Checks out a scratch arena (a warm one when available).
+    #[must_use]
+    pub fn checkout(&self) -> Scratch {
+        self.pool
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch arena to the pool for reuse. Arenas beyond the
+    /// pool's capacity are dropped, bounding idle memory after a burst.
+    pub fn restore(&self, scratch: Scratch) {
+        let mut pool = self.pool.lock().expect("scratch pool lock poisoned");
+        if pool.len() < self.capacity {
+            pool.push(scratch);
+        }
+    }
+}

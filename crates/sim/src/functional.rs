@@ -3,24 +3,24 @@
 //! [`run_layer`] executes one layer the way the hardware does — PPSR row
 //! passes feeding an ERRR row ring, window results combined by the adder
 //! trees — on real Q8.8 data, producing both the ofmap values and the
-//! event counts. The integration tests check the values bit-exactly
-//! against [`tfe_tensor::conv::conv2d_fx`] applied to the *expanded*
-//! transferred filters: the reuse machinery must be a pure optimization.
+//! event counts. It is a thin entry point over the compiled
+//! [`Engine`]: the layer is compiled to a
+//! one-stage engine and run once. The integration tests check the values
+//! bit-exactly against [`tfe_tensor::conv::conv2d_fx`] applied to the
+//! *expanded* transferred filters: the reuse machinery must be a pure
+//! optimization.
 //!
 //! Scope: arbitrary stride, arbitrary square filters, zero padding,
 //! multi-channel, batched inputs (dilation > 1 is analytic-only).
 
 use crate::counters::Counters;
-use crate::errr::{combine_rows, RowRing};
-use crate::ppsr::{conventional_row_pass, dcnn_row_pass, scnn_row_pass};
+use crate::engine::{Engine, Scratch};
 use crate::SimError;
-use rayon::prelude::*;
 use tfe_tensor::fixed::{Accum, Fx16};
 use tfe_tensor::shape::{ConvKind, LayerShape};
 use tfe_tensor::tensor::Tensor4;
 use tfe_transfer::analysis::ReuseConfig;
 use tfe_transfer::layer::TransferredLayer;
-use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
 
 /// Final activations of a layer, indexed `[batch][channel][row][col]`.
 pub type ActivationPlanes = Vec<Vec<Vec<Vec<f32>>>>;
@@ -61,7 +61,7 @@ pub fn run_layer(
             reason: "the functional datapath models unit dilation; dilated layers use the performance model",
         });
     }
-    let [batch, ic, ih, iw] = input.dims();
+    let [_, ic, ih, iw] = input.dims();
     for (what, expected, actual) in [
         ("input channels", shape.n(), ic),
         ("input height", shape.h(), ih),
@@ -76,130 +76,8 @@ pub fn run_layer(
             });
         }
     }
-
-    // Enumerate the layer's independent work units (filter / transfer
-    // groups). Anything fallible — meta offset validation — happens here,
-    // before the fan-out, so the units themselves are infallible.
-    let kinds: Vec<UnitKind> = match layer {
-        TransferredLayer::Dense { .. } => (0..shape.m()).map(|m| UnitKind::Dense { m }).collect(),
-        TransferredLayer::Dcnn { k, metas, .. } => metas
-            .iter()
-            .enumerate()
-            .map(|(g, meta)| {
-                Ok(UnitKind::Dcnn {
-                    g,
-                    per_axis: meta.offsets_per_axis(*k)?,
-                })
-            })
-            .collect::<Result<_, tfe_transfer::TransferError>>()?,
-        TransferredLayer::Scnn { groups, .. } => {
-            (0..groups.len()).map(|g| UnitKind::Scnn { g }).collect()
-        }
-    };
-    let padded: Vec<Vec<Vec<Vec<Fx16>>>> =
-        (0..batch).map(|b| padded_planes(input, b, shape)).collect();
-    let units: Vec<(usize, UnitKind)> = (0..batch)
-        .flat_map(|b| kinds.iter().map(move |&kind| (b, kind)))
-        .collect();
-
-    // Fan the units out across the thread budget (`rayon` preserves the
-    // unit order in the collected vector), then merge values and counters
-    // in that fixed order: the result is bit-identical to the sequential
-    // evaluation for every thread count.
-    let results: Vec<UnitResult> = units
-        .par_iter()
-        .map(|&(b, kind)| run_unit(&padded[b], layer, shape, reuse, b, kind))
-        .collect();
-
-    let mut counters = Counters {
-        dense_macs: shape.macs() * batch as u64,
-        ..Counters::new()
-    };
-    let mut output = Tensor4::zeros([batch, shape.m(), shape.e(), shape.f()]);
-    for result in results {
-        counters.merge(&result.counters);
-        for (m, plane) in result.planes {
-            for (oy, row) in plane.iter().enumerate() {
-                for (ox, &v) in row.iter().enumerate() {
-                    output.set([result.batch, m, oy, ox], v);
-                }
-            }
-        }
-    }
-    Ok(FunctionalOutput { output, counters })
-}
-
-/// One independently evaluable slice of a layer: the filters of a single
-/// dense filter, DCNN meta group, or SCNN orbit group, for one batch
-/// image. Units touch disjoint `(batch, channel)` output slices, so they
-/// can run on any thread in any order.
-#[derive(Debug, Clone, Copy)]
-enum UnitKind {
-    /// One dense filter `m`.
-    Dense {
-        /// The filter index.
-        m: usize,
-    },
-    /// One DCNN meta-filter group.
-    Dcnn {
-        /// The meta-group index.
-        g: usize,
-        /// Transferred offsets per axis (`Z − K + 1`), pre-validated.
-        per_axis: usize,
-    },
-    /// One SCNN orbit group.
-    Scnn {
-        /// The orbit-group index.
-        g: usize,
-    },
-}
-
-/// What one work unit produced: ofmap planes for its channels plus the
-/// events it counted.
-struct UnitResult {
-    batch: usize,
-    /// `(channel, plane[e][f])` pairs, each `e × f`.
-    planes: Vec<(usize, Vec<Vec<Accum>>)>,
-    counters: Counters,
-}
-
-fn run_unit(
-    padded: &[Vec<Vec<Fx16>>],
-    layer: &TransferredLayer,
-    shape: &LayerShape,
-    reuse: ReuseConfig,
-    b: usize,
-    kind: UnitKind,
-) -> UnitResult {
-    let mut counters = Counters::new();
-    let planes = match (kind, layer) {
-        (UnitKind::Dense { m }, TransferredLayer::Dense { weights }) => {
-            vec![(
-                m,
-                conventional_unit(padded, weights, shape, m, &mut counters),
-            )]
-        }
-        (UnitKind::Dcnn { g, per_axis }, TransferredLayer::Dcnn { k, m, metas }) => dcnn_unit(
-            padded,
-            *k,
-            *m,
-            &metas[g],
-            g,
-            per_axis,
-            shape,
-            reuse,
-            &mut counters,
-        ),
-        (UnitKind::Scnn { g }, TransferredLayer::Scnn { m, groups }) => {
-            scnn_unit(padded, *m, &groups[g], g, shape, reuse, &mut counters)
-        }
-        _ => unreachable!("unit kind always matches the layer that enumerated it"),
-    };
-    UnitResult {
-        batch: b,
-        planes,
-        counters,
-    }
+    let engine = Engine::compile_single(shape, layer, reuse)?;
+    engine.run_conv_only(input, &mut Scratch::new())
 }
 
 /// Executes one layer and drives its ofmaps through the output memory
@@ -241,329 +119,6 @@ pub fn run_layer_with_output(
         activations.push(per_channel);
     }
     Ok((activations, counters))
-}
-
-/// Builds zero-padded input planes: `planes[c][row][col]` with extents
-/// `(H + 2p) × (W + 2p)`.
-fn padded_planes(input: &Tensor4<Fx16>, b: usize, shape: &LayerShape) -> Vec<Vec<Vec<Fx16>>> {
-    let (h, w, p) = (shape.h(), shape.w(), shape.pad());
-    (0..shape.n())
-        .map(|c| {
-            let mut plane = vec![vec![Fx16::ZERO; w + 2 * p]; h + 2 * p];
-            for y in 0..h {
-                for x in 0..w {
-                    plane[y + p][x + p] = input.get([b, c, y, x]);
-                }
-            }
-            plane
-        })
-        .collect()
-}
-
-fn quantize_filter_row(data: &[f32], c: usize, k: usize, row: usize) -> Vec<Fx16> {
-    let start = c * k * k + row * k;
-    data[start..start + k]
-        .iter()
-        .copied()
-        .map(Fx16::from_f32)
-        .collect()
-}
-
-/// Computes one dense filter's ofmap plane (`e × f`).
-fn conventional_unit(
-    padded: &[Vec<Vec<Fx16>>],
-    weights: &Tensor4<f32>,
-    shape: &LayerShape,
-    m: usize,
-    counters: &mut Counters,
-) -> Vec<Vec<Accum>> {
-    let (k, e, f) = (shape.k(), shape.e(), shape.f());
-    let s = shape.stride();
-    let full_w = shape.w() + 2 * shape.pad() - k + 1;
-    (0..e)
-        .map(|oy| {
-            let mut parts: Vec<Vec<Accum>> = Vec::with_capacity(k);
-            for ky in 0..k {
-                let mut row_sum = vec![Accum::ZERO; full_w];
-                for (c, plane) in padded.iter().enumerate() {
-                    let w_row: Vec<Fx16> = (0..k)
-                        .map(|kx| Fx16::from_f32(weights.get([m, c, ky, kx])))
-                        .collect();
-                    let res = conventional_row_pass(&w_row, &plane[oy * s + ky], counters);
-                    for (acc, v) in row_sum.iter_mut().zip(res) {
-                        *acc += v;
-                    }
-                }
-                parts.push(row_sum);
-            }
-            let refs: Vec<&[Accum]> = parts.iter().map(Vec::as_slice).collect();
-            let window = combine_rows(&refs, counters);
-            (0..f).map(|ox| window[ox * s]).collect()
-        })
-        .collect()
-}
-
-/// Computes one DCNN meta group's ofmap planes: `(channel, plane)` for
-/// every transferred offset this (possibly partial) group emits.
-#[allow(clippy::too_many_arguments)]
-fn dcnn_unit(
-    padded: &[Vec<Vec<Fx16>>],
-    k: usize,
-    m_count: usize,
-    meta: &tfe_transfer::meta::MetaFilter,
-    g: usize,
-    per_axis: usize,
-    shape: &LayerShape,
-    reuse: ReuseConfig,
-    counters: &mut Counters,
-) -> Vec<(usize, Vec<Vec<Accum>>)> {
-    let (e, f) = (shape.e(), shape.f());
-    let s = shape.stride();
-    let full_w = shape.w() + 2 * shape.pad() - k + 1;
-    let z = meta.z();
-    let mut planes: Vec<(usize, Vec<Vec<Accum>>)> = (0..per_axis * per_axis)
-        .map(|o| g * per_axis * per_axis + o)
-        .filter(|&m| m < m_count)
-        .map(|m| (m, vec![Vec::new(); e]))
-        .collect();
-    let mut plane_row = |m: usize, oy: usize, row: Vec<Accum>| {
-        let local = m - g * per_axis * per_axis;
-        planes[local].1[oy] = row;
-    };
-
-    // One channel-summed PPSR pass set for input row `i`: streams
-    // indexed [meta_row][dx][x].
-    let pass = |i: usize, counters: &mut Counters| -> Vec<Vec<Vec<Accum>>> {
-        (0..z)
-            .map(|kr| {
-                let mut per_dx = vec![vec![Accum::ZERO; full_w]; per_axis];
-                for (c, plane) in padded.iter().enumerate() {
-                    let meta_row: Vec<Fx16> =
-                        (0..z).map(|x| Fx16::from_f32(meta.get(c, kr, x))).collect();
-                    let res = dcnn_row_pass(&meta_row, &plane[i], k, reuse.ppsr, counters);
-                    for (dx, stream) in res.into_iter().enumerate() {
-                        for (acc, v) in per_dx[dx].iter_mut().zip(stream) {
-                            *acc += v;
-                        }
-                    }
-                }
-                per_dx
-            })
-            .collect()
-    };
-
-    if reuse.errr {
-        let mut ring = RowRing::new(k);
-        for oy in 0..e {
-            let first_needed = oy * s;
-            let last_needed = oy * s + k - 1;
-            for i in first_needed..=last_needed {
-                if !ring.contains(i) {
-                    let streams = pass(i, counters);
-                    ring.insert(i, streams, counters);
-                }
-            }
-            for dy in 0..per_axis {
-                for dx in 0..per_axis {
-                    let m = g * per_axis * per_axis + dy * per_axis + dx;
-                    if m >= m_count {
-                        continue;
-                    }
-                    let parts: Vec<&[Accum]> = (0..k)
-                        .map(|ky| {
-                            ring.read(oy * s + ky, dy + ky, dx, counters)
-                                .expect("row still resident within the window")
-                        })
-                        .collect();
-                    let window = combine_rows(&parts, counters);
-                    plane_row(m, oy, (0..f).map(|ox| window[ox * s]).collect());
-                }
-            }
-        }
-    } else {
-        // No ERRR: every (output row, vertical offset) recomputes its
-        // row passes (Fig. 4's repetition).
-        for oy in 0..e {
-            // Compute the full pass per needed input row *per dy use*.
-            for dy in 0..per_axis {
-                let mut per_row: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
-                for ky in 0..k {
-                    let streams = pass_single_row(
-                        padded,
-                        meta,
-                        k,
-                        dy + ky,
-                        oy * s + ky,
-                        full_w,
-                        per_axis,
-                        reuse.ppsr,
-                        counters,
-                    );
-                    per_row.push(streams);
-                }
-                for dx in 0..per_axis {
-                    let m = g * per_axis * per_axis + dy * per_axis + dx;
-                    if m >= m_count {
-                        continue;
-                    }
-                    let parts: Vec<&[Accum]> = per_row
-                        .iter()
-                        .map(|streams| streams[dx].as_slice())
-                        .collect();
-                    let window = combine_rows(&parts, counters);
-                    plane_row(m, oy, (0..f).map(|ox| window[ox * s]).collect());
-                }
-            }
-        }
-    }
-    planes
-}
-
-/// One channel-summed pass of a single meta row (used by the no-ERRR
-/// path), producing `streams[dx][x]`.
-#[allow(clippy::too_many_arguments)]
-fn pass_single_row(
-    padded: &[Vec<Vec<Fx16>>],
-    meta: &tfe_transfer::meta::MetaFilter,
-    k: usize,
-    kr: usize,
-    i: usize,
-    full_w: usize,
-    per_axis: usize,
-    ppsr: bool,
-    counters: &mut Counters,
-) -> Vec<Vec<Accum>> {
-    let z = meta.z();
-    let mut per_dx = vec![vec![Accum::ZERO; full_w]; per_axis];
-    for (c, plane) in padded.iter().enumerate() {
-        let meta_row: Vec<Fx16> = (0..z).map(|x| Fx16::from_f32(meta.get(c, kr, x))).collect();
-        let res = dcnn_row_pass(&meta_row, &plane[i], k, ppsr, counters);
-        for (dx, stream) in res.into_iter().enumerate() {
-            for (acc, v) in per_dx[dx].iter_mut().zip(stream) {
-                *acc += v;
-            }
-        }
-    }
-    per_dx
-}
-
-/// Index of an orientation `(base, flip_h, flip_v)` in
-/// [`ORIENTATIONS`] order. Shared with [`crate::prepared`] so both
-/// engines resolve SCNN source orientations identically.
-pub(crate) fn orientation_index(base: usize, flip_h: bool, flip_v: bool) -> usize {
-    base * 4 + usize::from(flip_h) + 2 * usize::from(flip_v)
-}
-
-/// Computes one SCNN orbit group's ofmap planes: `(channel, plane)` for
-/// every orbit member this (possibly partial) group emits.
-fn scnn_unit(
-    padded: &[Vec<Vec<Fx16>>],
-    m_count: usize,
-    group: &tfe_transfer::scnn::ScnnGroup,
-    g: usize,
-    shape: &LayerShape,
-    reuse: ReuseConfig,
-    counters: &mut Counters,
-) -> Vec<(usize, Vec<Vec<Accum>>)> {
-    let (k, e, f, n) = (shape.k(), shape.e(), shape.f(), shape.n());
-    let s = shape.stride();
-    let full_w = shape.w() + 2 * shape.pad() - k + 1;
-    let mut planes: Vec<(usize, Vec<Vec<Accum>>)> = (0..ORBIT)
-        .map(|oi| g * ORBIT + oi)
-        .filter(|&m| m < m_count)
-        .map(|m| (m, vec![Vec::new(); e]))
-        .collect();
-
-    // Source of each emitted member. PPSR/ERRR derive flips only from
-    // the *stored* base filters (Section V.E: an orientation whose
-    // required flips are not all covered by enabled machinery runs
-    // conventionally with its own materialized weights — it cannot
-    // chain off another derived orientation).
-    let source_of = |oi: usize| -> (usize, usize, bool) {
-        let o = Orientation::of(ORIENTATIONS[oi]);
-        let h_covered = !o.flip_h || reuse.ppsr;
-        let v_covered = !o.flip_v || reuse.errr;
-        if h_covered && v_covered {
-            (
-                orientation_index(o.base, false, false),
-                usize::from(o.flip_h),
-                o.flip_v,
-            )
-        } else {
-            (oi, 0, false)
-        }
-    };
-    // Which orientations must run their own row passes: the sources of
-    // the members this (possibly partial) group emits.
-    let computed: Vec<usize> = {
-        let mut sources: Vec<usize> = (0..ORBIT)
-            .filter(|&oi| g * ORBIT + oi < m_count)
-            .map(|oi| source_of(oi).0)
-            .collect();
-        sources.sort_unstable();
-        sources.dedup();
-        sources
-    };
-
-    // A ring per computed orientation; streams[kr] = [fwd, rev?].
-    let mut rings: Vec<Option<RowRing>> = (0..ORBIT)
-        .map(|oi| computed.contains(&oi).then(|| RowRing::new(k)))
-        .collect();
-    let oriented: Vec<Vec<f32>> = (0..ORBIT).map(|oi| group.orient(oi)).collect();
-
-    for oy in 0..e {
-        // Refresh rings with any newly needed input rows.
-        for &oi in &computed {
-            for i in oy * s..oy * s + k {
-                let ring = rings[oi].as_mut().expect("computed orientation has a ring");
-                if ring.contains(i) {
-                    continue;
-                }
-                let mut streams: Vec<Vec<Vec<Accum>>> = Vec::with_capacity(k);
-                for kr in 0..k {
-                    let mut fwd_sum = vec![Accum::ZERO; full_w];
-                    let mut rev_sum = reuse.ppsr.then(|| vec![Accum::ZERO; full_w]);
-                    for (c, plane) in padded.iter().enumerate() {
-                        debug_assert!(c < n);
-                        let w_row = quantize_filter_row(&oriented[oi], c, k, kr);
-                        let (fwd, rev) = scnn_row_pass(&w_row, &plane[i], reuse.ppsr, counters);
-                        for (acc, v) in fwd_sum.iter_mut().zip(fwd) {
-                            *acc += v;
-                        }
-                        if let (Some(rs), Some(rev)) = (rev_sum.as_mut(), rev) {
-                            for (acc, v) in rs.iter_mut().zip(rev) {
-                                *acc += v;
-                            }
-                        }
-                    }
-                    let mut variants = vec![fwd_sum];
-                    if let Some(rs) = rev_sum {
-                        variants.push(rs);
-                    }
-                    streams.push(variants);
-                }
-                ring.insert(i, streams, counters);
-            }
-        }
-
-        // Emit every orbit member from its source ring. `planes` holds
-        // only the members below the layer's filter count, in orbit
-        // order, so its local index is the orientation.
-        for (oi, plane) in planes.iter_mut().enumerate() {
-            let (src, direction, row_flip) = source_of(oi);
-            let ring = rings[src].as_ref().expect("source orientation is computed");
-            let parts: Vec<&[Accum]> = (0..k)
-                .map(|ky| {
-                    let kr = if row_flip { k - 1 - ky } else { ky };
-                    ring.read(oy * s + ky, kr, direction, counters)
-                        .expect("row still resident within the window")
-                })
-                .collect();
-            let window = combine_rows(&parts, counters);
-            plane.1[oy] = (0..f).map(|ox| window[ox * s]).collect();
-        }
-    }
-    planes
 }
 
 #[cfg(test)]

@@ -2,11 +2,15 @@
 //!
 //! Two coupled models share one set of counters:
 //!
-//! * The **functional datapath** ([`ppsr`], [`errr`], [`functional`],
-//!   with a cycle-stepped register-transfer view in [`sr_pipeline`])
-//!   executes the PPSR stacked-register dataflow and the ERRR cyclic
-//!   partial-sum memory system on real fixed-point data, producing actual
-//!   ofmap values. Tests check it bit-exactly against the reference
+//! * The **functional datapath** is one compiled executor: [`engine`]
+//!   compiles a network's weights once (quantized row tables, SCNN
+//!   orientation schedules, pre-folded biases) and runs every request
+//!   through the PPSR stacked-register dataflow ([`ppsr`], with a
+//!   cycle-stepped register-transfer view in [`sr_pipeline`]) and the
+//!   ERRR cyclic partial-sum memory system ([`errr`]) on real
+//!   fixed-point data, producing actual ofmap values. [`functional`],
+//!   [`network`], [`batch`], and `tfe-serve` are thin entry points over
+//!   the same engine. Tests check it bit-exactly against the reference
 //!   convolution of the *expanded* transferred filters — proving the reuse
 //!   machinery eliminates computation without changing results.
 //! * The **performance model** ([`perf`], [`safm`], [`memory`]) counts
@@ -35,6 +39,7 @@
 pub mod batch;
 pub mod config;
 pub mod counters;
+pub mod engine;
 pub mod errr;
 pub mod functional;
 pub mod input_memory;

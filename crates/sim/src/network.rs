@@ -3,17 +3,23 @@
 //! system, activations feed forward, and one counter set accumulates
 //! across the network — Fig. 10's complete processing flow.
 //!
-//! This is the integration level above [`crate::functional::run_layer`]:
-//! it validates that quantization points, pooling and layer chaining
-//! compose the way the architecture wires them. The zoo's ImageNet-scale
-//! networks are far too large for value-level simulation; the tests and
-//! examples use purpose-built small networks.
+//! [`FunctionalNetwork`] is the *description* of a network (stages,
+//! weights, biases, output configs); execution belongs to the compiled
+//! [`Engine`]. [`FunctionalNetwork::run`] is a thin prepare-once + run
+//! wrapper: the first call under a given [`ReuseConfig`] compiles an
+//! engine and caches it inside the network, so repeated calls pay only
+//! the run phase. Use [`FunctionalNetwork::engine`] to drive the
+//! compiled engine by hand (own [`Scratch`](crate::engine::Scratch)
+//! management, batch runners, services).
+//!
+//! The zoo's ImageNet-scale networks are far too large for value-level
+//! simulation; the tests and examples use purpose-built small networks.
 
 use crate::counters::Counters;
-use crate::functional::run_layer;
-use crate::output::{process_plane, OutputConfig};
+use crate::engine::{Engine, ScratchPool};
+use crate::output::OutputConfig;
 use crate::SimError;
-use tfe_tensor::fixed::Accum;
+use std::sync::OnceLock;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::shape::LayerShape;
 use tfe_tensor::tensor::Tensor4;
@@ -36,10 +42,40 @@ pub struct FunctionalStage {
     pub output: OutputConfig,
 }
 
+/// Per-[`ReuseConfig`] compiled engines plus a warm scratch pool, so
+/// [`FunctionalNetwork::run`] is prepare-once + run.
+///
+/// Caching is sound because a network's stages are immutable after
+/// construction; a [`Clone`] of the network starts with an empty cache.
+#[derive(Debug, Default)]
+struct EngineCache {
+    /// One slot per reuse configuration, indexed
+    /// `ppsr as usize | (errr as usize) << 1`.
+    slots: [OnceLock<Result<Engine, SimError>>; 4],
+    /// Warm arenas shared by wrapper runs (bounded; see [`ScratchPool`]).
+    scratches: ScratchPool,
+}
+
+impl EngineCache {
+    fn slot(&self, reuse: ReuseConfig) -> &OnceLock<Result<Engine, SimError>> {
+        &self.slots[usize::from(reuse.ppsr) | (usize::from(reuse.errr) << 1)]
+    }
+}
+
 /// A small network executable on the functional datapath.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FunctionalNetwork {
     stages: Vec<FunctionalStage>,
+    cache: EngineCache,
+}
+
+impl Clone for FunctionalNetwork {
+    fn clone(&self) -> Self {
+        FunctionalNetwork {
+            stages: self.stages.clone(),
+            cache: EngineCache::default(),
+        }
+    }
 }
 
 /// Result of a functional network execution.
@@ -80,7 +116,10 @@ impl FunctionalNetwork {
                 });
             }
         }
-        Ok(FunctionalNetwork { stages })
+        Ok(FunctionalNetwork {
+            stages,
+            cache: EngineCache::default(),
+        })
     }
 
     /// Builds a randomly initialized network from layer geometries under a
@@ -126,59 +165,53 @@ impl FunctionalNetwork {
         self.stages.iter().map(|s| s.weights.stored_params()).sum()
     }
 
-    /// Executes the network on a `[batch, N, H, W]` input.
+    /// The compiled [`Engine`] for `reuse`, compiling (and caching) it
+    /// on first use. Every later call for the same configuration returns
+    /// the same engine.
     ///
     /// # Errors
     ///
-    /// Propagates per-stage simulation errors.
+    /// Returns the compile-time [`SimError`] for networks the engine
+    /// rejects (depth-wise, dilated, filter-count mismatches); the error
+    /// is cached too, so repeated calls fail identically.
+    pub fn engine(&self, reuse: ReuseConfig) -> Result<&Engine, SimError> {
+        self.cache
+            .slot(reuse)
+            .get_or_init(|| Engine::compile(self, reuse))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Warm scratch arenas shared by the wrapper and the batch runner.
+    pub(crate) fn scratch_pool(&self) -> &ScratchPool {
+        &self.cache.scratches
+    }
+
+    /// Executes the network on a `[batch, N, H, W]` input.
+    ///
+    /// This is a thin wrapper over the compiled engine: the first call
+    /// under `reuse` compiles it ([`FunctionalNetwork::engine`]); every
+    /// later call checks a warm [`Scratch`](crate::engine::Scratch)
+    /// arena out of an internal pool and pays only the run phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile-time errors (unsupported layers) and run-time
+    /// geometry mismatches. With multiple offending stages, compile-time
+    /// errors of later stages surface before run-time input mismatches
+    /// of earlier ones (compilation covers the whole network up front);
+    /// any single error is reported identically to the pre-engine
+    /// interpreter.
     pub fn run(
         &self,
         input: &Tensor4<Fx16>,
         reuse: ReuseConfig,
     ) -> Result<NetworkOutput, SimError> {
-        let mut current = input.clone();
-        let mut counters = Counters::new();
-        for stage in &self.stages {
-            let result = run_layer(&current, &stage.weights, &stage.shape, reuse)?;
-            counters += result.counters;
-            let [batch, channels, e, f] = result.output.dims();
-            // Fold the per-filter bias in at the adder trees (full
-            // accumulator precision), then run the output memory system.
-            let mut activations: Vec<Vec<Vec<Vec<f32>>>> = Vec::with_capacity(batch);
-            for b in 0..batch {
-                let mut per_channel = Vec::with_capacity(channels);
-                for c in 0..channels {
-                    let bias = stage
-                        .bias
-                        .get(c)
-                        .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)));
-                    let rows: Vec<Vec<Accum>> = (0..e)
-                        .map(|y| {
-                            (0..f)
-                                .map(|x| result.output.get([b, c, y, x]) + bias)
-                                .collect()
-                        })
-                        .collect();
-                    per_channel.push(process_plane(&rows, stage.output, &mut counters));
-                }
-                activations.push(per_channel);
-            }
-            // Re-tensorize (and re-quantize) the pooled activations for
-            // the next stage — the DAM's output format.
-            let rows = activations[0][0].len();
-            let cols = if rows == 0 {
-                0
-            } else {
-                activations[0][0][0].len()
-            };
-            current = Tensor4::from_fn([batch, channels, rows, cols], |[b, c, y, x]| {
-                Fx16::from_f32(activations[b][c][y][x])
-            });
-        }
-        Ok(NetworkOutput {
-            activations: current,
-            counters,
-        })
+        let engine = self.engine(reuse)?;
+        let mut scratch = self.cache.scratches.checkout();
+        let result = engine.run(input, &mut scratch);
+        self.cache.scratches.restore(scratch);
+        result
     }
 }
 
@@ -263,6 +296,27 @@ mod tests {
         ];
         let err = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut seed));
         assert!(matches!(err, Err(SimError::OperandMismatch { .. })));
+    }
+
+    #[test]
+    fn engine_is_compiled_once_and_cached_per_reuse_config() {
+        let mut seed = 7;
+        let net =
+            FunctionalNetwork::random(&two_stage_shapes(), TransferScheme::Scnn, || det(&mut seed))
+                .unwrap();
+        let a = net.engine(ReuseConfig::FULL).unwrap() as *const Engine;
+        let b = net.engine(ReuseConfig::FULL).unwrap() as *const Engine;
+        assert_eq!(a, b, "same reuse config must return the cached engine");
+        let c = net.engine(ReuseConfig::NONE).unwrap() as *const Engine;
+        assert_ne!(a, c, "distinct reuse configs compile distinct engines");
+        assert_eq!(
+            net.engine(ReuseConfig::NONE).unwrap().reuse(),
+            ReuseConfig::NONE
+        );
+        // A clone starts cold but compiles to an equivalent engine.
+        let cloned = net.clone();
+        let d = cloned.engine(ReuseConfig::FULL).unwrap();
+        assert_eq!(d.stats(), net.engine(ReuseConfig::FULL).unwrap().stats());
     }
 
     #[test]

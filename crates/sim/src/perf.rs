@@ -211,6 +211,32 @@ impl NetworkPerf {
         }
     }
 
+    /// Evaluates the analytic model against a compiled
+    /// [`Engine`](crate::engine::Engine): the layer plans come from
+    /// [`Engine::layer_plans`](crate::engine::Engine::layer_plans) (the
+    /// modes each stage actually compiled to) and the reuse
+    /// configuration is the one the engine was compiled with —
+    /// `cfg.reuse` is overridden so the analytic counts describe the
+    /// same machine the functional counters measure.
+    #[must_use]
+    pub fn of_engine(engine: &crate::engine::Engine, cfg: &PerfConfig) -> NetworkPerf {
+        let cfg = PerfConfig {
+            reuse: engine.reuse(),
+            ..cfg.clone()
+        };
+        NetworkPerf {
+            network_name: engine
+                .stage_shape(0)
+                .map_or_else(|| "engine".to_owned(), |s| s.name().to_owned()),
+            layers: engine
+                .layer_plans()
+                .par_iter()
+                .map(|l| LayerPerf::evaluate(l, &cfg))
+                .collect(),
+            frequency_hz: cfg.hw.frequency_hz,
+        }
+    }
+
     /// The network's name.
     #[must_use]
     pub fn network_name(&self) -> &str {
@@ -353,6 +379,38 @@ mod tests {
         let perf = NetworkPerf::evaluate(&plan, &PerfConfig::default());
         let conv = perf.layers().iter().find(|l| !l.is_fc()).unwrap();
         assert!((conv.utilization() - 27.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_engine_matches_plan_evaluation_and_pins_reuse() {
+        use crate::engine::Engine;
+        use crate::network::FunctionalNetwork;
+        use tfe_tensor::shape::LayerShape;
+
+        let mut seed = 31u32;
+        let mut det = move || {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            (((seed >> 20) & 0xf) as f32 - 7.5) / 8.0
+        };
+        let shapes = vec![
+            (LayerShape::conv("e1", 1, 8, 12, 12, 3, 1, 1).unwrap(), true),
+            (LayerShape::conv("e2", 8, 8, 6, 6, 3, 1, 1).unwrap(), false),
+        ];
+        let net = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, &mut det).unwrap();
+        let engine = Engine::compile(&net, ReuseConfig::PPSR_ONLY).unwrap();
+
+        // cfg.reuse disagrees with the engine on purpose: of_engine must
+        // model the machine the engine actually compiled for.
+        let cfg = PerfConfig::with_reuse(ReuseConfig::FULL);
+        let perf = NetworkPerf::of_engine(&engine, &cfg);
+        assert_eq!(perf.layers().len(), 2);
+        assert_eq!(perf.network_name(), "e1");
+
+        let expected_cfg = PerfConfig::with_reuse(ReuseConfig::PPSR_ONLY);
+        for (got, plan) in perf.layers().iter().zip(engine.layer_plans()) {
+            let want = LayerPerf::evaluate(&plan, &expected_cfg);
+            assert_eq!(got, &want);
+        }
     }
 
     #[test]

@@ -1,1000 +1,21 @@
-//! Compile-once inference: the prepare/run split.
+//! Deprecated compatibility re-exports for the pre-[`crate::engine`]
+//! module layout.
 //!
-//! [`crate::functional::run_layer`] is the *reference* engine: it
-//! re-quantizes every filter row, re-orients every SCNN orbit member,
-//! and re-allocates nested padded planes on every call — faithful, but
-//! wasteful when the same weights serve millions of requests. The
-//! paper's own premise (and UCNN's/CoDR's, see PAPERS.md) is that reuse
-//! structure is a property of the **weights**, computable once.
+//! The compile-once executor that used to live here as `PreparedNetwork`
+//! is now [`crate::engine::Engine`], split into focused modules
+//! (`engine/ir.rs` compiled stage tables, `engine/exec.rs` row-pass
+//! execution, `engine/scratch.rs` arenas + pool). This module keeps the
+//! old import paths working:
 //!
-//! [`PreparedNetwork::prepare`] does all weight-side work exactly once:
-//! every filter row of every stage — dense rows, DCNN meta rows, all
-//! eight SCNN orientations — is quantized into one flat contiguous
-//! [`Fx16`] table per stage, the SCNN source-orientation schedule is
-//! resolved against the [`ReuseConfig`], and per-unit row-table offsets
-//! are recorded. [`PreparedNetwork::run`] then executes requests against
-//! a caller-owned [`Scratch`] arena: flat padded planes, flat
-//! accumulator planes, recycled ERRR ring stream buffers — after a
-//! warm-up request the steady state performs **no heap allocation** in
-//! the datapath and **no weight quantization** (asserted via
-//! [`Scratch::run_quantized_rows`]).
-//!
-//! Bit-identity: the run phase mirrors the reference engine's exact
-//! saturating-addition order (each accumulated term is a complete
-//! `j`-summed correlation; window parts combine first-copied-then-added
-//! in `ky` order) and its exact counter accounting, via the shared
-//! `_acc` kernels in [`crate::ppsr`] and the same [`RowRing`] schedule.
-//! `tests/parallel_parity.rs` asserts activations **and** counters equal
-//! [`crate::network::FunctionalNetwork::run`] for every scheme and every
-//! reuse configuration.
+//! * [`PreparedNetwork`] — deprecated alias of [`Engine`]
+//!   (`PreparedNetwork::prepare` forwards to [`Engine::compile`]).
+//! * [`Scratch`], [`ScratchPool`], [`PrepareStats`] — plain re-exports;
+//!   import them from [`crate::engine`] in new code.
 
-use crate::counters::Counters;
-use crate::errr::{RowRing, Streams};
-use crate::functional::orientation_index;
-use crate::network::{FunctionalNetwork, FunctionalStage, NetworkOutput};
-use crate::output::OutputConfig;
-use crate::ppsr::{conventional_row_pass_acc, dcnn_row_pass_acc, scnn_row_pass_acc};
-use crate::SimError;
-use std::sync::Mutex;
-use tfe_tensor::fixed::{Accum, Fx16};
-use tfe_tensor::shape::{ConvKind, LayerShape};
-use tfe_tensor::tensor::Tensor4;
-use tfe_transfer::analysis::ReuseConfig;
-use tfe_transfer::layer::TransferredLayer;
-use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
+pub use crate::engine::{PrepareStats, Scratch, ScratchPool};
 
-/// What the prepare phase materialized, so callers (and tests) can see
-/// that quantization/orientation work happened exactly once per network
-/// rather than once per request. The run phase takes `&self` and owns a
-/// matching run-side counter ([`Scratch::run_quantized_rows`]) that must
-/// stay zero.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PrepareStats {
-    /// Filter rows quantized to Q8.8 (dense rows, DCNN meta rows, and
-    /// every row of every SCNN orientation).
-    pub weight_rows: u64,
-    /// Individual weight values quantized across those rows.
-    pub weight_values: u64,
-    /// SCNN orbit members materialized by orientation expansion.
-    pub scnn_orientations: u64,
-}
+use crate::engine::Engine;
 
-/// One work unit of a prepared stage, with its offset into the stage's
-/// flat quantized row table.
-#[derive(Debug, Clone)]
-enum PreparedUnit {
-    /// One dense filter: rows at `base + (c·K + ky)·K`, each `K` long.
-    Dense { m: usize, base: usize },
-    /// One DCNN meta group: meta rows at `base + (c·Z + kr)·Z`, each `Z`
-    /// long. `k` is the transferred extent the layer stores (its own
-    /// field, mirrored from the reference engine rather than re-derived
-    /// from the shape).
-    Dcnn {
-        g: usize,
-        per_axis: usize,
-        z: usize,
-        k: usize,
-        base: usize,
-    },
-    /// One SCNN orbit group: rows of orientation `oi` at
-    /// `base + ((oi·N + c)·K + kr)·K`, each `K` long. `emitted` is how
-    /// many orbit members this (possibly partial) group emits and
-    /// `computed` the sorted, deduplicated source orientations that must
-    /// run their own row passes under the prepared [`ReuseConfig`].
-    Scnn {
-        g: usize,
-        base: usize,
-        emitted: usize,
-        computed: Vec<usize>,
-    },
-}
-
-/// One stage of a [`PreparedNetwork`]: geometry, output configuration,
-/// pre-quantized bias, the flat quantized row table, and the unit list.
-#[derive(Debug, Clone)]
-struct PreparedStage {
-    shape: LayerShape,
-    output: OutputConfig,
-    /// Per-filter bias already folded to accumulator precision
-    /// (`Accum::from_sample(Fx16::from_f32(b))`, [`Accum::ZERO`] where
-    /// the stage supplies none).
-    bias: Vec<Accum>,
-    /// All quantized filter rows of the stage, contiguous.
-    rows: Vec<Fx16>,
-    units: Vec<PreparedUnit>,
-}
-
-/// Layer geometry snapshot threaded through the run-phase kernels.
-#[derive(Debug, Clone, Copy)]
-struct Geo {
-    n: usize,
-    m: usize,
-    h: usize,
-    w: usize,
-    e: usize,
-    f: usize,
-    k: usize,
-    s: usize,
-    pad: usize,
-    ph: usize,
-    pw: usize,
-}
-
-impl Geo {
-    fn of(shape: &LayerShape) -> Geo {
-        Geo {
-            n: shape.n(),
-            m: shape.m(),
-            h: shape.h(),
-            w: shape.w(),
-            e: shape.e(),
-            f: shape.f(),
-            k: shape.k(),
-            s: shape.stride(),
-            pad: shape.pad(),
-            ph: shape.h() + 2 * shape.pad(),
-            pw: shape.w() + 2 * shape.pad(),
-        }
-    }
-}
-
-/// Source resolution for one SCNN orbit member under a reuse
-/// configuration: `(source orientation, variant, row flip)` — the same
-/// rule as the reference engine's `source_of` (Section V.E).
-fn source_of(oi: usize, reuse: ReuseConfig) -> (usize, usize, bool) {
-    let o = Orientation::of(ORIENTATIONS[oi]);
-    let h_covered = !o.flip_h || reuse.ppsr;
-    let v_covered = !o.flip_v || reuse.errr;
-    if h_covered && v_covered {
-        (
-            orientation_index(o.base, false, false),
-            usize::from(o.flip_h),
-            o.flip_v,
-        )
-    } else {
-        (oi, 0, false)
-    }
-}
-
-/// A network compiled for repeated execution: all weight-side work of
-/// every request hoisted into one prepare pass.
-///
-/// Outputs are bit-identical — activations **and** counters — to
-/// [`FunctionalNetwork::run`] with the same [`ReuseConfig`]. The reuse
-/// configuration is fixed at prepare time because the SCNN
-/// source-orientation schedule depends on it.
-#[derive(Debug, Clone)]
-pub struct PreparedNetwork {
-    stages: Vec<PreparedStage>,
-    reuse: ReuseConfig,
-    /// `scnn_sources[oi]` = `(source orientation, variant, row flip)`.
-    scnn_sources: [(usize, usize, bool); ORBIT],
-    stats: PrepareStats,
-}
-
-impl PreparedNetwork {
-    /// Compiles `net` for repeated execution under `reuse`: quantizes
-    /// every filter row, expands every SCNN orientation, resolves the
-    /// source schedules, and pre-folds biases.
-    ///
-    /// # Errors
-    ///
-    /// Rejects the same layers [`crate::functional::run_layer`] rejects
-    /// (depth-wise, dilated, filter-count mismatches, inconsistent
-    /// transferred representations) — at prepare time instead of on the
-    /// first request.
-    pub fn prepare(net: &FunctionalNetwork, reuse: ReuseConfig) -> Result<Self, SimError> {
-        let mut stats = PrepareStats::default();
-        let stages = net
-            .stages()
-            .iter()
-            .map(|stage| prepare_stage(stage, reuse, &mut stats))
-            .collect::<Result<Vec<_>, SimError>>()?;
-        let mut scnn_sources = [(0usize, 0usize, false); ORBIT];
-        for (oi, slot) in scnn_sources.iter_mut().enumerate() {
-            *slot = source_of(oi, reuse);
-        }
-        Ok(PreparedNetwork {
-            stages,
-            reuse,
-            scnn_sources,
-            stats,
-        })
-    }
-
-    /// The reuse configuration this network was compiled for.
-    #[must_use]
-    pub fn reuse(&self) -> ReuseConfig {
-        self.reuse
-    }
-
-    /// What the prepare phase materialized.
-    #[must_use]
-    pub fn stats(&self) -> PrepareStats {
-        self.stats
-    }
-
-    /// Number of compiled stages.
-    #[must_use]
-    pub fn stage_count(&self) -> usize {
-        self.stages.len()
-    }
-
-    /// Executes the network on a `[batch, N, H, W]` input using
-    /// `scratch` for every intermediate buffer.
-    ///
-    /// Bit-identical (activations and counters) to
-    /// [`FunctionalNetwork::run`] under the prepared [`ReuseConfig`].
-    /// After one warm-up request of each geometry the call performs no
-    /// heap allocation in the datapath (only the returned output tensor
-    /// is freshly allocated) and never touches `f32` weights.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::OperandMismatch`] when the input (or a
-    /// stage's activations) disagrees with the next stage's geometry —
-    /// the same errors, in the same order, as the reference engine.
-    pub fn run(
-        &self,
-        input: &Tensor4<Fx16>,
-        scratch: &mut Scratch,
-    ) -> Result<NetworkOutput, SimError> {
-        let [batch, ic, ih, iw] = input.dims();
-        let mut counters = Counters::new();
-        let mut cur = std::mem::take(&mut scratch.stage_in);
-        let mut next = std::mem::take(&mut scratch.stage_next);
-        cur.clear();
-        cur.extend_from_slice(input.as_slice());
-        let mut dims = (ic, ih, iw);
-        let mut status = Ok(());
-        for stage in &self.stages {
-            match self.run_stage(
-                stage,
-                batch,
-                dims,
-                &mut cur,
-                &mut next,
-                scratch,
-                &mut counters,
-            ) {
-                Ok(out_dims) => dims = out_dims,
-                Err(e) => {
-                    status = Err(e);
-                    break;
-                }
-            }
-        }
-        let result = status.map(|()| {
-            let (c, h, w) = dims;
-            let activations = Tensor4::from_fn([batch, c, h, w], |[b, ci, y, x]| {
-                cur[((b * c + ci) * h + y) * w + x]
-            });
-            NetworkOutput {
-                activations,
-                counters,
-            }
-        });
-        debug_assert_eq!(
-            scratch.run_quantized_rows, 0,
-            "the run phase must never quantize filter rows; all quantization happens in prepare()"
-        );
-        scratch.stage_in = cur;
-        scratch.stage_next = next;
-        result
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_stage(
-        &self,
-        stage: &PreparedStage,
-        batch: usize,
-        (cc, ch, cw): (usize, usize, usize),
-        cur: &mut Vec<Fx16>,
-        next: &mut Vec<Fx16>,
-        scratch: &mut Scratch,
-        counters: &mut Counters,
-    ) -> Result<(usize, usize, usize), SimError> {
-        let shape = &stage.shape;
-        for (what, expected, actual) in [
-            ("input channels", shape.n(), cc),
-            ("input height", shape.h(), ch),
-            ("input width", shape.w(), cw),
-        ] {
-            if expected != actual {
-                return Err(SimError::OperandMismatch {
-                    what,
-                    expected,
-                    actual,
-                });
-            }
-        }
-        let geo = Geo::of(shape);
-        counters.dense_macs += shape.macs() * batch as u64;
-        let plane_len = geo.e * geo.f;
-        {
-            let Scratch {
-                padded, out, bufs, ..
-            } = scratch;
-            out.clear();
-            out.resize(batch * geo.m * plane_len, Accum::ZERO);
-            for b in 0..batch {
-                fill_padded(padded, cur, b, &geo);
-                let out_b = &mut out[b * geo.m * plane_len..][..geo.m * plane_len];
-                for unit in &stage.units {
-                    match unit {
-                        PreparedUnit::Dense { m, base } => dense_unit(
-                            &stage.rows[*base..],
-                            padded,
-                            &geo,
-                            *m,
-                            out_b,
-                            bufs,
-                            counters,
-                        ),
-                        PreparedUnit::Dcnn {
-                            g,
-                            per_axis,
-                            z,
-                            k,
-                            base,
-                        } => dcnn_unit(
-                            &stage.rows[*base..],
-                            padded,
-                            &geo,
-                            (*g, *per_axis, *z, *k),
-                            self.reuse,
-                            out_b,
-                            bufs,
-                            counters,
-                        ),
-                        PreparedUnit::Scnn {
-                            g,
-                            base,
-                            emitted,
-                            computed,
-                        } => scnn_unit(
-                            &stage.rows[*base..],
-                            padded,
-                            &geo,
-                            (*g, *emitted),
-                            computed,
-                            &self.scnn_sources,
-                            self.reuse,
-                            out_b,
-                            bufs,
-                            counters,
-                        ),
-                    }
-                }
-            }
-        }
-        let (or, oc) = match stage.output.pool {
-            None => (geo.e, geo.f),
-            Some(p) => (geo.e / p, geo.f / p),
-        };
-        next.clear();
-        {
-            let Scratch {
-                out,
-                act_row,
-                pool_row,
-                pool_staged,
-                ..
-            } = scratch;
-            for b in 0..batch {
-                for c in 0..geo.m {
-                    let plane = &out[(b * geo.m + c) * plane_len..][..plane_len];
-                    process_channel(
-                        plane,
-                        &geo,
-                        stage.bias[c],
-                        stage.output,
-                        act_row,
-                        pool_row,
-                        pool_staged,
-                        next,
-                        counters,
-                    );
-                }
-            }
-        }
-        std::mem::swap(cur, next);
-        Ok((geo.m, or, oc))
-    }
-}
-
-fn prepare_stage(
-    stage: &FunctionalStage,
-    reuse: ReuseConfig,
-    stats: &mut PrepareStats,
-) -> Result<PreparedStage, SimError> {
-    let shape = stage.shape.clone();
-    if shape.kind() == ConvKind::DepthWise {
-        return Err(SimError::UnsupportedLayer {
-            reason: "depth-wise convolution is excluded by the TFE",
-        });
-    }
-    if shape.dilation() != 1 {
-        return Err(SimError::UnsupportedLayer {
-            reason: "the functional datapath models unit dilation; dilated layers use the performance model",
-        });
-    }
-    if shape.m() != stage.weights.filters() {
-        return Err(SimError::OperandMismatch {
-            what: "layer filter count",
-            expected: shape.m(),
-            actual: stage.weights.filters(),
-        });
-    }
-    let (n, k) = (shape.n(), shape.k());
-    let mut rows: Vec<Fx16> = Vec::new();
-    let mut units: Vec<PreparedUnit> = Vec::new();
-    match &stage.weights {
-        TransferredLayer::Dense { weights } => {
-            for m in 0..shape.m() {
-                let base = rows.len();
-                for c in 0..n {
-                    for ky in 0..k {
-                        stats.weight_rows += 1;
-                        stats.weight_values += k as u64;
-                        for kx in 0..k {
-                            rows.push(Fx16::from_f32(weights.get([m, c, ky, kx])));
-                        }
-                    }
-                }
-                units.push(PreparedUnit::Dense { m, base });
-            }
-        }
-        TransferredLayer::Dcnn {
-            k: layer_k, metas, ..
-        } => {
-            for (g, meta) in metas.iter().enumerate() {
-                let per_axis = meta.offsets_per_axis(*layer_k)?;
-                let z = meta.z();
-                let base = rows.len();
-                for c in 0..n {
-                    for kr in 0..z {
-                        stats.weight_rows += 1;
-                        stats.weight_values += z as u64;
-                        for x in 0..z {
-                            rows.push(Fx16::from_f32(meta.get(c, kr, x)));
-                        }
-                    }
-                }
-                units.push(PreparedUnit::Dcnn {
-                    g,
-                    per_axis,
-                    z,
-                    k: *layer_k,
-                    base,
-                });
-            }
-        }
-        TransferredLayer::Scnn { m: m_count, groups } => {
-            for (g, group) in groups.iter().enumerate() {
-                let base = rows.len();
-                for oi in 0..ORBIT {
-                    let oriented = group.orient(oi);
-                    stats.scnn_orientations += 1;
-                    for c in 0..n {
-                        for kr in 0..k {
-                            stats.weight_rows += 1;
-                            stats.weight_values += k as u64;
-                            let start = c * k * k + kr * k;
-                            rows.extend(
-                                oriented[start..start + k]
-                                    .iter()
-                                    .copied()
-                                    .map(Fx16::from_f32),
-                            );
-                        }
-                    }
-                }
-                let emitted = (0..ORBIT).filter(|&oi| g * ORBIT + oi < *m_count).count();
-                let mut computed: Vec<usize> = (0..ORBIT)
-                    .filter(|&oi| g * ORBIT + oi < *m_count)
-                    .map(|oi| source_of(oi, reuse).0)
-                    .collect();
-                computed.sort_unstable();
-                computed.dedup();
-                units.push(PreparedUnit::Scnn {
-                    g,
-                    base,
-                    emitted,
-                    computed,
-                });
-            }
-        }
-    }
-    let bias = (0..shape.m())
-        .map(|c| {
-            stage
-                .bias
-                .get(c)
-                .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)))
-        })
-        .collect();
-    Ok(PreparedStage {
-        shape,
-        output: stage.output,
-        bias,
-        rows,
-        units,
-    })
-}
-
-/// Reusable per-worker buffers for [`PreparedNetwork::run`].
-///
-/// Ownership model: one `Scratch` belongs to exactly one in-flight
-/// request at a time (typically one per worker thread — see
-/// [`ScratchPool`]). The network itself is immutable and shared; every
-/// mutable byte of a request lives here. All buffers are retained
-/// between requests, so the steady state re-uses warm allocations
-/// instead of making new ones.
-#[derive(Debug, Default)]
-pub struct Scratch {
-    /// Flat padded input planes of the current stage/batch image,
-    /// `[channel × padded_h × padded_w]`, strided.
-    padded: Vec<Fx16>,
-    /// Flat ofmap accumulators of the current stage,
-    /// `[batch × M × E × F]`, strided.
-    out: Vec<Accum>,
-    /// Current stage's input activations, flat `[B × C × H × W]`.
-    stage_in: Vec<Fx16>,
-    /// Next stage's activations being assembled.
-    stage_next: Vec<Fx16>,
-    /// One activated (ReLU'd, re-quantized) ofmap row.
-    act_row: Vec<f32>,
-    /// One horizontally pooled row.
-    pool_row: Vec<f32>,
-    /// Horizontally pooled rows awaiting their vertical partners, flat.
-    pool_staged: Vec<f32>,
-    /// Kernel-level buffers (window sums, row parts, ERRR rings).
-    bufs: KernelBufs,
-    /// Filter rows quantized during the run phase. The prepared engine
-    /// has no run-time quantization path, so this stays 0 — asserted
-    /// after every run in debug builds and exposed for tests.
-    run_quantized_rows: u64,
-}
-
-impl Scratch {
-    /// An empty scratch arena; buffers grow to steady-state sizes during
-    /// the first request.
-    #[must_use]
-    pub fn new() -> Self {
-        Scratch::default()
-    }
-
-    /// Filter rows quantized by the run phase with this scratch —
-    /// always 0 (the invariant the prepare/run split exists to provide).
-    #[must_use]
-    pub fn run_quantized_rows(&self) -> u64 {
-        self.run_quantized_rows
-    }
-}
-
-/// Buffers used inside a single unit kernel.
-#[derive(Debug, Default)]
-struct KernelBufs {
-    /// Combined window sums for one output row.
-    window: Vec<Accum>,
-    /// Dense path: `K` channel-summed row parts, flat `[K × full_w]`.
-    parts: Vec<Accum>,
-    /// DCNN no-ERRR path: `per_row[ky][dx][x]` stream buffers.
-    per_row: Streams,
-    /// Retired rings awaiting the next unit.
-    ring_pool: Vec<RowRing>,
-    /// SCNN path: per-orientation ring slots (`None` = not computed).
-    ring_table: Vec<Option<RowRing>>,
-    /// Retired stream buffers awaiting the next row pass.
-    streams_pool: Vec<Streams>,
-}
-
-/// Takes a ring from the pool (or makes one) reset to `capacity`,
-/// recycling any stream buffers it still held.
-fn take_ring(pool: &mut Vec<RowRing>, streams_pool: &mut Vec<Streams>, capacity: usize) -> RowRing {
-    let mut ring = pool.pop().unwrap_or_else(|| RowRing::new(capacity));
-    ring.reset(capacity, streams_pool);
-    ring
-}
-
-/// Returns a ring to the pool, draining its stream buffers for reuse.
-fn return_ring(pool: &mut Vec<RowRing>, streams_pool: &mut Vec<Streams>, mut ring: RowRing) {
-    ring.reset(1, streams_pool);
-    pool.push(ring);
-}
-
-/// Shapes a recycled stream buffer to `rows × variants × len`, zeroing
-/// every element (the `_acc` kernels accumulate into it).
-fn shape_streams(streams: &mut Streams, rows: usize, variants: usize, len: usize) {
-    streams.resize_with(rows, Vec::new);
-    for per_row in streams.iter_mut() {
-        per_row.resize_with(variants, Vec::new);
-        for stream in per_row.iter_mut() {
-            stream.clear();
-            stream.resize(len, Accum::ZERO);
-        }
-    }
-}
-
-/// Copies image `b` of `cur` into the flat zero-padded plane buffer.
-fn fill_padded(padded: &mut Vec<Fx16>, cur: &[Fx16], b: usize, geo: &Geo) {
-    let Geo {
-        n,
-        h,
-        w,
-        pad,
-        ph,
-        pw,
-        ..
-    } = *geo;
-    padded.clear();
-    padded.resize(n * ph * pw, Fx16::ZERO);
-    for c in 0..n {
-        for y in 0..h {
-            let src = &cur[((b * n + c) * h + y) * w..][..w];
-            let dst = (c * ph + y + pad) * pw + pad;
-            padded[dst..dst + w].copy_from_slice(src);
-        }
-    }
-}
-
-/// Adds a later window part into the running window sum, with the same
-/// alignment check as [`crate::errr::combine_rows`].
-fn window_add(window: &mut [Accum], part: &[Accum]) {
-    assert_eq!(part.len(), window.len(), "window parts must align");
-    for (acc, &p) in window.iter_mut().zip(part.iter()) {
-        *acc += p;
-    }
-}
-
-/// Subsamples the combined window into output row `oy` of plane `m`.
-fn emit_row(out_b: &mut [Accum], window: &[Accum], m: usize, oy: usize, geo: &Geo) {
-    let orow = &mut out_b[(m * geo.e + oy) * geo.f..][..geo.f];
-    for (ox, slot) in orow.iter_mut().enumerate() {
-        *slot = window[ox * geo.s];
-    }
-}
-
-/// One dense filter's plane, mirroring `conventional_unit`.
-fn dense_unit(
-    rows: &[Fx16],
-    padded: &[Fx16],
-    geo: &Geo,
-    m: usize,
-    out_b: &mut [Accum],
-    bufs: &mut KernelBufs,
-    counters: &mut Counters,
-) {
-    let Geo {
-        n, e, k, s, ph, pw, ..
-    } = *geo;
-    let full_w = pw - k + 1;
-    let KernelBufs { window, parts, .. } = bufs;
-    for oy in 0..e {
-        parts.clear();
-        parts.resize(k * full_w, Accum::ZERO);
-        for ky in 0..k {
-            let row_sum = &mut parts[ky * full_w..][..full_w];
-            for c in 0..n {
-                let w_row = &rows[(c * k + ky) * k..][..k];
-                let in_row = &padded[(c * ph + oy * s + ky) * pw..][..pw];
-                conventional_row_pass_acc(w_row, in_row, row_sum, counters);
-            }
-        }
-        window.clear();
-        window.extend_from_slice(&parts[..full_w]);
-        for ky in 1..k {
-            window_add(window, &parts[ky * full_w..][..full_w]);
-        }
-        counters.adds += (k.saturating_sub(1) * window.len()) as u64;
-        emit_row(out_b, window, m, oy, geo);
-    }
-}
-
-/// One DCNN meta group's planes, mirroring `dcnn_unit` (ERRR ring or
-/// per-`dy` recomputation).
-#[allow(clippy::too_many_arguments)]
-fn dcnn_unit(
-    rows: &[Fx16],
-    padded: &[Fx16],
-    geo: &Geo,
-    (g, per_axis, z, k): (usize, usize, usize, usize),
-    reuse: ReuseConfig,
-    out_b: &mut [Accum],
-    bufs: &mut KernelBufs,
-    counters: &mut Counters,
-) {
-    let Geo {
-        n,
-        m: m_count,
-        e,
-        s,
-        ph,
-        pw,
-        ..
-    } = *geo;
-    let full_w = pw - k + 1;
-    if reuse.errr {
-        let mut ring = take_ring(&mut bufs.ring_pool, &mut bufs.streams_pool, k);
-        for oy in 0..e {
-            for i in oy * s..=oy * s + k - 1 {
-                if ring.contains(i) {
-                    continue;
-                }
-                let mut streams = bufs.streams_pool.pop().unwrap_or_default();
-                shape_streams(&mut streams, z, per_axis, full_w);
-                for (kr, per_dx) in streams.iter_mut().enumerate() {
-                    for c in 0..n {
-                        let meta_row = &rows[(c * z + kr) * z..][..z];
-                        let in_row = &padded[(c * ph + i) * pw..][..pw];
-                        dcnn_row_pass_acc(meta_row, in_row, k, reuse.ppsr, per_dx, counters);
-                    }
-                }
-                if let Some(evicted) = ring.insert_recycling(i, streams, counters) {
-                    bufs.streams_pool.push(evicted);
-                }
-            }
-            for dy in 0..per_axis {
-                for dx in 0..per_axis {
-                    let m = g * per_axis * per_axis + dy * per_axis + dx;
-                    if m >= m_count {
-                        continue;
-                    }
-                    let window = &mut bufs.window;
-                    for ky in 0..k {
-                        let part = ring
-                            .read(oy * s + ky, dy + ky, dx, counters)
-                            .expect("row still resident within the window");
-                        if ky == 0 {
-                            window.clear();
-                            window.extend_from_slice(part);
-                        } else {
-                            window_add(window, part);
-                        }
-                    }
-                    counters.adds += (k.saturating_sub(1) * window.len()) as u64;
-                    emit_row(out_b, window, m, oy, geo);
-                }
-            }
-        }
-        return_ring(&mut bufs.ring_pool, &mut bufs.streams_pool, ring);
-    } else {
-        for oy in 0..e {
-            for dy in 0..per_axis {
-                let KernelBufs {
-                    window, per_row, ..
-                } = bufs;
-                shape_streams(per_row, k, per_axis, full_w);
-                for (ky, per_dx) in per_row.iter_mut().enumerate() {
-                    let kr = dy + ky;
-                    let i = oy * s + ky;
-                    for c in 0..n {
-                        let meta_row = &rows[(c * z + kr) * z..][..z];
-                        let in_row = &padded[(c * ph + i) * pw..][..pw];
-                        dcnn_row_pass_acc(meta_row, in_row, k, reuse.ppsr, per_dx, counters);
-                    }
-                }
-                for dx in 0..per_axis {
-                    let m = g * per_axis * per_axis + dy * per_axis + dx;
-                    if m >= m_count {
-                        continue;
-                    }
-                    for (ky, streams) in per_row.iter().enumerate() {
-                        let part = streams[dx].as_slice();
-                        if ky == 0 {
-                            window.clear();
-                            window.extend_from_slice(part);
-                        } else {
-                            window_add(window, part);
-                        }
-                    }
-                    counters.adds += (k.saturating_sub(1) * window.len()) as u64;
-                    emit_row(out_b, window, m, oy, geo);
-                }
-            }
-        }
-    }
-}
-
-/// One SCNN orbit group's planes, mirroring `scnn_unit` (per-source
-/// rings, derived orientations read flipped/reversed streams).
-#[allow(clippy::too_many_arguments)]
-fn scnn_unit(
-    rows: &[Fx16],
-    padded: &[Fx16],
-    geo: &Geo,
-    (g, emitted): (usize, usize),
-    computed: &[usize],
-    sources: &[(usize, usize, bool); ORBIT],
-    reuse: ReuseConfig,
-    out_b: &mut [Accum],
-    bufs: &mut KernelBufs,
-    counters: &mut Counters,
-) {
-    let Geo {
-        n, e, k, s, ph, pw, ..
-    } = *geo;
-    let full_w = pw - k + 1;
-    let variants = 1 + usize::from(reuse.ppsr);
-    {
-        let KernelBufs {
-            ring_table,
-            ring_pool,
-            streams_pool,
-            ..
-        } = bufs;
-        ring_table.clear();
-        ring_table.resize_with(ORBIT, || None);
-        for &oi in computed {
-            ring_table[oi] = Some(take_ring(ring_pool, streams_pool, k));
-        }
-    }
-    for oy in 0..e {
-        {
-            let KernelBufs {
-                ring_table,
-                streams_pool,
-                ..
-            } = bufs;
-            for &oi in computed {
-                let ring = ring_table[oi]
-                    .as_mut()
-                    .expect("computed orientation has a ring");
-                for i in oy * s..oy * s + k {
-                    if ring.contains(i) {
-                        continue;
-                    }
-                    let mut streams = streams_pool.pop().unwrap_or_default();
-                    shape_streams(&mut streams, k, variants, full_w);
-                    for (kr, per_kr) in streams.iter_mut().enumerate() {
-                        let (fwd, rest) = per_kr
-                            .split_first_mut()
-                            .expect("at least the forward stream");
-                        let mut rev: Option<&mut [Accum]> =
-                            rest.first_mut().map(|v| v.as_mut_slice());
-                        for c in 0..n {
-                            let w_row = &rows[((oi * n + c) * k + kr) * k..][..k];
-                            let in_row = &padded[(c * ph + i) * pw..][..pw];
-                            scnn_row_pass_acc(
-                                w_row,
-                                in_row,
-                                reuse.ppsr,
-                                fwd,
-                                rev.as_deref_mut(),
-                                counters,
-                            );
-                        }
-                    }
-                    if let Some(evicted) = ring.insert_recycling(i, streams, counters) {
-                        streams_pool.push(evicted);
-                    }
-                }
-            }
-        }
-        for (local, &(src, direction, row_flip)) in sources.iter().enumerate().take(emitted) {
-            let KernelBufs {
-                ring_table, window, ..
-            } = bufs;
-            let ring = ring_table[src]
-                .as_ref()
-                .expect("source orientation is computed");
-            for ky in 0..k {
-                let kr = if row_flip { k - 1 - ky } else { ky };
-                let part = ring
-                    .read(oy * s + ky, kr, direction, counters)
-                    .expect("row still resident within the window");
-                if ky == 0 {
-                    window.clear();
-                    window.extend_from_slice(part);
-                } else {
-                    window_add(window, part);
-                }
-            }
-            counters.adds += (k.saturating_sub(1) * window.len()) as u64;
-            emit_row(out_b, window, g * ORBIT + local, oy, geo);
-        }
-    }
-    let KernelBufs {
-        ring_table,
-        ring_pool,
-        streams_pool,
-        ..
-    } = bufs;
-    for slot in ring_table.iter_mut() {
-        if let Some(ring) = slot.take() {
-            return_ring(ring_pool, streams_pool, ring);
-        }
-    }
-}
-
-/// Drives one ofmap channel plane through the output memory system
-/// (bias fold → ReLU → row-wise pooling), appending the re-quantized
-/// activations to `next` — the flat-buffer mirror of
-/// [`crate::output::OutputSystem`].
-#[allow(clippy::too_many_arguments)]
-fn process_channel(
-    plane: &[Accum],
-    geo: &Geo,
-    bias: Accum,
-    config: OutputConfig,
-    act_row: &mut Vec<f32>,
-    pool_row: &mut Vec<f32>,
-    staged: &mut Vec<f32>,
-    next: &mut Vec<Fx16>,
-    counters: &mut Counters,
-) {
-    let (e, f) = (geo.e, geo.f);
-    staged.clear();
-    let mut staged_rows = 0usize;
-    for y in 0..e {
-        let row = &plane[y * f..][..f];
-        act_row.clear();
-        act_row.extend(row.iter().map(|&acc| {
-            let v = acc + bias;
-            let v = if config.relu { v.relu() } else { v };
-            v.to_sample().to_f32()
-        }));
-        let Some(p) = config.pool else {
-            next.extend(act_row.iter().map(|&v| Fx16::from_f32(v)));
-            continue;
-        };
-        counters.sr_writes += act_row.len() as u64;
-        counters.sr_reads += act_row.len() as u64;
-        pool_row.clear();
-        pool_row.extend(
-            act_row
-                .chunks_exact(p)
-                .map(|window| window.iter().copied().fold(f32::NEG_INFINITY, f32::max)),
-        );
-        counters.psum_mem_writes += pool_row.len() as u64;
-        let staged_width = pool_row.len();
-        staged.extend_from_slice(pool_row);
-        staged_rows += 1;
-        if staged_rows == p {
-            counters.psum_mem_reads += staged.len() as u64;
-            for x in 0..staged_width {
-                let best = (0..p)
-                    .map(|r| staged[r * staged_width + x])
-                    .fold(f32::NEG_INFINITY, f32::max);
-                next.push(Fx16::from_f32(best));
-            }
-            staged.clear();
-            staged_rows = 0;
-        }
-    }
-}
-
-/// A mutex-guarded pool of [`Scratch`] arenas, checked out per in-flight
-/// request so long-lived services (the batch engine, `tfe-serve`'s
-/// executors) reuse warm buffers across requests and threads.
-#[derive(Debug, Default)]
-pub struct ScratchPool {
-    pool: Mutex<Vec<Scratch>>,
-}
-
-impl ScratchPool {
-    /// An empty pool; arenas are created on first checkout.
-    #[must_use]
-    pub fn new() -> Self {
-        ScratchPool::default()
-    }
-
-    /// Checks out a scratch arena (a warm one when available).
-    #[must_use]
-    pub fn checkout(&self) -> Scratch {
-        self.pool
-            .lock()
-            .expect("scratch pool lock poisoned")
-            .pop()
-            .unwrap_or_default()
-    }
-
-    /// Returns a scratch arena to the pool for reuse.
-    pub fn restore(&self, scratch: Scratch) {
-        self.pool
-            .lock()
-            .expect("scratch pool lock poisoned")
-            .push(scratch);
-    }
-}
+/// Deprecated name of the compiled execution engine.
+#[deprecated(note = "renamed to `crate::engine::Engine`")]
+pub type PreparedNetwork = Engine;

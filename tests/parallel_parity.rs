@@ -1,19 +1,22 @@
-//! Parallel/batched evaluation parity: the rayon-backed fan-out in
-//! `tfe::sim::functional` and the batch engine in `tfe::sim::batch` must
-//! be bit-identical to sequential evaluation at every thread count, and
-//! the merged [`Counters`] must equal the sequential totals exactly.
+//! Parallel/batched/engine execution parity: the wrapper entry points in
+//! `tfe::sim` (network `run`, `run_batch`) and a hand-driven
+//! [`Engine`] must all be bit-identical — activations AND counters — at
+//! every thread count, every scheme, every reuse ablation, and under
+//! stride, with the merged [`Counters`] equal to the sequential totals
+//! exactly.
 //!
-//! The guarantee rests on two properties: work units (per-image, per
-//! filter/transfer group) are pure functions of their inputs, and their
-//! results — output planes and per-unit counters — are merged in a fixed
-//! order independent of which thread produced them.
+//! The guarantee rests on two properties: images are pure functions of
+//! their inputs (one engine pass each), and per-image results — output
+//! tensors and counters — merge in a fixed input order independent of
+//! which thread produced them.
 
-use tfe::sim::batch::{run_batch, run_prepared_batch, split_batch, BatchOptions};
+use proptest::prelude::*;
+use tfe::sim::batch::{run_batch, run_engine_batch, split_batch, BatchOptions};
 use tfe::sim::counters::Counters;
+use tfe::sim::engine::{Engine, Scratch, ScratchPool};
 use tfe::sim::functional::run_layer;
 use tfe::sim::network::{FunctionalNetwork, FunctionalStage, NetworkOutput};
 use tfe::sim::output::OutputConfig;
-use tfe::sim::prepared::{PreparedNetwork, Scratch, ScratchPool};
 use tfe::tensor::fixed::Fx16;
 use tfe::tensor::shape::LayerShape;
 use tfe::tensor::tensor::Tensor4;
@@ -25,6 +28,19 @@ fn det(seed: &mut u32) -> f32 {
     *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
     ((*seed >> 16) as f32 / 65536.0) - 0.5
 }
+
+const ALL_SCHEMES: [TransferScheme; 3] = [
+    TransferScheme::DCNN4,
+    TransferScheme::DCNN6,
+    TransferScheme::Scnn,
+];
+
+const ALL_REUSE: [ReuseConfig; 4] = [
+    ReuseConfig::NONE,
+    ReuseConfig::PPSR_ONLY,
+    ReuseConfig::ERRR_ONLY,
+    ReuseConfig::FULL,
+];
 
 /// A small randomized two-stage network (conv → conv+pool) whose filter
 /// count is compatible with every scheme (8 is a multiple of the DCNN4
@@ -41,6 +57,24 @@ fn small_net(scheme: TransferScheme, seed: u32) -> FunctionalNetwork {
             false,
         ),
         (LayerShape::conv("p2", m, m, 12, 12, 3, 1, 1).unwrap(), true),
+    ];
+    let mut s = seed;
+    FunctionalNetwork::random(&shapes, scheme, || det(&mut s)).unwrap()
+}
+
+/// Like [`small_net`] but with a stride-2 first stage, so the parity
+/// sweep also covers the subsampled window path.
+fn strided_net(scheme: TransferScheme, seed: u32) -> FunctionalNetwork {
+    let m = match scheme {
+        TransferScheme::Dcnn { z: 6 } => 16,
+        _ => 8,
+    };
+    let shapes = vec![
+        (
+            LayerShape::conv("t1", 3, m, 13, 13, 3, 2, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("t2", m, m, 7, 7, 3, 1, 1).unwrap(), false),
     ];
     let mut s = seed;
     FunctionalNetwork::random(&shapes, scheme, || det(&mut s)).unwrap()
@@ -73,11 +107,7 @@ fn sequential(
 
 #[test]
 fn batched_parallel_is_bit_identical_to_sequential() {
-    for scheme in [
-        TransferScheme::DCNN4,
-        TransferScheme::DCNN6,
-        TransferScheme::Scnn,
-    ] {
+    for scheme in ALL_SCHEMES {
         let net = small_net(scheme, 41);
         let inputs = images(6, 977);
         let (seq_outputs, seq_total) = sequential(&net, &inputs, ReuseConfig::FULL);
@@ -116,12 +146,7 @@ fn reuse_ablations_stay_parity_under_parallelism() {
     // just the full configuration.
     let net = small_net(TransferScheme::Scnn, 7);
     let inputs = images(4, 1234);
-    for reuse in [
-        ReuseConfig::NONE,
-        ReuseConfig::PPSR_ONLY,
-        ReuseConfig::ERRR_ONLY,
-        ReuseConfig::FULL,
-    ] {
+    for reuse in ALL_REUSE {
         let (seq_outputs, seq_total) = sequential(&net, &inputs, reuse);
         let batch = run_batch(&net, &inputs, reuse, BatchOptions::with_threads(4)).unwrap();
         for (got, want) in batch.outputs.iter().zip(&seq_outputs) {
@@ -133,9 +158,8 @@ fn reuse_ablations_stay_parity_under_parallelism() {
 
 #[test]
 fn run_layer_is_thread_count_invariant() {
-    // The intra-layer fan-out (ofmap channels / transfer groups) must be
-    // invariant to the ambient rayon thread budget on its own, without
-    // the batch engine in the loop.
+    // The single-layer entry point must be invariant to the ambient rayon
+    // thread budget (each layer is one sequential engine pass).
     let shape = LayerShape::conv("inv", 4, 16, 10, 10, 3, 1, 1).unwrap();
     let mut wseed = 5;
     let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(&mut wseed)).unwrap();
@@ -154,28 +178,20 @@ fn run_layer_is_thread_count_invariant() {
 }
 
 #[test]
-fn prepared_network_is_bit_identical_to_naive_run() {
-    // The compile-once engine must agree with the reference engine on
-    // every scheme and every reuse ablation — activations AND counters —
-    // while reusing one Scratch arena across all runs.
+fn wrapper_run_is_bit_identical_to_hand_driven_engine() {
+    // FunctionalNetwork::run is a thin wrapper over the compiled engine;
+    // driving Engine::compile + Engine::run by hand must agree with the
+    // wrapper — activations AND counters — on every scheme and every
+    // reuse ablation, while reusing one Scratch arena across all runs.
     let mut scratch = Scratch::new();
-    for scheme in [
-        TransferScheme::DCNN4,
-        TransferScheme::DCNN6,
-        TransferScheme::Scnn,
-    ] {
+    for scheme in ALL_SCHEMES {
         let net = small_net(scheme, 41);
         let inputs = images(3, 977);
-        for reuse in [
-            ReuseConfig::NONE,
-            ReuseConfig::PPSR_ONLY,
-            ReuseConfig::ERRR_ONLY,
-            ReuseConfig::FULL,
-        ] {
-            let prepared = PreparedNetwork::prepare(&net, reuse).unwrap();
+        for reuse in ALL_REUSE {
+            let engine = Engine::compile(&net, reuse).unwrap();
             for (i, img) in inputs.iter().enumerate() {
                 let want = net.run(img, reuse).unwrap();
-                let got = prepared.run(img, &mut scratch).unwrap();
+                let got = engine.run(img, &mut scratch).unwrap();
                 assert_eq!(
                     got.activations, want.activations,
                     "{scheme:?} {reuse:?} activations diverge on image {i}"
@@ -191,10 +207,40 @@ fn prepared_network_is_bit_identical_to_naive_run() {
 }
 
 #[test]
-fn prepared_network_handles_bias_stride_and_dense_layers() {
+fn wrapper_matches_engine_under_stride() {
+    // Same wrapper-vs-engine sweep on a stride-2 first stage: the
+    // subsampled window path must stay bit-identical too.
+    let mut scratch = Scratch::new();
+    for scheme in ALL_SCHEMES {
+        let net = strided_net(scheme, 23);
+        let mut s = 607;
+        let inputs: Vec<Tensor4<Fx16>> = (0..3)
+            .map(|_| Tensor4::from_fn([1, 3, 13, 13], |_| Fx16::from_f32(det(&mut s))))
+            .collect();
+        for reuse in ALL_REUSE {
+            let engine = Engine::compile(&net, reuse).unwrap();
+            for (i, img) in inputs.iter().enumerate() {
+                let want = net.run(img, reuse).unwrap();
+                let got = engine.run(img, &mut scratch).unwrap();
+                assert_eq!(
+                    got.activations, want.activations,
+                    "{scheme:?} {reuse:?} strided activations diverge on image {i}"
+                );
+                assert_eq!(
+                    got.counters, want.counters,
+                    "{scheme:?} {reuse:?} strided counters diverge on image {i}"
+                );
+            }
+        }
+    }
+    assert_eq!(scratch.run_quantized_rows(), 0);
+}
+
+#[test]
+fn engine_handles_bias_stride_and_dense_layers() {
     // Dense (non-transferred) units, per-filter bias (including a bias
     // vector shorter than M), a ReLU-less stage, stride 2, and batch > 1
-    // all go through the same prepare/run split.
+    // all go through the same compile/run split.
     let mut s = 2718;
     let s1 = LayerShape::conv("d1", 2, 3, 8, 8, 3, 1, 1).unwrap();
     let s2 = LayerShape::conv("d2", 3, 4, 8, 8, 3, 2, 1).unwrap();
@@ -224,11 +270,11 @@ fn prepared_network_handles_bias_stride_and_dense_layers() {
     let input = Tensor4::from_fn([2, 2, 8, 8], |_| Fx16::from_f32(det(&mut s)));
 
     let want = net.run(&input, ReuseConfig::FULL).unwrap();
-    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+    let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
     let mut scratch = Scratch::new();
     // Run twice: the second pass exercises warm (recycled) buffers.
     for _ in 0..2 {
-        let got = prepared.run(&input, &mut scratch).unwrap();
+        let got = engine.run(&input, &mut scratch).unwrap();
         assert_eq!(got.activations, want.activations);
         assert_eq!(got.counters, want.counters);
     }
@@ -236,42 +282,38 @@ fn prepared_network_handles_bias_stride_and_dense_layers() {
 }
 
 #[test]
-fn prepared_network_reports_the_same_shape_errors() {
+fn engine_reports_the_same_shape_errors() {
     let net = small_net(TransferScheme::Scnn, 11);
-    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+    let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
     let mut scratch = Scratch::new();
-    // Wrong channel count: both engines must reject identically.
+    // Wrong channel count: wrapper and engine must reject identically.
     let bad = Tensor4::from_fn([1, 2, 12, 12], |_| Fx16::ZERO);
     let want = net.run(&bad, ReuseConfig::FULL).unwrap_err();
-    let got = prepared.run(&bad, &mut scratch).unwrap_err();
+    let got = engine.run(&bad, &mut scratch).unwrap_err();
     assert_eq!(format!("{got:?}"), format!("{want:?}"));
     // The scratch survives an errored run and still produces exact
     // results afterwards.
     let ok = images(1, 5)[0].clone();
     let want = net.run(&ok, ReuseConfig::FULL).unwrap();
-    let got = prepared.run(&ok, &mut scratch).unwrap();
+    let got = engine.run(&ok, &mut scratch).unwrap();
     assert_eq!(got.activations, want.activations);
     assert_eq!(got.counters, want.counters);
 }
 
 #[test]
-fn prepared_batch_engine_is_thread_count_invariant() {
-    // run_prepared_batch must match the naive batch engine (and thus the
-    // sequential reference) for every thread count, including more
-    // threads than images, with scratch arenas recycled through the pool.
-    for scheme in [
-        TransferScheme::DCNN4,
-        TransferScheme::DCNN6,
-        TransferScheme::Scnn,
-    ] {
+fn engine_batch_is_thread_count_invariant() {
+    // run_engine_batch must match the sequential reference for every
+    // thread count, including more threads than images, with scratch
+    // arenas recycled through the pool.
+    for scheme in ALL_SCHEMES {
         let net = small_net(scheme, 19);
         let inputs = images(5, 333);
         let (seq_outputs, seq_total) = sequential(&net, &inputs, ReuseConfig::FULL);
-        let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+        let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
         let scratches = ScratchPool::new();
         for threads in [1usize, 2, 4, 9] {
-            let batch = run_prepared_batch(
-                &prepared,
+            let batch = run_engine_batch(
+                &engine,
                 &inputs,
                 BatchOptions::with_threads(threads),
                 &scratches,
@@ -297,10 +339,10 @@ fn prepared_batch_engine_is_thread_count_invariant() {
 }
 
 #[test]
-fn prepare_quantizes_every_row_exactly_once() {
+fn compile_quantizes_every_row_exactly_once() {
     let net = small_net(TransferScheme::Scnn, 3);
-    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
-    let stats = prepared.stats();
+    let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
+    let stats = engine.stats();
     // Two SCNN stages: 3→8 and 8→8 filters, one orbit group each, eight
     // orientations per group, N rows of K=3 per orientation.
     assert_eq!(stats.scnn_orientations, 16);
@@ -309,9 +351,87 @@ fn prepare_quantizes_every_row_exactly_once() {
 }
 
 #[test]
+#[allow(deprecated)]
+fn deprecated_prepared_names_still_work() {
+    // The pre-engine names (PreparedNetwork / prepare / run_prepared_batch)
+    // are deprecated forwarders, not silent removals: old call sites must
+    // keep compiling and produce identical results.
+    use tfe::sim::batch::run_prepared_batch;
+    use tfe::sim::prepared::PreparedNetwork;
+
+    let net = small_net(TransferScheme::Scnn, 29);
+    let inputs = images(2, 55);
+    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
+    let scratches = ScratchPool::new();
+    let old = run_prepared_batch(&prepared, &inputs, BatchOptions::default(), &scratches).unwrap();
+    let new = run_engine_batch(&prepared, &inputs, BatchOptions::default(), &scratches).unwrap();
+    assert_eq!(old.counters, new.counters);
+    for (o, n) in old.outputs.iter().zip(&new.outputs) {
+        assert_eq!(o.activations, n.activations);
+    }
+}
+
+#[test]
+fn scratch_pool_is_bounded_and_reuses_arenas() {
+    // Satellite regression: restore() used to push unconditionally, so a
+    // burst of workers grew the pool without bound. The pool must cap at
+    // its capacity and drop overflow arenas.
+    let pool = ScratchPool::with_capacity(2);
+    assert_eq!(pool.capacity(), 2);
+    assert_eq!(pool.warm(), 0);
+    let a = pool.checkout();
+    let b = pool.checkout();
+    let c = pool.checkout();
+    pool.restore(a);
+    pool.restore(b);
+    pool.restore(c); // over capacity: dropped, not retained
+    assert_eq!(pool.warm(), 2);
+    let _held = pool.checkout();
+    assert_eq!(pool.warm(), 1);
+    // Default capacity is at least 1 so services always reuse something.
+    assert!(ScratchPool::new().capacity() >= 1);
+    assert_eq!(
+        ScratchPool::default().capacity(),
+        ScratchPool::new().capacity()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any interleaving of checkouts and restores, the pool never
+    /// retains more than its capacity and never loses arenas it could
+    /// have kept.
+    #[test]
+    fn scratch_pool_never_exceeds_cap(
+        cap in 0usize..8,
+        len in 1usize..64,
+        ops in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let pool = ScratchPool::with_capacity(cap);
+        let mut out: Vec<Scratch> = Vec::new();
+        for &checkout in &ops[..len] {
+            if checkout {
+                out.push(pool.checkout());
+            } else if let Some(scratch) = out.pop() {
+                let before = pool.warm();
+                pool.restore(scratch);
+                let expected = if before < cap { before + 1 } else { before };
+                prop_assert_eq!(pool.warm(), expected);
+            }
+            prop_assert!(pool.warm() <= cap);
+        }
+        for scratch in out {
+            pool.restore(scratch);
+            prop_assert!(pool.warm() <= cap);
+        }
+    }
+}
+
+#[test]
 fn split_batch_then_run_batch_matches_multi_batch_tensor() {
-    // Feeding a [B, C, H, W] tensor through `run_layer` directly and
-    // splitting it into B singleton images for the batch engine must
+    // Feeding a [B, C, H, W] tensor through the network directly and
+    // splitting it into B singleton images for the batch runner must
     // agree on both values and counter totals.
     let net = small_net(TransferScheme::DCNN4, 99);
     let mut s = 3141;
