@@ -13,13 +13,23 @@ cargo test -q --offline
 # shutdown paths — run them explicitly so a filtered test invocation can
 # never silently skip them.
 cargo test -q --offline --test serve_smoke
-# Compile every bench target so bench code cannot rot between releases.
+# The telemetry crate's seqlock ring and exact-decomposition invariants
+# are load-bearing for every observability surface — build and test the
+# crate explicitly (its concurrent-writer tests included).
+cargo build --release --offline -p tfe-telemetry
+cargo test -q --offline -p tfe-telemetry
+cargo test -q --offline --test telemetry
+# Compile every bench target (including telemetry_overhead, which pins
+# the enabled-sink cost at < 3 %) so bench code cannot rot between
+# releases.
 cargo bench --offline --no-run
 # Rustdoc is part of the public surface: broken intra-doc links or
 # malformed docs fail the gate just like clippy warnings do.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
-# BENCH=1 additionally runs the compile/run-split acceptance bench and
-# surfaces its steady-state speedup numbers in the check output.
+# BENCH=1 additionally runs the timing acceptance benches — the
+# compile/run-split steady-state speedup and the telemetry-sink
+# overhead pin — and surfaces their numbers in the check output.
 if [ "${BENCH:-0}" = "1" ]; then
     cargo bench --offline -p tfe-bench --bench engine_speedup
+    cargo bench --offline -p tfe-bench --bench telemetry_overhead
 fi

@@ -19,7 +19,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
-use tfe_serve::{demo, Rejected, ServeConfig, Service};
+use tfe_serve::{demo, Rejected, ServeConfig, Service, TelemetrySnapshot};
 
 struct Args {
     rate: f64,
@@ -31,6 +31,8 @@ struct Args {
     executors: usize,
     threads: Option<usize>,
     deadline_ms: Option<u64>,
+    stats: bool,
+    stats_interval_ms: u64,
 }
 
 impl Default for Args {
@@ -45,6 +47,8 @@ impl Default for Args {
             executors: 2,
             threads: None,
             deadline_ms: None,
+            stats: false,
+            stats_interval_ms: 1000,
         }
     }
 }
@@ -55,7 +59,7 @@ tfe-loadgen: open-loop Poisson load generator for the TFE serving stack
 USAGE:
     tfe-loadgen [--rate R] [--duration S] [--seed N] [--batch-size B]
                 [--delay-us U] [--queue Q] [--executors E] [--threads T]
-                [--deadline-ms D]
+                [--deadline-ms D] [--stats] [--stats-interval-ms I]
 
 OPTIONS:
     --rate R         offered arrival rate, requests/second   [default: 200]
@@ -67,6 +71,10 @@ OPTIONS:
     --executors E    executor worker count                   [default: 2]
     --threads T      worker threads per batch                [default: ambient]
     --deadline-ms D  per-request deadline, milliseconds      [default: none]
+    --stats          poll and print per-layer telemetry tables (latency
+                     p50/p95/p99 + reuse ratios) while the load runs
+    --stats-interval-ms I
+                     telemetry poll period with --stats      [default: 1000]
 ";
 
 fn parse_to<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
@@ -83,6 +91,10 @@ fn parse_args() -> Result<Args, String> {
             print!("{USAGE}");
             std::process::exit(0);
         }
+        if flag == "--stats" {
+            args.stats = true;
+            continue;
+        }
         let value = argv
             .next()
             .ok_or_else(|| format!("missing value for {flag}"))?;
@@ -96,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
             "--executors" => args.executors = parse_to(&value, &flag)?,
             "--threads" => args.threads = Some(parse_to(&value, &flag)?),
             "--deadline-ms" => args.deadline_ms = Some(parse_to(&value, &flag)?),
+            "--stats-interval-ms" => args.stats_interval_ms = parse_to(&value, &flag)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -107,7 +120,44 @@ fn parse_args() -> Result<Args, String> {
     if !args.duration.is_finite() || args.duration <= 0.0 {
         return Err("--duration must be positive".to_owned());
     }
+    if args.stats_interval_ms == 0 {
+        return Err("--stats-interval-ms must be positive".to_owned());
+    }
     Ok(args)
+}
+
+/// Prints the two per-layer tables of one telemetry poll: stage latency
+/// quantiles over the ring window, then reuse effectiveness from the
+/// exact cumulative counters.
+fn print_telemetry(elapsed: Duration, snap: &TelemetrySnapshot) {
+    println!();
+    println!(
+        "per-layer telemetry @ {:.1}s ({} samples recorded, {} dropped from the window)",
+        elapsed.as_secs_f64(),
+        snap.recorded,
+        snap.dropped
+    );
+    println!("  layer  label         runs  p50_us  p95_us  p99_us  max_us");
+    for l in &snap.layers {
+        println!(
+            "  {:<5}  {:<10}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}",
+            l.layer, l.label, l.runs, l.p50_us, l.p95_us, l.p99_us, l.max_us
+        );
+    }
+    println!("  layer  label       mac_red  multiplies  dense_macs  sram/mul  reg/mul");
+    for l in &snap.layers {
+        let per_mul = |n: u64| n as f64 / l.counters.multiplies.max(1) as f64;
+        println!(
+            "  {:<5}  {:<10}  {:>7.2}  {:>10}  {:>10}  {:>8.2}  {:>7.2}",
+            l.layer,
+            l.label,
+            l.mac_reduction,
+            l.counters.multiplies,
+            l.counters.dense_macs,
+            per_mul(l.counters.sram_accesses()),
+            per_mul(l.counters.register_accesses()),
+        );
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -137,6 +187,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let start = Instant::now();
     let end = start + Duration::from_secs_f64(args.duration);
+    let stats_interval = Duration::from_millis(args.stats_interval_ms);
+    let mut next_stats = start + stats_interval;
     let mut next_arrival = start;
     let mut offered = 0u64;
     let mut rejected_at_submit = 0u64;
@@ -149,6 +201,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         next_arrival += Duration::from_secs_f64(gap);
         if next_arrival >= end {
             break;
+        }
+        if args.stats && Instant::now() >= next_stats {
+            print_telemetry(start.elapsed(), &client.telemetry());
+            next_stats += stats_interval;
         }
         let now = Instant::now();
         if next_arrival > now {
@@ -175,6 +231,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(_) => other_failures += 1,
         }
     }
+    let telemetry = service.telemetry();
     let snapshot = service.shutdown();
 
     let achieved = completed as f64 / offered_window.as_secs_f64();
@@ -209,7 +266,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.counters.sram_accesses(),
         snapshot.counters.register_accesses()
     );
+    if args.stats {
+        print_telemetry(start.elapsed(), &telemetry);
+    }
     println!();
     println!("{}", serde_json::to_string(&snapshot)?);
+    if args.stats {
+        println!("{}", serde_json::to_string(&telemetry)?);
+    }
     Ok(())
 }

@@ -35,6 +35,11 @@ pub struct ServeConfig {
     /// Deadline applied to requests that do not carry their own; `None`
     /// means requests wait as long as the queue holds them.
     pub default_deadline: Option<Duration>,
+    /// Capacity of the per-layer telemetry sample ring attached to the
+    /// compiled engine (samples, not requests: each request contributes
+    /// one sample per stage). The ring overwrites its oldest samples
+    /// when full; cumulative per-layer totals are exact regardless.
+    pub telemetry_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +52,7 @@ impl Default for ServeConfig {
             batch_threads: None,
             reuse: ReuseConfig::FULL,
             default_deadline: None,
+            telemetry_ring: 4096,
         }
     }
 }
@@ -78,6 +84,11 @@ impl ServeConfig {
         if self.batch_threads == Some(0) {
             return Err(SimError::InvalidConfig {
                 what: "batch_threads must be at least 1 when pinned",
+            });
+        }
+        if self.telemetry_ring == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "telemetry_ring must be at least 1",
             });
         }
         Ok(())
@@ -118,6 +129,10 @@ mod tests {
             },
             ServeConfig {
                 batch_threads: Some(0),
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                telemetry_ring: 0,
                 ..ServeConfig::default()
             },
         ] {

@@ -25,6 +25,11 @@
 //!   throughput/rejection counters, a queue-depth gauge, and merged
 //!   simulator [`Counters`](tfe_sim::counters::Counters), exposed via a
 //!   stats request on the same protocol.
+//! * **Per-layer telemetry** — the compiled engine records one
+//!   [`tfe_telemetry`] sample per stage per request into a lock-free
+//!   ring; the stats request additionally returns a
+//!   [`TelemetrySnapshot`] with live per-layer latency quantiles and
+//!   reuse counters (one entry per compiled stage).
 //!
 //! # Example
 //!
@@ -57,3 +62,4 @@ pub use config::ServeConfig;
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use service::{Client, InferenceReply, Rejected, ServeResult, Service, Ticket};
 pub use tcp::TcpServer;
+pub use tfe_telemetry::{LayerTelemetry, TelemetrySnapshot};

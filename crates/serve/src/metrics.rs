@@ -14,83 +14,10 @@ use std::sync::Mutex;
 use std::time::Duration;
 use tfe_sim::counters::Counters;
 
-/// Number of latency buckets: powers of two from 1 µs to ~2¹⁵ seconds.
-const BUCKETS: usize = 35;
-
-/// Fixed-bucket latency histogram in microseconds.
-///
-/// Bucket `k` (for `k ≥ 1`) counts latencies in `[2^(k-1), 2^k)` µs;
-/// bucket 0 counts sub-microsecond completions. Quantiles are reported
-/// as the upper bound of the bucket holding the requested rank, clamped
-/// to the exact maximum — a deterministic over-estimate that is at most
-/// 2× the true quantile.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: [u64; BUCKETS],
-    total: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: [0; BUCKETS],
-            total: 0,
-            max_us: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        LatencyHistogram::default()
-    }
-
-    fn bucket_index(us: u64) -> usize {
-        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one observed latency.
-    pub fn record(&mut self, latency: Duration) {
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.counts[Self::bucket_index(us)] += 1;
-        self.total += 1;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Number of recorded observations.
-    #[must_use]
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// The exact maximum recorded latency in microseconds.
-    #[must_use]
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, as the upper
-    /// bound of the covering bucket; 0 when nothing was recorded.
-    #[must_use]
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut cumulative = 0u64;
-        for (k, count) in self.counts.iter().enumerate() {
-            cumulative += count;
-            if cumulative >= rank {
-                let upper = if k == 0 { 1 } else { 1u64 << k };
-                return upper.min(self.max_us.max(1));
-            }
-        }
-        self.max_us
-    }
-}
+/// The fixed-bucket latency histogram now lives in [`tfe_telemetry`]
+/// (the telemetry registry merges per-layer windows of the same type);
+/// it is re-exported here at its historical path.
+pub use tfe_telemetry::LatencyHistogram;
 
 /// Shared metrics registry for one service instance.
 #[derive(Debug, Default)]
@@ -251,36 +178,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let mut h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.5), 0);
-        for us in [1u64, 2, 3, 100, 1000, 10_000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.total(), 6);
-        assert_eq!(h.max_us(), 10_000);
-        // Median rank 3 lands in the bucket holding 3 µs → upper bound 4.
-        assert_eq!(h.quantile_us(0.5), 4);
-        // p99 rank 6 lands in the 10 ms bucket → upper bound 2^14,
-        // clamped to the exact max.
-        assert_eq!(h.quantile_us(0.99), 10_000);
-    }
-
-    #[test]
-    fn quantiles_are_monotone_in_q() {
-        let mut h = LatencyHistogram::new();
-        let mut state = 1u64;
-        for _ in 0..500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(Duration::from_micros(state % 50_000));
-        }
-        let qs = [0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
-        for pair in qs.windows(2) {
-            assert!(h.quantile_us(pair[0]) <= h.quantile_us(pair[1]));
-        }
-    }
-
-    #[test]
     fn snapshot_serializes_with_counters() {
         let m = Metrics::new();
         m.record_submitted();
@@ -302,33 +199,17 @@ mod tests {
     }
 
     #[test]
-    fn histogram_saturates_at_the_overflow_bucket() {
-        // Latencies at or beyond 2^34 µs (~4.8 hours) — including
-        // durations whose microsecond count does not even fit in u64 —
-        // all land in the last bucket instead of indexing out of bounds.
-        let mut h = LatencyHistogram::new();
-        let huge = [
-            Duration::from_micros(1 << 34),
-            Duration::from_micros((1 << 34) + 123),
-            Duration::from_micros(1 << 60),
-            Duration::from_micros(u64::MAX),
-            // as_micros() > u64::MAX: record() saturates the conversion.
-            Duration::from_secs(u64::MAX),
-        ];
-        for d in huge {
-            h.record(d);
-        }
-        assert_eq!(h.total(), huge.len() as u64);
-        assert_eq!(h.max_us(), u64::MAX);
-        // Every observation sits in the overflow bucket, so every
-        // quantile reports that bucket's upper bound (clamped to max).
-        let overflow_upper = 1u64 << 34;
-        for q in [0.01, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile_us(q), overflow_upper, "q={q}");
-        }
-        // A small observation still resolves below the overflow bucket.
-        h.record(Duration::from_micros(3));
-        assert_eq!(h.quantile_us(0.01), 4);
+    fn mean_batch_size_guards_the_empty_service() {
+        // A snapshot taken before any batch has run must report 0.0,
+        // not divide by zero.
+        let m = Metrics::new();
+        let empty = m.snapshot(0);
+        assert_eq!(empty.batches, 0);
+        assert_eq!(empty.mean_batch_size(), 0.0);
+        // And the normal case still averages.
+        m.record_batch(3);
+        m.record_batch(5);
+        assert_eq!(m.snapshot(0).mean_batch_size(), 4.0);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! `stats`. Responses: `ok` (dims + bits + per-request counters +
 //! latency), `rejected` (a stable reason string from
 //! [`Rejected::reason`](crate::service::Rejected::reason)), `stats`
-//! (a [`MetricsSnapshot`]), and `error` (malformed request).
+//! (a [`MetricsSnapshot`] plus a per-layer [`TelemetrySnapshot`]), and
+//! `error` (malformed request).
 //!
 //! Everything rides the vendored `serde`/`serde_json` facades — the
 //! protocol adds no network or serialization dependencies.
@@ -20,6 +21,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::io::{self, Read, Write};
 use tfe_sim::counters::Counters;
+use tfe_telemetry::TelemetrySnapshot;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::tensor::Tensor4;
 
@@ -157,10 +159,13 @@ pub enum WireResponse {
         /// `shutting_down`, `sim_error`).
         reason: String,
     },
-    /// Metrics snapshot.
+    /// Metrics + per-layer telemetry snapshot.
     Stats {
-        /// The snapshot at receipt time.
+        /// The request-level metrics snapshot at receipt time.
         metrics: MetricsSnapshot,
+        /// The per-layer telemetry snapshot at receipt time (one entry
+        /// per compiled stage).
+        telemetry: TelemetrySnapshot,
     },
     /// The request could not be understood.
     Error {
@@ -280,9 +285,10 @@ impl WireResponse {
                 ("kind".to_owned(), Value::Str("rejected".to_owned())),
                 ("reason".to_owned(), Value::Str(reason.clone())),
             ]),
-            WireResponse::Stats { metrics } => Value::Object(vec![
+            WireResponse::Stats { metrics, telemetry } => Value::Object(vec![
                 ("kind".to_owned(), Value::Str("stats".to_owned())),
                 ("metrics".to_owned(), metrics.to_value()),
+                ("telemetry".to_owned(), telemetry.to_value()),
             ]),
             WireResponse::Error { message } => Value::Object(vec![
                 ("kind".to_owned(), Value::Str("error".to_owned())),
@@ -311,6 +317,7 @@ impl WireResponse {
             }),
             "stats" => Ok(WireResponse::Stats {
                 metrics: field(&value, "metrics")?,
+                telemetry: field(&value, "telemetry")?,
             }),
             "error" => Ok(WireResponse::Error {
                 message: field(&value, "message")?,
@@ -341,6 +348,7 @@ pub fn roundtrip<S: Read + Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Metrics;
 
     fn demo_tensor() -> Tensor4<Fx16> {
         Tensor4::from_fn([1, 2, 3, 3], |[_, c, y, x]| {
@@ -386,6 +394,41 @@ mod tests {
                 assert_eq!(latency_us, 1234);
             }
             other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_response_round_trips_with_telemetry() {
+        use tfe_telemetry::{LayerSample, Sink, StageKind, TelemetryRegistry};
+        let sink = Sink::enabled(vec!["c1".into(), "c2".into()], 16);
+        for (layer, wall_ns) in [(0u32, 2_500u64), (1, 40_000), (0, 3_000)] {
+            sink.record(&LayerSample {
+                layer,
+                stage: StageKind::Full,
+                wall_ns,
+                counters: Counters {
+                    dense_macs: 64,
+                    multiplies: 16,
+                    ..Counters::new()
+                },
+            });
+        }
+        let telemetry = TelemetryRegistry::collect(&sink).snapshot();
+        let response = WireResponse::Stats {
+            metrics: Metrics::new().snapshot(0),
+            telemetry: telemetry.clone(),
+        };
+        match WireResponse::from_json(&response.to_json()).unwrap() {
+            WireResponse::Stats {
+                telemetry: back, ..
+            } => {
+                assert_eq!(back, telemetry);
+                assert_eq!(back.layers.len(), 2);
+                assert_eq!(back.layers[0].label, "c1");
+                assert_eq!(back.layers[0].runs, 2);
+                assert_eq!(back.total.multiplies, 48);
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

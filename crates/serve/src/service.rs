@@ -36,6 +36,7 @@ use tfe_sim::counters::Counters;
 use tfe_sim::engine::{Engine, ScratchPool};
 use tfe_sim::network::FunctionalNetwork;
 use tfe_sim::SimError;
+use tfe_telemetry::TelemetrySnapshot;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::tensor::Tensor4;
 
@@ -228,8 +229,10 @@ impl Service {
         }
         // Compile once: all weight-side work (row tables, orbit
         // expansion, bias folding) for the life of the service happens
-        // here, before the first request.
-        let engine = Engine::compile(&net, config.reuse)?;
+        // here, before the first request. The telemetry sink rides the
+        // engine, so every executor's runs feed one per-layer registry.
+        let mut engine = Engine::compile(&net, config.reuse)?;
+        engine.enable_telemetry(config.telemetry_ring);
         let shared = Arc::new(Shared {
             engine,
             scratches: ScratchPool::with_capacity(config.executors),
@@ -288,6 +291,14 @@ impl Service {
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// Point-in-time per-layer telemetry from the engine's sink: one
+    /// entry per compiled stage, with live latency quantiles and exact
+    /// cumulative reuse counters.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.engine.telemetry().snapshot()
     }
 
     fn stop_and_join(&mut self) {
@@ -395,6 +406,13 @@ impl Client {
     #[must_use]
     pub fn stats(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.requests.len())
+    }
+
+    /// Point-in-time per-layer telemetry (one entry per compiled
+    /// stage) — the other half of the stats payload.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.engine.telemetry().snapshot()
     }
 
     fn validate_geometry(&self, input: &Tensor4<Fx16>) -> Result<(), Rejected> {

@@ -159,6 +159,7 @@ fn dispatch(payload: &[u8], client: &Client) -> WireResponse {
         }
         Ok(WireRequest::Stats) => WireResponse::Stats {
             metrics: client.stats(),
+            telemetry: client.telemetry(),
         },
         Err(e) => WireResponse::Error {
             message: e.to_string(),

@@ -159,27 +159,6 @@ pub fn run_engine_batch(
     }
 }
 
-/// Deprecated name of [`run_engine_batch`], from when the compiled
-/// engine was called `PreparedNetwork`.
-///
-/// This forwarder keeps old call sites compiling; it is a pure rename —
-/// behavior, errors, and bit-level results are identical. New code
-/// should call [`run_engine_batch`] (or [`run_batch`] when starting from
-/// a [`FunctionalNetwork`]).
-///
-/// # Errors
-///
-/// Same contract as [`run_engine_batch`].
-#[deprecated(note = "renamed to `run_engine_batch`")]
-pub fn run_prepared_batch(
-    net: &Engine,
-    inputs: &[Tensor4<Fx16>],
-    options: BatchOptions,
-    scratches: &ScratchPool,
-) -> Result<BatchOutput, SimError> {
-    run_engine_batch(net, inputs, options, scratches)
-}
-
 /// Contiguous chunk sizes dividing `len` items into at most `chunks`
 /// non-empty pieces: `min(chunks, len)` chunks, sizes differing by at
 /// most one, larger chunks first.

@@ -4,229 +4,10 @@
 //! Every counter corresponds to a physical event class in the TFE
 //! microarchitecture, so the energy model (`tfe-energy`) can convert a
 //! counter set into joules with per-event costs.
+//!
+//! The struct itself lives in [`tfe_telemetry`] (a leaf crate) so that
+//! telemetry samples can carry counters without a dependency cycle;
+//! this module re-exports it at its historical path — every
+//! `tfe_sim::counters::Counters` import keeps working unchanged.
 
-use serde::{Deserialize, Serialize};
-use std::ops::{Add, AddAssign};
-
-/// Counts of datapath and memory events for one simulation.
-///
-/// `multiplies` is the headline number: the actual multiplier activations
-/// after PPSR/ERRR have removed repetitions. `dense_macs` is the work a
-/// direct implementation would do; `dense_macs / multiplies` is the MAC
-/// reduction of Fig. 19.
-///
-/// Counter sets serialize as flat JSON objects (via the vendored serde
-/// facade), so serving metrics endpoints and load-generator reports can
-/// emit snapshots directly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Counters {
-    /// MACs a dense (uncompressed, no-reuse) implementation would execute.
-    pub dense_macs: u64,
-    /// Multiplier activations actually performed.
-    pub multiplies: u64,
-    /// Adder activations (PSum combination in SRs / adder trees).
-    pub adds: u64,
-    /// Stacked-register (SR group) reads.
-    pub sr_reads: u64,
-    /// Stacked-register (SR group) writes.
-    pub sr_writes: u64,
-    /// PSum-memory (on-chip SRAM) reads, in 16-bit words.
-    pub psum_mem_reads: u64,
-    /// PSum-memory (on-chip SRAM) writes, in 16-bit words.
-    pub psum_mem_writes: u64,
-    /// Input-memory reads (broadcast fetches), in 16-bit words.
-    pub input_mem_reads: u64,
-    /// Weight-register reads (loads into PEs), in 16-bit words.
-    pub weight_reads: u64,
-    /// Off-chip DRAM traffic, in bits.
-    pub dram_bits: u64,
-    /// Datapath cycles.
-    pub cycles: u64,
-}
-
-impl Counters {
-    /// A zeroed counter set.
-    #[must_use]
-    pub fn new() -> Self {
-        Counters::default()
-    }
-
-    /// MAC reduction factor achieved by the reuse machinery
-    /// (`dense_macs / multiplies`); 1.0 when nothing was saved.
-    #[must_use]
-    pub fn mac_reduction(&self) -> f64 {
-        if self.multiplies == 0 {
-            1.0
-        } else {
-            self.dense_macs as f64 / self.multiplies as f64
-        }
-    }
-
-    /// Total on-chip register file activity (SR reads + writes).
-    #[must_use]
-    pub fn register_accesses(&self) -> u64 {
-        self.sr_reads + self.sr_writes
-    }
-
-    /// Total on-chip SRAM activity in words (PSum + input memories).
-    #[must_use]
-    pub fn sram_accesses(&self) -> u64 {
-        self.psum_mem_reads + self.psum_mem_writes + self.input_mem_reads + self.weight_reads
-    }
-
-    /// Folds another counter set into this one, component-wise.
-    ///
-    /// This is the reduction step of the parallel engine: each worker
-    /// accumulates its own `Counters`, and the driver merges them in a
-    /// fixed (work-unit) order. Because every field is a `u64` sum,
-    /// merged totals are identical to sequential accumulation for any
-    /// thread count or merge order.
-    pub fn merge(&mut self, other: &Counters) {
-        *self += *other;
-    }
-}
-
-impl Add for Counters {
-    type Output = Counters;
-    fn add(self, rhs: Counters) -> Counters {
-        Counters {
-            dense_macs: self.dense_macs + rhs.dense_macs,
-            multiplies: self.multiplies + rhs.multiplies,
-            adds: self.adds + rhs.adds,
-            sr_reads: self.sr_reads + rhs.sr_reads,
-            sr_writes: self.sr_writes + rhs.sr_writes,
-            psum_mem_reads: self.psum_mem_reads + rhs.psum_mem_reads,
-            psum_mem_writes: self.psum_mem_writes + rhs.psum_mem_writes,
-            input_mem_reads: self.input_mem_reads + rhs.input_mem_reads,
-            weight_reads: self.weight_reads + rhs.weight_reads,
-            dram_bits: self.dram_bits + rhs.dram_bits,
-            cycles: self.cycles + rhs.cycles,
-        }
-    }
-}
-
-impl AddAssign for Counters {
-    fn add_assign(&mut self, rhs: Counters) {
-        *self = *self + rhs;
-    }
-}
-
-impl std::iter::Sum for Counters {
-    fn sum<I: Iterator<Item = Counters>>(iter: I) -> Counters {
-        iter.fold(Counters::new(), Add::add)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mac_reduction_handles_zero_multiplies() {
-        let c = Counters::new();
-        assert_eq!(c.mac_reduction(), 1.0);
-        let c = Counters {
-            dense_macs: 90,
-            multiplies: 40,
-            ..Counters::new()
-        };
-        assert_eq!(c.mac_reduction(), 2.25);
-    }
-
-    #[test]
-    fn addition_is_componentwise() {
-        let a = Counters {
-            multiplies: 3,
-            cycles: 10,
-            ..Counters::new()
-        };
-        let b = Counters {
-            multiplies: 4,
-            sr_reads: 2,
-            ..Counters::new()
-        };
-        let c = a + b;
-        assert_eq!(c.multiplies, 7);
-        assert_eq!(c.cycles, 10);
-        assert_eq!(c.sr_reads, 2);
-    }
-
-    #[test]
-    fn sum_over_iterator() {
-        let parts = vec![
-            Counters {
-                dram_bits: 16,
-                ..Counters::new()
-            };
-            3
-        ];
-        let total: Counters = parts.into_iter().sum();
-        assert_eq!(total.dram_bits, 48);
-    }
-
-    #[test]
-    fn merge_equals_sequential_accumulation() {
-        let parts = [
-            Counters {
-                multiplies: 10,
-                adds: 3,
-                ..Counters::new()
-            },
-            Counters {
-                multiplies: 7,
-                psum_mem_writes: 9,
-                ..Counters::new()
-            },
-            Counters {
-                cycles: 100,
-                ..Counters::new()
-            },
-        ];
-        let mut merged = Counters::new();
-        for part in &parts {
-            merged.merge(part);
-        }
-        let summed: Counters = parts.into_iter().sum();
-        assert_eq!(merged, summed);
-    }
-
-    #[test]
-    fn counters_round_trip_through_json() {
-        let c = Counters {
-            dense_macs: 1000,
-            multiplies: 250,
-            adds: 750,
-            sr_reads: 11,
-            sr_writes: 22,
-            psum_mem_reads: 33,
-            psum_mem_writes: 44,
-            input_mem_reads: 55,
-            weight_reads: 66,
-            dram_bits: u64::MAX,
-            cycles: 99,
-        };
-        let text = serde_json::to_string(&c).unwrap();
-        assert!(text.contains("\"dense_macs\":1000"), "{text}");
-        assert!(
-            text.contains("\"dram_bits\":18446744073709551615"),
-            "{text}"
-        );
-        let back: Counters = serde_json::from_str(&text).unwrap();
-        assert_eq!(back, c);
-    }
-
-    #[test]
-    fn aggregate_accessors() {
-        let c = Counters {
-            sr_reads: 5,
-            sr_writes: 7,
-            psum_mem_reads: 1,
-            psum_mem_writes: 2,
-            input_mem_reads: 3,
-            weight_reads: 4,
-            ..Counters::new()
-        };
-        assert_eq!(c.register_accesses(), 12);
-        assert_eq!(c.sram_accesses(), 10);
-    }
-}
+pub use tfe_telemetry::Counters;

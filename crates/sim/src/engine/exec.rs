@@ -17,6 +17,8 @@ use crate::functional::FunctionalOutput;
 use crate::network::NetworkOutput;
 use crate::ppsr::{conventional_row_pass_acc, dcnn_row_pass_acc, scnn_row_pass_acc};
 use crate::SimError;
+use std::time::Instant;
+use tfe_telemetry::{LayerSample, StageKind};
 use tfe_tensor::fixed::{Accum, Fx16};
 use tfe_tensor::tensor::Tensor4;
 use tfe_transfer::analysis::ReuseConfig;
@@ -47,7 +49,18 @@ impl Engine {
         cur.extend_from_slice(input.as_slice());
         let mut dims = (ic, ih, iw);
         let mut status = Ok(());
-        for stage in &self.stages {
+        // One branch decides whether instrumentation exists at all; the
+        // disabled path never touches the clock. Sampling reads counter
+        // *snapshots* around each stage — the accumulation itself is
+        // untouched, so activations and totals stay bit-identical to
+        // the uninstrumented run.
+        let telemetry = self.sink.is_enabled();
+        for (layer, stage) in self.stages.iter().enumerate() {
+            let before = if telemetry {
+                Some((Instant::now(), counters))
+            } else {
+                None
+            };
             match self.run_stage(
                 stage,
                 batch,
@@ -57,7 +70,17 @@ impl Engine {
                 scratch,
                 &mut counters,
             ) {
-                Ok(out_dims) => dims = out_dims,
+                Ok(out_dims) => {
+                    dims = out_dims;
+                    if let Some((start, base)) = before {
+                        self.sink.record(&LayerSample {
+                            layer: layer as u32,
+                            stage: StageKind::Full,
+                            wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            counters: counters - base,
+                        });
+                    }
+                }
                 Err(e) => {
                     status = Err(e);
                     break;
@@ -250,6 +273,11 @@ impl Engine {
         let [batch, ic, ih, iw] = input.dims();
         let mut counters = Counters::new();
         let stage = &self.stages[0];
+        let start = if self.sink.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let geo = self.conv_stage(
             stage,
             batch,
@@ -258,6 +286,14 @@ impl Engine {
             scratch,
             &mut counters,
         )?;
+        if let Some(start) = start {
+            self.sink.record(&LayerSample {
+                layer: 0,
+                stage: StageKind::ConvOnly,
+                wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                counters,
+            });
+        }
         let out = &scratch.out;
         let output = Tensor4::from_fn([batch, geo.m, geo.e, geo.f], |[b, c, y, x]| {
             out[((b * geo.m + c) * geo.e + y) * geo.f + x]

@@ -62,6 +62,7 @@ pub(crate) use ir::source_of;
 use crate::network::FunctionalNetwork;
 use crate::SimError;
 use tfe_nets::{LayerPlan, NetworkLayer, TransferMode};
+use tfe_telemetry::{Sink, TelemetryRegistry};
 use tfe_tensor::shape::LayerShape;
 use tfe_transfer::analysis::ReuseConfig;
 use tfe_transfer::layer::TransferredLayer;
@@ -79,6 +80,11 @@ pub struct Engine {
     /// `scnn_sources[oi]` = `(source orientation, variant, row flip)`.
     pub(crate) scnn_sources: [(usize, usize, bool); ORBIT],
     pub(crate) stats: PrepareStats,
+    /// Telemetry sink the run phase records per-stage samples into;
+    /// disabled (a no-op) unless [`Engine::enable_telemetry`] /
+    /// [`Engine::set_sink`] attached one. Clones of the engine share
+    /// the same sink storage.
+    pub(crate) sink: Sink,
 }
 
 impl Engine {
@@ -140,14 +146,45 @@ impl Engine {
             reuse,
             scnn_sources,
             stats,
+            sink: Sink::disabled(),
         }
     }
 
-    /// Compatibility name for [`Engine::compile`], from when the engine
-    /// was called `PreparedNetwork`.
-    #[deprecated(note = "renamed to `Engine::compile`")]
-    pub fn prepare(net: &FunctionalNetwork, reuse: ReuseConfig) -> Result<Self, SimError> {
-        Engine::compile(net, reuse)
+    /// Attaches a freshly enabled telemetry sink labeled with this
+    /// engine's stage names (one accumulator per compiled stage) and a
+    /// sample ring of `ring_capacity` records, returning a handle to
+    /// it. Subsequent [`Engine::run`] calls emit one
+    /// [`tfe_telemetry::LayerSample`] per stage; recording never
+    /// perturbs activations or counters (pinned in
+    /// `tests/telemetry.rs`).
+    pub fn enable_telemetry(&mut self, ring_capacity: usize) -> Sink {
+        let labels = self
+            .stages
+            .iter()
+            .map(|s| s.shape.name().to_owned())
+            .collect();
+        self.sink = Sink::enabled(labels, ring_capacity);
+        self.sink.clone()
+    }
+
+    /// Replaces the engine's telemetry sink (e.g. with
+    /// [`Sink::disabled`] to stop recording, or a shared sink so
+    /// several engines feed one registry).
+    pub fn set_sink(&mut self, sink: Sink) {
+        self.sink = sink;
+    }
+
+    /// The engine's current telemetry sink (disabled by default).
+    #[must_use]
+    pub fn sink(&self) -> &Sink {
+        &self.sink
+    }
+
+    /// Folds the sink's current state into per-layer aggregates —
+    /// empty when telemetry was never enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetryRegistry {
+        TelemetryRegistry::collect(&self.sink)
     }
 
     /// The reuse configuration this engine was compiled for.

@@ -142,8 +142,8 @@ impl RowRing {
     /// [`RowRing::insert`] returning the evicted slot's stream buffers
     /// (if an eviction happened) so the caller can reuse their
     /// allocations for the next row pass — the software analogue of
-    /// Fig. 8's cyclic memory rewrites, and the mechanism the prepared
-    /// engine's [`crate::prepared::Scratch`] uses to keep the steady
+    /// Fig. 8's cyclic memory rewrites, and the mechanism the compiled
+    /// engine's [`crate::engine::Scratch`] uses to keep the steady
     /// state allocation-free.
     pub fn insert_recycling(
         &mut self,

@@ -48,7 +48,6 @@ pub mod network;
 pub mod output;
 pub mod perf;
 pub mod ppsr;
-pub mod prepared;
 pub mod safm;
 pub mod sr_pipeline;
 

@@ -99,7 +99,7 @@ pub fn dcnn_row_pass(
 /// [`dcnn_row_pass`] accumulating into caller-owned offset buffers
 /// instead of allocating fresh ones: `acc[dx][x] += result[dx][x]`.
 ///
-/// The prepared engine ([`crate::prepared`]) drives this per input
+/// The compiled engine ([`crate::engine`]) drives this per input
 /// channel so the per-offset channel sums build up directly in reusable
 /// scratch buffers. Counter accounting is identical to the allocating
 /// form, and each accumulated term is the complete (already `j`-summed)
@@ -182,7 +182,7 @@ pub fn scnn_row_pass(
 /// `fwd[x] += forward[x]` and, when `ppsr` is enabled,
 /// `rev[x] += mirrored[x]`.
 ///
-/// The prepared engine ([`crate::prepared`]) drives this per input
+/// The compiled engine ([`crate::engine`]) drives this per input
 /// channel so the per-direction channel sums build up directly in
 /// reusable scratch buffers. Counter accounting is identical to the
 /// allocating form; `rev` must be `Some` exactly when `ppsr` is enabled.
@@ -248,7 +248,7 @@ pub fn conventional_row_pass(
 /// [`conventional_row_pass`] accumulating into a caller-owned buffer:
 /// `acc[x] += result[x]`.
 ///
-/// The prepared engine ([`crate::prepared`]) drives this per input
+/// The compiled engine ([`crate::engine`]) drives this per input
 /// channel so the dense per-row channel sum builds up directly in a
 /// reusable scratch buffer. Counter accounting is identical to the
 /// allocating form.

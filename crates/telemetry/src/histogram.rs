@@ -1,0 +1,256 @@
+//! Fixed-bucket latency histogram shared by the serving metrics and the
+//! per-layer telemetry registry.
+
+use std::time::Duration;
+
+/// Number of latency buckets: powers of two from 1 µs to ~2¹⁵ seconds.
+const BUCKETS: usize = 35;
+
+/// Fixed-bucket latency histogram in microseconds.
+///
+/// Bucket `k` (for `k ≥ 1`) counts latencies in `[2^(k-1), 2^k)` µs;
+/// bucket 0 counts sub-microsecond completions. Quantiles are reported
+/// as the upper bound of the bucket holding the requested rank, clamped
+/// to the exact maximum — a deterministic over-estimate that is at most
+/// 2× the true quantile.
+///
+/// Quantile edge semantics (pinned by unit tests):
+///
+/// * an **empty** histogram reports 0 for every quantile;
+/// * `q ≥ 1.0` reports the **exact** maximum ([`max_us`](Self::max_us)),
+///   not a bucket bound;
+/// * `q ≤ 0.0` (and NaN) clamp to the first recorded observation
+///   (rank 1);
+/// * every reported quantile is ≤ the exact maximum, so quantiles are
+///   monotone in `q` even when all observations are sub-microsecond.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observed latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket_index(us)] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum recorded latency in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile in microseconds — see the type docs for the
+    /// exact edge semantics at `q ≤ 0.0`, `q ≥ 1.0`, and on an empty
+    /// histogram.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max_us;
+        }
+        // NaN fails both comparisons and lands on rank 1, like q <= 0.
+        let rank = if q > 0.0 {
+            ((q * self.total as f64).ceil() as u64).clamp(1, self.total)
+        } else {
+            1
+        };
+        let mut cumulative = 0u64;
+        for (k, count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let upper = if k == 0 { 1 } else { 1u64 << k };
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Folds another histogram into this one: bucket-wise count sums,
+    /// summed totals, and the larger exact maximum. This is how the
+    /// telemetry registry combines per-layer windows collected from
+    /// different sinks (e.g. across service restarts or shards) without
+    /// losing bucket resolution.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += *theirs;
+        }
+        self.total += other.total;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [1u64, 2, 3, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max_us(), 10_000);
+        // Median rank 3 lands in the bucket holding 3 µs → upper bound 4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99 rank 6 lands in the 10 ms bucket → upper bound 2^14,
+        // clamped to the exact max.
+        assert_eq!(h.quantile_us(0.99), 10_000);
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // Empty: every quantile (including the edges) is 0.
+        let empty = LatencyHistogram::new();
+        for q in [f64::NEG_INFINITY, -1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_us(q), 0, "q={q}");
+        }
+
+        let mut h = LatencyHistogram::new();
+        for us in [3u64, 40, 500] {
+            h.record(Duration::from_micros(us));
+        }
+        // q ≤ 0 (and NaN) clamp to rank 1: the bucket of the smallest
+        // observation (3 µs → upper bound 4).
+        for q in [f64::NEG_INFINITY, -0.5, 0.0, f64::NAN] {
+            assert_eq!(h.quantile_us(q), 4, "q={q}");
+        }
+        // q ≥ 1 reports the exact maximum, not a bucket upper bound.
+        for q in [1.0, 1.5, f64::INFINITY] {
+            assert_eq!(h.quantile_us(q), 500, "q={q}");
+        }
+    }
+
+    #[test]
+    fn sub_microsecond_histograms_stay_monotone() {
+        // All observations below 1 µs: the exact max is 0, so every
+        // quantile must report 0 (clamping to the bucket upper bound of
+        // 1 would make quantile(0.5) > quantile(1.0)).
+        let mut h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(Duration::from_nanos(200));
+        }
+        assert_eq!(h.max_us(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        let mut state = 1u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Duration::from_micros(state % 50_000));
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            assert!(h.quantile_us(pair[0]) <= h.quantile_us(pair[1]));
+        }
+    }
+
+    #[test]
+    fn histogram_saturates_at_the_overflow_bucket() {
+        // Latencies at or beyond 2^34 µs (~4.8 hours) — including
+        // durations whose microsecond count does not even fit in u64 —
+        // all land in the last bucket instead of indexing out of bounds.
+        let mut h = LatencyHistogram::new();
+        let huge = [
+            Duration::from_micros(1 << 34),
+            Duration::from_micros((1 << 34) + 123),
+            Duration::from_micros(1 << 60),
+            Duration::from_micros(u64::MAX),
+            // as_micros() > u64::MAX: record() saturates the conversion.
+            Duration::from_secs(u64::MAX),
+        ];
+        for d in huge {
+            h.record(d);
+        }
+        assert_eq!(h.total(), huge.len() as u64);
+        assert_eq!(h.max_us(), u64::MAX);
+        // Every observation sits in the overflow bucket, so every
+        // sub-1.0 quantile reports that bucket's upper bound; q = 1.0
+        // reports the exact maximum.
+        let overflow_upper = 1u64 << 34;
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(h.quantile_us(q), overflow_upper, "q={q}");
+        }
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        // A small observation still resolves below the overflow bucket.
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.quantile_us(0.01), 4);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one_histogram() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        let mut state = 7u64;
+        for i in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = Duration::from_micros(state % 20_000);
+            if i % 2 == 0 {
+                left.record(d);
+            } else {
+                right.record(d);
+            }
+            combined.record(d);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, combined);
+        assert_eq!(merged.total(), 300);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile_us(q), combined.quantile_us(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(42));
+        let before = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

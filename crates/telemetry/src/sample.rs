@@ -1,0 +1,156 @@
+//! One telemetry record: which compiled stage ran, how long it took,
+//! and the datapath events it generated.
+
+use crate::counters::Counters;
+
+/// Which portion of a compiled stage one sample covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// A full stage: convolution plus the output memory system
+    /// (`Engine::run`).
+    Full,
+    /// Convolution only — the single-layer reference path
+    /// (`run_layer` / `run_conv_only`), which owns its own output stage.
+    ConvOnly,
+}
+
+impl StageKind {
+    /// Stable short identifier used in printed tables.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Full => "full",
+            StageKind::ConvOnly => "conv",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            StageKind::Full => 0,
+            StageKind::ConvOnly => 1,
+        }
+    }
+
+    fn from_code(code: u64) -> StageKind {
+        if code & 1 == 1 {
+            StageKind::ConvOnly
+        } else {
+            StageKind::Full
+        }
+    }
+}
+
+/// One per-stage execution record emitted by the engine's
+/// instrumentation: the stage index, the portion executed, the wall
+/// time, and exactly the [`Counters`] delta that stage contributed to
+/// the run's total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSample {
+    /// Compiled stage index (0-based, in network order).
+    pub layer: u32,
+    /// Which portion of the stage this sample covers.
+    pub stage: StageKind,
+    /// Wall-clock time of the stage, nanoseconds.
+    pub wall_ns: u64,
+    /// The stage's own counter delta (sums to the run total across all
+    /// stages of one run).
+    pub counters: Counters,
+}
+
+impl LayerSample {
+    /// Number of `u64` words one encoded sample occupies in the ring:
+    /// one packed `layer`/`stage` word, `wall_ns`, and the 11 counter
+    /// fields.
+    pub(crate) const WORDS: usize = 13;
+
+    /// Packs the sample into fixed-width words for the atomic ring.
+    pub(crate) fn encode(&self) -> [u64; Self::WORDS] {
+        // Exhaustive destructuring: adding a Counters field without
+        // growing WORDS (and decode below) is a compile error.
+        let Counters {
+            dense_macs,
+            multiplies,
+            adds,
+            sr_reads,
+            sr_writes,
+            psum_mem_reads,
+            psum_mem_writes,
+            input_mem_reads,
+            weight_reads,
+            dram_bits,
+            cycles,
+        } = self.counters;
+        [
+            (u64::from(self.layer) << 8) | self.stage.code(),
+            self.wall_ns,
+            dense_macs,
+            multiplies,
+            adds,
+            sr_reads,
+            sr_writes,
+            psum_mem_reads,
+            psum_mem_writes,
+            input_mem_reads,
+            weight_reads,
+            dram_bits,
+            cycles,
+        ]
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(words: [u64; Self::WORDS]) -> LayerSample {
+        let [tag, wall_ns, dense_macs, multiplies, adds, sr_reads, sr_writes, psum_mem_reads, psum_mem_writes, input_mem_reads, weight_reads, dram_bits, cycles] =
+            words;
+        LayerSample {
+            layer: (tag >> 8) as u32,
+            stage: StageKind::from_code(tag & 0xff),
+            wall_ns,
+            counters: Counters {
+                dense_macs,
+                multiplies,
+                adds,
+                sr_reads,
+                sr_writes,
+                psum_mem_reads,
+                psum_mem_writes,
+                input_mem_reads,
+                weight_reads,
+                dram_bits,
+                cycles,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_round_trip_through_word_encoding() {
+        let sample = LayerSample {
+            layer: 0x00ab_cdef,
+            stage: StageKind::ConvOnly,
+            wall_ns: u64::MAX - 7,
+            counters: Counters {
+                dense_macs: 1,
+                multiplies: 2,
+                adds: 3,
+                sr_reads: 4,
+                sr_writes: 5,
+                psum_mem_reads: 6,
+                psum_mem_writes: 7,
+                input_mem_reads: 8,
+                weight_reads: 9,
+                dram_bits: u64::MAX,
+                cycles: 11,
+            },
+        };
+        assert_eq!(LayerSample::decode(sample.encode()), sample);
+        let full = LayerSample {
+            stage: StageKind::Full,
+            ..sample
+        };
+        assert_eq!(LayerSample::decode(full.encode()), full);
+    }
+}

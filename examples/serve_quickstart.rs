@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     match roundtrip(&mut stream, &WireRequest::Stats)? {
-        WireResponse::Stats { metrics } => {
+        WireResponse::Stats { metrics, telemetry } => {
             println!(
                 "served {} requests in {} batches (mean size {:.2}), p99 {} µs",
                 metrics.completed,
@@ -56,6 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 metrics.mean_batch_size(),
                 metrics.p99_us
             );
+            for layer in &telemetry.layers {
+                println!(
+                    "  layer {} ({}): {} runs, p95 {} µs, {:.2}x MAC reduction",
+                    layer.layer, layer.label, layer.runs, layer.p95_us, layer.mac_reduction
+                );
+            }
         }
         other => println!("tcp: {other:?}"),
     }

@@ -14,6 +14,9 @@
 //!   their conversion to transferred networks.
 //! * [`sim`] — the TFE simulator: functional datapath (PE array, SR group,
 //!   PPSR, ERRR, SAFM) plus the per-layer performance model.
+//! * [`telemetry`] — per-layer reuse/latency telemetry: the lock-free
+//!   sample sink the engine records into, and the registry/snapshot
+//!   types that export per-layer breakdowns live.
 //! * [`serve`] — a dynamic-batching inference service over the simulator:
 //!   bounded admission queue, micro-batcher, executor pool, metrics, and
 //!   a length-prefixed JSON TCP protocol.
@@ -45,6 +48,7 @@ pub use tfe_eyeriss as eyeriss;
 pub use tfe_nets as nets;
 pub use tfe_serve as serve;
 pub use tfe_sim as sim;
+pub use tfe_telemetry as telemetry;
 pub use tfe_tensor as tensor;
 pub use tfe_train as train;
 pub use tfe_transfer as transfer;

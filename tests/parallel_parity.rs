@@ -351,27 +351,6 @@ fn compile_quantizes_every_row_exactly_once() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_prepared_names_still_work() {
-    // The pre-engine names (PreparedNetwork / prepare / run_prepared_batch)
-    // are deprecated forwarders, not silent removals: old call sites must
-    // keep compiling and produce identical results.
-    use tfe::sim::batch::run_prepared_batch;
-    use tfe::sim::prepared::PreparedNetwork;
-
-    let net = small_net(TransferScheme::Scnn, 29);
-    let inputs = images(2, 55);
-    let prepared = PreparedNetwork::prepare(&net, ReuseConfig::FULL).unwrap();
-    let scratches = ScratchPool::new();
-    let old = run_prepared_batch(&prepared, &inputs, BatchOptions::default(), &scratches).unwrap();
-    let new = run_engine_batch(&prepared, &inputs, BatchOptions::default(), &scratches).unwrap();
-    assert_eq!(old.counters, new.counters);
-    for (o, n) in old.outputs.iter().zip(&new.outputs) {
-        assert_eq!(o.activations, n.activations);
-    }
-}
-
-#[test]
 fn scratch_pool_is_bounded_and_reuses_arenas() {
     // Satellite regression: restore() used to push unconditionally, so a
     // burst of workers grew the pool without bound. The pool must cap at

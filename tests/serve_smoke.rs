@@ -71,13 +71,29 @@ fn tcp_concurrent_requests_are_bit_identical() {
         worker.join().expect("tcp worker");
     }
 
-    // The same connection path also serves metrics.
+    // The same connection path also serves metrics and per-layer
+    // telemetry: one entry per compiled stage, each exercised by every
+    // request, with per-layer counters summing to the network total.
     let mut stream = TcpStream::connect(addr).expect("connect for stats");
     match roundtrip(&mut stream, &WireRequest::Stats).expect("stats roundtrip") {
-        WireResponse::Stats { metrics } => {
+        WireResponse::Stats { metrics, telemetry } => {
             assert_eq!(metrics.completed, 12);
             assert_eq!(metrics.rejected, 0);
             assert!(metrics.batches >= 1);
+
+            assert_eq!(
+                telemetry.layers.len(),
+                2,
+                "demo network compiles to two stages"
+            );
+            let mut layer_sum = Counters::default();
+            for layer in &telemetry.layers {
+                assert_eq!(layer.runs, 12, "every request runs every stage");
+                assert!(layer.counters.multiplies > 0);
+                assert!(layer.p50_us <= layer.p95_us && layer.p95_us <= layer.max_us);
+                layer_sum.merge(&layer.counters);
+            }
+            assert_eq!(layer_sum, telemetry.total);
         }
         other => panic!("expected Stats, got {other:?}"),
     }

@@ -1,0 +1,183 @@
+//! Telemetry-subsystem integration tests: enabling the per-layer sink
+//! on a compiled [`Engine`] must be invisible to the datapath —
+//! activations and network-total counters stay bit-identical to an
+//! uninstrumented run — while the per-layer cumulative totals decompose
+//! the network totals *exactly* (no sampling error, no loss under ring
+//! overflow) across every scheme, reuse ablation, and stride.
+
+use proptest::prelude::*;
+use tfe::sim::counters::Counters;
+use tfe::sim::engine::{Engine, Scratch};
+use tfe::sim::network::FunctionalNetwork;
+use tfe::telemetry::TelemetrySnapshot;
+use tfe::tensor::fixed::Fx16;
+use tfe::tensor::shape::LayerShape;
+use tfe::tensor::tensor::Tensor4;
+use tfe::transfer::analysis::ReuseConfig;
+use tfe::transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+const ALL_SCHEMES: [TransferScheme; 3] = [
+    TransferScheme::DCNN4,
+    TransferScheme::DCNN6,
+    TransferScheme::Scnn,
+];
+
+const ALL_REUSE: [ReuseConfig; 4] = [
+    ReuseConfig::NONE,
+    ReuseConfig::PPSR_ONLY,
+    ReuseConfig::ERRR_ONLY,
+    ReuseConfig::FULL,
+];
+
+/// A small two-stage network (conv → conv+pool) compatible with every
+/// scheme; `strided` swaps in a stride-2 first stage so the sweep also
+/// covers the subsampled window path.
+fn test_net(scheme: TransferScheme, strided: bool, seed: u32) -> FunctionalNetwork {
+    let m = match scheme {
+        TransferScheme::Dcnn { z: 6 } => 16,
+        _ => 8,
+    };
+    let shapes = if strided {
+        vec![
+            (
+                LayerShape::conv("t1", 3, m, 13, 13, 3, 2, 1).unwrap(),
+                false,
+            ),
+            (LayerShape::conv("t2", m, m, 7, 7, 3, 1, 1).unwrap(), false),
+        ]
+    } else {
+        vec![
+            (
+                LayerShape::conv("p1", 3, m, 12, 12, 3, 1, 1).unwrap(),
+                false,
+            ),
+            (LayerShape::conv("p2", m, m, 12, 12, 3, 1, 1).unwrap(), true),
+        ]
+    };
+    let mut s = seed;
+    FunctionalNetwork::random(&shapes, scheme, || det(&mut s)).unwrap()
+}
+
+fn images(count: usize, side: usize, seed: u32) -> Vec<Tensor4<Fx16>> {
+    let mut s = seed;
+    (0..count)
+        .map(|_| Tensor4::from_fn([1, 3, side, side], |_| Fx16::from_f32(det(&mut s))))
+        .collect()
+}
+
+/// Enabling telemetry must not perturb the datapath: activations and
+/// network-total counters are bit-identical to the uninstrumented
+/// engine, and the registry shows one entry per compiled stage with the
+/// stage's label and exact run count.
+#[test]
+fn enabled_telemetry_is_bit_identical_and_covers_every_stage() {
+    for scheme in ALL_SCHEMES {
+        let net = test_net(scheme, false, 71);
+        let inputs = images(3, 12, 0x7e1e);
+
+        let silent = Engine::compile(&net, ReuseConfig::FULL).unwrap();
+        let mut loud = Engine::compile(&net, ReuseConfig::FULL).unwrap();
+        loud.enable_telemetry(64);
+        assert!(!silent.sink().is_enabled());
+        assert!(loud.sink().is_enabled());
+
+        let mut scratch_a = Scratch::new();
+        let mut scratch_b = Scratch::new();
+        for input in &inputs {
+            let a = silent.run(input, &mut scratch_a).unwrap();
+            let b = loud.run(input, &mut scratch_b).unwrap();
+            assert_eq!(
+                a.activations, b.activations,
+                "{scheme:?} telemetry changed activations"
+            );
+            assert_eq!(
+                a.counters, b.counters,
+                "{scheme:?} telemetry changed counters"
+            );
+        }
+
+        assert_eq!(silent.telemetry().layers().len(), 0);
+        let reg = loud.telemetry();
+        assert_eq!(reg.layers().len(), loud.stage_count());
+        assert_eq!(reg.recorded(), (inputs.len() * loud.stage_count()) as u64);
+        assert_eq!(reg.dropped(), 0);
+        for (idx, layer) in reg.layers().iter().enumerate() {
+            assert_eq!(layer.layer, idx);
+            assert_eq!(
+                Some(layer.label.as_str()),
+                loud.stage_shape(idx).map(|s| s.name()),
+                "{scheme:?} layer label must match the compiled stage"
+            );
+            assert_eq!(layer.runs, inputs.len() as u64);
+            assert_eq!(layer.window.total(), inputs.len() as u64);
+        }
+    }
+}
+
+/// A live snapshot survives the JSON wire format bit-exactly — the same
+/// path the TCP stats request uses.
+#[test]
+fn live_snapshot_round_trips_through_json() {
+    let net = test_net(TransferScheme::Scnn, false, 5);
+    let mut engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
+    engine.enable_telemetry(16);
+    let mut scratch = Scratch::new();
+    for input in &images(2, 12, 0x1050) {
+        engine.run(input, &mut scratch).unwrap();
+    }
+    let snap = engine.telemetry().snapshot();
+    assert_eq!(snap.layers.len(), 2);
+    let text = serde_json::to_string(&snap).unwrap();
+    let back: TelemetrySnapshot = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, snap);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact-decomposition invariant: per-layer cumulative counters
+    /// sum to the network-total counters from `Engine::run`, exactly,
+    /// for every scheme × reuse ablation × stride — even with a ring
+    /// small enough to overflow (cumulative totals are overflow-proof).
+    #[test]
+    fn per_layer_counters_sum_exactly_to_network_totals(
+        scheme_idx in 0usize..3,
+        reuse_idx in 0usize..4,
+        strided in any::<bool>(),
+        count in 1usize..4,
+        seed in 0u32..500,
+    ) {
+        let scheme = ALL_SCHEMES[scheme_idx];
+        let reuse = ALL_REUSE[reuse_idx];
+        let net = test_net(scheme, strided, seed);
+        let side = if strided { 13 } else { 12 };
+        let inputs = images(count, side, seed ^ 0x7ab5);
+
+        let mut engine = Engine::compile(&net, reuse).unwrap();
+        // Capacity 2 with 2 stages per run: any count > 1 overflows the
+        // ring, proving the totals don't depend on window survival.
+        engine.enable_telemetry(2);
+        let mut scratch = Scratch::new();
+        let mut total = Counters::new();
+        for input in &inputs {
+            total.merge(&engine.run(input, &mut scratch).unwrap().counters);
+        }
+
+        let reg = engine.telemetry();
+        prop_assert_eq!(reg.layers().len(), engine.stage_count());
+        let mut layer_sum = Counters::new();
+        for layer in reg.layers() {
+            prop_assert_eq!(layer.runs, count as u64);
+            layer_sum.merge(&layer.counters);
+        }
+        prop_assert_eq!(layer_sum, total);
+        prop_assert_eq!(reg.total(), total);
+        prop_assert_eq!(reg.recorded(), (count * engine.stage_count()) as u64);
+        prop_assert_eq!(reg.dropped(), reg.recorded().saturating_sub(2));
+    }
+}
