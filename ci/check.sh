@@ -27,9 +27,17 @@ cargo bench --offline --no-run
 # malformed docs fail the gate just like clippy warnings do.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # BENCH=1 additionally runs the timing acceptance benches — the
-# compile/run-split steady-state speedup and the telemetry-sink
-# overhead pin — and surfaces their numbers in the check output.
+# compile/run-split steady-state speedup (pinned >= 2x on the
+# compile-bound cell), the monomorphized row kernels (pinned >= 1.25x
+# over the frozen scalar reference, bit-identity asserted first), and
+# the telemetry-sink overhead pin. engine_speedup and ppsr_row write
+# their min-of-reps cells into BENCH_6.json at the repo root (the
+# persistent perf trajectory; see README "Perf trajectory"), printed
+# below so the numbers land in the check output.
 if [ "${BENCH:-0}" = "1" ]; then
     cargo bench --offline -p tfe-bench --bench engine_speedup
+    cargo bench --offline -p tfe-bench --bench ppsr_row
     cargo bench --offline -p tfe-bench --bench telemetry_overhead
+    echo "--- BENCH_6.json (perf trajectory) ---"
+    cat BENCH_6.json
 fi

@@ -33,7 +33,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
+use tfe_bench::report::{BenchCell, BenchReport};
+use tfe_bench::timing::{best_ips, best_pair_ips};
 use tfe_sim::engine::{Engine, Scratch};
 use tfe_sim::network::FunctionalNetwork;
 use tfe_tensor::fixed::Fx16;
@@ -104,43 +105,6 @@ fn compile_bound_cell(seed: u32) -> (FunctionalNetwork, Tensor4<Fx16>) {
     (net, input)
 }
 
-/// Best (highest) steady-state throughput over `reps` repetitions of
-/// `rounds` timed iterations — min-time estimation, robust to scheduler
-/// noise on shared machines.
-fn best_ips(reps: u32, rounds: u32, mut run: impl FnMut()) -> f64 {
-    let mut best = f64::MAX;
-    for _ in 0..reps {
-        let start = Instant::now();
-        for _ in 0..rounds {
-            run();
-        }
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    rounds as f64 / best
-}
-
-/// [`best_ips`] for two closures with their repetitions interleaved
-/// (a, b, a, b, …), so clock-frequency drift over the measurement
-/// window hits both sides equally instead of biasing whichever ran
-/// last. Used for the wrapper-vs-engine ratio, where the true gap is
-/// ~1 % and un-interleaved drift alone exceeds the 5 % tolerance.
-fn best_pair_ips(reps: u32, rounds: u32, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
-    let (mut best_a, mut best_b) = (f64::MAX, f64::MAX);
-    for _ in 0..reps {
-        let start = Instant::now();
-        for _ in 0..rounds {
-            a();
-        }
-        best_a = best_a.min(start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        for _ in 0..rounds {
-            b();
-        }
-        best_b = best_b.min(start.elapsed().as_secs_f64());
-    }
-    (rounds as f64 / best_a, rounds as f64 / best_b)
-}
-
 fn bench_engine_speedup(c: &mut Criterion) {
     let cells: Vec<(&str, bool, FunctionalNetwork, Tensor4<Fx16>)> = vec![
         {
@@ -165,6 +129,7 @@ fn bench_engine_speedup(c: &mut Criterion) {
         },
     ];
     let reuse = ReuseConfig::FULL;
+    let mut report = BenchReport::load_or_new();
     for (label, compile_bound, net, input) in &cells {
         let engine = Engine::compile(net, reuse).unwrap();
         let mut scratch = Scratch::new();
@@ -219,7 +184,33 @@ fn bench_engine_speedup(c: &mut Criterion) {
             wrapper_ratio >= 0.95,
             "{label}: wrapper overhead vs direct Engine::run must be < 5%, got ratio {wrapper_ratio:.3}"
         );
+
+        report.upsert(BenchCell {
+            bench: "engine_speedup".to_owned(),
+            cell: (*label).to_owned(),
+            baseline: "cold".to_owned(),
+            baseline_ips: cold_ips,
+            current_ips: wrapper_ips,
+            speedup,
+            reps: u64::from(reps),
+            rounds: u64::from(rounds),
+        });
+        report.upsert(BenchCell {
+            bench: "engine_speedup".to_owned(),
+            cell: format!("{label}/wrapper_vs_engine"),
+            baseline: "engine".to_owned(),
+            baseline_ips: engine_ips,
+            current_ips: wrapper_ips,
+            speedup: wrapper_ratio,
+            reps: u64::from(reps),
+            rounds: u64::from(rounds),
+        });
     }
+    report.save().expect("write perf trajectory");
+    println!(
+        "engine_speedup: trajectory updated at {}",
+        BenchReport::path().display()
+    );
 }
 
 criterion_group!(benches, bench_engine_speedup);

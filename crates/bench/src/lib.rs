@@ -12,3 +12,5 @@
 
 pub mod experiments;
 pub mod format;
+pub mod report;
+pub mod timing;

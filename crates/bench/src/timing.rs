@@ -1,0 +1,52 @@
+//! Interleaved min-of-reps timing, shared by the acceptance benches.
+//!
+//! Best-of-reps (minimum time ⇒ maximum throughput) discards scheduler
+//! noise on shared machines; interleaving the two sides of a ratio
+//! spreads clock-frequency drift over both instead of biasing whichever
+//! ran last. The pinned ratios in `benches/engine_speedup.rs` and
+//! `benches/ppsr_row.rs` are computed exclusively through these
+//! helpers.
+
+use std::time::Instant;
+
+/// Best (highest) steady-state throughput over `reps` repetitions of
+/// `rounds` timed iterations — min-time estimation, robust to scheduler
+/// noise on shared machines.
+pub fn best_ips(reps: u32, rounds: u32, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            run();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    f64::from(rounds) / best
+}
+
+/// [`best_ips`] for two closures with their repetitions interleaved
+/// (a, b, a, b, …), so clock-frequency drift over the measurement
+/// window hits both sides equally instead of biasing whichever ran
+/// last. Use this for every pinned ratio: a real ~1 % gap is smaller
+/// than un-interleaved drift alone.
+pub fn best_pair_ips(
+    reps: u32,
+    rounds: u32,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            a();
+        }
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..rounds {
+            b();
+        }
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+    }
+    (f64::from(rounds) / best_a, f64::from(rounds) / best_b)
+}

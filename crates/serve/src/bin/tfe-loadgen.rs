@@ -202,13 +202,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if next_arrival >= end {
             break;
         }
-        if args.stats && Instant::now() >= next_stats {
-            print_telemetry(start.elapsed(), &client.telemetry());
-            next_stats += stats_interval;
-        }
-        let now = Instant::now();
-        if next_arrival > now {
-            std::thread::sleep(next_arrival - now);
+        // Wait out the gap stats-aware: sleep only to the nearer of the
+        // next arrival and the next poll, so low --rate runs keep a
+        // steady poll cadence instead of lagging up to a full gap and
+        // then bursting one poll per arrival to catch up.
+        loop {
+            let now = Instant::now();
+            if args.stats && now >= next_stats {
+                print_telemetry(start.elapsed(), &client.telemetry());
+                // Advance monotonically past now; a stall longer than
+                // the interval skips the missed polls instead of
+                // replaying them back-to-back.
+                while next_stats <= Instant::now() {
+                    next_stats += stats_interval;
+                }
+                continue;
+            }
+            if now >= next_arrival {
+                break;
+            }
+            let wake = if args.stats && next_stats < next_arrival {
+                next_stats
+            } else {
+                next_arrival
+            };
+            std::thread::sleep(wake - now);
         }
         let image = images[offered as usize % images.len()].clone();
         offered += 1;

@@ -10,12 +10,13 @@
 //! same saturating-addition order and the same counter accounting.
 
 use super::ir::{Geo, StageIr, UnitIr};
+use super::kernels::RowKernel;
 use super::scratch::{return_ring, shape_streams, take_ring, KernelBufs, Scratch};
 use super::Engine;
 use crate::counters::Counters;
 use crate::functional::FunctionalOutput;
 use crate::network::NetworkOutput;
-use crate::ppsr::{conventional_row_pass_acc, dcnn_row_pass_acc, scnn_row_pass_acc};
+use crate::ppsr::{conventional_row_pass_acc_with, dcnn_row_pass_acc_with, scnn_row_pass_acc_with};
 use crate::SimError;
 use std::time::Instant;
 use tfe_telemetry::{LayerSample, StageKind};
@@ -165,6 +166,7 @@ impl Engine {
             for unit in &stage.units {
                 match unit {
                     UnitIr::Dense { m, base } => dense_unit(
+                        stage.kernel,
                         &stage.rows[*base..],
                         padded,
                         &geo,
@@ -180,6 +182,7 @@ impl Engine {
                         k,
                         base,
                     } => dcnn_unit(
+                        stage.kernel,
                         &stage.rows[*base..],
                         padded,
                         &geo,
@@ -195,6 +198,7 @@ impl Engine {
                         emitted,
                         computed,
                     } => scnn_unit(
+                        stage.kernel,
                         &stage.rows[*base..],
                         padded,
                         &geo,
@@ -347,7 +351,9 @@ fn emit_row(out_b: &mut [Accum], window: &[Accum], m: usize, oy: usize, geo: &Ge
 
 /// One dense filter's plane: `K` channel-summed PPSR row parts per
 /// output row, combined by the adder trees.
+#[allow(clippy::too_many_arguments)]
 fn dense_unit(
+    kernel: RowKernel,
     rows: &[Fx16],
     padded: &[Fx16],
     geo: &Geo,
@@ -369,7 +375,7 @@ fn dense_unit(
             for c in 0..n {
                 let w_row = &rows[(c * k + ky) * k..][..k];
                 let in_row = &padded[(c * ph + oy * s + ky) * pw..][..pw];
-                conventional_row_pass_acc(w_row, in_row, row_sum, counters);
+                conventional_row_pass_acc_with(kernel, w_row, in_row, row_sum, counters);
             }
         }
         window.clear();
@@ -377,7 +383,11 @@ fn dense_unit(
         for ky in 1..k {
             window_add(window, &parts[ky * full_w..][..full_w]);
         }
-        counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+        // The adder trees combine K window parts only at the geo.f
+        // positions emit_row consumes — the analytic model
+        // (NetworkPerf: out_elems · (K−1)) and these counters must
+        // agree, pinned by tests/engine_counters.rs.
+        counters.adds += (k.saturating_sub(1) * geo.f) as u64;
         emit_row(out_b, window, m, oy, geo);
     }
 }
@@ -385,6 +395,7 @@ fn dense_unit(
 /// One DCNN meta group's planes (ERRR ring or per-`dy` recomputation).
 #[allow(clippy::too_many_arguments)]
 fn dcnn_unit(
+    kernel: RowKernel,
     rows: &[Fx16],
     padded: &[Fx16],
     geo: &Geo,
@@ -417,7 +428,9 @@ fn dcnn_unit(
                     for c in 0..n {
                         let meta_row = &rows[(c * z + kr) * z..][..z];
                         let in_row = &padded[(c * ph + i) * pw..][..pw];
-                        dcnn_row_pass_acc(meta_row, in_row, k, reuse.ppsr, per_dx, counters);
+                        dcnn_row_pass_acc_with(
+                            kernel, meta_row, in_row, k, reuse.ppsr, per_dx, counters,
+                        );
                     }
                 }
                 if let Some(evicted) = ring.insert_recycling(i, streams, counters) {
@@ -442,7 +455,7 @@ fn dcnn_unit(
                             window_add(window, part);
                         }
                     }
-                    counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+                    counters.adds += (k.saturating_sub(1) * geo.f) as u64;
                     emit_row(out_b, window, m, oy, geo);
                 }
             }
@@ -461,7 +474,9 @@ fn dcnn_unit(
                     for c in 0..n {
                         let meta_row = &rows[(c * z + kr) * z..][..z];
                         let in_row = &padded[(c * ph + i) * pw..][..pw];
-                        dcnn_row_pass_acc(meta_row, in_row, k, reuse.ppsr, per_dx, counters);
+                        dcnn_row_pass_acc_with(
+                            kernel, meta_row, in_row, k, reuse.ppsr, per_dx, counters,
+                        );
                     }
                 }
                 for dx in 0..per_axis {
@@ -478,7 +493,7 @@ fn dcnn_unit(
                             window_add(window, part);
                         }
                     }
-                    counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+                    counters.adds += (k.saturating_sub(1) * geo.f) as u64;
                     emit_row(out_b, window, m, oy, geo);
                 }
             }
@@ -490,6 +505,7 @@ fn dcnn_unit(
 /// read flipped/reversed streams).
 #[allow(clippy::too_many_arguments)]
 fn scnn_unit(
+    kernel: RowKernel,
     rows: &[Fx16],
     padded: &[Fx16],
     geo: &Geo,
@@ -545,7 +561,8 @@ fn scnn_unit(
                         for c in 0..n {
                             let w_row = &rows[((oi * n + c) * k + kr) * k..][..k];
                             let in_row = &padded[(c * ph + i) * pw..][..pw];
-                            scnn_row_pass_acc(
+                            scnn_row_pass_acc_with(
+                                kernel,
                                 w_row,
                                 in_row,
                                 reuse.ppsr,
@@ -580,7 +597,7 @@ fn scnn_unit(
                     window_add(window, part);
                 }
             }
-            counters.adds += (k.saturating_sub(1) * window.len()) as u64;
+            counters.adds += (k.saturating_sub(1) * geo.f) as u64;
             emit_row(out_b, window, g * ORBIT + local, oy, geo);
         }
     }
@@ -652,4 +669,11 @@ fn process_channel(
             staged_rows = 0;
         }
     }
+    // compile() rejects non-divisible pool geometry, so no staged rows
+    // may remain (a dropped tail would leave psum_mem_writes charged
+    // without matching psum_mem_reads).
+    debug_assert_eq!(
+        staged_rows, 0,
+        "pooling tail must be empty; Engine::compile validates e % p == 0"
+    );
 }

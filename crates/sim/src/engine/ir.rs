@@ -8,6 +8,7 @@
 //! are pre-folded to accumulator precision. The run phase
 //! (`engine::exec`) only ever reads these tables.
 
+use crate::engine::kernels::RowKernel;
 use crate::output::OutputConfig;
 use crate::SimError;
 use tfe_nets::TransferMode;
@@ -81,6 +82,11 @@ pub(crate) struct StageIr {
     /// All quantized filter rows of the stage, contiguous.
     pub(crate) rows: Vec<Fx16>,
     pub(crate) units: Vec<UnitIr>,
+    /// The inner correlation kernel every unit of this stage dispatches
+    /// to, selected once here from the filter extent `K`. DCNN meta rows
+    /// are `Z` wide but every offset lane still correlates a `K`-length
+    /// weight slice, so one stage-level selection covers all schemes.
+    pub(crate) kernel: RowKernel,
 }
 
 /// Layer geometry snapshot threaded through the run-phase kernels.
@@ -172,6 +178,30 @@ pub(crate) fn compile_stage(
             expected: shape.m(),
             actual: weights.filters(),
         });
+    }
+    if let Some(p) = output.pool {
+        // The row-wise pooler stages partial windows in O_Memory and
+        // then discards them, leaving the write/read counters
+        // asymmetric; reject the geometry here instead.
+        if p == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "pooling extent must be non-zero",
+            });
+        }
+        if !shape.e().is_multiple_of(p) {
+            return Err(SimError::NonDivisiblePool {
+                what: "ofmap rows",
+                extent: shape.e(),
+                pool: p,
+            });
+        }
+        if !shape.f().is_multiple_of(p) {
+            return Err(SimError::NonDivisiblePool {
+                what: "ofmap columns",
+                extent: shape.f(),
+                pool: p,
+            });
+        }
     }
     let (n, k) = (shape.n(), shape.k());
     let mut rows: Vec<Fx16> = Vec::new();
@@ -269,6 +299,7 @@ pub(crate) fn compile_stage(
                 .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)))
         })
         .collect();
+    let kernel = RowKernel::select(k);
     Ok(StageIr {
         shape,
         output,
@@ -276,5 +307,6 @@ pub(crate) fn compile_stage(
         bias,
         rows,
         units,
+        kernel,
     })
 }

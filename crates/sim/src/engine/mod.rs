@@ -26,6 +26,12 @@
 //!   [`Engine::layer_plans`], …).
 //! * `ir.rs` — the compiled stage tables: flat quantized row tables,
 //!   per-unit offsets, SCNN source schedules, [`PrepareStats`].
+//! * `kernels.rs` — the monomorphized inner correlation kernels: a
+//!   `kernels::RowKernel` per stage, selected once at compile time
+//!   from the filter extent `K` (specialized K ∈ {1, 3, 5, 7} plus a
+//!   generic fallback), each restructured into flat chunked
+//!   `i16 → i32` passes the optimizer can autovectorize while
+//!   preserving the scalar reference's exact saturating addition order.
 //! * `exec.rs` — the row-pass run phase ([`Engine::run`]): PPSR row
 //!   passes, ERRR rings, window combination, the output memory system.
 //! * `scratch.rs` — the run-phase arenas ([`Scratch`]) and the bounded
@@ -52,6 +58,7 @@
 
 mod exec;
 mod ir;
+pub(crate) mod kernels;
 mod scratch;
 
 pub use ir::PrepareStats;

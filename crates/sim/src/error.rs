@@ -21,6 +21,19 @@ pub enum SimError {
         /// What was misconfigured and why it is rejected.
         what: &'static str,
     },
+    /// A stage's pooling extent does not divide its ofmap geometry. The
+    /// output memory system's non-overlapping pooler would silently
+    /// discard the staged tail rows *after* charging `O_Memory` writes
+    /// for them, so the engine rejects the geometry at compile time
+    /// instead of producing asymmetric counters.
+    NonDivisiblePool {
+        /// Which extent failed to divide ("ofmap rows" / "ofmap columns").
+        what: &'static str,
+        /// The ofmap extent.
+        extent: usize,
+        /// The pooling window extent.
+        pool: usize,
+    },
     /// A weight or activation operand disagreed with the layer shape.
     OperandMismatch {
         /// What was being matched.
@@ -49,6 +62,11 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { what } => {
                 write!(f, "invalid configuration: {what}")
             }
+            SimError::NonDivisiblePool { what, extent, pool } => write!(
+                f,
+                "pooling extent {pool} does not divide {what} ({extent}); \
+                 the row-wise pooler would drop a partial window after charging for it"
+            ),
             SimError::OperandMismatch {
                 what,
                 expected,
@@ -80,6 +98,18 @@ impl From<tfe_transfer::TransferError> for SimError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn non_divisible_pool_names_both_extents() {
+        let e = SimError::NonDivisiblePool {
+            what: "ofmap rows",
+            extent: 5,
+            pool: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ofmap rows"), "{msg}");
+        assert!(msg.contains('5') && msg.contains('2'), "{msg}");
+    }
 
     #[test]
     fn display_and_source() {

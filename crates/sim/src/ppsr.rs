@@ -11,8 +11,22 @@
 //! `Z` multiplies per input element (instead of `(Z−K+1)·K`), and an SCNN
 //! row pass costs `K` while producing both the forward and the
 //! horizontally-mirrored row results (instead of `2K`).
+//!
+//! Two implementations of every `_acc` row pass coexist (DESIGN §5.10):
+//!
+//! * the default entry points route the inner correlation loops through
+//!   the monomorphized [`RowKernel`](crate::engine) cores — flat chunked
+//!   `i16 → i32` passes specialized per `K` at engine-compile time;
+//! * the `*_scalar` variants keep the original `correlate_at`-driven
+//!   loops, frozen as the bit-identity reference the kernel parity suite
+//!   (`tests/kernel_parity.rs`) and the `ppsr_row` bench compare against.
+//!
+//! Both families charge counters through the same helpers and produce
+//! bit-identical activations *and* counters; the saturating-addition
+//! order contract they share is documented in `engine/kernels.rs`.
 
 use crate::counters::Counters;
+use crate::engine::kernels::RowKernel;
 use tfe_tensor::fixed::{Accum, Fx16};
 
 /// One correlation output: `Σ_j input[x + j] · weights[j]`, summed in
@@ -118,29 +132,48 @@ pub fn dcnn_row_pass_acc(
     acc: &mut [Vec<Accum>],
     counters: &mut Counters,
 ) {
-    let z = meta_row.len();
-    assert!(
-        k >= 1 && k <= z,
-        "transferred extent must satisfy 1 <= K <= Z"
+    dcnn_row_pass_acc_with(
+        RowKernel::select(k),
+        meta_row,
+        input,
+        k,
+        ppsr,
+        acc,
+        counters,
     );
-    let offsets = z - k + 1;
-    let out_len = (input.len() + 1).saturating_sub(k);
-    if ppsr {
-        // Every broadcast element activates all Z multipliers once and
-        // ripples through the Z−1 stacked adders; the shared products are
-        // staged in the SR group, one write per offset lane.
-        counters.multiplies += (z * input.len()) as u64;
-        counters.adds += (z.saturating_sub(1) * input.len()) as u64;
-        counters.sr_writes += (offsets * input.len()) as u64;
-    } else {
-        // Reuse disabled (Fig. 5(a) ablation): each offset recomputes its
-        // row independently in a plain PE. Products live in per-PE
-        // pipeline registers, so no SR-group traffic is charged, and each
-        // of the `out_len` outputs per offset costs K−1 adder
-        // activations.
-        counters.multiplies += (offsets * k * input.len()) as u64;
-        counters.adds += (offsets * k.saturating_sub(1) * out_len) as u64;
+}
+
+/// [`dcnn_row_pass_acc`] with the row kernel pre-selected (what the
+/// compiled engine threads through its units, avoiding per-pass
+/// re-dispatch on `K`).
+pub(crate) fn dcnn_row_pass_acc_with(
+    kernel: RowKernel,
+    meta_row: &[Fx16],
+    input: &[Fx16],
+    k: usize,
+    ppsr: bool,
+    acc: &mut [Vec<Accum>],
+    counters: &mut Counters,
+) {
+    let (offsets, out_len) = charge_dcnn(meta_row.len(), k, input.len(), ppsr, counters);
+    for dx in 0..offsets {
+        kernel.correlate_add(&meta_row[dx..dx + k], input, &mut acc[dx][..out_len]);
     }
+}
+
+/// The frozen scalar reference for [`dcnn_row_pass_acc`]: identical
+/// counters and bit-identical accumulation via the original
+/// `correlate_at`-driven loop. Kept for the kernel parity suite and
+/// the `ppsr_row` speedup bench — not a hot path.
+pub fn dcnn_row_pass_acc_scalar(
+    meta_row: &[Fx16],
+    input: &[Fx16],
+    k: usize,
+    ppsr: bool,
+    acc: &mut [Vec<Accum>],
+    counters: &mut Counters,
+) {
+    let (offsets, out_len) = charge_dcnn(meta_row.len(), k, input.len(), ppsr, counters);
     for dx in 0..offsets {
         let weights = &meta_row[dx..dx + k];
         let lane = &mut acc[dx][..out_len];
@@ -148,6 +181,39 @@ pub fn dcnn_row_pass_acc(
             *slot += correlate_at(weights, input, x);
         }
     }
+}
+
+/// The shared DCNN row-pass counter model; returns `(offsets, out_len)`.
+fn charge_dcnn(
+    z: usize,
+    k: usize,
+    input_len: usize,
+    ppsr: bool,
+    counters: &mut Counters,
+) -> (usize, usize) {
+    assert!(
+        k >= 1 && k <= z,
+        "transferred extent must satisfy 1 <= K <= Z"
+    );
+    let offsets = z - k + 1;
+    let out_len = (input_len + 1).saturating_sub(k);
+    if ppsr {
+        // Every broadcast element activates all Z multipliers once and
+        // ripples through the Z−1 stacked adders; the shared products are
+        // staged in the SR group, one write per offset lane.
+        counters.multiplies += (z * input_len) as u64;
+        counters.adds += (z.saturating_sub(1) * input_len) as u64;
+        counters.sr_writes += (offsets * input_len) as u64;
+    } else {
+        // Reuse disabled (Fig. 5(a) ablation): each offset recomputes its
+        // row independently in a plain PE. Products live in per-PE
+        // pipeline registers, so no SR-group traffic is charged, and each
+        // of the `out_len` outputs per offset costs K−1 adder
+        // activations.
+        counters.multiplies += (offsets * k * input_len) as u64;
+        counters.adds += (offsets * k.saturating_sub(1) * out_len) as u64;
+    }
+    (offsets, out_len)
 }
 
 /// One SCNN PPSR row pass: a base row of `K` weights against one input
@@ -199,28 +265,58 @@ pub fn scnn_row_pass_acc(
     rev: Option<&mut [Accum]>,
     counters: &mut Counters,
 ) {
-    debug_assert_eq!(
+    scnn_row_pass_acc_with(
+        RowKernel::select(base_row.len()),
+        base_row,
+        input,
         ppsr,
-        rev.is_some(),
-        "the mirrored stream exists exactly when PPSR is enabled"
+        fwd,
+        rev,
+        counters,
     );
+}
+
+/// [`scnn_row_pass_acc`] with the row kernel pre-selected (what the
+/// compiled engine threads through its units, avoiding per-pass
+/// re-dispatch on `K`).
+pub(crate) fn scnn_row_pass_acc_with(
+    kernel: RowKernel,
+    base_row: &[Fx16],
+    input: &[Fx16],
+    ppsr: bool,
+    fwd: &mut [Accum],
+    rev: Option<&mut [Accum]>,
+    counters: &mut Counters,
+) {
+    let out_len = charge_scnn_forward(base_row.len(), input.len(), ppsr, rev.is_some(), counters);
+    kernel.correlate_add(base_row, input, &mut fwd[..out_len]);
+    if ppsr {
+        charge_scnn_mirrored(base_row.len(), input.len(), out_len, counters);
+        if let Some(rev) = rev {
+            kernel.correlate_add_rev(base_row, input, &mut rev[..out_len]);
+        }
+    }
+}
+
+/// The frozen scalar reference for [`scnn_row_pass_acc`]: identical
+/// counters and bit-identical accumulation via the original
+/// `correlate_at`-driven loops. Kept for the kernel parity suite and
+/// the `ppsr_row` speedup bench — not a hot path.
+pub fn scnn_row_pass_acc_scalar(
+    base_row: &[Fx16],
+    input: &[Fx16],
+    ppsr: bool,
+    fwd: &mut [Accum],
+    rev: Option<&mut [Accum]>,
+    counters: &mut Counters,
+) {
     let k = base_row.len();
-    let out_len = (input.len() + 1).saturating_sub(k);
-    counters.multiplies += (k * input.len()) as u64;
-    // Each result stream has `out_len` outputs, and combining K products
-    // into one output costs K−1 adder activations. (The earlier model
-    // charged (K−1)·input.len(), overcounting the K−1 edge positions
-    // that produce no output.)
-    counters.adds += (k.saturating_sub(1) * out_len) as u64;
+    let out_len = charge_scnn_forward(k, input.len(), ppsr, rev.is_some(), counters);
     for (x, slot) in fwd[..out_len].iter_mut().enumerate() {
         *slot += correlate_at(base_row, input, x);
     }
     if ppsr {
-        // The products are staged in the SR pair so the mirrored stream
-        // can consume them in reverse order: one SR write per product
-        // stage per direction, plus the mirrored stream's own adds.
-        counters.sr_writes += 2 * input.len() as u64;
-        counters.adds += (k.saturating_sub(1) * out_len) as u64;
+        charge_scnn_mirrored(k, input.len(), out_len, counters);
         if let Some(rev) = rev {
             for (x, slot) in rev[..out_len].iter_mut().enumerate() {
                 *slot += (0..k)
@@ -229,6 +325,37 @@ pub fn scnn_row_pass_acc(
             }
         }
     }
+}
+
+/// The shared SCNN forward-stream counter model; returns `out_len`.
+fn charge_scnn_forward(
+    k: usize,
+    input_len: usize,
+    ppsr: bool,
+    has_rev: bool,
+    counters: &mut Counters,
+) -> usize {
+    debug_assert_eq!(
+        ppsr, has_rev,
+        "the mirrored stream exists exactly when PPSR is enabled"
+    );
+    let out_len = (input_len + 1).saturating_sub(k);
+    counters.multiplies += (k * input_len) as u64;
+    // Each result stream has `out_len` outputs, and combining K products
+    // into one output costs K−1 adder activations. (The earlier model
+    // charged (K−1)·input.len(), overcounting the K−1 edge positions
+    // that produce no output.)
+    counters.adds += (k.saturating_sub(1) * out_len) as u64;
+    out_len
+}
+
+/// The shared SCNN mirrored-stream counter model (PPSR enabled only).
+fn charge_scnn_mirrored(k: usize, input_len: usize, out_len: usize, counters: &mut Counters) {
+    // The products are staged in the SR pair so the mirrored stream
+    // can consume them in reverse order: one SR write per product
+    // stage per direction, plus the mirrored stream's own adds.
+    counters.sr_writes += 2 * input_len as u64;
+    counters.adds += (k.saturating_sub(1) * out_len) as u64;
 }
 
 /// One conventional row pass for a dense filter row (`K` multiplies per
@@ -262,13 +389,51 @@ pub fn conventional_row_pass_acc(
     acc: &mut [Accum],
     counters: &mut Counters,
 ) {
-    let k = filter_row.len();
-    let out_len = (input.len() + 1).saturating_sub(k);
-    counters.multiplies += (k * input.len()) as u64;
-    counters.adds += (k.saturating_sub(1) * out_len) as u64;
+    conventional_row_pass_acc_with(
+        RowKernel::select(filter_row.len()),
+        filter_row,
+        input,
+        acc,
+        counters,
+    );
+}
+
+/// [`conventional_row_pass_acc`] with the row kernel pre-selected (what
+/// the compiled engine threads through its units, avoiding per-pass
+/// re-dispatch on `K`).
+pub(crate) fn conventional_row_pass_acc_with(
+    kernel: RowKernel,
+    filter_row: &[Fx16],
+    input: &[Fx16],
+    acc: &mut [Accum],
+    counters: &mut Counters,
+) {
+    let out_len = charge_conventional(filter_row.len(), input.len(), counters);
+    kernel.correlate_add(filter_row, input, &mut acc[..out_len]);
+}
+
+/// The frozen scalar reference for [`conventional_row_pass_acc`]:
+/// identical counters and bit-identical accumulation via the original
+/// `correlate_at`-driven loop. Kept for the kernel parity suite and
+/// the `ppsr_row` speedup bench — not a hot path.
+pub fn conventional_row_pass_acc_scalar(
+    filter_row: &[Fx16],
+    input: &[Fx16],
+    acc: &mut [Accum],
+    counters: &mut Counters,
+) {
+    let out_len = charge_conventional(filter_row.len(), input.len(), counters);
     for (x, slot) in acc[..out_len].iter_mut().enumerate() {
         *slot += correlate_at(filter_row, input, x);
     }
+}
+
+/// The shared conventional row-pass counter model; returns `out_len`.
+fn charge_conventional(k: usize, input_len: usize, counters: &mut Counters) -> usize {
+    let out_len = (input_len + 1).saturating_sub(k);
+    counters.multiplies += (k * input_len) as u64;
+    counters.adds += (k.saturating_sub(1) * out_len) as u64;
+    out_len
 }
 
 #[cfg(test)]

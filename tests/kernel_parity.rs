@@ -1,0 +1,269 @@
+//! Kernel-level parity: the monomorphized row kernels
+//! (`engine/kernels.rs`, selected per `K` at engine-compile time) must
+//! be bit-identical — activations AND counters — to the frozen scalar
+//! reference (`ppsr::*_acc_scalar`, the pre-monomorphization
+//! `correlate_at` loops) on every scheme, every `K` (specialized and
+//! generic), and every geometry, including the edges: `K = 1`, inputs
+//! narrower than `K`, and non-zero starting accumulators.
+//!
+//! Saturating `Accum` addition is not associative (three Q8.8 extreme
+//! products overflow `i32` mid-correlation), so identity here proves the
+//! kernels reproduce the reference's exact addition order, not merely
+//! the same mathematical sum. The engine-level sweep at the bottom
+//! drives the kernels through `run_layer` across scheme × stride × pad
+//! (including stride 2 with odd widths) against the dense-expansion
+//! oracle.
+
+use proptest::prelude::*;
+use tfe::sim::counters::Counters;
+use tfe::sim::functional::run_layer;
+use tfe::sim::ppsr::{
+    conventional_row_pass_acc, conventional_row_pass_acc_scalar, dcnn_row_pass_acc,
+    dcnn_row_pass_acc_scalar, scnn_row_pass_acc, scnn_row_pass_acc_scalar,
+};
+use tfe::tensor::conv::conv2d_fx;
+use tfe::tensor::fixed::{Accum, Fx16};
+use tfe::tensor::shape::LayerShape;
+use tfe::tensor::tensor::Tensor4;
+use tfe::transfer::analysis::ReuseConfig;
+use tfe::transfer::layer::TransferredLayer;
+use tfe::transfer::TransferScheme;
+
+fn fx(bits: &[i16]) -> Vec<Fx16> {
+    bits.iter().map(|&b| Fx16::from_bits(b)).collect()
+}
+
+fn acc(bits: &[i32]) -> Vec<Accum> {
+    bits.iter().map(|&b| Accum::from_bits(b)).collect()
+}
+
+/// Samples drawn only from the extremes whose products overflow `i32`
+/// after three terms — the saturation regime where addition order is
+/// observable bit-wise.
+fn extreme_bits(seed: u64, len: usize) -> Vec<i16> {
+    const POOL: [i16; 5] = [i16::MIN, i16::MAX, 0, 1, -1];
+    bits16(seed, len)
+        .into_iter()
+        .map(|b| POOL[(b as u16 as usize) % POOL.len()])
+        .collect()
+}
+
+const ALL_REUSE: [ReuseConfig; 4] = [
+    ReuseConfig::NONE,
+    ReuseConfig::PPSR_ONLY,
+    ReuseConfig::ERRR_ONLY,
+    ReuseConfig::FULL,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conventional (dense) row pass: fast == scalar, values and
+    /// counters, for specialized and generic `K` and inputs from empty
+    /// to narrower-than-K to long.
+    #[test]
+    fn conventional_kernel_matches_scalar(
+        k in 1usize..10,
+        in_len in 0usize..64,
+        seed_w in 0u64..u64::MAX,
+        seed_i in 0u64..u64::MAX,
+        seed_a in 0u64..u64::MAX,
+    ) {
+        let weights = fx(&bits16(seed_w, k));
+        let input = fx(&bits16(seed_i, in_len));
+        let out_len = (in_len + 1).saturating_sub(k);
+        // One slot beyond out_len proves the tail stays untouched.
+        let base = acc(&bits32(seed_a, out_len + 1));
+
+        let mut fast = base.clone();
+        let mut slow = base;
+        let mut cf = Counters::new();
+        let mut cs = Counters::new();
+        conventional_row_pass_acc(&weights, &input, &mut fast, &mut cf);
+        conventional_row_pass_acc_scalar(&weights, &input, &mut slow, &mut cs);
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(cf, cs);
+    }
+
+    /// DCNN meta-row pass: every offset lane bit-identical under both
+    /// counter conventions (PPSR on and off).
+    #[test]
+    fn dcnn_kernel_matches_scalar(
+        k in 1usize..8,
+        extra in 0usize..5,
+        in_len in 0usize..48,
+        ppsr in any::<bool>(),
+        seed_w in 0u64..u64::MAX,
+        seed_i in 0u64..u64::MAX,
+        seed_a in 0u64..u64::MAX,
+    ) {
+        let z = k + extra;
+        let meta_row = fx(&bits16(seed_w, z));
+        let input = fx(&bits16(seed_i, in_len));
+        let offsets = z - k + 1;
+        let out_len = (in_len + 1).saturating_sub(k);
+        let base: Vec<Vec<Accum>> = (0..offsets)
+            .map(|dx| acc(&bits32(seed_a.wrapping_add(dx as u64), out_len + 1)))
+            .collect();
+
+        let mut fast = base.clone();
+        let mut slow = base;
+        let mut cf = Counters::new();
+        let mut cs = Counters::new();
+        dcnn_row_pass_acc(&meta_row, &input, k, ppsr, &mut fast, &mut cf);
+        dcnn_row_pass_acc_scalar(&meta_row, &input, k, ppsr, &mut slow, &mut cs);
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(cf, cs);
+    }
+
+    /// SCNN base-row pass: forward and (with PPSR) mirrored streams
+    /// bit-identical, counters included.
+    #[test]
+    fn scnn_kernel_matches_scalar(
+        k in 1usize..10,
+        in_len in 0usize..64,
+        ppsr in any::<bool>(),
+        seed_w in 0u64..u64::MAX,
+        seed_i in 0u64..u64::MAX,
+        seed_a in 0u64..u64::MAX,
+    ) {
+        let base_row = fx(&bits16(seed_w, k));
+        let input = fx(&bits16(seed_i, in_len));
+        let out_len = (in_len + 1).saturating_sub(k);
+        let fwd0 = acc(&bits32(seed_a, out_len + 1));
+        let rev0 = acc(&bits32(seed_a ^ 0xabcd, out_len + 1));
+
+        let (mut ff, mut fr) = (fwd0.clone(), rev0.clone());
+        let (mut sf, mut sr) = (fwd0, rev0);
+        let mut cf = Counters::new();
+        let mut cs = Counters::new();
+        scnn_row_pass_acc(
+            &base_row, &input, ppsr, &mut ff,
+            ppsr.then_some(fr.as_mut_slice()), &mut cf,
+        );
+        scnn_row_pass_acc_scalar(
+            &base_row, &input, ppsr, &mut sf,
+            ppsr.then_some(sr.as_mut_slice()), &mut cs,
+        );
+        prop_assert_eq!(ff, sf);
+        prop_assert_eq!(fr, sr);
+        prop_assert_eq!(cf, cs);
+    }
+
+    /// Saturation ordering: rows drawn entirely from the extremes force
+    /// mid-correlation clamping, where any reordering of the saturating
+    /// sums diverges bit-wise.
+    #[test]
+    fn saturating_regime_stays_bit_identical(
+        k in 1usize..10,
+        in_len in 0usize..40,
+        seed_w in 0u64..u64::MAX,
+        seed_i in 0u64..u64::MAX,
+    ) {
+        let weights = fx(&extreme_bits(seed_w, k));
+        let input = fx(&extreme_bits(seed_i, in_len));
+        let out_len = (in_len + 1).saturating_sub(k);
+        let base = vec![Accum::ZERO; out_len];
+
+        let mut fast = base.clone();
+        let mut slow = base;
+        let mut cf = Counters::new();
+        let mut cs = Counters::new();
+        conventional_row_pass_acc(&weights, &input, &mut fast, &mut cf);
+        conventional_row_pass_acc_scalar(&weights, &input, &mut slow, &mut cs);
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(cf, cs);
+    }
+}
+
+/// SplitMix64-style deterministic bit streams for the seeded cases.
+fn bits16(mut seed: u64, len: usize) -> Vec<i16> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as i16
+        })
+        .collect()
+}
+
+fn bits32(seed: u64, len: usize) -> Vec<i32> {
+    bits16(seed, 2 * len)
+        .chunks(2)
+        .map(|p| (i32::from(p[0]) << 16) | (i32::from(p[1]) as u16 as i32))
+        .collect()
+}
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    // Quarter-unit steps are exactly representable in Q8.8, so the
+    // datapath and the oracle see identical weights.
+    (((*seed >> 20) & 0xf) as f32 - 7.5) / 4.0
+}
+
+/// Engine-level sweep: the kernels as `run_layer` actually drives them,
+/// across scheme × stride × pad (stride 2 with odd widths included),
+/// pinned bit-exactly to the dense-expansion oracle under every reuse
+/// ablation.
+#[test]
+fn engine_kernels_match_oracle_across_stride_and_pad() {
+    let mut seed = 0x5eed_u32;
+    for (scheme, m) in [
+        (TransferScheme::DCNN4, 4usize),
+        (TransferScheme::Dcnn { z: 6 }, 16),
+        (TransferScheme::Scnn, 8),
+    ] {
+        for stride in [1usize, 2] {
+            for pad in [0usize, 1] {
+                // Odd input width so stride 2 emits a ragged last column.
+                let shape = LayerShape::conv("kp", 2, m, 11, 11, 3, stride, pad).unwrap();
+                let layer = TransferredLayer::random(&shape, scheme, || det(&mut seed)).unwrap();
+                let input = Tensor4::from_fn([1, 2, 11, 11], |_| Fx16::from_f32(det(&mut seed)));
+                let dense = layer.expand_to_dense().unwrap().map(Fx16::from_f32);
+                let expected = conv2d_fx(&input, &dense, &shape).unwrap();
+                for reuse in ALL_REUSE {
+                    let got = run_layer(&input, &layer, &shape, reuse).unwrap();
+                    assert_eq!(
+                        got.output, expected,
+                        "{scheme:?} stride {stride} pad {pad} {reuse:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `K = 1` specialization through a real engine pass (dense layer,
+/// pointwise convolution).
+#[test]
+fn k1_dense_layer_matches_oracle() {
+    let mut seed = 77u32;
+    let shape = LayerShape::conv("k1", 3, 2, 7, 9, 1, 1, 0).unwrap();
+    let weights = Tensor4::from_fn([2, 3, 1, 1], |_| det(&mut seed));
+    let layer = TransferredLayer::Dense {
+        weights: weights.clone(),
+    };
+    let input = Tensor4::from_fn([1, 3, 7, 9], |_| Fx16::from_f32(det(&mut seed)));
+    let expected = conv2d_fx(&input, &weights.map(Fx16::from_f32), &shape).unwrap();
+    let got = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+    assert_eq!(got.output, expected);
+}
+
+/// The K = 5 and K = 7 specializations through dense engine passes.
+#[test]
+fn wide_dense_kernels_match_oracle() {
+    for k in [5usize, 7] {
+        let mut seed = 1000 + k as u32;
+        let shape = LayerShape::conv("wide", 1, 2, 13, 13, k, 2, 2).unwrap();
+        let weights = Tensor4::from_fn([2, 1, k, k], |_| det(&mut seed));
+        let layer = TransferredLayer::Dense {
+            weights: weights.clone(),
+        };
+        let input = Tensor4::from_fn([1, 1, 13, 13], |_| Fx16::from_f32(det(&mut seed)));
+        let expected = conv2d_fx(&input, &weights.map(Fx16::from_f32), &shape).unwrap();
+        let got = run_layer(&input, &layer, &shape, ReuseConfig::FULL).unwrap();
+        assert_eq!(got.output, expected, "K = {k}");
+    }
+}
