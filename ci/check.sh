@@ -11,8 +11,12 @@ cargo build --release --offline --examples
 cargo test -q --offline
 # The serving stack's integration tests exercise threads, sockets, and
 # shutdown paths — run them explicitly so a filtered test invocation can
-# never silently skip them.
+# never silently skip them. fleet_smoke adds the multi-model tier on
+# top: routed dispatch bit-identity, typed unknown-model rejection,
+# zero-drop hot-swap, and exact merged-telemetry accounting.
 cargo test -q --offline --test serve_smoke
+cargo test -q --offline --test fleet_smoke
+cargo test -q --offline -p tfe-fleet
 # The telemetry crate's seqlock ring and exact-decomposition invariants
 # are load-bearing for every observability surface — build and test the
 # crate explicitly (its concurrent-writer tests included).
@@ -29,15 +33,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # BENCH=1 additionally runs the timing acceptance benches — the
 # compile/run-split steady-state speedup (pinned >= 2x on the
 # compile-bound cell), the monomorphized row kernels (pinned >= 1.25x
-# over the frozen scalar reference, bit-identity asserted first), and
-# the telemetry-sink overhead pin. engine_speedup and ppsr_row write
-# their min-of-reps cells into BENCH_6.json at the repo root (the
-# persistent perf trajectory; see README "Perf trajectory"), printed
-# below so the numbers land in the check output.
+# over the frozen scalar reference, bit-identity asserted first), the
+# telemetry-sink overhead pin, and the fleet router-dispatch overhead
+# (pinned < 5 % vs single-model serving). engine_speedup, ppsr_row, and
+# fleet_router write their min-of-reps cells into BENCH_7.json at the
+# repo root (the persistent perf trajectory; see README "Perf
+# trajectory"), printed below so the numbers land in the check output.
 if [ "${BENCH:-0}" = "1" ]; then
     cargo bench --offline -p tfe-bench --bench engine_speedup
     cargo bench --offline -p tfe-bench --bench ppsr_row
     cargo bench --offline -p tfe-bench --bench telemetry_overhead
-    echo "--- BENCH_6.json (perf trajectory) ---"
-    cat BENCH_6.json
+    cargo bench --offline -p tfe-bench --bench fleet_router
+    echo "--- BENCH_7.json (perf trajectory) ---"
+    cat BENCH_7.json
 fi

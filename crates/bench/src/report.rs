@@ -1,7 +1,8 @@
 //! The persistent perf trajectory: machine-readable bench results in
 //! `BENCH_<pr>.json` at the repository root.
 //!
-//! Every acceptance bench (`engine_speedup`, `ppsr_row`) records its
+//! Every acceptance bench (`engine_speedup`, `ppsr_row`,
+//! `fleet_router`) records its
 //! min-of-reps throughput cells here, so performance PRs leave a
 //! comparable artifact behind instead of anecdotal log lines. The file
 //! is an upsert target: each bench merges its cells by `(bench, cell)`
@@ -13,7 +14,7 @@
 //! ```json
 //! {
 //!   "schema": "tfe-bench-trajectory/v1",
-//!   "pr": 6,
+//!   "pr": 7,
 //!   "cells": [
 //!     {
 //!       "bench": "ppsr_row",
@@ -39,7 +40,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// The PR index this trajectory file belongs to (names the file).
-pub const TRAJECTORY_PR: u64 = 6;
+pub const TRAJECTORY_PR: u64 = 7;
 
 /// The schema tag written into (and expected from) the report file.
 pub const SCHEMA: &str = "tfe-bench-trajectory/v1";

@@ -1,0 +1,119 @@
+//! Deterministic miniature fleet models for demos, the load generator,
+//! and the smoke tests.
+//!
+//! Value-level simulation of the zoo's full ImageNet-scale networks is
+//! infeasible, so fleet demos shrink each [`tfe_nets`] network to a
+//! two-stage miniature that keeps its signature filter extent: stage 1
+//! convolves with the network's leading conv kernel size (clamped odd
+//! into `[1, 5]`), stage 2 is the standard 3×3 + 2×2-pool tail every
+//! serving demo uses. Every miniature accepts the same
+//! `[1, 3, 12, 12]` input geometry
+//! ([`tfe_serve::demo::DEMO_INPUT_DIMS`]), so one
+//! [`demo_images`](tfe_serve::demo::demo_images) pool drives mixed-model
+//! traffic, while weights differ per model id — outputs distinguish the
+//! models bit-exactly.
+
+use crate::spec::{FleetSpec, ModelSpec};
+use tfe_nets::Network;
+use tfe_sim::network::FunctionalNetwork;
+use tfe_tensor::shape::LayerShape;
+use tfe_transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+fn id_hash(id: &str) -> u32 {
+    id.bytes()
+        .fold(5381u32, |h, b| h.wrapping_mul(33).wrapping_add(b.into()))
+}
+
+/// Shrinks a zoo network to a servable two-stage miniature: a 3→8
+/// convolution with the network's leading filter extent, then the
+/// standard 3×3 8→8 stage with 2×2 pooling. Deterministic in `seed`.
+#[must_use]
+pub fn miniature(net: &Network, seed: u32) -> FunctionalNetwork {
+    let k = net.conv_layers().next().map_or(3, |l| l.shape().k()).min(5) | 1; // clamp odd into [1, 5] so 12×12 stays 12×12 under pad k/2
+    let shapes = vec![
+        (
+            LayerShape::conv("mini1", 3, 8, 12, 12, k, 1, k / 2).expect("static miniature shape"),
+            false,
+        ),
+        (
+            LayerShape::conv("mini2", 8, 8, 12, 12, 3, 1, 1).expect("static miniature shape"),
+            true,
+        ),
+    ];
+    let mut state = seed;
+    FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut state))
+        .expect("static miniature network is well-formed")
+}
+
+/// Builds one demo model network by id: `"demo"` is the classic
+/// [`tfe_serve::demo::demo_network`]; any [`tfe_nets::zoo`] name
+/// resolves to its [`miniature`] with weights seeded from the id (so
+/// different models produce different outputs). `None` for an id the
+/// zoo does not know.
+#[must_use]
+pub fn demo_model(id: &str, seed: u32) -> Option<FunctionalNetwork> {
+    if id == "demo" {
+        return Some(tfe_serve::demo::demo_network(seed));
+    }
+    let net = tfe_nets::zoo::by_name(id)?;
+    Some(miniature(&net, seed ^ id_hash(id)))
+}
+
+/// Builds a single-replica [`FleetSpec`] over demo models, in the given
+/// id order (the first id becomes the default model). `None` when any
+/// id is neither `"demo"` nor a zoo name.
+#[must_use]
+pub fn demo_fleet(ids: &[&str], seed: u32) -> Option<FleetSpec> {
+    let models = ids
+        .iter()
+        .map(|id| Some(ModelSpec::new(*id, demo_model(id, seed)?)))
+        .collect::<Option<Vec<_>>>()?;
+    Some(FleetSpec::new(models))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_serve::demo::{demo_images, DEMO_INPUT_DIMS};
+    use tfe_transfer::analysis::ReuseConfig;
+
+    #[test]
+    fn miniatures_accept_demo_inputs_and_differ_by_model() {
+        let image = demo_images(1, 3).remove(0);
+        assert_eq!(image.dims(), DEMO_INPUT_DIMS);
+        let a = demo_model("alexnet", 7).unwrap();
+        let b = demo_model("resnet56", 7).unwrap();
+        let out_a = a.run(&image, ReuseConfig::FULL).unwrap();
+        let out_b = b.run(&image, ReuseConfig::FULL).unwrap();
+        // Different seeds per id → different weights → different outputs.
+        assert_ne!(out_a.activations, out_b.activations);
+        // And deterministic per id.
+        let a2 = demo_model("alexnet", 7).unwrap();
+        assert_eq!(
+            a2.run(&image, ReuseConfig::FULL).unwrap().activations,
+            out_a.activations
+        );
+    }
+
+    #[test]
+    fn leading_filter_extent_is_clamped_odd() {
+        // AlexNet leads with k=11 → clamped to 5; GoogLeNet k=7 → 5;
+        // ResNet k=3 stays 3. All must compile and run.
+        for id in ["alexnet", "googlenet", "resnet56", "squeezenet"] {
+            let net = demo_model(id, 1).unwrap();
+            let k = net.stages()[0].shape.k();
+            assert!(k % 2 == 1 && (1..=5).contains(&k), "{id}: k={k}");
+        }
+    }
+
+    #[test]
+    fn demo_fleet_rejects_unknown_ids() {
+        assert!(demo_fleet(&["demo", "alexnet"], 1).is_some());
+        assert!(demo_fleet(&["efficientnet"], 1).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! The fleet router: model-id dispatch across shards, fleet-wide
+//! snapshots, and the [`Frontend`] hookup that serves the whole fleet
+//! through one `tfe-serve` TCP endpoint.
+
+use crate::shard::Shard;
+use crate::snapshot::FleetSnapshot;
+use crate::spec::FleetSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tfe_serve::protocol::WireResponse;
+use tfe_serve::{Frontend, Rejected, ServeResult, Ticket};
+use tfe_sim::network::FunctionalNetwork;
+use tfe_sim::SimError;
+use tfe_telemetry::LatencyHistogram;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::tensor::Tensor4;
+
+struct FleetInner {
+    /// Shards in spec order; index 0 is the default model.
+    shards: Vec<Shard>,
+    /// Model id → shard index.
+    index: HashMap<String, usize>,
+    /// Requests rejected for naming a model no shard serves.
+    unknown: AtomicU64,
+}
+
+fn fleet_snapshot(inner: &FleetInner) -> FleetSnapshot {
+    let mut models = Vec::with_capacity(inner.shards.len());
+    let mut latency = LatencyHistogram::new();
+    let mut counters = tfe_sim::counters::Counters::new();
+    let (mut dispatched, mut shed, mut completed) = (0u64, 0u64, 0u64);
+    let (mut expired, mut failed) = (0u64, 0u64);
+    let (mut batches, mut batched_requests) = (0u64, 0u64);
+    let (mut queue_depth, mut swaps) = (0u64, 0u64);
+    for shard in &inner.shards {
+        let view = shard.view();
+        latency.merge(&view.latency);
+        counters.merge(&view.stats.telemetry.total);
+        dispatched += view.stats.dispatched;
+        shed += view.stats.shed;
+        completed += view.stats.completed;
+        expired += view.stats.expired;
+        failed += view.stats.failed;
+        batches += view.stats.batches;
+        batched_requests += view.stats.batched_requests;
+        queue_depth += view.queue_depth;
+        swaps += view.stats.swaps;
+        models.push(view.stats);
+    }
+    FleetSnapshot {
+        models,
+        unknown_models: inner.unknown.load(Ordering::Relaxed),
+        dispatched,
+        shed,
+        completed,
+        expired,
+        failed,
+        batches,
+        batched_requests,
+        queue_depth,
+        swaps,
+        p50_us: latency.quantile_us(0.50),
+        p95_us: latency.quantile_us(0.95),
+        p99_us: latency.quantile_us(0.99),
+        max_us: latency.max_us(),
+        counters,
+    }
+}
+
+/// A running fleet: one [`Shard`] per model of its [`FleetSpec`].
+///
+/// The `Fleet` value owns lifecycle operations (hot-swap, shutdown);
+/// [`FleetClient`] handles cloned from it dispatch requests and read
+/// snapshots, and keep working — resolving to
+/// [`Rejected::ShuttingDown`] — after shutdown.
+pub struct Fleet {
+    inner: Arc<FleetInner>,
+}
+
+impl Fleet {
+    /// Validates the spec, compiles one engine per model, and starts
+    /// every shard's replica pool.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation or compilation failures ([`SimError`]).
+    pub fn start(spec: FleetSpec) -> Result<Fleet, SimError> {
+        spec.validate()?;
+        let mut shards = Vec::with_capacity(spec.models.len());
+        let mut index = HashMap::with_capacity(spec.models.len());
+        for model in spec.models {
+            index.insert(model.id.clone(), shards.len());
+            shards.push(Shard::start(
+                model.id,
+                &model.network,
+                model.serve,
+                model.replicas,
+            )?);
+        }
+        Ok(Fleet {
+            inner: Arc::new(FleetInner {
+                shards,
+                index,
+                unknown: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A cloneable dispatch handle (also the [`Frontend`] served over
+    /// TCP).
+    #[must_use]
+    pub fn client(&self) -> FleetClient {
+        FleetClient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The served model ids, in registry order (the first is the
+    /// default model).
+    #[must_use]
+    pub fn models(&self) -> Vec<String> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.id().to_owned())
+            .collect()
+    }
+
+    /// Hot-swaps `model`'s engine for one compiled from `network` with
+    /// zero downtime — see [`Shard::hot_swap`] for the drain contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `model` is not served;
+    /// compilation failures leave the old engine live.
+    pub fn hot_swap(&self, model: &str, network: &FunctionalNetwork) -> Result<(), SimError> {
+        let &shard = self.inner.index.get(model).ok_or(SimError::InvalidConfig {
+            what: "hot_swap target model is not served by this fleet",
+        })?;
+        self.inner.shards[shard].hot_swap(network)
+    }
+
+    /// The fleet-wide point-in-time view.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetSnapshot {
+        fleet_snapshot(&self.inner)
+    }
+
+    /// Graceful shutdown: drains every shard's live generation (all
+    /// in-flight requests complete) and returns the final fleet view.
+    #[must_use]
+    pub fn shutdown(self) -> FleetSnapshot {
+        for shard in &self.inner.shards {
+            shard.retire_live();
+        }
+        fleet_snapshot(&self.inner)
+    }
+}
+
+/// Cloneable handle dispatching requests into a [`Fleet`].
+#[derive(Clone)]
+pub struct FleetClient {
+    inner: Arc<FleetInner>,
+}
+
+impl FleetClient {
+    fn route(&self, model: Option<&str>) -> Result<&Shard, Rejected> {
+        match model {
+            None => Ok(&self.inner.shards[0]),
+            Some(id) => match self.inner.index.get(id) {
+                Some(&i) => Ok(&self.inner.shards[i]),
+                None => {
+                    self.inner.unknown.fetch_add(1, Ordering::Relaxed);
+                    Err(Rejected::UnknownModel {
+                        model: id.to_owned(),
+                    })
+                }
+            },
+        }
+    }
+
+    /// Routes one request by model id (`None` = default model) and
+    /// returns its [`Ticket`] without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::UnknownModel`] for an unserved id, otherwise the
+    /// shard's admission errors ([`Rejected::QueueFull`], …).
+    pub fn submit(
+        &self,
+        model: Option<&str>,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, Rejected> {
+        self.route(model)?.submit(input, deadline)
+    }
+
+    /// Blocking routed round-trip: submit and wait for the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](FleetClient::submit), plus any in-flight
+    /// rejection.
+    pub fn infer(&self, model: Option<&str>, input: Tensor4<Fx16>) -> ServeResult {
+        self.submit(model, input, None)?.wait()
+    }
+
+    /// The fleet-wide point-in-time view.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetSnapshot {
+        fleet_snapshot(&self.inner)
+    }
+}
+
+impl Frontend for FleetClient {
+    fn infer_routed(
+        &self,
+        model_id: Option<&str>,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> ServeResult {
+        self.submit(model_id, input, deadline)?.wait()
+    }
+
+    fn stats_response(&self) -> WireResponse {
+        let snapshot = self.snapshot();
+        WireResponse::Stats {
+            metrics: snapshot.to_metrics(),
+            telemetry: snapshot.to_telemetry(),
+            models: Some(snapshot.models.clone()),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! One model's shard: a compiled engine generation shared by a replica
+//! pool, plus the accounting to retire generations without losing their
+//! history.
+//!
+//! A shard's life is a sequence of **generations**. Each generation
+//! compiles the model's network once into an [`Engine`], enables one
+//! telemetry sink on it, and starts `replicas` independent
+//! [`Service`]s over the shared `Arc<Engine>` — each replica has its own
+//! bounded admission queue, micro-batcher, and scratch pool, but all of
+//! them feed the one per-layer registry.
+//!
+//! **Hot-swap** compiles the replacement generation entirely off-path,
+//! swaps it in under a write lock (dispatch holds the read lock only
+//! long enough to clone an `Arc`), then drains the old generation:
+//! admission closes, every in-flight request completes against the old
+//! engine, and the old generation's metrics, request-latency histogram,
+//! and per-layer telemetry are folded into the shard's **retired**
+//! accumulator. A submit that raced the swap into the old generation's
+//! closing queue either completes normally (it was already admitted) or
+//! observes `ShuttingDown` and retries against the new live generation —
+//! no admitted request is ever dropped by a swap.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+use tfe_serve::{Client, ModelStats, Rejected, ServeConfig, Service, Ticket};
+use tfe_sim::engine::Engine;
+use tfe_sim::network::FunctionalNetwork;
+use tfe_sim::SimError;
+use tfe_telemetry::{LatencyHistogram, TelemetryRegistry};
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::tensor::Tensor4;
+
+/// One compiled engine plus the replica pool serving it.
+struct Generation {
+    engine: Arc<Engine>,
+    clients: Vec<Client>,
+    services: Mutex<Vec<Service>>,
+    /// Set exactly once when the generation is retired; a drained
+    /// generation's accounting lives in the shard's retired accumulator
+    /// and must not be read from the generation again.
+    drained: AtomicBool,
+}
+
+impl Generation {
+    fn start(
+        network: &FunctionalNetwork,
+        serve: &ServeConfig,
+        replicas: usize,
+    ) -> Result<Generation, SimError> {
+        // Compile once per generation; enable telemetry before the Arc
+        // so every replica records into the same sink.
+        let mut engine = Engine::compile(network, serve.reuse)?;
+        engine.enable_telemetry(serve.telemetry_ring);
+        let engine = Arc::new(engine);
+        let mut services = Vec::with_capacity(replicas);
+        let mut clients = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let service = Service::start_with_engine(Arc::clone(&engine), serve.clone())?;
+            clients.push(service.client());
+            services.push(service);
+        }
+        Ok(Generation {
+            engine,
+            clients,
+            services: Mutex::new(services),
+            drained: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Accounting carried across generations: everything hot-swapped-out
+/// engines contributed, folded in at retire time.
+#[derive(Default)]
+struct Retired {
+    telemetry: TelemetryRegistry,
+    latency: LatencyHistogram,
+    completed: u64,
+    expired: u64,
+    failed: u64,
+    batches: u64,
+    batched_requests: u64,
+}
+
+/// A shard's merged point-in-time view: the wire-facing [`ModelStats`]
+/// row plus the raw latency histogram (mergeable into a fleet-wide
+/// quantile view, unlike the row's precomputed quantiles).
+pub(crate) struct ShardView {
+    pub(crate) stats: ModelStats,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) queue_depth: u64,
+}
+
+/// One model's serving shard: the live generation, the retired
+/// accumulator, and the router-facing dispatch counters.
+pub struct Shard {
+    id: String,
+    serve: ServeConfig,
+    replicas: usize,
+    live: RwLock<Arc<Generation>>,
+    /// Outer lock for retire/stats (always taken before a generation's
+    /// services lock, never after — see [`Shard::retire`]).
+    retired: Mutex<Retired>,
+    dispatched: AtomicU64,
+    shed: AtomicU64,
+    swaps: AtomicU64,
+    next_replica: AtomicUsize,
+}
+
+impl Shard {
+    /// Compiles the model's first generation and starts its replicas.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or service-start failures ([`SimError`]).
+    pub fn start(
+        id: impl Into<String>,
+        network: &FunctionalNetwork,
+        serve: ServeConfig,
+        replicas: usize,
+    ) -> Result<Shard, SimError> {
+        let generation = Generation::start(network, &serve, replicas)?;
+        Ok(Shard {
+            id: id.into(),
+            serve,
+            replicas,
+            live: RwLock::new(Arc::new(generation)),
+            retired: Mutex::new(Retired::default()),
+            dispatched: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            next_replica: AtomicUsize::new(0),
+        })
+    }
+
+    /// The model id this shard serves.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn live(&self) -> Arc<Generation> {
+        Arc::clone(&self.live.read().expect("live lock poisoned"))
+    }
+
+    /// Dispatches one request to the next replica (round-robin),
+    /// returning its [`Ticket`] without waiting.
+    ///
+    /// If an engine hot-swap closes the chosen replica between the live
+    /// read and the submit, the request transparently retries against
+    /// the new live generation — the swap boundary drops nothing.
+    ///
+    /// # Errors
+    ///
+    /// The replica's admission errors: [`Rejected::QueueFull`] (counted
+    /// as shed on this shard), [`Rejected::ShuttingDown`] once the shard
+    /// itself is retired, or [`Rejected::Failed`] for bad geometry.
+    pub fn submit(
+        &self,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, Rejected> {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let generation = self.live();
+            let replica = self.next_replica.fetch_add(1, Ordering::Relaxed);
+            let client = &generation.clients[replica % generation.clients.len()];
+            let submitted = match deadline {
+                Some(d) => client.submit_with_deadline(input.clone(), Some(d)),
+                None => client.submit(input.clone()),
+            };
+            match submitted {
+                Ok(ticket) => return Ok(ticket),
+                Err(e @ Rejected::QueueFull { .. }) => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Err(Rejected::ShuttingDown) => {
+                    let live_now = self.live.read().expect("live lock poisoned");
+                    if Arc::ptr_eq(&generation, &live_now) {
+                        // The shard itself is retiring, not swapping.
+                        return Err(Rejected::ShuttingDown);
+                    }
+                    // A hot-swap landed mid-dispatch; retry on the new
+                    // live generation.
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Zero-downtime engine replacement: compiles `network` into a fresh
+    /// generation entirely off the dispatch path, atomically swaps it
+    /// live, then drains the old generation (every in-flight request
+    /// completes against the old engine) and folds its accounting into
+    /// the retired accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or service-start failures leave the old generation
+    /// live and untouched.
+    pub fn hot_swap(&self, network: &FunctionalNetwork) -> Result<(), SimError> {
+        let fresh = Arc::new(Generation::start(network, &self.serve, self.replicas)?);
+        let old = {
+            let mut live = self.live.write().expect("live lock poisoned");
+            std::mem::replace(&mut *live, fresh)
+        };
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.retire(&old);
+        Ok(())
+    }
+
+    /// Drains and retires the current live generation (shard shutdown).
+    /// Dispatches after this resolve to [`Rejected::ShuttingDown`].
+    pub fn retire_live(&self) {
+        let live = self.live();
+        self.retire(&live);
+    }
+
+    /// Folds a generation's final accounting into the retired
+    /// accumulator. Holds the `retired` lock across the whole drain so a
+    /// concurrent [`stats`](Shard::stats) can never observe the
+    /// generation both live and retired (which would double-count).
+    fn retire(&self, generation: &Generation) {
+        let mut retired = self.retired.lock().expect("retired lock poisoned");
+        if generation.drained.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut services = generation.services.lock().expect("services lock poisoned");
+        for mut service in services.drain(..) {
+            // Drain first so completions that land during the drain are
+            // present in both the histogram and the final snapshot.
+            service.drain();
+            retired.latency.merge(&service.client().latency_histogram());
+            let snap = service.shutdown();
+            retired.completed += snap.completed;
+            retired.expired += snap.expired;
+            retired.failed += snap.failed;
+            retired.batches += snap.batches;
+            retired.batched_requests += snap.batched_requests;
+        }
+        retired.telemetry.merge(&generation.engine.telemetry());
+    }
+
+    /// The shard's merged point-in-time view: retired accumulator plus
+    /// the live generation (when it has not been retired).
+    pub(crate) fn view(&self) -> ShardView {
+        let retired = self.retired.lock().expect("retired lock poisoned");
+        let mut latency = retired.latency.clone();
+        let mut telemetry = retired.telemetry.clone();
+        let mut completed = retired.completed;
+        let mut expired = retired.expired;
+        let mut failed = retired.failed;
+        let mut batches = retired.batches;
+        let mut batched_requests = retired.batched_requests;
+        let mut queue_depth = 0u64;
+        let mut replicas = 0u64;
+        let generation = self.live();
+        // The retired lock is still held, so the drained flag cannot
+        // flip mid-read: either the generation's numbers come from the
+        // accumulator above or from the live fold below, never both.
+        if !generation.drained.load(Ordering::SeqCst) {
+            let services = generation.services.lock().expect("services lock poisoned");
+            replicas = services.len() as u64;
+            for service in services.iter() {
+                let snap = service.snapshot();
+                completed += snap.completed;
+                expired += snap.expired;
+                failed += snap.failed;
+                batches += snap.batches;
+                batched_requests += snap.batched_requests;
+                queue_depth += snap.queue_depth;
+                latency.merge(&service.client().latency_histogram());
+            }
+            telemetry.merge(&generation.engine.telemetry());
+        }
+        drop(retired);
+        let stats = ModelStats {
+            model: self.id.clone(),
+            replicas,
+            swaps: self.swaps.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed,
+            expired,
+            failed,
+            batches,
+            batched_requests,
+            p50_us: latency.quantile_us(0.50),
+            p95_us: latency.quantile_us(0.95),
+            p99_us: latency.quantile_us(0.99),
+            max_us: latency.max_us(),
+            telemetry: telemetry.snapshot(),
+        };
+        ShardView {
+            stats,
+            latency,
+            queue_depth,
+        }
+    }
+
+    /// The wire-facing per-model stats row.
+    #[must_use]
+    pub fn stats(&self) -> ModelStats {
+        self.view().stats
+    }
+}

@@ -1,0 +1,142 @@
+//! The fleet-wide serializable view and its projections onto the wire
+//! protocol's single-model stats shapes.
+
+use serde::{Deserialize, Serialize};
+use tfe_serve::{MetricsSnapshot, ModelStats};
+use tfe_sim::counters::Counters;
+use tfe_telemetry::TelemetrySnapshot;
+
+/// Point-in-time view of a whole fleet: one [`ModelStats`] row per
+/// served model plus fleet-wide routing totals and merged latency
+/// quantiles (exact — computed from merged histograms, not from
+/// per-model quantiles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Per-model rows, in registry (spec) order.
+    pub models: Vec<ModelStats>,
+    /// Requests rejected because they named a model no shard serves.
+    pub unknown_models: u64,
+    /// Requests the router dispatched to some shard.
+    pub dispatched: u64,
+    /// Requests shed by shard admission queues (queue-full).
+    pub shed: u64,
+    /// Requests completed successfully, fleet-wide.
+    pub completed: u64,
+    /// Requests dropped after their deadline expired.
+    pub expired: u64,
+    /// Requests failed by a simulator error.
+    pub failed: u64,
+    /// Micro-batches executed fleet-wide.
+    pub batches: u64,
+    /// Requests that rode those batches.
+    pub batched_requests: u64,
+    /// Summed live queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Completed engine hot-swaps, fleet-wide.
+    pub swaps: u64,
+    /// Median request latency upper bound, microseconds (merged across
+    /// every replica of every shard).
+    pub p50_us: u64,
+    /// 95th-percentile request latency upper bound, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Exact maximum request latency, microseconds.
+    pub max_us: u64,
+    /// Summed simulator counters across every model's telemetry.
+    pub counters: Counters,
+}
+
+impl FleetSnapshot {
+    /// Projects the fleet view onto the wire protocol's request-level
+    /// [`MetricsSnapshot`] (the `metrics` field of a stats response):
+    /// unknown-model rejections count as submitted-and-rejected, exactly
+    /// like queue sheds.
+    #[must_use]
+    pub fn to_metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.dispatched + self.unknown_models,
+            completed: self.completed,
+            rejected: self.shed + self.unknown_models,
+            expired: self.expired,
+            failed: self.failed,
+            batches: self.batches,
+            batched_requests: self.batched_requests,
+            queue_depth: self.queue_depth,
+            p50_us: self.p50_us,
+            p95_us: self.p95_us,
+            p99_us: self.p99_us,
+            max_us: self.max_us,
+            counters: self.counters,
+        }
+    }
+
+    /// Projects the fleet view onto the wire protocol's top-level
+    /// [`TelemetrySnapshot`]. Per-layer rows from different networks do
+    /// not merge meaningfully (stage indices collide across models), so
+    /// the fleet-wide view carries totals only — the real per-layer
+    /// breakdowns ride the per-model rows in
+    /// [`models`](FleetSnapshot::models).
+    #[must_use]
+    pub fn to_telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            layers: Vec::new(),
+            recorded: self.models.iter().map(|m| m.telemetry.recorded).sum(),
+            dropped: self.models.iter().map(|m| m.telemetry.dropped).sum(),
+            total: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> FleetSnapshot {
+        FleetSnapshot {
+            models: Vec::new(),
+            unknown_models: 2,
+            dispatched: 50,
+            shed: 3,
+            completed: 47,
+            expired: 0,
+            failed: 0,
+            batches: 12,
+            batched_requests: 47,
+            queue_depth: 1,
+            swaps: 4,
+            p50_us: 100,
+            p95_us: 300,
+            p99_us: 700,
+            max_us: 900,
+            counters: Counters {
+                multiplies: 11,
+                ..Counters::new()
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: FleetSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn metrics_projection_counts_unknown_models_as_rejections() {
+        let m = snapshot().to_metrics();
+        assert_eq!(m.submitted, 52);
+        assert_eq!(m.rejected, 5);
+        assert_eq!(m.completed, 47);
+        assert_eq!(m.counters.multiplies, 11);
+    }
+
+    #[test]
+    fn telemetry_projection_is_totals_only() {
+        let t = snapshot().to_telemetry();
+        assert!(t.layers.is_empty());
+        assert_eq!(t.total.multiplies, 11);
+    }
+}

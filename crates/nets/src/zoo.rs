@@ -544,6 +544,27 @@ pub fn all() -> Vec<Network> {
     nets
 }
 
+/// The canonical id of every network [`by_name`] resolves (primary
+/// names, not aliases) — what a fleet registry or CLI enumerates when
+/// listing servable models.
+#[must_use]
+pub fn names() -> &'static [&'static str] {
+    &[
+        "alexnet",
+        "vgg16",
+        "vgg19",
+        "googlenet",
+        "resnet20",
+        "resnet32",
+        "resnet56",
+        "resnet110",
+        "densenet121",
+        "squeezenet",
+        "resanet",
+        "mobilenet",
+    ]
+}
+
 /// Looks a network up by its paper name (case-insensitive; accepts a few
 /// aliases such as `"vgg16"` and `"resnet56"`).
 #[must_use]
@@ -763,6 +784,19 @@ mod tests {
         );
         // Not part of the paper's sweeps.
         assert!(all().iter().all(|n| n.name() != "MobileNet"));
+    }
+
+    #[test]
+    fn every_canonical_name_resolves() {
+        for name in names() {
+            let net = by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(net.total_macs() > 0, "{name}");
+        }
+        // The canonical list is ids, so it must be duplicate-free.
+        let mut seen = names().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), names().len());
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   call would produce; batching is invisible to the caller.
 //! * **Two front-ends** — an in-process [`Client`] handle and a
 //!   std-only [`TcpServer`] speaking a length-prefixed JSON protocol
-//!   ([`protocol`]) over the vendored serde facades.
+//!   ([`protocol`]) over the vendored serde facades. The TCP server is
+//!   generic over a [`Frontend`], so the `tfe-fleet` router serves the
+//!   same wire protocol (v2: optional `model` routing field, per-model
+//!   stats) through the same transport.
 //! * **Metrics** — fixed-bucket latency histograms (p50/p95/p99),
 //!   throughput/rejection counters, a queue-depth gauge, and merged
 //!   simulator [`Counters`](tfe_sim::counters::Counters), exposed via a
@@ -60,6 +63,7 @@ pub mod tcp;
 
 pub use config::ServeConfig;
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use protocol::{ModelStats, PROTOCOL_VERSION};
 pub use service::{Client, InferenceReply, Rejected, ServeResult, Service, Ticket};
-pub use tcp::TcpServer;
+pub use tcp::{Frontend, TcpServer};
 pub use tfe_telemetry::{LayerTelemetry, TelemetrySnapshot};

@@ -105,6 +105,16 @@ impl Metrics {
         self.completed.load(Ordering::Relaxed)
     }
 
+    /// A clone of the live latency histogram. Snapshots carry only
+    /// precomputed quantiles, which cannot be combined after the fact;
+    /// the histogram itself merges exactly
+    /// ([`LatencyHistogram::merge`]), so fleet shards fold replica
+    /// histograms into per-model latency views.
+    #[must_use]
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        self.latency.lock().expect("latency lock poisoned").clone()
+    }
+
     /// Captures a consistent-enough snapshot for reporting. The caller
     /// supplies the current queue depth (the gauge lives with the queue).
     #[must_use]

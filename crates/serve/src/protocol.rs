@@ -6,12 +6,24 @@
 //! bit-identical to the in-process result — JSON float formatting never
 //! touches the data path.
 //!
-//! Requests: `infer` (dims + bits + optional relative `deadline_ms`) and
-//! `stats`. Responses: `ok` (dims + bits + per-request counters +
-//! latency), `rejected` (a stable reason string from
-//! [`Rejected::reason`](crate::service::Rejected::reason)), `stats`
-//! (a [`MetricsSnapshot`] plus a per-layer [`TelemetrySnapshot`]), and
+//! Requests: `infer` (dims + bits + optional relative `deadline_ms` +
+//! optional `model` id) and `stats`. Responses: `ok` (dims + bits +
+//! per-request counters + latency), `rejected` (a stable reason string
+//! from [`Rejected::reason`](crate::service::Rejected::reason)), `stats`
+//! (a [`MetricsSnapshot`] plus a per-layer [`TelemetrySnapshot`], and —
+//! from a fleet endpoint — a per-model [`ModelStats`] list), and
 //! `error` (malformed request).
+//!
+//! **Version 2** ([`PROTOCOL_VERSION`]) added multi-model serving:
+//! `infer` frames may carry a `model` field naming which model of a
+//! fleet endpoint should run the request, and `stats` responses may
+//! carry a `models` array with per-model routing/latency/telemetry
+//! breakdowns. Both fields are strictly optional and omitted when
+//! absent, so version-1 single-model clients and servers interoperate
+//! unchanged: a request without `model` runs the endpoint's default
+//! model, and a version-1 parser never sees a field it does not know.
+//! A fleet endpoint answers a `model` id it does not serve with the
+//! typed `unknown_model` rejection reason.
 //!
 //! Everything rides the vendored `serde`/`serde_json` facades — the
 //! protocol adds no network or serialization dependencies.
@@ -24,6 +36,12 @@ use tfe_sim::counters::Counters;
 use tfe_telemetry::TelemetrySnapshot;
 use tfe_tensor::fixed::Fx16;
 use tfe_tensor::tensor::Tensor4;
+
+/// Wire-protocol version implemented by this build. Version 2 added the
+/// optional `model` request field and the optional `models` stats
+/// response field (multi-model fleet serving); both are
+/// backward-compatible extensions of version 1.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload (guards against hostile or
 /// corrupt length prefixes).
@@ -136,9 +154,54 @@ pub enum WireRequest {
         input: Tensor4<Fx16>,
         /// Optional deadline relative to server receipt, milliseconds.
         deadline_ms: Option<u64>,
+        /// Optional model id (protocol v2). `None` runs the endpoint's
+        /// default model — exactly what a v1 client gets; a fleet
+        /// endpoint routes `Some(id)` to that model's shard and rejects
+        /// unserved ids with the `unknown_model` reason.
+        model_id: Option<String>,
     },
     /// Fetch a metrics snapshot.
     Stats,
+}
+
+/// One model's row in a fleet `stats` response (protocol v2): routing
+/// accounting, merged request-latency quantiles across that model's
+/// replicas (live and retired generations), and the model's merged
+/// per-layer [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// The model id requests route by.
+    pub model: String,
+    /// Live replica services in the model's shard.
+    pub replicas: u64,
+    /// Completed zero-downtime engine hot-swaps on this shard.
+    pub swaps: u64,
+    /// Requests the router dispatched to this shard.
+    pub dispatched: u64,
+    /// Requests shed by this shard's admission queues (queue-full).
+    pub shed: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests dropped after their deadline expired.
+    pub expired: u64,
+    /// Requests failed by a simulator error.
+    pub failed: u64,
+    /// Micro-batches executed across the shard's replicas.
+    pub batches: u64,
+    /// Requests that rode those batches.
+    pub batched_requests: u64,
+    /// Median request latency upper bound, microseconds (merged across
+    /// replicas).
+    pub p50_us: u64,
+    /// 95th-percentile request latency upper bound, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Exact maximum request latency, microseconds.
+    pub max_us: u64,
+    /// Per-layer telemetry merged across the shard's engine generations
+    /// (live + every hot-swapped-out predecessor).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// A server → client message.
@@ -164,8 +227,13 @@ pub enum WireResponse {
         /// The request-level metrics snapshot at receipt time.
         metrics: MetricsSnapshot,
         /// The per-layer telemetry snapshot at receipt time (one entry
-        /// per compiled stage).
+        /// per compiled stage; a fleet endpoint reports fleet-wide
+        /// totals here and the per-model layer views in `models`).
         telemetry: TelemetrySnapshot,
+        /// Per-model breakdown (protocol v2). `None` from a single-model
+        /// endpoint — the field is omitted from the frame entirely, so
+        /// v1 clients parse the response unchanged.
+        models: Option<Vec<ModelStats>>,
     },
     /// The request could not be understood.
     Error {
@@ -218,7 +286,11 @@ impl WireRequest {
     #[must_use]
     pub fn to_json(&self) -> String {
         let value = match self {
-            WireRequest::Infer { input, deadline_ms } => {
+            WireRequest::Infer {
+                input,
+                deadline_ms,
+                model_id,
+            } => {
                 let (dims, bits) = tensor_to_fields(input);
                 let mut fields = vec![
                     ("kind".to_owned(), Value::Str("infer".to_owned())),
@@ -227,6 +299,9 @@ impl WireRequest {
                 ];
                 if let Some(ms) = deadline_ms {
                     fields.push(("deadline_ms".to_owned(), Value::U64(*ms)));
+                }
+                if let Some(model) = model_id {
+                    fields.push(("model".to_owned(), Value::Str(model.clone())));
                 }
                 Value::Object(fields)
             }
@@ -253,6 +328,13 @@ impl WireRequest {
                     Some(v) => Some(
                         u64::from_value(v)
                             .map_err(|e| malformed(format!("field 'deadline_ms': {e}")))?,
+                    ),
+                },
+                model_id: match value.get_field("model") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(
+                        String::from_value(v)
+                            .map_err(|e| malformed(format!("field 'model': {e}")))?,
                     ),
                 },
             }),
@@ -285,11 +367,21 @@ impl WireResponse {
                 ("kind".to_owned(), Value::Str("rejected".to_owned())),
                 ("reason".to_owned(), Value::Str(reason.clone())),
             ]),
-            WireResponse::Stats { metrics, telemetry } => Value::Object(vec![
-                ("kind".to_owned(), Value::Str("stats".to_owned())),
-                ("metrics".to_owned(), metrics.to_value()),
-                ("telemetry".to_owned(), telemetry.to_value()),
-            ]),
+            WireResponse::Stats {
+                metrics,
+                telemetry,
+                models,
+            } => {
+                let mut fields = vec![
+                    ("kind".to_owned(), Value::Str("stats".to_owned())),
+                    ("metrics".to_owned(), metrics.to_value()),
+                    ("telemetry".to_owned(), telemetry.to_value()),
+                ];
+                if let Some(models) = models {
+                    fields.push(("models".to_owned(), models.to_value()));
+                }
+                Value::Object(fields)
+            }
             WireResponse::Error { message } => Value::Object(vec![
                 ("kind".to_owned(), Value::Str("error".to_owned())),
                 ("message".to_owned(), Value::Str(message.clone())),
@@ -318,6 +410,13 @@ impl WireResponse {
             "stats" => Ok(WireResponse::Stats {
                 metrics: field(&value, "metrics")?,
                 telemetry: field(&value, "telemetry")?,
+                models: match value.get_field("models") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(
+                        Vec::<ModelStats>::from_value(v)
+                            .map_err(|e| malformed(format!("field 'models': {e}")))?,
+                    ),
+                },
             }),
             "error" => Ok(WireResponse::Error {
                 message: field(&value, "message")?,
@@ -361,9 +460,41 @@ mod tests {
         let request = WireRequest::Infer {
             input: demo_tensor(),
             deadline_ms: Some(250),
+            model_id: None,
         };
         let back = WireRequest::from_json(&request.to_json()).unwrap();
         assert_eq!(back, request);
+    }
+
+    #[test]
+    fn infer_request_round_trips_a_model_id() {
+        let request = WireRequest::Infer {
+            input: demo_tensor(),
+            deadline_ms: None,
+            model_id: Some("alexnet".to_owned()),
+        };
+        let text = request.to_json();
+        assert!(text.contains("\"model\""));
+        let back = WireRequest::from_json(&text).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn v1_infer_frame_without_model_still_parses() {
+        // A version-1 client never sends `model`; it must parse as the
+        // default-model request.
+        let text = r#"{"kind":"infer","dims":[1,1,1,2],"bits":[3,-4]}"#;
+        match WireRequest::from_json(text).unwrap() {
+            WireRequest::Infer {
+                deadline_ms,
+                model_id,
+                ..
+            } => {
+                assert_eq!(deadline_ms, None);
+                assert_eq!(model_id, None);
+            }
+            other => panic!("expected infer, got {other:?}"),
+        }
     }
 
     #[test]
@@ -417,16 +548,68 @@ mod tests {
         let response = WireResponse::Stats {
             metrics: Metrics::new().snapshot(0),
             telemetry: telemetry.clone(),
+            models: None,
         };
+        // A single-model endpoint omits the v2 field entirely.
+        assert!(!response.to_json().contains("\"models\""));
         match WireResponse::from_json(&response.to_json()).unwrap() {
             WireResponse::Stats {
-                telemetry: back, ..
+                telemetry: back,
+                models,
+                ..
             } => {
                 assert_eq!(back, telemetry);
                 assert_eq!(back.layers.len(), 2);
                 assert_eq!(back.layers[0].label, "c1");
                 assert_eq!(back.layers[0].runs, 2);
                 assert_eq!(back.total.multiplies, 48);
+                assert_eq!(models, None);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_response_round_trips_per_model_rows() {
+        use tfe_telemetry::{LayerSample, Sink, StageKind, TelemetryRegistry};
+        let sink = Sink::enabled(vec!["conv1".into()], 8);
+        sink.record(&LayerSample {
+            layer: 0,
+            stage: StageKind::Full,
+            wall_ns: 5_000,
+            counters: Counters {
+                multiplies: 9,
+                ..Counters::new()
+            },
+        });
+        let row = ModelStats {
+            model: "lenet".to_owned(),
+            replicas: 2,
+            swaps: 1,
+            dispatched: 40,
+            shed: 3,
+            completed: 37,
+            expired: 0,
+            failed: 0,
+            batches: 10,
+            batched_requests: 37,
+            p50_us: 120,
+            p95_us: 400,
+            p99_us: 900,
+            max_us: 1500,
+            telemetry: TelemetryRegistry::collect(&sink).snapshot(),
+        };
+        let response = WireResponse::Stats {
+            metrics: Metrics::new().snapshot(0),
+            telemetry: TelemetryRegistry::default().snapshot(),
+            models: Some(vec![row.clone()]),
+        };
+        match WireResponse::from_json(&response.to_json()).unwrap() {
+            WireResponse::Stats { models, .. } => {
+                let rows = models.expect("models field survives the round trip");
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0], row);
+                assert_eq!(rows[0].telemetry.layers[0].label, "conv1");
             }
             other => panic!("expected stats, got {other:?}"),
         }

@@ -55,6 +55,12 @@ pub enum Rejected {
     /// The service is shutting down (or already gone) and accepts no new
     /// work.
     ShuttingDown,
+    /// The request named a model this endpoint does not serve (raised by
+    /// the `tfe-fleet` router; a single-model service never emits it).
+    UnknownModel {
+        /// The model id the request asked for.
+        model: String,
+    },
     /// The simulator rejected the request (bad geometry, invalid
     /// configuration, …).
     Failed(SimError),
@@ -68,6 +74,7 @@ impl Rejected {
             Rejected::QueueFull { .. } => "queue_full",
             Rejected::DeadlineExceeded => "deadline_exceeded",
             Rejected::ShuttingDown => "shutting_down",
+            Rejected::UnknownModel { .. } => "unknown_model",
             Rejected::Failed(_) => "sim_error",
         }
     }
@@ -81,6 +88,7 @@ impl fmt::Display for Rejected {
             }
             Rejected::DeadlineExceeded => write!(f, "deadline expired before execution"),
             Rejected::ShuttingDown => write!(f, "service is shutting down"),
+            Rejected::UnknownModel { model } => write!(f, "unknown model '{model}'"),
             Rejected::Failed(e) => write!(f, "simulation failed: {e}"),
         }
     }
@@ -189,8 +197,10 @@ impl Drop for Pending {
 /// State shared by the client handles and the pipeline threads.
 pub(crate) struct Shared {
     /// The network compiled once at startup; every request runs against
-    /// this, never redoing weight-side work.
-    pub(crate) engine: Engine,
+    /// this, never redoing weight-side work. Behind an [`Arc`] so a
+    /// fleet shard can share one compiled engine across several replica
+    /// services without duplicating the IR tables.
+    pub(crate) engine: Arc<Engine>,
     /// Warm per-worker scratch arenas reused across micro-batches,
     /// bounded to one arena per executor.
     pub(crate) scratches: ScratchPool,
@@ -233,6 +243,40 @@ impl Service {
         // engine, so every executor's runs feed one per-layer registry.
         let mut engine = Engine::compile(&net, config.reuse)?;
         engine.enable_telemetry(config.telemetry_ring);
+        Service::start_with_engine(Arc::new(engine), config)
+    }
+
+    /// Starts a service around an already compiled, shared engine.
+    ///
+    /// This is the replica entry point for `tfe-fleet`: a shard compiles
+    /// one [`Engine`] per (model × reuse configuration) and starts
+    /// several replica services over the same [`Arc`], so the IR tables
+    /// exist once per shard no matter how many replicas drain its
+    /// traffic. The caller owns telemetry policy — attach a sink with
+    /// [`Engine::enable_telemetry`] *before* wrapping the engine in the
+    /// [`Arc`] (all replicas then feed one per-layer registry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero-sized knobs, an
+    /// engine with no stages, or a `config.reuse` that disagrees with
+    /// the engine's compiled reuse configuration (batches must run under
+    /// the configuration the IR was specialized for).
+    pub fn start_with_engine(
+        engine: Arc<Engine>,
+        config: ServeConfig,
+    ) -> Result<Service, SimError> {
+        config.validate()?;
+        if engine.stage_count() == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "cannot serve an engine with no stages",
+            });
+        }
+        if engine.reuse() != config.reuse {
+            return Err(SimError::InvalidConfig {
+                what: "config.reuse must match the engine's compiled reuse configuration",
+            });
+        }
         let shared = Arc::new(Shared {
             engine,
             scratches: ScratchPool::with_capacity(config.executors),
@@ -299,6 +343,26 @@ impl Service {
     #[must_use]
     pub fn telemetry(&self) -> TelemetrySnapshot {
         self.shared.engine.telemetry().snapshot()
+    }
+
+    /// The compiled engine this service executes against (shared with
+    /// every replica started over the same [`Arc`]).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Stops admission and drains every in-flight request without
+    /// consuming the service: the queue closes, the batcher flushes what
+    /// was already admitted, the executors finish it, and the worker
+    /// threads join. Idempotent; [`shutdown`](Service::shutdown) calls
+    /// this internally. After draining, the final metrics (including
+    /// requests that completed *during* the drain) remain readable via
+    /// [`metrics`](Service::metrics) / [`snapshot`](Service::snapshot) —
+    /// which is what a fleet shard needs to retire a replica without
+    /// losing its history.
+    pub fn drain(&mut self) {
+        self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
@@ -413,6 +477,16 @@ impl Client {
     #[must_use]
     pub fn telemetry(&self) -> TelemetrySnapshot {
         self.shared.engine.telemetry().snapshot()
+    }
+
+    /// A clone of the live request-latency histogram. Unlike the
+    /// precomputed quantiles in [`stats`](Self::stats), histograms can
+    /// be [`merged`](tfe_telemetry::LatencyHistogram::merge) — the fleet
+    /// router folds every replica's histogram into one per-model (and
+    /// one fleet-wide) latency view.
+    #[must_use]
+    pub fn latency_histogram(&self) -> tfe_telemetry::LatencyHistogram {
+        self.shared.metrics.latency_histogram()
     }
 
     fn validate_geometry(&self, input: &Tensor4<Fx16>) -> Result<(), Rejected> {

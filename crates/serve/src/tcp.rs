@@ -6,15 +6,22 @@
 //! short read timeout between frames (checking the stop flag), but once
 //! a frame's first byte arrives they finish it without a timeout — no
 //! partial frame is ever dropped.
+//!
+//! The server is generic over a [`Frontend`]: a single-model [`Client`]
+//! serves one compiled engine (protocol v1 behavior), and
+//! `tfe_fleet::FleetClient` routes by the v2 `model` field across many
+//! shards — the transport, framing, and dispatch loop are shared.
 
 use crate::protocol::{read_frame_after, write_frame, WireRequest, WireResponse};
-use crate::service::Client;
+use crate::service::{Client, ServeResult};
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::tensor::Tensor4;
 
 /// Accept-loop poll interval while no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -22,7 +29,60 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// Idle read timeout between frames on an open connection.
 const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(50);
 
-/// A TCP listener serving one [`Client`]'s service.
+/// What a [`TcpServer`] serves: anything that can run one inference
+/// (optionally routed by model id) and answer a stats request.
+///
+/// Implementations must be cheap to clone — the accept loop clones the
+/// frontend once per connection handler thread.
+pub trait Frontend: Clone + Send + 'static {
+    /// Runs one inference to completion. `model_id` of `None` targets
+    /// the endpoint's default model; `deadline` of `None` applies the
+    /// endpoint's default deadline policy.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`](crate::service::Rejected) for admission or
+    /// in-flight failures (including `UnknownModel` from a routing
+    /// endpoint).
+    fn infer_routed(
+        &self,
+        model_id: Option<&str>,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> ServeResult;
+
+    /// Builds the endpoint's full stats response.
+    fn stats_response(&self) -> WireResponse;
+}
+
+/// A single-model service is the degenerate fleet: every request runs
+/// the one compiled engine regardless of `model_id`, and stats carry no
+/// per-model breakdown.
+impl Frontend for Client {
+    fn infer_routed(
+        &self,
+        _model_id: Option<&str>,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> ServeResult {
+        let submitted = match deadline {
+            // An explicit wire deadline overrides the service default.
+            Some(d) => self.submit_with_deadline(input, Some(d)),
+            None => self.submit(input),
+        };
+        submitted.and_then(|ticket| ticket.wait())
+    }
+
+    fn stats_response(&self) -> WireResponse {
+        WireResponse::Stats {
+            metrics: self.stats(),
+            telemetry: self.telemetry(),
+            models: None,
+        }
+    }
+}
+
+/// A TCP listener serving one [`Frontend`].
 pub struct TcpServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -36,7 +96,7 @@ impl TcpServer {
     /// # Errors
     ///
     /// Propagates bind/configuration failures.
-    pub fn bind(addr: impl ToSocketAddrs, client: Client) -> io::Result<TcpServer> {
+    pub fn bind<F: Frontend>(addr: impl ToSocketAddrs, frontend: F) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -45,7 +105,7 @@ impl TcpServer {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("tfe-serve-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &client, &stop))?
+                .spawn(move || accept_loop(&listener, &frontend, &stop))?
         };
         Ok(TcpServer {
             local_addr,
@@ -80,17 +140,17 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, client: &Client, stop: &Arc<AtomicBool>) {
+fn accept_loop<F: Frontend>(listener: &TcpListener, frontend: &F, stop: &Arc<AtomicBool>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let client = client.clone();
+                let frontend = frontend.clone();
                 let stop = Arc::clone(stop);
                 let spawned = std::thread::Builder::new()
                     .name("tfe-serve-conn".to_owned())
                     .spawn(move || {
-                        let _ = handle_connection(stream, &client, &stop);
+                        let _ = handle_connection(stream, &frontend, &stop);
                     });
                 if let Ok(handle) = spawned {
                     handlers.push(handle);
@@ -106,7 +166,11 @@ fn accept_loop(listener: &TcpListener, client: &Client, stop: &Arc<AtomicBool>) 
     }
 }
 
-fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) -> io::Result<()> {
+fn handle_connection<F: Frontend>(
+    mut stream: TcpStream,
+    frontend: &F,
+    stop: &AtomicBool,
+) -> io::Result<()> {
     let _ = stream.set_nodelay(true);
     stream.set_nonblocking(false)?;
     loop {
@@ -127,26 +191,26 @@ fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) 
         // A frame has started: finish it untimed so it cannot be torn.
         stream.set_read_timeout(None)?;
         let payload = read_frame_after(first[0], &mut stream)?;
-        let response = dispatch(&payload, client);
+        let response = dispatch(&payload, frontend);
         write_frame(&mut stream, response.to_json().as_bytes())?;
     }
 }
 
-/// Executes one decoded frame against the service.
-fn dispatch(payload: &[u8], client: &Client) -> WireResponse {
+/// Executes one decoded frame against the frontend.
+fn dispatch<F: Frontend>(payload: &[u8], frontend: &F) -> WireResponse {
     let Ok(text) = std::str::from_utf8(payload) else {
         return WireResponse::Error {
             message: "payload is not UTF-8".to_owned(),
         };
     };
     match WireRequest::from_json(text) {
-        Ok(WireRequest::Infer { input, deadline_ms }) => {
-            let submitted = match deadline_ms {
-                // An explicit wire deadline overrides the service default.
-                Some(ms) => client.submit_with_deadline(input, Some(Duration::from_millis(ms))),
-                None => client.submit(input),
-            };
-            match submitted.and_then(|ticket| ticket.wait()) {
+        Ok(WireRequest::Infer {
+            input,
+            deadline_ms,
+            model_id,
+        }) => {
+            let deadline = deadline_ms.map(Duration::from_millis);
+            match frontend.infer_routed(model_id.as_deref(), input, deadline) {
                 Ok(reply) => WireResponse::Ok {
                     activations: reply.activations,
                     counters: reply.counters,
@@ -157,10 +221,7 @@ fn dispatch(payload: &[u8], client: &Client) -> WireResponse {
                 },
             }
         }
-        Ok(WireRequest::Stats) => WireResponse::Stats {
-            metrics: client.stats(),
-            telemetry: client.telemetry(),
-        },
+        Ok(WireRequest::Stats) => frontend.stats_response(),
         Err(e) => WireResponse::Error {
             message: e.to_string(),
         },

@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let request = WireRequest::Infer {
             input: image.clone(),
             deadline_ms: None,
+            model_id: None,
         };
         match roundtrip(&mut stream, &request)? {
             WireResponse::Ok { latency_us, .. } => {
@@ -48,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     match roundtrip(&mut stream, &WireRequest::Stats)? {
-        WireResponse::Stats { metrics, telemetry } => {
+        WireResponse::Stats {
+            metrics,
+            telemetry,
+            models: _,
+        } => {
             println!(
                 "served {} requests in {} batches (mean size {:.2}), p99 {} µs",
                 metrics.completed,

@@ -20,6 +20,9 @@
 //! * [`serve`] — a dynamic-batching inference service over the simulator:
 //!   bounded admission queue, micro-batcher, executor pool, metrics, and
 //!   a length-prefixed JSON TCP protocol.
+//! * [`fleet`] — the multi-model serving tier over [`serve`]: one engine
+//!   shard per model with replica pools, routed dispatch by model id,
+//!   merged fleet telemetry, and zero-downtime engine hot-swap.
 //! * [`eyeriss`] — the row-stationary baseline simulator.
 //! * [`energy`] — 65 nm area / energy model (Table III, Fig. 14, Fig. 18).
 //! * [`baselines`] — analytical models of the comparison architectures
@@ -45,6 +48,7 @@ pub use tfe_baselines as baselines;
 pub use tfe_core as core;
 pub use tfe_energy as energy;
 pub use tfe_eyeriss as eyeriss;
+pub use tfe_fleet as fleet;
 pub use tfe_nets as nets;
 pub use tfe_serve as serve;
 pub use tfe_sim as sim;

@@ -52,6 +52,7 @@ fn tcp_concurrent_requests_are_bit_identical() {
                 let request = WireRequest::Infer {
                     input: images[idx].clone(),
                     deadline_ms: None,
+                    model_id: None,
                 };
                 match roundtrip(&mut stream, &request).expect("roundtrip") {
                     WireResponse::Ok {
@@ -76,10 +77,15 @@ fn tcp_concurrent_requests_are_bit_identical() {
     // request, with per-layer counters summing to the network total.
     let mut stream = TcpStream::connect(addr).expect("connect for stats");
     match roundtrip(&mut stream, &WireRequest::Stats).expect("stats roundtrip") {
-        WireResponse::Stats { metrics, telemetry } => {
+        WireResponse::Stats {
+            metrics,
+            telemetry,
+            models,
+        } => {
             assert_eq!(metrics.completed, 12);
             assert_eq!(metrics.rejected, 0);
             assert!(metrics.batches >= 1);
+            assert_eq!(models, None, "single-model endpoints report no fleet rows");
 
             assert_eq!(
                 telemetry.layers.len(),

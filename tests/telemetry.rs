@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use tfe::sim::counters::Counters;
 use tfe::sim::engine::{Engine, Scratch};
 use tfe::sim::network::FunctionalNetwork;
-use tfe::telemetry::TelemetrySnapshot;
+use tfe::telemetry::{LayerSample, Sink, StageKind, TelemetryRegistry, TelemetrySnapshot};
 use tfe::tensor::fixed::Fx16;
 use tfe::tensor::shape::LayerShape;
 use tfe::tensor::tensor::Tensor4;
@@ -179,5 +179,132 @@ proptest! {
         prop_assert_eq!(reg.total(), total);
         prop_assert_eq!(reg.recorded(), (count * engine.stage_count()) as u64);
         prop_assert_eq!(reg.dropped(), reg.recorded().saturating_sub(2));
+    }
+}
+
+/// Builds one shard's worth of telemetry: a fresh sink with
+/// `layer_count` layers (labeled `L0`, `L1`, … — identical per index
+/// across every generated registry, the precondition for merge
+/// commutativity), a small ring so drop accounting is exercised, and
+/// `count` samples synthesized deterministically from `seed`.
+fn shard_registry(layer_count: usize, ring: usize, count: usize, seed: u32) -> TelemetryRegistry {
+    let labels = (0..layer_count).map(|i| format!("L{i}")).collect();
+    let sink = Sink::enabled(labels, ring);
+    let mut s = seed;
+    let mut next = move |bound: u64| -> u64 {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        u64::from(s >> 8) % bound
+    };
+    for _ in 0..count {
+        let multiplies = 1 + next(100);
+        sink.record(&LayerSample {
+            layer: next(layer_count as u64) as u32,
+            stage: StageKind::Full,
+            wall_ns: 1 + next(20_000),
+            counters: Counters {
+                multiplies,
+                dense_macs: multiplies * 3,
+                ..Counters::new()
+            },
+        });
+    }
+    TelemetryRegistry::collect(&sink)
+}
+
+fn merged(a: &TelemetryRegistry, b: &TelemetryRegistry) -> TelemetryRegistry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `TelemetryRegistry::merge` is commutative and associative over
+    /// registries collected from different sinks (shards), and the
+    /// empty registry is its identity — so folding any number of shard
+    /// registries into a fleet view gives one well-defined answer, in
+    /// any fold order.
+    #[test]
+    fn merge_is_commutative_associative_with_identity(
+        layers in prop::collection::vec(1usize..4, 3),
+        rings in prop::collection::vec(1usize..6, 3),
+        counts in prop::collection::vec(0usize..12, 3),
+        seed in 0u32..100_000,
+    ) {
+        let a = shard_registry(layers[0], rings[0], counts[0], seed);
+        let b = shard_registry(layers[1], rings[1], counts[1], seed ^ 0xb00b);
+        let c = shard_registry(layers[2], rings[2], counts[2], seed ^ 0xcccc);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+        let empty = TelemetryRegistry::default();
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+
+    /// Merging preserves every exact accounting dimension: per-layer
+    /// runs/wall/counters add index-by-index, recorded and dropped
+    /// sample counts sum, window populations sum, and the merged
+    /// network total is exactly the sum of the inputs' totals.
+    #[test]
+    fn merge_preserves_exact_accounting(
+        layers in prop::collection::vec(1usize..4, 2),
+        rings in prop::collection::vec(1usize..6, 2),
+        counts in prop::collection::vec(0usize..12, 2),
+        seed in 0u32..100_000,
+    ) {
+        let a = shard_registry(layers[0], rings[0], counts[0], seed);
+        let b = shard_registry(layers[1], rings[1], counts[1], seed ^ 0xfeed);
+        let m = merged(&a, &b);
+
+        prop_assert_eq!(m.recorded(), a.recorded() + b.recorded());
+        prop_assert_eq!(m.dropped(), a.dropped() + b.dropped());
+
+        let mut want_total = a.total();
+        want_total.merge(&b.total());
+        prop_assert_eq!(m.total(), want_total);
+
+        // Layer-by-layer: every index present in either input appears
+        // exactly once, with summed runs, wall time, counters, and
+        // window populations.
+        let find = |reg: &TelemetryRegistry, idx: usize| {
+            reg.layers().iter().find(|l| l.layer == idx).cloned()
+        };
+        for layer in m.layers() {
+            let la = find(&a, layer.layer);
+            let lb = find(&b, layer.layer);
+            prop_assert!(la.is_some() || lb.is_some());
+            let runs = |l: &Option<tfe::telemetry::LayerStats>| {
+                l.as_ref().map_or(0, |l| l.runs)
+            };
+            let wall = |l: &Option<tfe::telemetry::LayerStats>| {
+                l.as_ref().map_or(0, |l| l.wall_ns)
+            };
+            let mults = |l: &Option<tfe::telemetry::LayerStats>| {
+                l.as_ref().map_or(0, |l| l.counters.multiplies)
+            };
+            let window = |l: &Option<tfe::telemetry::LayerStats>| {
+                l.as_ref().map_or(0, |l| l.window.total())
+            };
+            prop_assert_eq!(layer.runs, runs(&la) + runs(&lb));
+            prop_assert_eq!(layer.wall_ns, wall(&la) + wall(&lb));
+            prop_assert_eq!(layer.counters.multiplies, mults(&la) + mults(&lb));
+            prop_assert_eq!(layer.window.total(), window(&la) + window(&lb));
+        }
+        let indices: Vec<usize> = m.layers().iter().map(|l| l.layer).collect();
+        let mut dedup = indices.clone();
+        dedup.dedup();
+        prop_assert_eq!(indices, dedup);
+
+        // And the exact-decomposition invariant survives the merge:
+        // per-layer counters still sum to the merged total.
+        let mut layer_sum = Counters::new();
+        for layer in m.layers() {
+            layer_sum.merge(&layer.counters);
+        }
+        prop_assert_eq!(layer_sum, m.total());
     }
 }
