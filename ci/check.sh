@@ -32,18 +32,21 @@ cargo bench --offline --no-run
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # BENCH=1 additionally runs the timing acceptance benches — the
 # compile/run-split steady-state speedup (pinned >= 2x on the
-# compile-bound cell), the monomorphized row kernels (pinned >= 1.25x
-# over the frozen scalar reference, bit-identity asserted first), the
-# telemetry-sink overhead pin, and the fleet router-dispatch overhead
-# (pinned < 5 % vs single-model serving). engine_speedup, ppsr_row, and
-# fleet_router write their min-of-reps cells into BENCH_7.json at the
+# compile-bound cell), the filter-stationary batched sweep (pinned
+# >= 1.3x images/sec at batch 8 on the dense cells, >= 0.97x at batch 1,
+# bit-identity asserted first), the monomorphized row kernels (pinned
+# >= 1.25x over the frozen scalar reference), the telemetry-sink
+# overhead pin, and the fleet router-dispatch overhead (pinned < 3 % vs
+# single-model serving). engine_speedup, engine_batch, ppsr_row, and
+# fleet_router write their min-of-reps cells into BENCH_8.json at the
 # repo root (the persistent perf trajectory; see README "Perf
 # trajectory"), printed below so the numbers land in the check output.
 if [ "${BENCH:-0}" = "1" ]; then
     cargo bench --offline -p tfe-bench --bench engine_speedup
+    cargo bench --offline -p tfe-bench --bench engine_batch
     cargo bench --offline -p tfe-bench --bench ppsr_row
     cargo bench --offline -p tfe-bench --bench telemetry_overhead
     cargo bench --offline -p tfe-bench --bench fleet_router
-    echo "--- BENCH_7.json (perf trajectory) ---"
-    cat BENCH_7.json
+    echo "--- BENCH_8.json (perf trajectory) ---"
+    cat BENCH_8.json
 fi

@@ -1,0 +1,247 @@
+//! `engine_batch`: the filter-stationary batched sweep vs sequential
+//! per-image execution — the tentpole acceptance bench of the batched
+//! dataflow (DESIGN §5.13).
+//!
+//! Each cell times two sides over the same engine and scratch arena,
+//! interleaved min-of-reps, **bit-identity asserted before timing**
+//! (per-image activations and counters both):
+//!
+//! * **sequential** — `B` independent [`Engine::run`] calls, one per
+//!   image, the pre-batching execution model.
+//! * **batched** — one [`Engine::run_batched`] over the packed `[B, …]`
+//!   tensor: every stage pads the whole batch once, then sweeps each
+//!   quantized filter row across all images (dense stages via the
+//!   batch-interleaved padded layout and, when the conservative
+//!   `N·K·max|w|·max|input|` bound allows, the wrapping kernel fast
+//!   path).
+//!
+//! Both sides are reported in **images/second**. Pinned acceptance
+//! numbers (asserted, not just printed):
+//!
+//! * `batched/sequential ≥ 1.3` at batch 8 on every dense cell — the
+//!   filter-stationary sweep must actually pay, not just break even;
+//! * `batched/sequential ≥ 0.97` at batch 1 on every cell — the batched
+//!   entry point costs < 3 % on singleton runs (serving floods of
+//!   unbatchable traffic through the same code path);
+//! * `batched/sequential ≥ 0.97` on every remaining cell — no geometry
+//!   regresses past noise, including the image-major SCNN path whose
+//!   dataflow batching does not restructure.
+//!
+//! Cells land in the `BENCH_*.json` trajectory via
+//! [`tfe_bench::report`], one per (cell × batch size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfe_bench::report::{BenchCell, BenchReport};
+use tfe_bench::timing::best_pair_ips;
+use tfe_sim::engine::{Engine, Scratch};
+use tfe_sim::network::{FunctionalNetwork, FunctionalStage};
+use tfe_sim::output::OutputConfig;
+use tfe_tensor::fixed::Fx16;
+use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::TransferScheme;
+
+fn det(seed: &mut u32) -> f32 {
+    *seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*seed >> 16) as f32 / 65536.0) - 0.5
+}
+
+/// A single dense conv stage — the batch-interleaved sweep path, where
+/// the filter-stationary win concentrates.
+fn dense_net(n: usize, m: usize, hw: usize, k: usize, seed: u32) -> FunctionalNetwork {
+    let mut s = seed;
+    let shape = LayerShape::conv("d", n, m, hw, hw, k, 1, 1).unwrap();
+    let weights = TransferredLayer::Dense {
+        weights: Tensor4::from_fn([m, n, k, k], |_| det(&mut s)),
+    };
+    FunctionalNetwork::new(vec![FunctionalStage {
+        shape,
+        weights,
+        bias: vec![0.1; m],
+        output: OutputConfig::RELU_ONLY,
+    }])
+    .unwrap()
+}
+
+/// The fig15-style SCNN stack: image-major ring schedules, so batching
+/// shares only padding and dispatch — the no-regression control cell.
+fn scnn_net(seed: u32) -> FunctionalNetwork {
+    let mut s = seed;
+    let shapes = vec![
+        (
+            LayerShape::conv("p1", 3, 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("p2", 8, 8, 12, 12, 3, 1, 1).unwrap(), true),
+    ];
+    FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut s)).unwrap()
+}
+
+struct Cell {
+    label: &'static str,
+    net: FunctionalNetwork,
+    dims: [usize; 3],
+    /// Whether the batch-8 cell carries the ≥ 1.3× speedup pin (the
+    /// dense interleaved-sweep cells).
+    pinned_speedup: bool,
+    seed: u32,
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let cells = vec![
+        Cell {
+            label: "dense_n48_m32_k3",
+            net: dense_net(48, 32, 12, 3, 11),
+            dims: [48, 12, 12],
+            pinned_speedup: true,
+            seed: 101,
+        },
+        Cell {
+            label: "dense_n64_m16_k3",
+            net: dense_net(64, 16, 8, 3, 12),
+            dims: [64, 8, 8],
+            pinned_speedup: true,
+            seed: 102,
+        },
+        Cell {
+            label: "dense_n32_m16_k5",
+            net: dense_net(32, 16, 10, 5, 13),
+            dims: [32, 10, 10],
+            pinned_speedup: true,
+            seed: 103,
+        },
+        Cell {
+            label: "scnn_fig15",
+            net: scnn_net(14),
+            dims: [3, 12, 12],
+            pinned_speedup: false,
+            seed: 104,
+        },
+    ];
+
+    let mut report = BenchReport::load_or_new();
+    for cell in &cells {
+        let engine = Engine::compile(&cell.net, ReuseConfig::FULL).unwrap();
+        // One arena per timed side, so the interleaved closures can
+        // borrow independently; both stay warm across batch sizes.
+        let mut scratch = Scratch::new();
+        let mut scratch_bat = Scratch::new();
+        let [ch, h, w] = cell.dims;
+        let mut s = cell.seed;
+        for &batch in &[1usize, 4, 8] {
+            let input = Tensor4::from_fn([batch, ch, h, w], |_| Fx16::from_f32(det(&mut s)));
+            let singles: Vec<Tensor4<Fx16>> = (0..batch)
+                .map(|b| Tensor4::from_fn([1, ch, h, w], |[_, ci, y, x]| input.get([b, ci, y, x])))
+                .collect();
+
+            // Bit-identity before timing: the batched run must decompose
+            // into exactly the sequential per-image runs.
+            let batched = engine.run_batched(&input, &mut scratch_bat, 1).unwrap();
+            for (b, single) in singles.iter().enumerate() {
+                let want = engine.run(single, &mut scratch).unwrap();
+                assert_eq!(
+                    want.counters, batched.per_image[b],
+                    "{}/b{batch}: per-image counters diverge at image {b}",
+                    cell.label
+                );
+                let [_, oc, oh, ow] = want.activations.dims();
+                for ci in 0..oc {
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            assert_eq!(
+                                want.activations.get([0, ci, y, x]),
+                                batched.activations.get([b, ci, y, x]),
+                                "{}/b{batch}: activations diverge at image {b}",
+                                cell.label
+                            );
+                        }
+                    }
+                }
+            }
+
+            let name = format!("{}/b{batch}", cell.label);
+            c.bench_function(&format!("sequential/{name}"), |b| {
+                b.iter(|| {
+                    for single in &singles {
+                        black_box(engine.run(black_box(single), &mut scratch).unwrap());
+                    }
+                })
+            });
+            c.bench_function(&format!("batched/{name}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run_batched(black_box(&input), &mut scratch_bat, 1)
+                            .unwrap(),
+                    )
+                })
+            });
+
+            // One iteration of either side processes `batch` images, so
+            // the iterations/second from the interleaved min-of-reps
+            // timing convert to images/second with the same factor and
+            // the ratio is unaffected.
+            let (reps, rounds) = (10, 60);
+            let (seq_ips, bat_ips) = best_pair_ips(
+                reps,
+                rounds,
+                || {
+                    for single in &singles {
+                        black_box(engine.run(single, &mut scratch).unwrap());
+                    }
+                },
+                || {
+                    black_box(engine.run_batched(&input, &mut scratch_bat, 1).unwrap());
+                },
+            );
+            let seq_images = seq_ips * batch as f64;
+            let bat_images = bat_ips * batch as f64;
+            let ratio = bat_images / seq_images;
+            println!(
+                "engine_batch/{name:<22} sequential {seq_images:>9.1} img/s  \
+                 batched {bat_images:>9.1} img/s  batched/sequential {ratio:.3}"
+            );
+            if batch == 1 {
+                assert!(
+                    ratio >= 0.97,
+                    "{name}: batched entry point must cost < 3% on singleton runs, \
+                     got ratio {ratio:.3}"
+                );
+            } else if batch == 8 && cell.pinned_speedup {
+                assert!(
+                    ratio >= 1.3,
+                    "{name}: filter-stationary sweep must be >= 1.3x sequential \
+                     at batch 8, got ratio {ratio:.3}"
+                );
+            } else {
+                assert!(
+                    ratio >= 0.97,
+                    "{name}: batched execution must not regress past noise, \
+                     got ratio {ratio:.3}"
+                );
+            }
+
+            report.upsert(BenchCell {
+                bench: "engine_batch".to_owned(),
+                cell: name,
+                baseline: "sequential".to_owned(),
+                baseline_ips: seq_images,
+                current_ips: bat_images,
+                speedup: ratio,
+                reps: u64::from(reps),
+                rounds: u64::from(rounds),
+            });
+        }
+    }
+    report.save().expect("write perf trajectory");
+    println!(
+        "engine_batch: trajectory updated at {}",
+        BenchReport::path().display()
+    );
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

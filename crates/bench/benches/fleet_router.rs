@@ -11,11 +11,15 @@
 //!   `Arc` clone, round-robin replica pick, and the dispatch counters.
 //!
 //! The pinned acceptance number (asserted, not just printed):
-//! `fleet/serve ≥ 0.95` on every cell — routed dispatch costs < 5 %
-//! over single-model serving. Cells cover the default route (no model
-//! id, protocol-v1 shape) and an explicit id (the map-lookup path), and
-//! both sides are pinned bit-identical before timing. Min-of-reps cells
-//! land in `BENCH_7.json` via [`tfe_bench::report`].
+//! `fleet/serve ≥ 0.97` on every cell — routed dispatch costs < 3 %
+//! over single-model serving (re-tightened from 0.95 after the
+//! per-request input clone was removed from `Shard::submit`; admission
+//! now moves the tensor and recovers it from the rejection path only on
+//! the rare swap-boundary retry). Cells cover the default route (no
+//! model id, protocol-v1 shape) and an explicit id (the map-lookup
+//! path), and both sides are pinned bit-identical before timing.
+//! Min-of-reps cells land in the `BENCH_*.json` trajectory via
+//! [`tfe_bench::report`].
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -103,8 +107,8 @@ fn bench_fleet_router(c: &mut Criterion) {
              fleet/serve {ratio:.3}"
         );
         assert!(
-            ratio >= 0.95,
-            "{cell}: router dispatch overhead vs single-model serving must be < 5%, \
+            ratio >= 0.97,
+            "{cell}: router dispatch overhead vs single-model serving must be < 3%, \
              got ratio {ratio:.3}"
         );
         report.upsert(BenchCell {

@@ -124,7 +124,7 @@ fn record_kernel_cell(
 /// timing (saturating `Accum` addition is order-sensitive, so identity
 /// proves addition order, not just the sum), then interleaved
 /// min-of-reps timing pins the dense and DCNN cells at >= 1.25x and
-/// records all three in `BENCH_7.json`.
+/// records all three in the `BENCH_*.json` trajectory.
 fn bench_monomorphized_kernels(c: &mut Criterion) {
     let weights: Vec<Fx16> = (0..3)
         .map(|i| Fx16::from_f32(i as f32 * 0.25 - 0.25))

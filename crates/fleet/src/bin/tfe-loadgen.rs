@@ -19,10 +19,17 @@
 //!     --model demo:2 --model alexnet:1 --model resnet56:1
 //! ```
 //!
+//! `--batch-hint H` coalesces arrivals client-side into flights of `H`
+//! same-model requests submitted back-to-back (the overall request rate
+//! stays at `--rate`), feeding the micro-batcher batchable bursts — the
+//! filter-stationary batched engine path pays per packed run, so the
+//! hint is the client knob that moves the achieved batch size.
+//!
 //! The report prints fleet-wide p50/p95/p99/max latency, achieved
 //! throughput, per-model throughput/shed breakdowns, and a final
 //! machine-readable JSON line combining the [`FleetSnapshot`] with
-//! per-model offered/achieved rates.
+//! per-model offered/achieved rates, the batch hint, and the achieved
+//! mean batch size.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,6 +43,7 @@ struct Args {
     duration: f64,
     seed: u64,
     batch_size: usize,
+    batch_hint: usize,
     delay_us: u64,
     queue: usize,
     executors: usize,
@@ -54,6 +62,7 @@ impl Default for Args {
             duration: 5.0,
             seed: 1,
             batch_size: 8,
+            batch_hint: 1,
             delay_us: 2000,
             queue: 256,
             executors: 2,
@@ -72,15 +81,20 @@ tfe-loadgen: open-loop Poisson load generator for the TFE serving fleet
 
 USAGE:
     tfe-loadgen [--rate R] [--duration S] [--seed N] [--batch-size B]
-                [--delay-us U] [--queue Q] [--executors E] [--replicas P]
-                [--threads T] [--deadline-ms D] [--model ID[:W]]...
-                [--stats] [--stats-interval-ms I]
+                [--batch-hint H] [--delay-us U] [--queue Q] [--executors E]
+                [--replicas P] [--threads T] [--deadline-ms D]
+                [--model ID[:W]]... [--stats] [--stats-interval-ms I]
 
 OPTIONS:
     --rate R         offered arrival rate, requests/second   [default: 200]
     --duration S     run length in seconds                   [default: 5]
     --seed N         RNG seed for arrivals and inputs        [default: 1]
     --batch-size B   micro-batch flush size                  [default: 8]
+    --batch-hint H   client-side fan-in: coalesce arrivals into flights
+                     of H same-model requests submitted back-to-back
+                     (the overall request rate stays at --rate); the JSON
+                     tally reports the achieved mean batch
+                     size                                    [default: 1]
     --delay-us U     micro-batch flush delay, microseconds   [default: 2000]
     --queue Q        request-queue capacity per replica      [default: 256]
     --executors E    executor workers per replica            [default: 2]
@@ -136,6 +150,7 @@ fn parse_args() -> Result<Args, String> {
             "--duration" => args.duration = parse_to(&value, &flag)?,
             "--seed" => args.seed = parse_to(&value, &flag)?,
             "--batch-size" => args.batch_size = parse_to(&value, &flag)?,
+            "--batch-hint" => args.batch_hint = parse_to(&value, &flag)?,
             "--delay-us" => args.delay_us = parse_to(&value, &flag)?,
             "--queue" => args.queue = parse_to(&value, &flag)?,
             "--executors" => args.executors = parse_to(&value, &flag)?,
@@ -157,6 +172,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.stats_interval_ms == 0 {
         return Err("--stats-interval-ms must be positive".to_owned());
+    }
+    if args.batch_hint == 0 {
+        return Err("--batch-hint must be at least 1".to_owned());
     }
     if args.models.is_empty() {
         args.models.push(("demo".to_owned(), 1.0));
@@ -247,17 +265,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total_weight: f64 = args.models.iter().map(|(_, w)| w).sum();
 
     println!(
-        "offering ~{:.0} req/s for {:.1}s across {} model(s) (seed {}, batch ≤{}, delay {}µs, queue {}, {} executor(s), {} replica(s))",
+        "offering ~{:.0} req/s for {:.1}s across {} model(s) (seed {}, batch ≤{}, hint {}, delay {}µs, queue {}, {} executor(s), {} replica(s))",
         args.rate,
         args.duration,
         args.models.len(),
         args.seed,
         args.batch_size,
+        args.batch_hint,
         args.delay_us,
         args.queue,
         args.executors,
         args.replicas,
     );
+
+    // Client-side fan-in: each Poisson arrival is a *flight* of
+    // `batch_hint` same-model requests submitted back-to-back, so the
+    // micro-batcher sees them together; the flight rate is scaled down
+    // to keep the overall request rate at `--rate`.
+    let flight_rate = args.rate / args.batch_hint as f64;
 
     let start = Instant::now();
     let end = start + Duration::from_secs_f64(args.duration);
@@ -270,7 +295,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     loop {
         // Exponential inter-arrival gap: -ln(1 - U) / rate.
         let u: f64 = rng.gen();
-        let gap = -(1.0 - u).ln() / args.rate;
+        let gap = -(1.0 - u).ln() / flight_rate;
         next_arrival += Duration::from_secs_f64(gap);
         if next_arrival >= end {
             break;
@@ -311,13 +336,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 break;
             }
         }
-        let total_offered: u64 = tallies.iter().map(|t| t.offered).sum();
-        let image = images[total_offered as usize % images.len()].clone();
-        tallies[model].offered += 1;
-        match client.submit(Some(&args.models[model].0), image, None) {
-            Ok(ticket) => tickets.push((model, ticket)),
-            Err(Rejected::QueueFull { .. }) => tallies[model].shed += 1,
-            Err(other) => return Err(other.into()),
+        // The whole flight targets one model — the fan-in only helps
+        // batching when the requests can actually share a micro-batch.
+        for _ in 0..args.batch_hint {
+            let total_offered: u64 = tallies.iter().map(|t| t.offered).sum();
+            let image = images[total_offered as usize % images.len()].clone();
+            tallies[model].offered += 1;
+            match client.submit(Some(&args.models[model].0), image, None) {
+                Ok(ticket) => tickets.push((model, ticket)),
+                Err(Rejected::QueueFull { .. }) => tallies[model].shed += 1,
+                Err(other) => return Err(other.into()),
+            }
         }
     }
     let offered_window = start.elapsed();
@@ -417,9 +446,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect(),
     );
+    // The achieved mean batch size is the executors' ground truth
+    // (requests per batched run), the number `--batch-hint` exists to
+    // move.
+    let mean_batch = if snapshot.batches == 0 {
+        0.0
+    } else {
+        snapshot.batched_requests as f64 / snapshot.batches as f64
+    };
     let report = Value::Object(vec![
         ("fleet".to_owned(), snapshot.to_value()),
         ("per_model".to_owned(), per_model),
+        ("batch_hint".to_owned(), Value::U64(args.batch_hint as u64)),
+        ("achieved_mean_batch".to_owned(), Value::F64(mean_batch)),
     ]);
     println!("{}", serde_json::to_string(&report)?);
     Ok(())

@@ -161,21 +161,21 @@ impl Shard {
         deadline: Option<Duration>,
     ) -> Result<Ticket, Rejected> {
         self.dispatched.fetch_add(1, Ordering::Relaxed);
+        // The input moves into the replica on the common path; only a
+        // swap-boundary retry needs it back, and `submit_recovering`
+        // returns it with the rejection — no per-request clone.
+        let mut input = input;
         loop {
             let generation = self.live();
             let replica = self.next_replica.fetch_add(1, Ordering::Relaxed);
             let client = &generation.clients[replica % generation.clients.len()];
-            let submitted = match deadline {
-                Some(d) => client.submit_with_deadline(input.clone(), Some(d)),
-                None => client.submit(input.clone()),
-            };
-            match submitted {
+            match client.submit_recovering(input, deadline) {
                 Ok(ticket) => return Ok(ticket),
-                Err(e @ Rejected::QueueFull { .. }) => {
+                Err((e @ Rejected::QueueFull { .. }, _)) => {
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(e);
                 }
-                Err(Rejected::ShuttingDown) => {
+                Err((Rejected::ShuttingDown, recovered)) => {
                     let live_now = self.live.read().expect("live lock poisoned");
                     if Arc::ptr_eq(&generation, &live_now) {
                         // The shard itself is retiring, not swapping.
@@ -183,8 +183,9 @@ impl Shard {
                     }
                     // A hot-swap landed mid-dispatch; retry on the new
                     // live generation.
+                    input = recovered;
                 }
-                Err(other) => return Err(other),
+                Err((other, _)) => return Err(other),
             }
         }
     }

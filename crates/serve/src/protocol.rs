@@ -537,6 +537,7 @@ mod tests {
                 layer,
                 stage: StageKind::Full,
                 wall_ns,
+                images: 1,
                 counters: Counters {
                     dense_macs: 64,
                     multiplies: 16,
@@ -577,6 +578,7 @@ mod tests {
             layer: 0,
             stage: StageKind::Full,
             wall_ns: 5_000,
+            images: 1,
             counters: Counters {
                 multiplies: 9,
                 ..Counters::new()

@@ -79,19 +79,21 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    /// Non-blocking push: admits the item or refuses immediately.
+    /// Non-blocking push: admits the item or refuses immediately,
+    /// handing the refused item back so callers can recover or retry it
+    /// without keeping a defensive clone on the admission hot path.
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
-    /// [`close`](Self::close).
-    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+    /// [`close`](Self::close) — each paired with the refused item.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
         if inner.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         if inner.items.len() >= self.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, item));
         }
         inner.items.push_back(item);
         drop(inner);
@@ -189,7 +191,7 @@ mod tests {
         let q = BoundedQueue::new(2);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop_blocking(), Some(1));
         q.try_push(3).unwrap();
@@ -203,7 +205,7 @@ mod tests {
         let q = BoundedQueue::new(4);
         q.try_push("a").unwrap();
         q.close();
-        assert_eq!(q.try_push("b"), Err(PushError::Closed));
+        assert_eq!(q.try_push("b"), Err((PushError::Closed, "b")));
         assert_eq!(q.push_blocking("b"), Err(PushError::Closed));
         assert_eq!(q.pop_blocking(), Some("a"));
         assert_eq!(q.pop_blocking(), None);

@@ -186,6 +186,14 @@ impl Pending {
     pub(crate) fn complete(self, result: ServeResult) {
         self.slot.fulfill(result);
     }
+
+    /// Takes the input tensor back out of a request that was never
+    /// admitted — the recovery half of [`Client::submit_recovering`].
+    /// The drop guard still resolves the slot, but no [`Ticket`] ever
+    /// escaped for it, so nothing observes that resolution.
+    pub(crate) fn recover_input(mut self) -> Tensor4<Fx16> {
+        std::mem::replace(&mut self.input, Tensor4::zeros([0, 0, 0, 0]))
+    }
 }
 
 impl Drop for Pending {
@@ -434,8 +442,38 @@ impl Client {
         input: Tensor4<Fx16>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, Rejected> {
+        self.submit_inner(input, deadline).map_err(|(e, _)| e)
+    }
+
+    /// [`submit`](Self::submit)-style admission that hands the input
+    /// back alongside any rejection, so routers retrying across a
+    /// hot-swap boundary (the fleet's `Shard::submit`) never need a
+    /// defensive per-request clone on the dispatch hot path.
+    ///
+    /// `deadline` semantics match [`submit`](Self::submit): `None` uses
+    /// the service's configured default deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit), each paired with the refused
+    /// input.
+    pub fn submit_recovering(
+        &self,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, (Rejected, Tensor4<Fx16>)> {
+        self.submit_inner(input, deadline.or(self.shared.config.default_deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        input: Tensor4<Fx16>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, (Rejected, Tensor4<Fx16>)> {
         self.shared.metrics.record_submitted();
-        self.validate_geometry(&input)?;
+        if let Err(e) = self.validate_geometry(&input) {
+            return Err((e, input));
+        }
         let submitted = Instant::now();
         let slot = Slot::new();
         let pending = Pending {
@@ -446,13 +484,18 @@ impl Client {
         };
         match self.shared.requests.try_push(pending) {
             Ok(()) => Ok(Ticket { slot }),
-            Err(PushError::Full) => {
+            Err((PushError::Full, pending)) => {
                 self.shared.metrics.record_rejected();
-                Err(Rejected::QueueFull {
-                    capacity: self.shared.requests.capacity(),
-                })
+                Err((
+                    Rejected::QueueFull {
+                        capacity: self.shared.requests.capacity(),
+                    },
+                    pending.recover_input(),
+                ))
             }
-            Err(PushError::Closed) => Err(Rejected::ShuttingDown),
+            Err((PushError::Closed, pending)) => {
+                Err((Rejected::ShuttingDown, pending.recover_input()))
+            }
         }
     }
 

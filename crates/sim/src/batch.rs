@@ -94,20 +94,26 @@ pub fn run_batch(
 /// [`Engine`] — the execution core behind [`run_batch`] and the
 /// `tfe-serve` executors.
 ///
-/// Images are divided into at most `worker` contiguous chunks (never
-/// more chunks than images, so no worker receives empty work); each
+/// Inputs are divided into at most `worker` contiguous chunks (never
+/// more chunks than inputs, so no worker receives empty work); each
 /// chunk checks a [`Scratch`](crate::engine::Scratch) arena out of
-/// `scratches`, runs its images sequentially through [`Engine::run`],
-/// and returns the arena for reuse. Outputs come back in input order and
-/// per-image [`Counters`] merge in input order, so results are
-/// bit-identical to a sequential loop at every thread count
-/// (`tests/parallel_parity.rs` asserts this).
+/// `scratches`, **packs its inputs into one `[B, C, H, W]` tensor**,
+/// and executes them as a single filter-stationary
+/// [`Engine::run_batched`] sweep — each quantized filter row loads once
+/// per chunk instead of once per image. Outputs come back in input
+/// order, each input keeping its own per-image counters (split back out
+/// of [`crate::engine::BatchedRun::per_image`]), and the merged totals
+/// accumulate in input order — so results are bit-identical to a
+/// sequential loop at every thread count (`tests/parallel_parity.rs`
+/// and `tests/batched_parity.rs` assert this).
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] for `Some(0)` threads, otherwise
 /// the first per-image [`SimError`] in input order — the same contract
-/// as [`run_batch`].
+/// as [`run_batch`]. Stage-0 geometry is validated upfront per input
+/// (channels, then height, then width — [`Engine::run`]'s order) so
+/// packing can never reorder which mismatch is reported first.
 pub fn run_engine_batch(
     engine: &Engine,
     inputs: &[Tensor4<Fx16>],
@@ -115,6 +121,24 @@ pub fn run_engine_batch(
     scratches: &ScratchPool,
 ) -> Result<BatchOutput, SimError> {
     let evaluate = |workers: usize| -> Result<BatchOutput, SimError> {
+        if let Some(shape) = engine.stage_shape(0) {
+            for input in inputs {
+                let [_, c, h, w] = input.dims();
+                for (what, expected, actual) in [
+                    ("input channels", shape.n(), c),
+                    ("input height", shape.h(), h),
+                    ("input width", shape.w(), w),
+                ] {
+                    if expected != actual {
+                        return Err(SimError::OperandMismatch {
+                            what,
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+            }
+        }
         let lengths = chunk_lengths(inputs.len(), workers.max(1));
         let mut chunks = Vec::with_capacity(lengths.len());
         let mut start = 0;
@@ -126,10 +150,7 @@ pub fn run_engine_batch(
             .par_iter()
             .map(|chunk| {
                 let mut scratch = scratches.checkout();
-                let result = chunk
-                    .iter()
-                    .map(|input| engine.run(input, &mut scratch))
-                    .collect::<Result<Vec<_>, _>>();
+                let result = run_packed_chunk(engine, chunk, &mut scratch);
                 scratches.restore(scratch);
                 result
             })
@@ -159,10 +180,70 @@ pub fn run_engine_batch(
     }
 }
 
+/// Runs one worker's chunk of inputs as a single packed batched sweep,
+/// then splits the result back into per-input [`NetworkOutput`]s.
+///
+/// A lone input skips the pack/split copies and runs directly. Inputs
+/// whose leading dim differs are fine (each keeps its own sub-range of
+/// the packed batch); differing `(C, H, W)` can only reach here through
+/// a stage-less engine, where packing would misattribute rows — that
+/// case falls back to sequential per-input runs.
+fn run_packed_chunk(
+    engine: &Engine,
+    chunk: &[Tensor4<Fx16>],
+    scratch: &mut crate::engine::Scratch,
+) -> Result<Vec<NetworkOutput>, SimError> {
+    let Some(first) = chunk.first() else {
+        return Ok(Vec::new());
+    };
+    let [_, c, h, w] = first.dims();
+    if chunk.len() == 1 {
+        return engine.run(first, scratch).map(|o| vec![o]);
+    }
+    if chunk.iter().any(|t| {
+        let [_, tc, th, tw] = t.dims();
+        (tc, th, tw) != (c, h, w)
+    }) {
+        return chunk
+            .iter()
+            .map(|input| engine.run(input, scratch))
+            .collect();
+    }
+    let lens: Vec<usize> = chunk.iter().map(|t| t.dims()[0]).collect();
+    let total: usize = lens.iter().sum();
+    let mut packed = Vec::with_capacity(total * c * h * w);
+    for t in chunk {
+        packed.extend_from_slice(t.as_slice());
+    }
+    let packed = Tensor4::from_vec([total, c, h, w], packed)
+        .expect("packed chunk dims match the concatenated inputs");
+    let run = engine.run_batched(&packed, scratch, 1)?;
+    let [_, oc, oh, ow] = run.activations.dims();
+    let mut outputs = Vec::with_capacity(chunk.len());
+    let mut b0 = 0usize;
+    for len in lens {
+        let activations = Tensor4::from_fn([len, oc, oh, ow], |[b, ci, y, x]| {
+            run.activations.get([b0 + b, ci, y, x])
+        });
+        let mut counters = Counters::new();
+        for image in &run.per_image[b0..b0 + len] {
+            counters.merge(image);
+        }
+        outputs.push(NetworkOutput {
+            activations,
+            counters,
+        });
+        b0 += len;
+    }
+    Ok(outputs)
+}
+
 /// Contiguous chunk sizes dividing `len` items into at most `chunks`
 /// non-empty pieces: `min(chunks, len)` chunks, sizes differing by at
-/// most one, larger chunks first.
-fn chunk_lengths(len: usize, chunks: usize) -> Vec<usize> {
+/// most one, larger chunks first. Shared with the intra-run partitioner
+/// (`engine/exec.rs`), so batch-level and stage-level splits follow the
+/// same rule.
+pub(crate) fn chunk_lengths(len: usize, chunks: usize) -> Vec<usize> {
     let count = chunks.min(len);
     if count == 0 {
         return Vec::new();

@@ -65,6 +65,24 @@ pub(crate) enum UnitIr {
     },
 }
 
+impl UnitIr {
+    /// The contiguous ofmap plane range this unit emits, clamped to the
+    /// stage's filter count. Units are compiled in ascending plane
+    /// order and their ranges tile `0..M` exactly — the invariant the
+    /// intra-run partitioner (`engine/exec.rs`) relies on to hand
+    /// disjoint, contiguous output slices to worker threads.
+    pub(crate) fn plane_range(&self, m_count: usize) -> std::ops::Range<usize> {
+        match self {
+            UnitIr::Dense { m, .. } => *m..*m + 1,
+            UnitIr::Dcnn { g, per_axis, .. } => {
+                let pa2 = per_axis * per_axis;
+                (g * pa2).min(m_count)..((g + 1) * pa2).min(m_count)
+            }
+            UnitIr::Scnn { g, emitted, .. } => g * ORBIT..g * ORBIT + emitted,
+        }
+    }
+}
+
 /// One compiled stage: geometry, output configuration, pre-quantized
 /// bias, the flat quantized row table, and the unit list.
 #[derive(Debug, Clone)]
@@ -87,6 +105,11 @@ pub(crate) struct StageIr {
     /// are `Z` wide but every offset lane still correlates a `K`-length
     /// weight slice, so one stage-level selection covers all schemes.
     pub(crate) kernel: RowKernel,
+    /// Largest `|raw i16 bits|` over the stage's whole quantized row
+    /// table — one factor of the conservative saturation-free bound the
+    /// run phase checks per stage (`exec::saturation_free`) before
+    /// taking the wrapping kernel fast path.
+    pub(crate) w_abs_max: i64,
 }
 
 /// Layer geometry snapshot threaded through the run-phase kernels.
@@ -300,6 +323,11 @@ pub(crate) fn compile_stage(
         })
         .collect();
     let kernel = RowKernel::select(k);
+    let w_abs_max = rows
+        .iter()
+        .map(|w| i64::from(w.to_bits()).abs())
+        .max()
+        .unwrap_or(0);
     Ok(StageIr {
         shape,
         output,
@@ -308,5 +336,6 @@ pub(crate) fn compile_stage(
         rows,
         units,
         kernel,
+        w_abs_max,
     })
 }

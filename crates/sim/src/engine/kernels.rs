@@ -84,6 +84,40 @@ impl RowKernel {
         }
     }
 
+    /// [`RowKernel::correlate_add`] for passes a caller-side bound has
+    /// proven **saturation-free**: every intermediate `j`-prefix sum and
+    /// every accumulator value stays strictly inside `i32`, so wrapping
+    /// additions are exact and bit-identical to the saturating chain
+    /// (exact integer sums are associative — saturation was the only
+    /// order-sensitivity). The wrapping form is what unlocks cheap
+    /// autovectorization on baseline x86-64: plain `paddd` instead of
+    /// the compare/blend saturation emulation.
+    ///
+    /// Callers gate on the conservative stage bound
+    /// `N · K · max|w| · max|input|  <  2³¹` (see `exec::saturation_free`);
+    /// when the bound fails they must use [`RowKernel::correlate_add`].
+    /// The proptest below pins the equivalence on gated data for every
+    /// kernel variant; `tests/batched_parity.rs` pins both paths at the
+    /// engine level.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RowKernel::correlate_add`].
+    pub(crate) fn correlate_add_unsaturated(
+        self,
+        weights: &[Fx16],
+        input: &[Fx16],
+        acc: &mut [Accum],
+    ) {
+        match self {
+            RowKernel::K1 => correlate_add_wrapping_core::<1>(&narrow(weights), input, acc),
+            RowKernel::K3 => correlate_add_wrapping_core::<3>(&narrow(weights), input, acc),
+            RowKernel::K5 => correlate_add_wrapping_core::<5>(&narrow(weights), input, acc),
+            RowKernel::K7 => correlate_add_wrapping_core::<7>(&narrow(weights), input, acc),
+            RowKernel::Generic => correlate_add_wrapping_generic(weights, input, acc),
+        }
+    }
+
     /// The horizontally mirrored correlation:
     /// `acc[x] += Σ_j input[x + j] · weights[K − 1 − j]` — the SCNN
     /// PPSR-derived stream. Product order stays ascending `j`, matching
@@ -110,6 +144,18 @@ fn widen<const K: usize>(weights: &[Fx16]) -> [i32; K] {
     let mut w = [0i32; K];
     for (slot, &v) in w.iter_mut().zip(weights) {
         *slot = i32::from(v.to_bits());
+    }
+    w
+}
+
+/// Extracts a weight row's raw `i16` bits into a fixed-extent array —
+/// the unsaturated cores keep both operands visibly 16-bit so the
+/// vectorizer can use packed 16 × 16 → 32 multiplies.
+fn narrow<const K: usize>(weights: &[Fx16]) -> [i16; K] {
+    assert_eq!(weights.len(), K, "weight row length must match the kernel");
+    let mut w = [0i16; K];
+    for (slot, &v) in w.iter_mut().zip(weights) {
+        *slot = v.to_bits();
     }
     w
 }
@@ -159,6 +205,44 @@ fn correlate_add_core<const K: usize>(w: &[i32; K], input: &[Fx16], acc: &mut [A
     for (i, slot) in chunks.into_remainder().iter_mut().enumerate() {
         let s = correlate_one::<K>(w, &input[x0 + i..x0 + i + K]);
         *slot = Accum::from_bits(slot.to_bits().saturating_add(s));
+    }
+}
+
+/// The saturation-free monomorphized core: identical reads and writes to
+/// [`correlate_add_core`], but with wrapping additions — exact (hence
+/// order-insensitive and bit-identical to the saturating chain) under
+/// the caller's bound, and cheap for the vectorizer.
+fn correlate_add_wrapping_core<const K: usize>(w: &[i16; K], input: &[Fx16], acc: &mut [Accum]) {
+    let out_len = acc.len();
+    if out_len == 0 {
+        return;
+    }
+    let input = &input[..out_len + K - 1];
+    for (x, slot) in acc.iter_mut().enumerate() {
+        let mut s = 0i32;
+        for j in 0..K {
+            s = s.wrapping_add(i32::from(input[x + j].to_bits()) * i32::from(w[j]));
+        }
+        *slot = Accum::from_bits(slot.to_bits().wrapping_add(s));
+    }
+}
+
+/// The runtime-`K` saturation-free fallback.
+fn correlate_add_wrapping_generic(weights: &[Fx16], input: &[Fx16], acc: &mut [Accum]) {
+    let k = weights.len();
+    let out_len = acc.len();
+    if out_len == 0 {
+        return;
+    }
+    assert!(k >= 1, "a correlation kernel needs at least one weight");
+    let input = &input[..out_len + k - 1];
+    for (x, slot) in acc.iter_mut().enumerate() {
+        let win = &input[x..x + k];
+        let mut s = 0i32;
+        for (j, &iv) in win.iter().enumerate() {
+            s = s.wrapping_add(i32::from(iv.to_bits()) * i32::from(weights[j].to_bits()));
+        }
+        *slot = Accum::from_bits(slot.to_bits().wrapping_add(s));
     }
 }
 
@@ -272,6 +356,41 @@ mod tests {
         let input = fx(&[i16::MIN, i16::MIN, i16::MIN, i16::MAX, i16::MIN]);
         check(RowKernel::K3, &weights, &input, 3);
         check(RowKernel::Generic, &weights, &input, 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// On data satisfying the saturation-free gate (`k · max|w| ·
+        /// max|input|` far inside `i32`, small starting accumulators),
+        /// the wrapping fast path must be bit-identical to the
+        /// saturating kernel — no intermediate can clamp, so wrapping
+        /// and saturating chains compute the same exact sums.
+        #[test]
+        fn unsaturated_matches_saturating_on_gated_data(
+            k in 1usize..10,
+            out_len in 0usize..70,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut s = seed;
+            let mut next = move |bound: i32| -> i16 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((s >> 33) as i32 % (2 * bound + 1)) - bound) as i16
+            };
+            // |w|, |input| ≤ 1024 keeps k·max|w|·max|input| ≤ 9·2²⁰ ≪ 2³¹.
+            let weights = fx(&(0..k).map(|_| next(1024)).collect::<Vec<_>>());
+            let input = fx(&(0..out_len + k - 1).map(|_| next(1024)).collect::<Vec<_>>());
+            let base: Vec<Accum> = (0..out_len)
+                .map(|_| Accum::from_bits(i32::from(next(8192))))
+                .collect();
+
+            let kernel = RowKernel::select(k);
+            let mut want = base.clone();
+            kernel.correlate_add(&weights, &input, &mut want);
+            let mut got = base;
+            kernel.correlate_add_unsaturated(&weights, &input, &mut got);
+            proptest::prop_assert_eq!(got, want);
+        }
     }
 
     #[test]

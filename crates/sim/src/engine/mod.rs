@@ -61,6 +61,7 @@ mod ir;
 pub(crate) mod kernels;
 mod scratch;
 
+pub use exec::BatchedRun;
 pub use ir::PrepareStats;
 pub use scratch::{Scratch, ScratchPool};
 

@@ -1,22 +1,56 @@
 //! Run-phase arenas: the per-request [`Scratch`] buffers and the bounded
 //! [`ScratchPool`] long-lived services check warm arenas out of.
 
+use crate::counters::Counters;
 use crate::errr::{RowRing, Streams};
 use std::sync::Mutex;
 use tfe_tensor::fixed::{Accum, Fx16};
+
+/// How many recent runs the high-water shrink window covers: after each
+/// run, every batch-scaled arena's retained capacity is capped at the
+/// largest geometry seen in the last `PEAK_WINDOW` runs, so a one-off
+/// large batch stops pinning memory once it ages out of the window.
+pub(crate) const PEAK_WINDOW: usize = 8;
+
+/// One run's high-water buffer lengths — what [`Scratch::retire_run`]
+/// folds into the shrink window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ArenaPeak {
+    /// Peak `padded` length across the run's stages.
+    pub(crate) padded: usize,
+    /// Peak `out` accumulator length across the run's stages.
+    pub(crate) out: usize,
+    /// Peak stage-activation length (`stage_in` / `stage_next`).
+    pub(crate) stage: usize,
+    /// Peak dense row-parts length (`KernelBufs::parts`).
+    pub(crate) parts: usize,
+}
+
+impl ArenaPeak {
+    /// Element-wise maximum of two peaks.
+    pub(crate) fn max(self, other: ArenaPeak) -> ArenaPeak {
+        ArenaPeak {
+            padded: self.padded.max(other.padded),
+            out: self.out.max(other.out),
+            stage: self.stage.max(other.stage),
+            parts: self.parts.max(other.parts),
+        }
+    }
+}
 
 /// Reusable per-worker buffers for [`Engine::run`](crate::engine::Engine::run).
 ///
 /// Ownership model: one `Scratch` belongs to exactly one in-flight
 /// request at a time (typically one per worker thread — see
 /// [`ScratchPool`]). The engine itself is immutable and shared; every
-/// mutable byte of a request lives here. All buffers are retained
-/// between requests, so the steady state re-uses warm allocations
-/// instead of making new ones.
+/// mutable byte of a request lives here. Buffers are retained between
+/// requests so the steady state re-uses warm allocations — bounded by a
+/// high-water window: capacity beyond the largest geometry of the last
+/// `PEAK_WINDOW` runs is released when a run retires.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    /// Flat padded input planes of the current stage/batch image,
-    /// `[channel × padded_h × padded_w]`, strided.
+    /// Flat padded input planes of the current stage, for the whole
+    /// batch: `[batch × channel × padded_h × padded_w]`, strided.
     pub(crate) padded: Vec<Fx16>,
     /// Flat ofmap accumulators of the current stage,
     /// `[batch × M × E × F]`, strided.
@@ -33,6 +67,15 @@ pub struct Scratch {
     pub(crate) pool_staged: Vec<f32>,
     /// Kernel-level buffers (window sums, row parts, ERRR rings).
     pub(crate) bufs: KernelBufs,
+    /// Extra kernel-buffer sets for intra-run worker partitions, checked
+    /// out per part and returned after the stage's fan-out joins.
+    pub(crate) bufs_pool: Vec<KernelBufs>,
+    /// Per-image counter accumulators of the current run, `[batch]`.
+    pub(crate) image_counters: Vec<Counters>,
+    /// The shrink window: the last [`PEAK_WINDOW`] runs' peaks.
+    peaks: [ArenaPeak; PEAK_WINDOW],
+    /// Next slot of `peaks` to overwrite.
+    peak_cursor: usize,
     /// Filter rows quantized during the run phase. The compiled engine
     /// has no run-time quantization path, so this stays 0 — asserted
     /// after every run in debug builds and exposed for tests.
@@ -52,6 +95,45 @@ impl Scratch {
     #[must_use]
     pub fn run_quantized_rows(&self) -> u64 {
         self.run_quantized_rows
+    }
+
+    /// Retires one run: records its high-water buffer lengths in the
+    /// shrink window, then caps every batch-scaled arena's retained
+    /// capacity at the window maximum. A one-off large batch keeps its
+    /// arenas warm for up to [`PEAK_WINDOW`] further runs, after which
+    /// the excess capacity is released back to the allocator.
+    pub(crate) fn retire_run(&mut self, peak: ArenaPeak) {
+        self.peaks[self.peak_cursor] = peak;
+        self.peak_cursor = (self.peak_cursor + 1) % PEAK_WINDOW;
+        let keep = self.peaks.iter().fold(peak, |acc, &p| acc.max(p));
+        self.padded.clear();
+        self.padded.shrink_to(keep.padded);
+        self.out.clear();
+        self.out.shrink_to(keep.out);
+        self.stage_in.clear();
+        self.stage_in.shrink_to(keep.stage);
+        self.stage_next.clear();
+        self.stage_next.shrink_to(keep.stage);
+        self.bufs.parts.clear();
+        self.bufs.parts.shrink_to(keep.parts);
+        for bufs in &mut self.bufs_pool {
+            bufs.parts.clear();
+            bufs.parts.shrink_to(keep.parts);
+        }
+    }
+
+    /// The retained capacities of the batch-scaled arenas — what the
+    /// high-water shrink bounds (padded, out accumulators, the two
+    /// stage-activation buffers, dense row parts).
+    #[must_use]
+    pub fn arena_capacities(&self) -> [usize; 5] {
+        [
+            self.padded.capacity(),
+            self.out.capacity(),
+            self.stage_in.capacity(),
+            self.stage_next.capacity(),
+            self.bufs.parts.capacity(),
+        ]
     }
 }
 

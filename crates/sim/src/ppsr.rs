@@ -412,6 +412,61 @@ pub(crate) fn conventional_row_pass_acc_with(
     kernel.correlate_add(filter_row, input, &mut acc[..out_len]);
 }
 
+/// One conventional row pass swept filter-stationary across a whole
+/// micro-batch laid out **batch-interleaved**: `input` holds the same
+/// padded row of `images` consecutive images back to back (image `b`'s
+/// row at `b·seg_stride`, `seg_stride` samples long), and `acc` the
+/// matching output lanes at the same stride. The weight row is loaded
+/// once and one **single contiguous** correlation covers every image —
+/// long enough to engage the kernels' chunked fast path even when one
+/// image's row alone is shorter than a chunk, which is where the
+/// batched sweep's throughput comes from.
+///
+/// Positions between one image's valid output lane (`seg_stride − K +
+/// 1` wide) and the next image's segment mix two images' samples; they
+/// are computed (the price of the contiguous pass) but land in the
+/// inter-lane gap of `acc`, which no window combine ever reads.
+///
+/// Per image the accumulation is **bit-identical** to
+/// [`conventional_row_pass_acc_with`] on that image's window: each
+/// valid position reads exactly that image's samples, products
+/// accumulate in the same ascending-`j` order, and positions advance in
+/// ascending order within each image. The sweep only concatenates
+/// images, it never reorders any image's saturating additions.
+///
+/// Counters are charged exactly **once** (one image's worth) into
+/// `charges`: the charge model is data-independent, so every image of a
+/// batched run accrues the identical delta and the engine replicates
+/// one representative image's charges per partition
+/// (`tests/batched_parity.rs` pins the exactness).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conventional_row_sweep_acc_with(
+    kernel: RowKernel,
+    filter_row: &[Fx16],
+    images: usize,
+    input: &[Fx16],
+    seg_stride: usize,
+    acc: &mut [Accum],
+    saturation_free: bool,
+    charges: &mut Counters,
+) {
+    let out_len = charge_conventional(filter_row.len(), seg_stride, charges);
+    if images == 0 {
+        return;
+    }
+    let span = (images - 1) * seg_stride + out_len;
+    let input = &input[..span + filter_row.len() - 1];
+    let acc = &mut acc[..span];
+    if saturation_free {
+        // The stage bound proved no intermediate can leave i32 range,
+        // so the wrapping core is exact — bit-identical and far cheaper
+        // to vectorize than the saturating chain.
+        kernel.correlate_add_unsaturated(filter_row, input, acc);
+    } else {
+        kernel.correlate_add(filter_row, input, acc);
+    }
+}
+
 /// The frozen scalar reference for [`conventional_row_pass_acc`]:
 /// identical counters and bit-identical accumulation via the original
 /// `correlate_at`-driven loop. Kept for the kernel parity suite and

@@ -23,7 +23,11 @@ pub struct LayerStats {
     /// The stage's layer label (shape name).
     pub label: String,
     /// Stage executions recorded since the sink was enabled (exact).
+    /// A batched run counts once here regardless of its batch size.
     pub runs: u64,
+    /// Images processed across those executions (exact): the sum of
+    /// every sample's batch dimension.
+    pub images: u64,
     /// Total wall time across those executions, nanoseconds (exact).
     pub wall_ns: u64,
     /// Cumulative counter totals across those executions (exact —
@@ -58,6 +62,7 @@ impl TelemetryRegistry {
                 layer,
                 label,
                 runs: totals.runs,
+                images: totals.images,
                 wall_ns: totals.wall_ns,
                 counters: totals.counters,
                 window: LatencyHistogram::new(),
@@ -114,6 +119,7 @@ impl TelemetryRegistry {
                         mine.label = theirs.label.clone();
                     }
                     mine.runs += theirs.runs;
+                    mine.images += theirs.images;
                     mine.wall_ns += theirs.wall_ns;
                     mine.counters.merge(&theirs.counters);
                     mine.window.merge(&theirs.window);
@@ -137,6 +143,7 @@ impl TelemetryRegistry {
                     layer: l.layer as u64,
                     label: l.label.clone(),
                     runs: l.runs,
+                    images: l.images,
                     wall_ns: l.wall_ns,
                     window_samples: l.window.total(),
                     p50_us: l.window.quantile_us(0.50),
@@ -161,8 +168,12 @@ pub struct LayerTelemetry {
     pub layer: u64,
     /// The stage's layer label (shape name).
     pub label: String,
-    /// Stage executions recorded since the sink was enabled.
+    /// Stage executions recorded since the sink was enabled. A batched
+    /// run counts once regardless of its batch size.
     pub runs: u64,
+    /// Images processed across those executions (sum of sample batch
+    /// dimensions).
+    pub images: u64,
     /// Total wall time across those executions, nanoseconds.
     pub wall_ns: u64,
     /// Observations in the latency window the quantiles cover.
@@ -206,6 +217,7 @@ mod tests {
             layer,
             stage: StageKind::Full,
             wall_ns,
+            images: 1,
             counters: Counters {
                 multiplies,
                 dense_macs: multiplies * 3,

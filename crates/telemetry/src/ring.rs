@@ -126,6 +126,7 @@ mod tests {
             layer,
             stage: StageKind::Full,
             wall_ns,
+            images: 1,
             counters: Counters {
                 multiplies: u64::from(layer) + 1,
                 ..Counters::new()
@@ -188,6 +189,7 @@ mod tests {
                             layer: t,
                             stage: StageKind::Full,
                             wall_ns: t as u64 * 1_000_000 + i,
+                            images: 1,
                             counters: Counters {
                                 multiplies: t as u64 * 1_000_000 + i,
                                 ..Counters::new()

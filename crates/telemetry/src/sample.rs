@@ -42,8 +42,13 @@ impl StageKind {
 
 /// One per-stage execution record emitted by the engine's
 /// instrumentation: the stage index, the portion executed, the wall
-/// time, and exactly the [`Counters`] delta that stage contributed to
-/// the run's total.
+/// time, how many images the execution covered, and exactly the
+/// [`Counters`] delta that stage contributed to the run's total.
+///
+/// A batched run (`Engine::run` on a `[B, …]` tensor) emits **one**
+/// sample per stage covering all `B` images — `images` keeps the
+/// per-layer image throughput exact even when the serving stack packs a
+/// whole micro-batch into a single engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerSample {
     /// Compiled stage index (0-based, in network order).
@@ -52,6 +57,9 @@ pub struct LayerSample {
     pub stage: StageKind,
     /// Wall-clock time of the stage, nanoseconds.
     pub wall_ns: u64,
+    /// Number of images this stage execution processed (the run's batch
+    /// dimension).
+    pub images: u64,
     /// The stage's own counter delta (sums to the run total across all
     /// stages of one run).
     pub counters: Counters,
@@ -59,9 +67,9 @@ pub struct LayerSample {
 
 impl LayerSample {
     /// Number of `u64` words one encoded sample occupies in the ring:
-    /// one packed `layer`/`stage` word, `wall_ns`, and the 11 counter
-    /// fields.
-    pub(crate) const WORDS: usize = 13;
+    /// one packed `layer`/`stage` word, `wall_ns`, `images`, and the 11
+    /// counter fields.
+    pub(crate) const WORDS: usize = 14;
 
     /// Packs the sample into fixed-width words for the atomic ring.
     pub(crate) fn encode(&self) -> [u64; Self::WORDS] {
@@ -83,6 +91,7 @@ impl LayerSample {
         [
             (u64::from(self.layer) << 8) | self.stage.code(),
             self.wall_ns,
+            self.images,
             dense_macs,
             multiplies,
             adds,
@@ -99,12 +108,13 @@ impl LayerSample {
 
     /// Inverse of [`encode`](Self::encode).
     pub(crate) fn decode(words: [u64; Self::WORDS]) -> LayerSample {
-        let [tag, wall_ns, dense_macs, multiplies, adds, sr_reads, sr_writes, psum_mem_reads, psum_mem_writes, input_mem_reads, weight_reads, dram_bits, cycles] =
+        let [tag, wall_ns, images, dense_macs, multiplies, adds, sr_reads, sr_writes, psum_mem_reads, psum_mem_writes, input_mem_reads, weight_reads, dram_bits, cycles] =
             words;
         LayerSample {
             layer: (tag >> 8) as u32,
             stage: StageKind::from_code(tag & 0xff),
             wall_ns,
+            images,
             counters: Counters {
                 dense_macs,
                 multiplies,
@@ -132,6 +142,7 @@ mod tests {
             layer: 0x00ab_cdef,
             stage: StageKind::ConvOnly,
             wall_ns: u64::MAX - 7,
+            images: 42,
             counters: Counters {
                 dense_macs: 1,
                 multiplies: 2,

@@ -89,6 +89,7 @@ impl CounterCells {
 #[derive(Debug, Default)]
 pub(crate) struct LayerCells {
     runs: AtomicU64,
+    images: AtomicU64,
     wall_ns: AtomicU64,
     counters: CounterCells,
 }
@@ -97,6 +98,7 @@ pub(crate) struct LayerCells {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct LayerTotals {
     pub(crate) runs: u64,
+    pub(crate) images: u64,
     pub(crate) wall_ns: u64,
     pub(crate) counters: Counters,
 }
@@ -164,6 +166,7 @@ impl Sink {
         inner.ring.push(sample);
         if let Some(layer) = inner.layers.get(sample.layer as usize) {
             layer.runs.fetch_add(1, Ordering::Relaxed);
+            layer.images.fetch_add(sample.images, Ordering::Relaxed);
             layer.wall_ns.fetch_add(sample.wall_ns, Ordering::Relaxed);
             layer.counters.add(&sample.counters);
         }
@@ -196,6 +199,7 @@ impl Sink {
                     label.clone(),
                     LayerTotals {
                         runs: cells.runs.load(Ordering::Relaxed),
+                        images: cells.images.load(Ordering::Relaxed),
                         wall_ns: cells.wall_ns.load(Ordering::Relaxed),
                         counters: cells.counters.load(),
                     },
@@ -215,6 +219,7 @@ mod tests {
             layer,
             stage: StageKind::Full,
             wall_ns,
+            images: 1,
             counters: Counters {
                 multiplies,
                 dense_macs: multiplies * 2,

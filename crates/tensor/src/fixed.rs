@@ -198,7 +198,9 @@ impl Accum {
     /// the output memory system.
     #[must_use]
     pub fn to_sample(self) -> Fx16 {
-        let rounded = (self.0 + (1 << (FRAC_BITS - 1))) >> FRAC_BITS;
+        // Saturating rounding add: an accumulator clamped at `i32::MAX`
+        // must round to the positive sample extreme, not wrap negative.
+        let rounded = self.0.saturating_add(1 << (FRAC_BITS - 1)) >> FRAC_BITS;
         Fx16(rounded.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
     }
 
@@ -277,6 +279,14 @@ mod tests {
         let a = Fx16::from_f32(2.5);
         let b = Fx16::from_f32(-1.25);
         assert_eq!(a.widening_mul(b).to_f32(), -3.125);
+    }
+
+    #[test]
+    fn to_sample_saturates_at_the_accumulator_extremes() {
+        // A clamped accumulator must quantize to the matching sample
+        // extreme; the rounding add used to overflow at `i32::MAX`.
+        assert_eq!(Accum::from_bits(i32::MAX).to_sample(), Fx16::MAX);
+        assert_eq!(Accum::from_bits(i32::MIN).to_sample(), Fx16::MIN);
     }
 
     #[test]

@@ -201,6 +201,7 @@ fn shard_registry(layer_count: usize, ring: usize, count: usize, seed: u32) -> T
             layer: next(layer_count as u64) as u32,
             stage: StageKind::Full,
             wall_ns: 1 + next(20_000),
+            images: 1,
             counters: Counters {
                 multiplies,
                 dense_macs: multiplies * 3,
