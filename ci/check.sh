@@ -17,6 +17,11 @@ cargo test -q --offline
 cargo test -q --offline --test serve_smoke
 cargo test -q --offline --test fleet_smoke
 cargo test -q --offline -p tfe-fleet
+# The generalized-geometry grid (stride x dilation x groups x scheme)
+# pins engine-vs-reference bit-identity and counter exactness on
+# depthwise, grouped, and dilated stages — run the target explicitly so
+# geometry regressions cannot hide behind a filtered invocation.
+cargo test -q --offline --test geometry_parity
 # The telemetry crate's seqlock ring and exact-decomposition invariants
 # are load-bearing for every observability surface — build and test the
 # crate explicitly (its concurrent-writer tests included).
@@ -37,8 +42,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # bit-identity asserted first), the monomorphized row kernels (pinned
 # >= 1.25x over the frozen scalar reference), the telemetry-sink
 # overhead pin, and the fleet router-dispatch overhead (pinned < 3 % vs
-# single-model serving). engine_speedup, engine_batch, ppsr_row, and
-# fleet_router write their min-of-reps cells into BENCH_8.json at the
+# single-model serving). engine_speedup now carries a depthwise-separable
+# cell and engine_batch a dilated cell, so the generalized-geometry paths
+# are in the timed sweep too. engine_speedup, engine_batch, ppsr_row, and
+# fleet_router write their min-of-reps cells into BENCH_9.json at the
 # repo root (the persistent perf trajectory; see README "Perf
 # trajectory"), printed below so the numbers land in the check output.
 if [ "${BENCH:-0}" = "1" ]; then
@@ -47,6 +54,6 @@ if [ "${BENCH:-0}" = "1" ]; then
     cargo bench --offline -p tfe-bench --bench ppsr_row
     cargo bench --offline -p tfe-bench --bench telemetry_overhead
     cargo bench --offline -p tfe-bench --bench fleet_router
-    echo "--- BENCH_8.json (perf trajectory) ---"
-    cat BENCH_8.json
+    echo "--- BENCH_9.json (perf trajectory) ---"
+    cat BENCH_9.json
 fi

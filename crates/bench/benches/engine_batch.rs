@@ -66,6 +66,28 @@ fn dense_net(n: usize, m: usize, hw: usize, k: usize, seed: u32) -> FunctionalNe
     .unwrap()
 }
 
+/// A dilated dense stage: taps stored zero-stuffed at span
+/// `d·(K−1)+1`, so the interleaved sweep runs the wider monomorphized
+/// row kernel over clock-gated zero slots. The cell pins that the
+/// generalized-geometry compile keeps the batched sweep profitable.
+fn dilated_net(n: usize, m: usize, hw: usize, k: usize, seed: u32) -> FunctionalNetwork {
+    let mut s = seed;
+    let shape = LayerShape::conv("dil", n, m, hw, hw, k, 1, 1)
+        .unwrap()
+        .with_dilation(2)
+        .unwrap();
+    let weights = TransferredLayer::Dense {
+        weights: Tensor4::from_fn([m, n, k, k], |_| det(&mut s)),
+    };
+    FunctionalNetwork::new(vec![FunctionalStage {
+        shape,
+        weights,
+        bias: vec![0.1; m],
+        output: OutputConfig::RELU_ONLY,
+    }])
+    .unwrap()
+}
+
 /// The fig15-style SCNN stack: image-major ring schedules, so batching
 /// shares only padding and dispatch — the no-regression control cell.
 fn scnn_net(seed: u32) -> FunctionalNetwork {
@@ -112,6 +134,15 @@ fn bench_engine_batch(c: &mut Criterion) {
             dims: [32, 10, 10],
             pinned_speedup: true,
             seed: 103,
+        },
+        Cell {
+            label: "dilated_n32_m16_k3_d2",
+            net: dilated_net(32, 16, 12, 3, 15),
+            dims: [32, 12, 12],
+            // Dilated rows sweep a wider span for the same K logical
+            // taps, so only the no-regression floor is pinned here.
+            pinned_speedup: false,
+            seed: 105,
         },
         Cell {
             label: "scnn_fig15",

@@ -93,6 +93,29 @@ fn vgg_prefix_cell(seed: u32) -> (FunctionalNetwork, Tensor4<Fx16>) {
     (net, input)
 }
 
+/// A depthwise-separable cell (stem conv → depthwise → pointwise+pool,
+/// the `mobilenet-mini` miniature topology): the depthwise stage runs as
+/// a grouped dense stage (one channel per filter) and the pointwise
+/// stage as a conventional 1×1, so the wrapper-overhead pin also covers
+/// the generalized-geometry execution paths.
+fn separable_cell(seed: u32) -> (FunctionalNetwork, Tensor4<Fx16>) {
+    let shapes = vec![
+        (
+            LayerShape::conv("stem", 3, 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::depthwise("dw", 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (LayerShape::conv("pw", 8, 8, 12, 12, 1, 1, 0).unwrap(), true),
+    ];
+    let mut s = seed;
+    let net = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut s)).unwrap();
+    let input = Tensor4::from_fn([1, 3, 12, 12], |_| Fx16::from_f32(det(&mut s)));
+    (net, input)
+}
+
 /// The compile-bound cell: a 4×4 ifmap under 64 SCNN filters, so the
 /// request is dominated by weight-side work (compile expands all eight
 /// orientations; the run needs only two) — where the compile-once split
@@ -122,6 +145,10 @@ fn bench_engine_speedup(c: &mut Criterion) {
         {
             let (net, input) = vgg_prefix_cell(44);
             ("vgg_prefix_scnn", false, net, input)
+        },
+        {
+            let (net, input) = separable_cell(46);
+            ("depthwise_separable", false, net, input)
         },
         {
             let (net, input) = compile_bound_cell(45);

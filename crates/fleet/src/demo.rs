@@ -6,7 +6,10 @@
 //! two-stage miniature that keeps its signature filter extent: stage 1
 //! convolves with the network's leading conv kernel size (clamped odd
 //! into `[1, 5]`), stage 2 is the standard 3×3 + 2×2-pool tail every
-//! serving demo uses. Every miniature accepts the same
+//! serving demo uses. Grouped networks (the MobileNet family) instead
+//! shrink to a depthwise-separable miniature — stem → depthwise →
+//! pointwise — so the servable model exercises the engine's grouped
+//! dense stages. Every miniature accepts the same
 //! `[1, 3, 12, 12]` input geometry
 //! ([`tfe_serve::demo::DEMO_INPUT_DIMS`]), so one
 //! [`demo_images`](tfe_serve::demo::demo_images) pool drives mixed-model
@@ -32,8 +35,15 @@ fn id_hash(id: &str) -> u32 {
 /// Shrinks a zoo network to a servable two-stage miniature: a 3→8
 /// convolution with the network's leading filter extent, then the
 /// standard 3×3 8→8 stage with 2×2 pooling. Deterministic in `seed`.
+///
+/// Networks built from grouped convolutions (the MobileNet family)
+/// instead shrink to a [`separable_miniature`], preserving their
+/// depthwise-separable structure in the servable model.
 #[must_use]
 pub fn miniature(net: &Network, seed: u32) -> FunctionalNetwork {
+    if net.conv_layers().any(|l| l.shape().groups() > 1) {
+        return separable_miniature(seed);
+    }
     let k = net.conv_layers().next().map_or(3, |l| l.shape().k()).min(5) | 1; // clamp odd into [1, 5] so 12×12 stays 12×12 under pad k/2
     let shapes = vec![
         (
@@ -48,6 +58,32 @@ pub fn miniature(net: &Network, seed: u32) -> FunctionalNetwork {
     let mut state = seed;
     FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut state))
         .expect("static miniature network is well-formed")
+}
+
+/// The depthwise-separable miniature for grouped zoo networks: a 3→8
+/// stem convolution, a depthwise 3×3 stage (`groups == channels`,
+/// compiled to a grouped dense stage), and a 1×1 pointwise stage with
+/// the standard 2×2 pool — one separable block on the shared
+/// `[1, 3, 12, 12]` input contract. Deterministic in `seed`.
+#[must_use]
+pub fn separable_miniature(seed: u32) -> FunctionalNetwork {
+    let shapes = vec![
+        (
+            LayerShape::conv("stem", 3, 8, 12, 12, 3, 1, 1).expect("static miniature shape"),
+            false,
+        ),
+        (
+            LayerShape::depthwise("dw", 8, 12, 12, 3, 1, 1).expect("static miniature shape"),
+            false,
+        ),
+        (
+            LayerShape::conv("pw", 8, 8, 12, 12, 1, 1, 0).expect("static miniature shape"),
+            true,
+        ),
+    ];
+    let mut state = seed;
+    FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut state))
+        .expect("static separable miniature network is well-formed")
 }
 
 /// Builds one demo model network by id: `"demo"` is the classic
@@ -109,6 +145,32 @@ mod tests {
             let k = net.stages()[0].shape.k();
             assert!(k % 2 == 1 && (1..=5).contains(&k), "{id}: k={k}");
         }
+    }
+
+    #[test]
+    fn mobilenet_mini_serves_as_depthwise_separable_miniature() {
+        let net = demo_model("mobilenet-mini", 9).unwrap();
+        // Three stages: stem conv, depthwise (groups == channels), pointwise.
+        assert_eq!(net.stages().len(), 3);
+        let dw = &net.stages()[1].shape;
+        assert_eq!(dw.groups(), dw.n());
+        assert_eq!(net.stages()[2].shape.k(), 1);
+        // Runs on the shared demo input contract.
+        let image = demo_images(1, 11).remove(0);
+        let out = net.run(&image, ReuseConfig::FULL).unwrap();
+        let out2 = demo_model("mobilenet-mini", 9)
+            .unwrap()
+            .run(&image, ReuseConfig::FULL)
+            .unwrap();
+        assert_eq!(out.activations, out2.activations);
+        // The full-size mobilenet resolves to the same separable shape
+        // family, but different weights (different id hash).
+        let full = demo_model("mobilenet", 9).unwrap();
+        assert_eq!(full.stages().len(), 3);
+        assert_ne!(
+            full.run(&image, ReuseConfig::FULL).unwrap().activations,
+            out.activations
+        );
     }
 
     #[test]

@@ -87,19 +87,20 @@ impl Network {
             .iter()
             .map(|layer| {
                 let pf = layer.per_filter_shape();
-                let mode = if !scheme.applies_to(&pf) {
+                let policy = scheme.policy_for(&pf);
+                let mode = if !policy.transfers() {
                     TransferMode::Conventional
                 } else {
                     match scheme {
                         TransferScheme::Dcnn { .. } => TransferMode::Dcnn {
                             z: scheme
                                 .effective_meta(pf.k())
-                                .expect("applies_to implies effective meta"),
+                                .expect("transfer policy implies effective meta"),
                         },
                         TransferScheme::Scnn => TransferMode::Scnn,
                     }
                 };
-                LayerPlan::new(layer.clone(), mode)
+                LayerPlan::with_policy(layer.clone(), mode, policy)
             })
             .collect();
         NetworkPlan::new(&self.name, scheme, layers)

@@ -7,7 +7,7 @@
 
 use crate::layer::NetworkLayer;
 use tfe_transfer::analysis::{self, ReuseConfig};
-use tfe_transfer::TransferScheme;
+use tfe_transfer::{Policy, TransferScheme};
 
 /// The execution mode chosen for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,18 +31,45 @@ impl TransferMode {
     }
 }
 
-/// One planned layer: the network layer plus its chosen mode.
+/// One planned layer: the network layer, its chosen mode, and the
+/// transfer [`Policy`] that produced the mode (so dense fallbacks for
+/// depth-wise/grouped geometry are recorded with their reason).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerPlan {
     layer: NetworkLayer,
     mode: TransferMode,
+    policy: Policy,
 }
 
 impl LayerPlan {
-    /// Pairs a layer with its execution mode.
+    /// Pairs a layer with its execution mode. The policy is derived from
+    /// the mode; use [`LayerPlan::with_policy`] to record the specific
+    /// dense-fallback reason.
     #[must_use]
     pub fn new(layer: NetworkLayer, mode: TransferMode) -> Self {
-        LayerPlan { layer, mode }
+        let policy = if mode.is_transferred() {
+            Policy::Transfer
+        } else {
+            Policy::Dense {
+                reason: "planned for conventional execution",
+            }
+        };
+        LayerPlan {
+            layer,
+            mode,
+            policy,
+        }
+    }
+
+    /// Pairs a layer with its execution mode and the explicit transfer
+    /// policy that produced it.
+    #[must_use]
+    pub fn with_policy(layer: NetworkLayer, mode: TransferMode, policy: Policy) -> Self {
+        LayerPlan {
+            layer,
+            mode,
+            policy,
+        }
     }
 
     /// The underlying network layer.
@@ -55,6 +82,13 @@ impl LayerPlan {
     #[must_use]
     pub fn mode(&self) -> TransferMode {
         self.mode
+    }
+
+    /// The transfer policy recorded for this layer (why it transferred or
+    /// stayed dense).
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
     }
 
     /// Dense MACs of this layer (what Eyeriss or a direct implementation

@@ -524,6 +524,36 @@ pub fn mobilenet() -> Network {
     Network::new("MobileNet", layers)
 }
 
+/// A miniature depthwise-separable network in the MobileNet style,
+/// 32×32 input — small enough to compile and run end-to-end through the
+/// cycle-faithful engine (and to serve through `tfe-fleet`), proving the
+/// depth-wise boundary is an execution-policy decision, not a
+/// capability gap.
+#[must_use]
+pub fn mobilenet_mini() -> Network {
+    let mut layers = vec![conv("conv1", 3, 8, 32, 3, 2, 1)];
+    let blocks: [(usize, usize, usize, usize); 3] = [
+        // (in channels, out channels, input hw, dw stride)
+        (8, 16, 16, 1),
+        (16, 24, 16, 2),
+        (24, 32, 8, 2),
+    ];
+    for (i, &(cin, cout, hw, stride)) in blocks.iter().enumerate() {
+        layers.push(depthwise(&format!("dw{}", i + 1), cin, hw, stride));
+        layers.push(conv(
+            &format!("pw{}", i + 1),
+            cin,
+            cout,
+            hw / stride,
+            1,
+            1,
+            0,
+        ));
+    }
+    layers.push(fc("fc", 32 * 4 * 4, 10));
+    Network::new("MobileNet-Mini", layers)
+}
+
 /// The four mainstream networks of Fig. 15, in the paper's order.
 #[must_use]
 pub fn mainstream() -> Vec<Network> {
@@ -562,6 +592,7 @@ pub fn names() -> &'static [&'static str] {
         "squeezenet",
         "resanet",
         "mobilenet",
+        "mobilenet-mini",
     ]
 }
 
@@ -582,6 +613,7 @@ pub fn by_name(name: &str) -> Option<Network> {
         "squeezenet" => Some(squeezenet()),
         "resanet" | "attention56" | "attention-56" => Some(resanet()),
         "mobilenet" | "mobilenet-v1" => Some(mobilenet()),
+        "mobilenet-mini" | "mobilenet_mini" | "mobilenetmini" => Some(mobilenet_mini()),
         _ => None,
     }
 }
@@ -784,6 +816,48 @@ mod tests {
         );
         // Not part of the paper's sweeps.
         assert!(all().iter().all(|n| n.name() != "MobileNet"));
+    }
+
+    #[test]
+    fn mobilenet_mini_chains_and_plans_dense_depthwise() {
+        use tfe_transfer::{Policy, TransferScheme};
+        let net = mobilenet_mini();
+        assert!(by_name("mobilenet-mini").is_some());
+        // Layers chain: each conv's N equals the previous conv's M.
+        let convs: Vec<_> = net.conv_layers().collect();
+        for pair in convs.windows(2) {
+            assert_eq!(
+                pair[1].shape().n(),
+                pair[0].shape().m(),
+                "{} -> {}",
+                pair[0].shape().name(),
+                pair[1].shape().name()
+            );
+        }
+        // Every depth-wise layer resolves to an explicit dense policy in
+        // the plan; pointwise layers do too; nothing transfers except the
+        // standard 3x3 stem.
+        let plan = net.plan(TransferScheme::Scnn);
+        for lp in plan.layers() {
+            let shape = lp.layer().shape();
+            if shape.groups() > 1 {
+                assert!(
+                    matches!(lp.policy(), Policy::Dense { reason }
+                        if reason.contains("depth-wise")),
+                    "{}",
+                    shape.name()
+                );
+                assert!(!lp.mode().is_transferred(), "{}", shape.name());
+            }
+        }
+        assert_eq!(
+            plan.layers()
+                .iter()
+                .filter(|l| l.mode().is_transferred())
+                .count(),
+            1,
+            "only the 3x3 stem transfers"
+        );
     }
 
     #[test]

@@ -504,10 +504,10 @@ impl Engine {
 }
 
 /// The conservative saturation-free gate for one dense stage: every
-/// parts-buffer slot accumulates `N` passes, each a `K`-term product
-/// sum, so **all** kernel intermediates (j-prefix sums and running
-/// accumulator values alike) are bounded in magnitude by
-/// `N · K · max|w| · max|input|`. When that bound stays strictly inside
+/// parts-buffer slot accumulates `N/groups` passes, each a `K`-term
+/// product sum, so **all** kernel intermediates (j-prefix sums and
+/// running accumulator values alike) are bounded in magnitude by
+/// `(N/groups) · K · max|w| · max|input|`. When that bound stays strictly inside
 /// `i32`, no saturating addition can ever clamp, wrapping arithmetic is
 /// exact, and exact integer sums are associative — the wrapping kernel
 /// fast path is bit-identical to the saturating chain.
@@ -521,7 +521,10 @@ fn saturation_free(stage: &StageIr, geo: &Geo, padded: &[Fx16]) -> bool {
         .map(|v| i64::from(v.to_bits()).abs())
         .max()
         .unwrap_or(0);
-    (geo.n as i64)
+    // Each filter sums over its own channel band (N/groups channels) of
+    // K live taps per row — stuffed dilation zeros contribute nothing,
+    // so the logical-tap bound stays valid for every geometry.
+    (geo.cpg as i64)
         .saturating_mul(geo.k as i64)
         .saturating_mul(stage.w_abs_max)
         .saturating_mul(in_abs)
@@ -620,6 +623,7 @@ fn run_part(
                 ctx.saturation_free,
                 part.b0,
                 part.images(),
+                *m,
                 *m - part.plane0,
                 part.planes(),
                 out_part,
@@ -747,18 +751,24 @@ fn emit_row(out_img: &mut [Accum], window: &[Accum], m: usize, oy: usize, geo: &
 }
 
 /// One dense filter's plane for every image of the part at once: per
-/// output row, each of the `K × N` quantized filter rows is loaded
-/// (dispatched + widened) **once** and correlated over one contiguous
-/// span of the row-interleaved padded buffer covering the whole image
-/// range — the filter-stationary inner loop.
+/// output row, each of the `K × N/groups` quantized filter rows is
+/// loaded (dispatched + widened) **once** and correlated over one
+/// contiguous span of the row-interleaved padded buffer covering the
+/// whole image range — the filter-stationary inner loop.
+///
+/// Geometry generality: the filter reads only its own channel band
+/// (`cpg` padded channels starting at `(filter/mpg)·cpg`), vertical taps
+/// sit at `oy·s + ky·d`, and rows are stored zero-stuffed at span
+/// `KW = d·(K−1)+1` — so grouped, depth-wise, and dilated layers all run
+/// this same sweep.
 ///
 /// The span is `(images−1)·PW + full_w`: valid position `x` of image
 /// `bi` lives at offset `bi·PW + x` and reads exactly that image's
 /// samples in ascending `j` order, so per-image values and saturating
-/// addition order are identical to a single-image pass. The `K−1`
+/// addition order are identical to a single-image pass. The `KW−1`
 /// positions between consecutive images' lanes mix two images' samples —
 /// junk the window combine never reads (it slices `[bi·PW .. bi·PW +
-/// full_w]` per image). The junk overhead is `(K−1)/PW` extra positions
+/// full_w]` per image). The junk overhead is `(KW−1)/PW` extra positions
 /// per image; in exchange the whole batch runs through the chunked
 /// vectorizable kernel path instead of `B` short scalar tails.
 ///
@@ -774,6 +784,7 @@ fn dense_unit_sweep(
     saturation_free: bool,
     b0: usize,
     images: usize,
+    filter: usize,
     plane: usize,
     slab_planes: usize,
     out_part: &mut [Accum],
@@ -781,38 +792,43 @@ fn dense_unit_sweep(
     charges: &mut Counters,
 ) {
     let Geo {
-        n,
         e,
         f,
         k,
         s,
         ph,
         pw,
+        d,
+        cpg,
+        mpg,
+        kw,
         ..
     } = *geo;
     if images == 0 {
         return;
     }
-    let full_w = pw - k + 1;
+    let full_w = pw - kw + 1;
     let bw = batch * pw;
     let row_span = (images - 1) * pw + full_w;
     let plane_len = e * f;
     let slab = slab_planes * plane_len;
+    let c0 = (filter / mpg) * cpg;
     let KernelBufs { window, parts, .. } = bufs;
     for oy in 0..e {
         parts.clear();
         parts.resize(k * row_span, Accum::ZERO);
         for ky in 0..k {
             let acc = &mut parts[ky * row_span..][..row_span];
-            for c in 0..n {
-                let w_row = &rows[(c * k + ky) * k..][..k];
-                // Input span needed is row_span + K − 1 = images·PW,
+            for ci in 0..cpg {
+                let w_row = &rows[(ci * k + ky) * kw..][..kw];
+                // Input span needed is row_span + KW − 1 = images·PW,
                 // which ends exactly at the next image range (or the
                 // row's end) — always in bounds of the interleaved row.
-                let in_base = (c * ph + oy * s + ky) * bw + b0 * pw;
+                let in_base = ((c0 + ci) * ph + oy * s + ky * d) * bw + b0 * pw;
                 conventional_row_sweep_acc_with(
                     kernel,
                     w_row,
+                    k,
                     images,
                     &padded[in_base..],
                     pw,
@@ -864,13 +880,27 @@ fn dcnn_unit(
         s,
         ph,
         pw,
+        d,
+        kw,
         ..
     } = *geo;
-    let full_w = pw - k + 1;
+    let zw = d * (z - 1) + 1;
+    let full_w = pw - kw + 1;
     if reuse.errr {
-        let mut ring = take_ring(&mut bufs.ring_pool, &mut bufs.streams_pool, k);
+        // At d > 1 an output row's input taps are d apart, so
+        // consecutive output rows interleave their tap sets; a K-deep
+        // FIFO would evict rows that later windows still need and
+        // recompute every pass. Sizing the ring to the full effective
+        // input span keeps each input row's pass computed exactly once.
+        let capacity = if d == 1 {
+            k
+        } else {
+            ((e - 1) * s + (k - 1) * d + 1).min(ph)
+        };
+        let mut ring = take_ring(&mut bufs.ring_pool, &mut bufs.streams_pool, capacity);
         for oy in 0..e {
-            for i in oy * s..=oy * s + k - 1 {
+            for ky in 0..k {
+                let i = oy * s + ky * d;
                 if ring.contains(i) {
                     continue;
                 }
@@ -878,10 +908,10 @@ fn dcnn_unit(
                 shape_streams(&mut streams, z, per_axis, full_w);
                 for (kr, per_dx) in streams.iter_mut().enumerate() {
                     for c in 0..n {
-                        let meta_row = &rows[(c * z + kr) * z..][..z];
+                        let meta_row = &rows[(c * z + kr) * zw..][..zw];
                         let in_row = &padded[(c * ph + i) * pw..][..pw];
                         dcnn_row_pass_acc_with(
-                            kernel, meta_row, in_row, k, reuse.ppsr, per_dx, counters,
+                            kernel, meta_row, in_row, k, d, reuse.ppsr, per_dx, counters,
                         );
                     }
                 }
@@ -898,7 +928,7 @@ fn dcnn_unit(
                     let window = &mut bufs.window;
                     for ky in 0..k {
                         let part = ring
-                            .read(oy * s + ky, dy + ky, dx, counters)
+                            .read(oy * s + ky * d, dy + ky, dx, counters)
                             .expect("row still resident within the window");
                         if ky == 0 {
                             window.clear();
@@ -922,12 +952,12 @@ fn dcnn_unit(
                 shape_streams(per_row, k, per_axis, full_w);
                 for (ky, per_dx) in per_row.iter_mut().enumerate() {
                     let kr = dy + ky;
-                    let i = oy * s + ky;
+                    let i = oy * s + ky * d;
                     for c in 0..n {
-                        let meta_row = &rows[(c * z + kr) * z..][..z];
+                        let meta_row = &rows[(c * z + kr) * zw..][..zw];
                         let in_row = &padded[(c * ph + i) * pw..][..pw];
                         dcnn_row_pass_acc_with(
-                            kernel, meta_row, in_row, k, reuse.ppsr, per_dx, counters,
+                            kernel, meta_row, in_row, k, d, reuse.ppsr, per_dx, counters,
                         );
                     }
                 }
@@ -972,10 +1002,26 @@ fn scnn_unit(
     counters: &mut Counters,
 ) {
     let Geo {
-        n, e, k, s, ph, pw, ..
+        n,
+        e,
+        k,
+        s,
+        ph,
+        pw,
+        d,
+        kw,
+        ..
     } = *geo;
-    let full_w = pw - k + 1;
+    let full_w = pw - kw + 1;
     let variants = 1 + usize::from(reuse.ppsr);
+    // Same capacity rule as the DCNN ring: at d > 1 consecutive output
+    // rows interleave their d-strided tap sets, so the ring holds the
+    // full effective input span to keep each row's pass computed once.
+    let capacity = if d == 1 {
+        k
+    } else {
+        ((e - 1) * s + (k - 1) * d + 1).min(ph)
+    };
     {
         let KernelBufs {
             ring_table,
@@ -986,7 +1032,7 @@ fn scnn_unit(
         ring_table.clear();
         ring_table.resize_with(ORBIT, || None);
         for &oi in computed {
-            ring_table[oi] = Some(take_ring(ring_pool, streams_pool, k));
+            ring_table[oi] = Some(take_ring(ring_pool, streams_pool, capacity));
         }
     }
     for oy in 0..e {
@@ -1000,7 +1046,8 @@ fn scnn_unit(
                 let ring = ring_table[oi]
                     .as_mut()
                     .expect("computed orientation has a ring");
-                for i in oy * s..oy * s + k {
+                for tap in 0..k {
+                    let i = oy * s + tap * d;
                     if ring.contains(i) {
                         continue;
                     }
@@ -1013,12 +1060,13 @@ fn scnn_unit(
                         let mut rev: Option<&mut [Accum]> =
                             rest.first_mut().map(|v| v.as_mut_slice());
                         for c in 0..n {
-                            let w_row = &rows[((oi * n + c) * k + kr) * k..][..k];
+                            let w_row = &rows[((oi * n + c) * k + kr) * kw..][..kw];
                             let in_row = &padded[(c * ph + i) * pw..][..pw];
                             scnn_row_pass_acc_with(
                                 kernel,
                                 w_row,
                                 in_row,
+                                k,
                                 reuse.ppsr,
                                 fwd,
                                 rev.as_deref_mut(),
@@ -1042,7 +1090,7 @@ fn scnn_unit(
             for ky in 0..k {
                 let kr = if row_flip { k - 1 - ky } else { ky };
                 let part = ring
-                    .read(oy * s + ky, kr, direction, counters)
+                    .read(oy * s + ky * d, kr, direction, counters)
                     .expect("row still resident within the window");
                 if ky == 0 {
                     window.clear();

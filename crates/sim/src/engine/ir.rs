@@ -13,7 +13,7 @@ use crate::output::OutputConfig;
 use crate::SimError;
 use tfe_nets::TransferMode;
 use tfe_tensor::fixed::{Accum, Fx16};
-use tfe_tensor::shape::{ConvKind, LayerShape};
+use tfe_tensor::shape::LayerShape;
 use tfe_transfer::analysis::ReuseConfig;
 use tfe_transfer::layer::TransferredLayer;
 use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
@@ -39,12 +39,16 @@ pub struct PrepareStats {
 /// flat quantized row table.
 #[derive(Debug, Clone)]
 pub(crate) enum UnitIr {
-    /// One dense filter: rows at `base + (c·K + ky)·K`, each `K` long.
+    /// One dense filter: rows at `base + (c·K + ky)·KW`, each
+    /// `KW = d·(K−1)+1` long (zero-stuffed at dilation `d`), with
+    /// `c ∈ 0..N/groups` — a grouped filter stores only its own channel
+    /// band and the run phase offsets reads by the group's first padded
+    /// channel.
     Dense { m: usize, base: usize },
-    /// One DCNN meta group: meta rows at `base + (c·Z + kr)·Z`, each `Z`
-    /// long. `k` is the transferred extent the layer stores (its own
-    /// field, mirrored from the layer rather than re-derived from the
-    /// shape).
+    /// One DCNN meta group: meta rows at `base + (c·Z + kr)·ZW`, each
+    /// `ZW = d·(Z−1)+1` long (zero-stuffed at dilation `d`). `k` is the
+    /// transferred extent the layer stores (its own field, mirrored from
+    /// the layer rather than re-derived from the shape).
     Dcnn {
         g: usize,
         per_axis: usize,
@@ -53,7 +57,7 @@ pub(crate) enum UnitIr {
         base: usize,
     },
     /// One SCNN orbit group: rows of orientation `oi` at
-    /// `base + ((oi·N + c)·K + kr)·K`, each `K` long. `emitted` is how
+    /// `base + ((oi·N + c)·K + kr)·KW`, each `KW` long. `emitted` is how
     /// many orbit members this (possibly partial) group emits and
     /// `computed` the sorted, deduplicated source orientations that must
     /// run their own row passes under the compiled [`ReuseConfig`].
@@ -101,9 +105,12 @@ pub(crate) struct StageIr {
     pub(crate) rows: Vec<Fx16>,
     pub(crate) units: Vec<UnitIr>,
     /// The inner correlation kernel every unit of this stage dispatches
-    /// to, selected once here from the filter extent `K`. DCNN meta rows
-    /// are `Z` wide but every offset lane still correlates a `K`-length
-    /// weight slice, so one stage-level selection covers all schemes.
+    /// to, selected once here from the stored row span
+    /// `KW = d·(K−1)+1` (dilated rows are zero-stuffed at compile time,
+    /// so a 3×3 filter at dilation 2 rides the monomorphized `K5`
+    /// kernel). DCNN meta rows are `ZW` wide but every offset lane still
+    /// correlates a `KW`-length weight slice, so one stage-level
+    /// selection covers all schemes.
     pub(crate) kernel: RowKernel,
     /// Largest `|raw i16 bits|` over the stage's whole quantized row
     /// table — one factor of the conservative saturation-free bound the
@@ -126,6 +133,17 @@ pub(crate) struct Geo {
     pub(crate) pad: usize,
     pub(crate) ph: usize,
     pub(crate) pw: usize,
+    /// Dilation factor; vertical taps sit at `oy·s + ky·d` and the
+    /// stored rows are zero-stuffed to span `kw`.
+    pub(crate) d: usize,
+    /// Input channels each filter reads (`N / groups`).
+    pub(crate) cpg: usize,
+    /// Filters per channel group (`M / groups`); filter `m` reads the
+    /// padded channel band starting at `(m / mpg) · cpg`.
+    pub(crate) mpg: usize,
+    /// Stored row span `d·(K−1)+1` — what every row table and horizontal
+    /// window width is laid out with.
+    pub(crate) kw: usize,
 }
 
 impl Geo {
@@ -142,6 +160,10 @@ impl Geo {
             pad: shape.pad(),
             ph: shape.h() + 2 * shape.pad(),
             pw: shape.w() + 2 * shape.pad(),
+            d: shape.dilation(),
+            cpg: shape.channels_per_group(),
+            mpg: shape.filters_per_group(),
+            kw: shape.dilation() * (shape.k() - 1) + 1,
         }
     }
 }
@@ -185,14 +207,19 @@ pub(crate) fn compile_stage(
     stats: &mut PrepareStats,
 ) -> Result<StageIr, SimError> {
     let shape = shape.clone();
-    if shape.kind() == ConvKind::DepthWise {
-        return Err(SimError::UnsupportedLayer {
-            reason: "depth-wise convolution is excluded by the TFE",
-        });
-    }
-    if shape.dilation() != 1 {
-        return Err(SimError::UnsupportedLayer {
-            reason: "the functional datapath models unit dilation; dilated layers use the performance model",
+    // Grouped (and therefore depth-wise) geometry runs first-class, but
+    // only from dense weight banks: channel grouping removes the
+    // cross-filter redundancy the transferred representations encode,
+    // so pairing DCNN/SCNN weights with a grouped shape is a typed
+    // compile error rather than a silently wrong expansion.
+    if shape.groups() > 1 && !matches!(weights, TransferredLayer::Dense { .. }) {
+        let scheme = match weights {
+            TransferredLayer::Dcnn { .. } => "DCNN",
+            _ => "SCNN",
+        };
+        return Err(SimError::UnsupportedGeometry {
+            scheme,
+            groups: shape.groups(),
         });
     }
     if shape.m() != weights.filters() {
@@ -227,6 +254,14 @@ pub(crate) fn compile_stage(
         }
     }
     let (n, k) = (shape.n(), shape.k());
+    let (d, cpg) = (shape.dilation(), shape.channels_per_group());
+    // Every stored row is zero-stuffed to the dilated span: weight j of
+    // a K-tap row lands at position j·d of a kw-long row, with
+    // `Fx16::ZERO` between taps. A zero product is a saturating-add
+    // identity, so the stuffed correlation is bit-identical to the
+    // golden model's d-strided tap accumulation — and the row rides the
+    // monomorphized kernel for its span (K=3, d=2 → the K5 core).
+    let kw = d * (k - 1) + 1;
     let mut rows: Vec<Fx16> = Vec::new();
     let mut units: Vec<UnitIr> = Vec::new();
     let mode = match weights {
@@ -240,14 +275,24 @@ pub(crate) fn compile_stage(
     };
     match weights {
         TransferredLayer::Dense { weights } => {
+            // Grouped filters store only their own channel band.
+            if weights.dims()[1] != cpg {
+                return Err(SimError::OperandMismatch {
+                    what: "dense weight channels",
+                    expected: cpg,
+                    actual: weights.dims()[1],
+                });
+            }
             for m in 0..shape.m() {
                 let base = rows.len();
-                for c in 0..n {
+                for c in 0..cpg {
                     for ky in 0..k {
                         stats.weight_rows += 1;
                         stats.weight_values += k as u64;
+                        let start = rows.len();
+                        rows.resize(start + kw, Fx16::ZERO);
                         for kx in 0..k {
-                            rows.push(Fx16::from_f32(weights.get([m, c, ky, kx])));
+                            rows[start + kx * d] = Fx16::from_f32(weights.get([m, c, ky, kx]));
                         }
                     }
                 }
@@ -260,13 +305,16 @@ pub(crate) fn compile_stage(
             for (g, meta) in metas.iter().enumerate() {
                 let per_axis = meta.offsets_per_axis(*layer_k)?;
                 let z = meta.z();
+                let zw = d * (z - 1) + 1;
                 let base = rows.len();
                 for c in 0..n {
                     for kr in 0..z {
                         stats.weight_rows += 1;
                         stats.weight_values += z as u64;
+                        let start = rows.len();
+                        rows.resize(start + zw, Fx16::ZERO);
                         for x in 0..z {
-                            rows.push(Fx16::from_f32(meta.get(c, kr, x)));
+                            rows[start + x * d] = Fx16::from_f32(meta.get(c, kr, x));
                         }
                     }
                 }
@@ -289,13 +337,12 @@ pub(crate) fn compile_stage(
                         for kr in 0..k {
                             stats.weight_rows += 1;
                             stats.weight_values += k as u64;
-                            let start = c * k * k + kr * k;
-                            rows.extend(
-                                oriented[start..start + k]
-                                    .iter()
-                                    .copied()
-                                    .map(Fx16::from_f32),
-                            );
+                            let src = c * k * k + kr * k;
+                            let start = rows.len();
+                            rows.resize(start + kw, Fx16::ZERO);
+                            for kx in 0..k {
+                                rows[start + kx * d] = Fx16::from_f32(oriented[src + kx]);
+                            }
                         }
                     }
                 }
@@ -322,7 +369,7 @@ pub(crate) fn compile_stage(
                 .map_or(Accum::ZERO, |&v| Accum::from_sample(Fx16::from_f32(v)))
         })
         .collect();
-    let kernel = RowKernel::select(k);
+    let kernel = RowKernel::select(kw);
     let w_abs_max = rows
         .iter()
         .map(|w| i64::from(w.to_bits()).abs())

@@ -103,9 +103,9 @@ impl Engine {
     /// # Errors
     ///
     /// Rejects the same layers [`crate::functional::run_layer`] rejects
-    /// (depth-wise, dilated, filter-count mismatches, inconsistent
-    /// transferred representations) — at compile time instead of on the
-    /// first request.
+    /// (transferred weights on grouped/depth-wise shapes, filter-count
+    /// mismatches, inconsistent transferred representations) — at
+    /// compile time instead of on the first request.
     pub fn compile(net: &FunctionalNetwork, reuse: ReuseConfig) -> Result<Self, SimError> {
         let mut stats = PrepareStats::default();
         let stages = net

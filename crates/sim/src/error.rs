@@ -34,6 +34,18 @@ pub enum SimError {
         /// The pooling window extent.
         pool: usize,
     },
+    /// Transferred-filter weights (DCNN/SCNN) were paired with a grouped
+    /// or depth-wise layer shape. Channel grouping removes the
+    /// cross-filter redundancy the transfer exploits, so grouped layers
+    /// compile only from dense weight banks
+    /// ([`tfe_transfer::Policy::Dense`] records the planning-side
+    /// decision; this is the engine-side enforcement).
+    UnsupportedGeometry {
+        /// The transfer representation that cannot run on the geometry.
+        scheme: &'static str,
+        /// The layer's channel group count.
+        groups: usize,
+    },
     /// A weight or activation operand disagreed with the layer shape.
     OperandMismatch {
         /// What was being matched.
@@ -66,6 +78,12 @@ impl fmt::Display for SimError {
                 f,
                 "pooling extent {pool} does not divide {what} ({extent}); \
                  the row-wise pooler would drop a partial window after charging for it"
+            ),
+            SimError::UnsupportedGeometry { scheme, groups } => write!(
+                f,
+                "{scheme} transferred filters cannot run on a convolution with \
+                 {groups} channel groups; grouped and depth-wise layers execute \
+                 from dense weight banks"
             ),
             SimError::OperandMismatch {
                 what,
@@ -109,6 +127,18 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("ofmap rows"), "{msg}");
         assert!(msg.contains('5') && msg.contains('2'), "{msg}");
+    }
+
+    #[test]
+    fn unsupported_geometry_names_scheme_and_groups() {
+        let e = SimError::UnsupportedGeometry {
+            scheme: "SCNN",
+            groups: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("SCNN"), "{msg}");
+        assert!(msg.contains('8'), "{msg}");
+        assert!(msg.contains("dense"), "{msg}");
     }
 
     #[test]

@@ -10,14 +10,15 @@
 //! *expanded* transferred filters: the reuse machinery must be a pure
 //! optimization.
 //!
-//! Scope: arbitrary stride, arbitrary square filters, zero padding,
-//! multi-channel, batched inputs (dilation > 1 is analytic-only).
+//! Scope: arbitrary stride, dilation, channel grouping (including
+//! depth-wise), arbitrary square filters, zero padding, multi-channel,
+//! batched inputs.
 
 use crate::counters::Counters;
 use crate::engine::{Engine, Scratch};
 use crate::SimError;
 use tfe_tensor::fixed::{Accum, Fx16};
-use tfe_tensor::shape::{ConvKind, LayerShape};
+use tfe_tensor::shape::LayerShape;
 use tfe_tensor::tensor::Tensor4;
 use tfe_transfer::analysis::ReuseConfig;
 use tfe_transfer::layer::TransferredLayer;
@@ -42,25 +43,17 @@ pub struct FunctionalOutput {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::UnsupportedLayer`] for depth-wise or dilated
-/// layers and [`SimError::OperandMismatch`] when `input` or `layer`
-/// disagree with `shape`.
+/// Returns [`SimError::UnsupportedGeometry`] when transferred (DCNN/
+/// SCNN) weights are paired with a grouped or depth-wise shape (those
+/// geometries execute from dense weight banks) and
+/// [`SimError::OperandMismatch`] when `input` or `layer` disagree with
+/// `shape`.
 pub fn run_layer(
     input: &Tensor4<Fx16>,
     layer: &TransferredLayer,
     shape: &LayerShape,
     reuse: ReuseConfig,
 ) -> Result<FunctionalOutput, SimError> {
-    if shape.kind() == ConvKind::DepthWise {
-        return Err(SimError::UnsupportedLayer {
-            reason: "depth-wise convolution is excluded by the TFE",
-        });
-    }
-    if shape.dilation() != 1 {
-        return Err(SimError::UnsupportedLayer {
-            reason: "the functional datapath models unit dilation; dilated layers use the performance model",
-        });
-    }
     let [_, ic, ih, iw] = input.dims();
     for (what, expected, actual) in [
         ("input channels", shape.n(), ic),
@@ -292,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn dilated_layer_rejected_by_functional_path() {
+    fn dilated_scnn_matches_oracle_bit_exactly() {
         let shape = LayerShape::conv("dil", 1, 8, 9, 9, 3, 1, 0)
             .unwrap()
             .with_dilation(2)
@@ -300,10 +293,70 @@ mod tests {
         let mut seed = 21;
         let s2 = &mut seed;
         let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
-        let input = random_input(&shape, &mut 5);
+        check_all_reuse_configs(&shape, &layer, &mut 5);
+    }
+
+    #[test]
+    fn dilated_dcnn_matches_oracle_bit_exactly() {
+        let shape = LayerShape::conv("dild", 2, 8, 10, 10, 3, 1, 1)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        let mut seed = 23;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&shape, TransferScheme::DCNN4, || det(s2)).unwrap();
+        check_all_reuse_configs(&shape, &layer, &mut 61);
+    }
+
+    #[test]
+    fn dilated_strided_dense_matches_oracle() {
+        let shape = LayerShape::conv("ds", 2, 3, 11, 11, 3, 2, 1)
+            .unwrap()
+            .with_dilation(2)
+            .unwrap();
+        let mut seed = 25;
+        let weights = Tensor4::from_fn([3, 2, 3, 3], |_| det(&mut seed));
+        let layer = TransferredLayer::Dense { weights };
+        check_all_reuse_configs(&shape, &layer, &mut 67);
+    }
+
+    #[test]
+    fn depthwise_matches_oracle_bit_exactly() {
+        let shape = LayerShape::depthwise("dw", 4, 8, 8, 3, 1, 1).unwrap();
+        let mut seed = 27;
+        let weights = Tensor4::from_fn([4, 1, 3, 3], |_| det(&mut seed));
+        let layer = TransferredLayer::Dense { weights };
+        check_all_reuse_configs(&shape, &layer, &mut 71);
+    }
+
+    #[test]
+    fn grouped_dense_matches_oracle() {
+        let shape = LayerShape::conv("g2", 4, 6, 7, 7, 3, 1, 1)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        let mut seed = 29;
+        let s2 = &mut seed;
+        // random() resolves grouped shapes to the dense per-group bank.
+        let layer = TransferredLayer::random(&shape, TransferScheme::Scnn, || det(s2)).unwrap();
+        assert!(matches!(layer, TransferredLayer::Dense { .. }));
+        check_all_reuse_configs(&shape, &layer, &mut 73);
+    }
+
+    #[test]
+    fn grouped_shape_rejects_transferred_weights() {
+        // Build SCNN weights for the ungrouped twin, then pair them with
+        // the grouped shape: the compile must fail with the typed
+        // geometry error, not expand to a wrong dense bank.
+        let plain = LayerShape::conv("tw", 4, 8, 6, 6, 3, 1, 1).unwrap();
+        let grouped = plain.clone().with_groups(4).unwrap();
+        let mut seed = 33;
+        let s2 = &mut seed;
+        let layer = TransferredLayer::random(&plain, TransferScheme::Scnn, || det(s2)).unwrap();
+        let input = random_input(&grouped, &mut 3);
         assert!(matches!(
-            run_layer(&input, &layer, &shape, ReuseConfig::FULL),
-            Err(SimError::UnsupportedLayer { .. })
+            run_layer(&input, &layer, &grouped, ReuseConfig::FULL),
+            Err(SimError::UnsupportedGeometry { groups: 4, .. })
         ));
     }
 

@@ -172,8 +172,9 @@ impl FunctionalNetwork {
     /// # Errors
     ///
     /// Returns the compile-time [`SimError`] for networks the engine
-    /// rejects (depth-wise, dilated, filter-count mismatches); the error
-    /// is cached too, so repeated calls fail identically.
+    /// rejects (transferred weights on grouped shapes, filter-count
+    /// mismatches); the error is cached too, so repeated calls fail
+    /// identically.
     pub fn engine(&self, reuse: ReuseConfig) -> Result<&Engine, SimError> {
         self.cache
             .slot(reuse)

@@ -137,6 +137,7 @@ pub fn dcnn_row_pass_acc(
         meta_row,
         input,
         k,
+        1,
         ppsr,
         acc,
         counters,
@@ -145,19 +146,35 @@ pub fn dcnn_row_pass_acc(
 
 /// [`dcnn_row_pass_acc`] with the row kernel pre-selected (what the
 /// compiled engine threads through its units, avoiding per-pass
-/// re-dispatch on `K`).
+/// re-dispatch on the row span) and an explicit dilation factor.
+///
+/// At `dilation > 1` the meta row arrives zero-stuffed to
+/// `ZW = d·(Z−1)+1` and each of the `Z−K+1` offset lanes correlates the
+/// `KW = d·(K−1)+1` slice starting at `dx·d` — itself a correctly
+/// stuffed K-tap row, so every lane is bit-identical to the d-strided
+/// tap accumulation (stuffed zeros are saturating-add identities).
+/// Charges stay in *logical* taps (`Z`/`K` multiplier activations): the
+/// stuffed zeros model clock-gated multiplier slots, not live work.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dcnn_row_pass_acc_with(
     kernel: RowKernel,
     meta_row: &[Fx16],
     input: &[Fx16],
     k: usize,
+    dilation: usize,
     ppsr: bool,
     acc: &mut [Vec<Accum>],
     counters: &mut Counters,
 ) {
-    let (offsets, out_len) = charge_dcnn(meta_row.len(), k, input.len(), ppsr, counters);
+    let kw = dilation * (k - 1) + 1;
+    let z = (meta_row.len() - 1) / dilation + 1;
+    let (offsets, out_len) = charge_dcnn_dilated(z, k, dilation, input.len(), ppsr, counters);
     for dx in 0..offsets {
-        kernel.correlate_add(&meta_row[dx..dx + k], input, &mut acc[dx][..out_len]);
+        kernel.correlate_add(
+            &meta_row[dx * dilation..dx * dilation + kw],
+            input,
+            &mut acc[dx][..out_len],
+        );
     }
 }
 
@@ -191,12 +208,27 @@ fn charge_dcnn(
     ppsr: bool,
     counters: &mut Counters,
 ) -> (usize, usize) {
+    charge_dcnn_dilated(z, k, 1, input_len, ppsr, counters)
+}
+
+/// [`charge_dcnn`] for a dilated pass: `Z`/`K` are the *logical* tap
+/// counts (what the multipliers execute), while the output length
+/// follows the stuffed span `KW = d·(K−1)+1` the lanes slide over.
+fn charge_dcnn_dilated(
+    z: usize,
+    k: usize,
+    dilation: usize,
+    input_len: usize,
+    ppsr: bool,
+    counters: &mut Counters,
+) -> (usize, usize) {
     assert!(
         k >= 1 && k <= z,
         "transferred extent must satisfy 1 <= K <= Z"
     );
     let offsets = z - k + 1;
-    let out_len = (input_len + 1).saturating_sub(k);
+    let kw = dilation * (k - 1) + 1;
+    let out_len = (input_len + 1).saturating_sub(kw);
     if ppsr {
         // Every broadcast element activates all Z multipliers once and
         // ripples through the Z−1 stacked adders; the shared products are
@@ -269,6 +301,7 @@ pub fn scnn_row_pass_acc(
         RowKernel::select(base_row.len()),
         base_row,
         input,
+        base_row.len(),
         ppsr,
         fwd,
         rev,
@@ -278,20 +311,34 @@ pub fn scnn_row_pass_acc(
 
 /// [`scnn_row_pass_acc`] with the row kernel pre-selected (what the
 /// compiled engine threads through its units, avoiding per-pass
-/// re-dispatch on `K`).
+/// re-dispatch on the row span) and the logical tap count made explicit:
+/// a dilated base row arrives zero-stuffed to `KW = d·(K−1)+1` but only
+/// `taps = K` multipliers fire per broadcast element — the stuffed
+/// zeros model clock-gated slots. The mirrored stream stays exact under
+/// stuffing because the reversed row's zero pattern is the mirror of the
+/// forward one (`kw−1−t ≡ 0 (mod d)` iff `t ≡ 0 (mod d)`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scnn_row_pass_acc_with(
     kernel: RowKernel,
     base_row: &[Fx16],
     input: &[Fx16],
+    taps: usize,
     ppsr: bool,
     fwd: &mut [Accum],
     rev: Option<&mut [Accum]>,
     counters: &mut Counters,
 ) {
-    let out_len = charge_scnn_forward(base_row.len(), input.len(), ppsr, rev.is_some(), counters);
+    let out_len = charge_scnn_forward(
+        taps,
+        base_row.len(),
+        input.len(),
+        ppsr,
+        rev.is_some(),
+        counters,
+    );
     kernel.correlate_add(base_row, input, &mut fwd[..out_len]);
     if ppsr {
-        charge_scnn_mirrored(base_row.len(), input.len(), out_len, counters);
+        charge_scnn_mirrored(taps, input.len(), out_len, counters);
         if let Some(rev) = rev {
             kernel.correlate_add_rev(base_row, input, &mut rev[..out_len]);
         }
@@ -311,7 +358,7 @@ pub fn scnn_row_pass_acc_scalar(
     counters: &mut Counters,
 ) {
     let k = base_row.len();
-    let out_len = charge_scnn_forward(k, input.len(), ppsr, rev.is_some(), counters);
+    let out_len = charge_scnn_forward(k, k, input.len(), ppsr, rev.is_some(), counters);
     for (x, slot) in fwd[..out_len].iter_mut().enumerate() {
         *slot += correlate_at(base_row, input, x);
     }
@@ -328,8 +375,12 @@ pub fn scnn_row_pass_acc_scalar(
 }
 
 /// The shared SCNN forward-stream counter model; returns `out_len`.
+/// `taps` is the logical tap count (multiplier activations per element);
+/// `span` the stored row width the stream slides over (`taps` unless the
+/// row is zero-stuffed for dilation).
 fn charge_scnn_forward(
-    k: usize,
+    taps: usize,
+    span: usize,
     input_len: usize,
     ppsr: bool,
     has_rev: bool,
@@ -339,13 +390,13 @@ fn charge_scnn_forward(
         ppsr, has_rev,
         "the mirrored stream exists exactly when PPSR is enabled"
     );
-    let out_len = (input_len + 1).saturating_sub(k);
-    counters.multiplies += (k * input_len) as u64;
+    let out_len = (input_len + 1).saturating_sub(span);
+    counters.multiplies += (taps * input_len) as u64;
     // Each result stream has `out_len` outputs, and combining K products
     // into one output costs K−1 adder activations. (The earlier model
     // charged (K−1)·input.len(), overcounting the K−1 edge positions
     // that produce no output.)
-    counters.adds += (k.saturating_sub(1) * out_len) as u64;
+    counters.adds += (taps.saturating_sub(1) * out_len) as u64;
     out_len
 }
 
@@ -408,7 +459,7 @@ pub(crate) fn conventional_row_pass_acc_with(
     acc: &mut [Accum],
     counters: &mut Counters,
 ) {
-    let out_len = charge_conventional(filter_row.len(), input.len(), counters);
+    let out_len = charge_conventional(filter_row.len(), filter_row.len(), input.len(), counters);
     kernel.correlate_add(filter_row, input, &mut acc[..out_len]);
 }
 
@@ -443,6 +494,7 @@ pub(crate) fn conventional_row_pass_acc_with(
 pub(crate) fn conventional_row_sweep_acc_with(
     kernel: RowKernel,
     filter_row: &[Fx16],
+    taps: usize,
     images: usize,
     input: &[Fx16],
     seg_stride: usize,
@@ -450,7 +502,7 @@ pub(crate) fn conventional_row_sweep_acc_with(
     saturation_free: bool,
     charges: &mut Counters,
 ) {
-    let out_len = charge_conventional(filter_row.len(), seg_stride, charges);
+    let out_len = charge_conventional(taps, filter_row.len(), seg_stride, charges);
     if images == 0 {
         return;
     }
@@ -477,17 +529,26 @@ pub fn conventional_row_pass_acc_scalar(
     acc: &mut [Accum],
     counters: &mut Counters,
 ) {
-    let out_len = charge_conventional(filter_row.len(), input.len(), counters);
+    let out_len = charge_conventional(filter_row.len(), filter_row.len(), input.len(), counters);
     for (x, slot) in acc[..out_len].iter_mut().enumerate() {
         *slot += correlate_at(filter_row, input, x);
     }
 }
 
 /// The shared conventional row-pass counter model; returns `out_len`.
-fn charge_conventional(k: usize, input_len: usize, counters: &mut Counters) -> usize {
-    let out_len = (input_len + 1).saturating_sub(k);
-    counters.multiplies += (k * input_len) as u64;
-    counters.adds += (k.saturating_sub(1) * out_len) as u64;
+/// `taps` is the logical tap count (live multiplier activations per
+/// element), `span` the stored row width (`taps` unless the row is
+/// zero-stuffed for dilation — stuffed zeros are clock-gated, not
+/// charged).
+fn charge_conventional(
+    taps: usize,
+    span: usize,
+    input_len: usize,
+    counters: &mut Counters,
+) -> usize {
+    let out_len = (input_len + 1).saturating_sub(span);
+    counters.multiplies += (taps * input_len) as u64;
+    counters.adds += (taps.saturating_sub(1) * out_len) as u64;
     out_len
 }
 

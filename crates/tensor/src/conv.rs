@@ -12,7 +12,7 @@
 //! hardware does, so the simulator can be checked bit-exactly.
 
 use crate::fixed::{Accum, Fx16};
-use crate::shape::{ConvKind, LayerShape};
+use crate::shape::LayerShape;
 use crate::tensor::Tensor4;
 use crate::TensorError;
 
@@ -42,11 +42,8 @@ where
     expect("input height", shape.h(), ih)?;
     expect("input width", shape.w(), iw)?;
     expect("filter count", shape.m(), m)?;
-    let per_filter_channels = match shape.kind() {
-        ConvKind::DepthWise => 1,
-        _ => shape.n(),
-    };
-    expect("weight channels", per_filter_channels, wc)?;
+    // Grouped/depthwise filters store only their group's channels.
+    expect("weight channels", shape.channels_per_group(), wc)?;
     expect("filter height", shape.k(), kh)?;
     expect("filter width", shape.k(), kw)?;
     if let Some(len) = bias_len {
@@ -57,9 +54,9 @@ where
 
 /// Direct 2-D convolution over `f32` data.
 ///
-/// `input` is `[batch, N, H, W]`, `weights` is `[M, N, K, K]` (or
-/// `[M, 1, K, K]` for depth-wise layers), `bias` is an optional per-filter
-/// offset. Returns `[batch, M, E, F]`.
+/// `input` is `[batch, N, H, W]`, `weights` is `[M, N/groups, K, K]`
+/// (`[M, 1, K, K]` for depth-wise layers), `bias` is an optional
+/// per-filter offset. Returns `[batch, M, E, F]`.
 ///
 /// # Errors
 ///
@@ -77,7 +74,7 @@ pub fn conv2d_f32(
     let (e, f, k, m_count) = (shape.e(), shape.f(), shape.k(), shape.m());
     let (stride, pad) = (shape.stride(), shape.pad());
     let dilation = shape.dilation();
-    let depthwise = shape.kind() == ConvKind::DepthWise;
+    let (cpg, mpg) = (shape.channels_per_group(), shape.filters_per_group());
     let in_data = input.as_slice();
     let w_data = weights.as_slice();
     let mut out = Tensor4::zeros([batch, m_count, e, f]);
@@ -88,7 +85,9 @@ pub fn conv2d_f32(
     for b in 0..batch {
         for m in 0..m_count {
             let bias_m = bias.map_or(0.0, |b| b[m]);
-            let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
+            // Filter m reads only its group's channel band.
+            let c0 = (m / mpg) * cpg;
+            let channels = c0..c0 + cpg;
             for oy in 0..e {
                 row_taps.clear();
                 for ky in 0..k {
@@ -101,7 +100,7 @@ pub fn conv2d_f32(
                 for (ox, slot) in out_row.iter_mut().enumerate() {
                     let mut acc = bias_m;
                     for c in channels.clone() {
-                        let wc = if depthwise { 0 } else { c };
+                        let wc = c - c0;
                         for &(ky, iy) in &row_taps {
                             let in_row = &in_data[((b * in_c + c) * in_h + iy) * in_w..][..in_w];
                             let w_row = &w_data[((m * w_ch + wc) * k + ky) * k..][..k];
@@ -144,7 +143,7 @@ pub fn conv2d_fx(
     let (e, f, k, m_count) = (shape.e(), shape.f(), shape.k(), shape.m());
     let (stride, pad) = (shape.stride(), shape.pad());
     let dilation = shape.dilation();
-    let depthwise = shape.kind() == ConvKind::DepthWise;
+    let (cpg, mpg) = (shape.channels_per_group(), shape.filters_per_group());
     let in_data = input.as_slice();
     let w_data = weights.as_slice();
     let mut out = Tensor4::zeros([batch, m_count, e, f]);
@@ -155,7 +154,8 @@ pub fn conv2d_fx(
     let mut row_taps: Vec<(usize, usize)> = Vec::with_capacity(k);
     for b in 0..batch {
         for m in 0..m_count {
-            let channels = if depthwise { m..m + 1 } else { 0..shape.n() };
+            let c0 = (m / mpg) * cpg;
+            let channels = c0..c0 + cpg;
             for oy in 0..e {
                 row_taps.clear();
                 for ky in 0..k {
@@ -168,7 +168,7 @@ pub fn conv2d_fx(
                 for (ox, slot) in out_row.iter_mut().enumerate() {
                     let mut acc = Accum::ZERO;
                     for c in channels.clone() {
-                        let wc = if depthwise { 0 } else { c };
+                        let wc = c - c0;
                         for &(ky, iy) in &row_taps {
                             let in_row = &in_data[((b * in_c + c) * in_h + iy) * in_w..][..in_w];
                             let w_row = &w_data[((m * w_ch + wc) * k + ky) * k..][..k];
@@ -347,6 +347,43 @@ mod tests {
             .flat_map(|&y| [0, 2, 4].iter().map(move |&x| (y * 5 + x) as f32))
             .sum();
         assert_eq!(out.get([0, 0, 0, 0]), expected);
+    }
+
+    #[test]
+    fn grouped_convolution_reads_only_its_channel_band() {
+        // 4 input channels, 2 groups, 2 filters (one per group): filter 0
+        // sums channels {0,1}, filter 1 sums channels {2,3}.
+        let shape = LayerShape::conv("g", 4, 2, 2, 2, 1, 1, 0)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        let input = Tensor4::from_fn([1, 4, 2, 2], |[_, c, _, _]| (c + 1) as f32);
+        let w = Tensor4::filled([2, 2, 1, 1], 1.0f32);
+        let out = conv2d_f32(&input, &w, None, &shape).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), 1.0 + 2.0);
+        assert_eq!(out.get([0, 1, 0, 0]), 3.0 + 4.0);
+        // Fixed-point agrees.
+        let qout = conv2d_fx(&input.map(Fx16::from_f32), &w.map(Fx16::from_f32), &shape).unwrap();
+        assert_eq!(qout.get([0, 0, 0, 0]).to_sample().to_f32(), 3.0);
+        assert_eq!(qout.get([0, 1, 0, 0]).to_sample().to_f32(), 7.0);
+    }
+
+    #[test]
+    fn grouped_weights_with_full_channels_rejected() {
+        // Grouped shapes expect [M, N/groups, K, K] weights.
+        let shape = LayerShape::conv("g", 4, 2, 2, 2, 1, 1, 0)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        let input = Tensor4::<f32>::zeros([1, 4, 2, 2]);
+        let w = Tensor4::zeros([2, 4, 1, 1]);
+        assert!(matches!(
+            conv2d_f32(&input, &w, None, &shape),
+            Err(TensorError::ShapeMismatch {
+                what: "weight channels",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -37,6 +37,26 @@ pub enum TensorError {
         /// The bound that was exceeded.
         bound: usize,
     },
+    /// The channel-group count is zero or does not divide a channel
+    /// extent (grouped/depthwise convolution geometry).
+    InvalidGroups {
+        /// The rejected group count.
+        groups: usize,
+        /// Which channel extent failed to divide.
+        what: &'static str,
+        /// That extent's value.
+        channels: usize,
+    },
+    /// The dilated receptive field `dilation × (K − 1) + 1` exceeds the
+    /// padded input extent.
+    DilatedExtentTooLarge {
+        /// The dilated receptive extent.
+        extent: usize,
+        /// The dilation that produced it.
+        dilation: usize,
+        /// Padded input extent the field was checked against.
+        padded_input: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -63,6 +83,22 @@ impl fmt::Display for TensorError {
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds for extent {bound}")
             }
+            TensorError::InvalidGroups {
+                groups,
+                what,
+                channels,
+            } => write!(
+                f,
+                "group count {groups} does not divide {what} = {channels}"
+            ),
+            TensorError::DilatedExtentTooLarge {
+                extent,
+                dilation,
+                padded_input,
+            } => write!(
+                f,
+                "dilated receptive extent {extent} (dilation {dilation}) exceeds padded input of extent {padded_input}"
+            ),
         }
     }
 }
@@ -88,6 +124,24 @@ mod tests {
         };
         assert!(e.to_string().contains("weight channels"));
         assert!(e.to_string().contains("expected 3"));
+
+        let e = TensorError::InvalidGroups {
+            groups: 3,
+            what: "ifmap channels (N)",
+            channels: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "group count 3 does not divide ifmap channels (N) = 8"
+        );
+
+        let e = TensorError::DilatedExtentTooLarge {
+            extent: 11,
+            dilation: 5,
+            padded_input: 9,
+        };
+        assert!(e.to_string().contains("dilated receptive extent 11"));
+        assert!(e.to_string().contains("padded input of extent 9"));
     }
 
     #[test]

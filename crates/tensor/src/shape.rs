@@ -15,8 +15,9 @@ use crate::TensorError;
 ///
 /// The paper's engine accelerates canonical convolutions (including those
 /// with stride > 1); 1×1 convolutions and FC layers run in conventional
-/// mode, and depth-wise convolutions are rejected outright (the paper
-/// excludes MobileNet-like networks).
+/// mode, and depth-wise/grouped convolutions resolve to an explicit dense
+/// (untransferred) policy and run conventionally as well (the paper
+/// excludes MobileNet-like networks from *transfer*, not execution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConvKind {
     /// A canonical convolution over all input channels.
@@ -24,8 +25,8 @@ pub enum ConvKind {
     /// A 1×1 convolution. Cannot be transferred (translation/rotation of a
     /// single weight is the identity), so it runs in conventional mode.
     Pointwise,
-    /// A depth-wise convolution (one filter per channel). Unsupported by the
-    /// TFE; constructing a plan over such a layer yields an error upstream.
+    /// A depth-wise convolution (one filter per channel, `groups == N`).
+    /// Never transferred; compiled and executed as a grouped dense stage.
     DepthWise,
     /// A fully connected layer, executed in CONV fashion (1×1 spatial
     /// output over the flattened feature vector), as in Section IV.
@@ -38,6 +39,31 @@ impl ConvKind {
     pub fn transferable(self) -> bool {
         matches!(self, ConvKind::Standard)
     }
+}
+
+/// The complete convolution geometry of a layer: how filter taps map to
+/// input positions (`stride`, `dilation`) and how channels partition into
+/// independent filter groups (`groups`). Depthwise convolution is the
+/// `groups == channels` corner; ordinary convolution is
+/// `{stride, dilation: 1, groups: 1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Output-position step in input coordinates.
+    pub stride: usize,
+    /// Spacing between filter taps (1 = ordinary convolution).
+    pub dilation: usize,
+    /// Channel groups: each filter reads only its group's `N / groups`
+    /// input channels, and the `M` filters split evenly across groups.
+    pub groups: usize,
+}
+
+impl ConvGeometry {
+    /// The identity geometry: unit stride/dilation, one group.
+    pub const UNIT: ConvGeometry = ConvGeometry {
+        stride: 1,
+        dilation: 1,
+        groups: 1,
+    };
 }
 
 /// Shape parameters of a single CNN layer (paper Table I).
@@ -57,6 +83,7 @@ pub struct LayerShape {
     stride: usize,
     pad: usize,
     dilation: usize,
+    groups: usize,
 }
 
 impl LayerShape {
@@ -116,7 +143,8 @@ impl LayerShape {
             k,
             stride,
             pad,
-        )
+        )?
+        .with_groups(channels)
     }
 
     /// Creates a fully connected layer shape with `inputs` input features
@@ -184,7 +212,36 @@ impl LayerShape {
             stride,
             pad,
             dilation: 1,
+            groups: 1,
         })
+    }
+
+    /// Returns a copy with the given channel-group count: each filter
+    /// reads only the `N / groups` input channels of its group, and the
+    /// `M` filters split evenly across groups. `groups == N == M` is
+    /// depthwise convolution; `groups == 1` is ordinary convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGroups`] when `groups` is zero or
+    /// does not divide both channel counts.
+    pub fn with_groups(mut self, groups: usize) -> Result<Self, TensorError> {
+        if groups == 0 || !self.n.is_multiple_of(groups) {
+            return Err(TensorError::InvalidGroups {
+                groups,
+                what: "ifmap channels (N)",
+                channels: self.n,
+            });
+        }
+        if !self.m.is_multiple_of(groups) {
+            return Err(TensorError::InvalidGroups {
+                groups,
+                what: "ofmap channels (M)",
+                channels: self.m,
+            });
+        }
+        self.groups = groups;
+        Ok(self)
     }
 
     /// Returns a copy with the given dilation (spacing between filter
@@ -195,8 +252,8 @@ impl LayerShape {
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidDimension`] for zero dilation, and
-    /// [`TensorError::FilterTooLarge`] if the dilated receptive field
-    /// exceeds the padded input.
+    /// [`TensorError::DilatedExtentTooLarge`] if the dilated receptive
+    /// field exceeds the padded input.
     pub fn with_dilation(mut self, dilation: usize) -> Result<Self, TensorError> {
         if dilation == 0 {
             return Err(TensorError::InvalidDimension {
@@ -207,8 +264,9 @@ impl LayerShape {
         let span = self.receptive_extent_with(dilation);
         let padded = (self.h + 2 * self.pad).min(self.w + 2 * self.pad);
         if span > padded {
-            return Err(TensorError::FilterTooLarge {
-                filter: span,
+            return Err(TensorError::DilatedExtentTooLarge {
+                extent: span,
+                dilation,
                 padded_input: padded,
             });
         }
@@ -224,6 +282,34 @@ impl LayerShape {
     #[must_use]
     pub fn dilation(&self) -> usize {
         self.dilation
+    }
+
+    /// Channel-group count (1 = ordinary convolution; `N` = depthwise).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Input channels each filter reads (`N / groups`).
+    #[must_use]
+    pub fn channels_per_group(&self) -> usize {
+        self.n / self.groups
+    }
+
+    /// Filters per channel group (`M / groups`).
+    #[must_use]
+    pub fn filters_per_group(&self) -> usize {
+        self.m / self.groups
+    }
+
+    /// The layer's complete convolution geometry.
+    #[must_use]
+    pub fn geometry(&self) -> ConvGeometry {
+        ConvGeometry {
+            stride: self.stride,
+            dilation: self.dilation,
+            groups: self.groups,
+        }
     }
 
     /// Receptive-field extent of the (possibly dilated) filter:
@@ -303,27 +389,23 @@ impl LayerShape {
 
     /// Number of weights in the (uncompressed) layer.
     ///
-    /// Paper Eq. (1): `NUM_P_O = N × M × K × K` for canonical convolution;
-    /// depth-wise layers have one channel per filter.
+    /// Paper Eq. (1): `NUM_P_O = N × M × K × K` for canonical convolution.
+    /// Each filter of a grouped layer reads only `N / groups` channels
+    /// (depth-wise layers, `groups == N`, have one channel per filter).
     #[must_use]
     pub fn params(&self) -> u64 {
-        match self.kind {
-            ConvKind::DepthWise => self.m as u64 * self.k as u64 * self.k as u64,
-            _ => self.n as u64 * self.m as u64 * self.k as u64 * self.k as u64,
-        }
+        self.channels_per_group() as u64 * self.m as u64 * self.k as u64 * self.k as u64
     }
 
     /// Number of multiply–accumulate operations in the (uncompressed)
     /// layer.
     ///
-    /// Paper Eq. (1): `NUM_M_O = E × F × N × M × K × K`.
+    /// Paper Eq. (1): `NUM_M_O = E × F × N × M × K × K`, with `N / groups`
+    /// channels per filter for grouped and depth-wise layers.
     #[must_use]
     pub fn macs(&self) -> u64 {
         let spatial = self.e() as u64 * self.f() as u64;
-        match self.kind {
-            ConvKind::DepthWise => spatial * self.m as u64 * self.k as u64 * self.k as u64,
-            _ => spatial * self.params(),
-        }
+        spatial * self.params()
     }
 
     /// Number of ifmap elements (`N × H × W`).
@@ -355,7 +437,14 @@ impl std::fmt::Display for LayerShape {
             self.stride,
             self.pad,
             self.kind,
-        )
+        )?;
+        if self.dilation != 1 {
+            write!(f, " d={}", self.dilation)?;
+        }
+        if self.groups != 1 {
+            write!(f, " g={}", self.groups)?;
+        }
+        Ok(())
     }
 }
 
@@ -441,13 +530,19 @@ mod tests {
             .unwrap()
             .with_dilation(4)
             .is_ok());
-        // ...and dilation 5 does not.
-        assert!(matches!(
+        // ...and dilation 5 does not — rejected with the typed geometry
+        // error carrying the offending extent.
+        assert_eq!(
             LayerShape::conv("d5", 1, 1, 9, 9, 3, 1, 0)
                 .unwrap()
-                .with_dilation(5),
-            Err(TensorError::FilterTooLarge { .. })
-        ));
+                .with_dilation(5)
+                .unwrap_err(),
+            TensorError::DilatedExtentTooLarge {
+                extent: 11,
+                dilation: 5,
+                padded_input: 9,
+            }
+        );
         // Zero dilation is invalid.
         assert!(LayerShape::conv("d0", 1, 1, 9, 9, 3, 1, 0)
             .unwrap()
@@ -469,5 +564,68 @@ mod tests {
         let s = LayerShape::conv("s2", 8, 8, 15, 15, 3, 2, 1).unwrap();
         // (15 + 2 - 3)/2 + 1 = 8
         assert_eq!(s.e(), 8);
+    }
+
+    #[test]
+    fn grouped_shape_divides_params_and_macs() {
+        let s = LayerShape::conv("g2", 8, 4, 10, 10, 3, 1, 1)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        assert_eq!(s.groups(), 2);
+        assert_eq!(s.channels_per_group(), 4);
+        assert_eq!(s.filters_per_group(), 2);
+        assert_eq!(s.params(), 4 * 4 * 9);
+        assert_eq!(s.macs(), 10 * 10 * 4 * 4 * 9);
+        assert_eq!(
+            s.geometry(),
+            ConvGeometry {
+                stride: 1,
+                dilation: 1,
+                groups: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn depthwise_is_the_groups_equals_channels_corner() {
+        let s = LayerShape::depthwise("dw", 32, 16, 16, 3, 1, 1).unwrap();
+        assert_eq!(s.groups(), 32);
+        assert_eq!(s.channels_per_group(), 1);
+        assert_eq!(s.filters_per_group(), 1);
+        assert_eq!(
+            LayerShape::conv("u", 3, 8, 8, 8, 3, 1, 1)
+                .unwrap()
+                .geometry(),
+            ConvGeometry::UNIT
+        );
+    }
+
+    #[test]
+    fn invalid_groups_rejected_with_typed_error() {
+        let base = LayerShape::conv("g", 8, 6, 10, 10, 3, 1, 1).unwrap();
+        // Zero groups.
+        assert!(matches!(
+            base.clone().with_groups(0),
+            Err(TensorError::InvalidGroups { groups: 0, .. })
+        ));
+        // 8 input channels divide by 4, but 6 filters do not.
+        assert_eq!(
+            base.clone().with_groups(4).unwrap_err(),
+            TensorError::InvalidGroups {
+                groups: 4,
+                what: "ofmap channels (M)",
+                channels: 6,
+            }
+        );
+        // 3 divides neither: the input-channel check fires first.
+        assert_eq!(
+            base.with_groups(3).unwrap_err(),
+            TensorError::InvalidGroups {
+                groups: 3,
+                what: "ifmap channels (N)",
+                channels: 8,
+            }
+        );
     }
 }

@@ -24,26 +24,25 @@ use crate::TransferError;
 use tfe_tensor::shape::LayerShape;
 use tfe_tensor::tensor::Tensor4;
 
-/// Fits a transferred representation to a dense `[M, N, K, K]` bank under
-/// `scheme` (least-squares projection; see module docs).
+/// Fits a transferred representation to a dense `[M, N/groups, K, K]`
+/// bank under `scheme` (least-squares projection; see module docs).
 ///
-/// Untransferable layers are returned dense and unchanged.
+/// Untransferable layers — including depth-wise and grouped geometry —
+/// are returned dense and unchanged.
 ///
 /// # Errors
 ///
-/// Returns [`TransferError::NotTransferable`] for depth-wise layers and
-/// [`TransferError::DataLengthMismatch`] if the bank disagrees with
-/// `shape`.
+/// Returns [`TransferError::DataLengthMismatch`] if the bank disagrees
+/// with `shape`.
 pub fn fit_layer(
     weights: &Tensor4<f32>,
     shape: &LayerShape,
     scheme: TransferScheme,
 ) -> Result<TransferredLayer, TransferError> {
-    TransferScheme::check_supported(shape)?;
     let dims = weights.dims();
-    if dims != [shape.m(), shape.n(), shape.k(), shape.k()] {
+    if dims != [shape.m(), shape.channels_per_group(), shape.k(), shape.k()] {
         return Err(TransferError::DataLengthMismatch {
-            expected: shape.m() * shape.n() * shape.k() * shape.k(),
+            expected: shape.m() * shape.channels_per_group() * shape.k() * shape.k(),
             actual: weights.len(),
         });
     }

@@ -17,8 +17,9 @@ use tfe_tensor::tensor::Tensor4;
 /// A layer's weights in transferred (or dense) form.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TransferredLayer {
-    /// Conventional dense weights `[M, N, K, K]` — untransferable layers
-    /// and layers the per-layer policy keeps dense (e.g. AlexNet conv1).
+    /// Conventional dense weights `[M, N/groups, K, K]` — untransferable
+    /// layers and layers the per-layer policy keeps dense (AlexNet conv1,
+    /// depth-wise and grouped geometry).
     Dense {
         /// The dense filter bank.
         weights: Tensor4<f32>,
@@ -172,20 +173,24 @@ impl TransferredLayer {
 
     /// Builds a randomly-initialized transferred layer for `shape` under
     /// `scheme` (drawing weights from `next` — typically a closure over an
-    /// RNG). Layers the scheme does not transfer come back dense.
+    /// RNG). Layers the scheme does not transfer — pointwise, FC,
+    /// oversized filters, and now depth-wise/grouped geometry — come back
+    /// dense with a `[M, N/groups, K, K]` bank.
     ///
     /// # Errors
     ///
-    /// Returns [`TransferError::NotTransferable`] for depth-wise layers.
+    /// Returns [`TransferError`] if the transferred representation cannot
+    /// be constructed (internally inconsistent group geometry).
     pub fn random(
         shape: &LayerShape,
         scheme: TransferScheme,
         mut next: impl FnMut() -> f32,
     ) -> Result<Self, TransferError> {
-        TransferScheme::check_supported(shape)?;
         if !scheme.applies_to(shape) {
-            let weights =
-                Tensor4::from_fn([shape.m(), shape.n(), shape.k(), shape.k()], |_| next());
+            let weights = Tensor4::from_fn(
+                [shape.m(), shape.channels_per_group(), shape.k(), shape.k()],
+                |_| next(),
+            );
             return Ok(TransferredLayer::Dense { weights });
         }
         match scheme {
@@ -280,12 +285,34 @@ mod tests {
     }
 
     #[test]
-    fn depthwise_layer_rejected() {
+    fn depthwise_layer_falls_back_to_grouped_dense_bank() {
         let dw = LayerShape::depthwise("dw", 4, 8, 8, 3, 1, 1).unwrap();
         let mut seed = 5;
-        let err =
-            TransferredLayer::random(&dw, TransferScheme::Scnn, || det(&mut seed)).unwrap_err();
-        assert!(matches!(err, TransferError::NotTransferable { .. }));
+        let layer = TransferredLayer::random(&dw, TransferScheme::Scnn, || det(&mut seed)).unwrap();
+        assert!(!layer.is_transferred());
+        // One channel slice per filter: [M, N/groups, K, K] = [4, 1, 3, 3].
+        match &layer {
+            TransferredLayer::Dense { weights } => assert_eq!(weights.dims(), [4, 1, 3, 3]),
+            other => panic!("expected dense fallback, got {other:?}"),
+        }
+        assert_eq!(layer.stored_params(), dw.params());
+    }
+
+    #[test]
+    fn grouped_layer_falls_back_to_grouped_dense_bank() {
+        let grouped = LayerShape::conv("g", 8, 6, 8, 8, 3, 1, 1)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        let mut seed = 9;
+        let layer =
+            TransferredLayer::random(&grouped, TransferScheme::DCNN4, || det(&mut seed)).unwrap();
+        assert!(!layer.is_transferred());
+        match &layer {
+            TransferredLayer::Dense { weights } => assert_eq!(weights.dims(), [6, 4, 3, 3]),
+            other => panic!("expected dense fallback, got {other:?}"),
+        }
+        assert_eq!(layer.stored_params(), grouped.params());
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub mod scnn;
 mod error;
 
 pub use error::TransferError;
-pub use scheme::TransferScheme;
+pub use scheme::{Policy, TransferScheme};

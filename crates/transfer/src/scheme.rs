@@ -1,7 +1,36 @@
-//! Transfer schemes — the paper's evaluated configurations.
+//! Transfer schemes — the paper's evaluated configurations — and the
+//! per-layer transfer [`Policy`] deciding which layers transfer and
+//! which fall back to dense execution.
 
 use crate::TransferError;
 use tfe_tensor::shape::{ConvKind, LayerShape};
+
+/// The per-layer transfer decision: transfer under the scheme, or keep
+/// the layer's dense weights (untransferred) and run it conventionally.
+///
+/// Replaces the old outright rejection of depth-wise layers: every
+/// geometry now resolves to an explicit policy, and layers where the
+/// transferred-filter redundancy does not exist (depth-wise/grouped,
+/// pointwise, FC, oversized filters) are *recorded* as dense rather
+/// than erroring at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// The layer transfers under the scheme that produced this policy.
+    Transfer,
+    /// The layer keeps dense weights and runs conventionally.
+    Dense {
+        /// Why the layer is untransferred (human-readable, stable).
+        reason: &'static str,
+    },
+}
+
+impl Policy {
+    /// Whether the policy transfers the layer.
+    #[must_use]
+    pub fn transfers(self) -> bool {
+        matches!(self, Policy::Transfer)
+    }
+}
 
 /// A transferred-filter scheme, as evaluated in the paper.
 ///
@@ -83,9 +112,44 @@ impl TransferScheme {
     }
 
     /// Whether this scheme transfers a layer of the given shape at all.
+    ///
+    /// Grouped and depth-wise layers never transfer: the cross-filter
+    /// redundancy DCNN/SCNN exploit lives across the *full* channel
+    /// extent, which channel grouping removes.
     #[must_use]
     pub fn applies_to(self, shape: &LayerShape) -> bool {
-        shape.kind().transferable() && self.group_size(shape.k()) > 1
+        shape.kind().transferable() && shape.groups() == 1 && self.group_size(shape.k()) > 1
+    }
+
+    /// Resolves the per-layer transfer decision for `shape`.
+    ///
+    /// Every geometry resolves — depth-wise, grouped, pointwise, FC and
+    /// oversized-filter layers come back as [`Policy::Dense`] with a
+    /// stable reason; canonical convolutions the scheme covers come back
+    /// as [`Policy::Transfer`].
+    #[must_use]
+    pub fn policy_for(self, shape: &LayerShape) -> Policy {
+        if shape.kind() == ConvKind::DepthWise {
+            return Policy::Dense {
+                reason: "depth-wise convolution has no cross-filter redundancy to transfer",
+            };
+        }
+        if shape.groups() > 1 {
+            return Policy::Dense {
+                reason: "channel grouping removes the cross-filter redundancy transfer exploits",
+            };
+        }
+        if !shape.kind().transferable() {
+            return Policy::Dense {
+                reason: "layer kind is not a canonical convolution",
+            };
+        }
+        if self.group_size(shape.k()) <= 1 {
+            return Policy::Dense {
+                reason: "filter extent yields no derived filters under this scheme",
+            };
+        }
+        Policy::Transfer
     }
 
     /// Validates that the scheme itself is well-formed (meta extent ≥ 2).
@@ -100,21 +164,6 @@ impl TransferScheme {
                     what: "meta filter extent",
                 });
             }
-        }
-        Ok(())
-    }
-
-    /// Rejects layer kinds the TFE does not support at all (depth-wise
-    /// convolution — the paper's MobileNet exclusion).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransferError::NotTransferable`] for depth-wise layers.
-    pub fn check_supported(shape: &LayerShape) -> Result<(), TransferError> {
-        if shape.kind() == ConvKind::DepthWise {
-            return Err(TransferError::NotTransferable {
-                reason: "depth-wise convolution removes cross-filter redundancy (MobileNet-like networks are excluded by the paper)",
-            });
         }
         Ok(())
     }
@@ -189,11 +238,64 @@ mod tests {
     }
 
     #[test]
-    fn depthwise_is_rejected_outright() {
+    fn depthwise_resolves_to_dense_policy() {
+        // Depth-wise layers are no longer rejected outright: every scheme
+        // resolves them to an explicit dense (untransferred) policy.
         let dw = LayerShape::depthwise("dw", 8, 8, 8, 3, 1, 1).unwrap();
-        assert!(TransferScheme::check_supported(&dw).is_err());
         let conv = LayerShape::conv("c", 8, 8, 8, 8, 3, 1, 1).unwrap();
-        assert!(TransferScheme::check_supported(&conv).is_ok());
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
+            let policy = scheme.policy_for(&dw);
+            assert!(!policy.transfers(), "{scheme}: {policy:?}");
+            assert!(
+                matches!(policy, Policy::Dense { reason } if reason.contains("depth-wise")),
+                "{scheme}: {policy:?}"
+            );
+            assert!(!scheme.applies_to(&dw), "{scheme}");
+            assert_eq!(scheme.policy_for(&conv), Policy::Transfer, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn grouped_convolution_resolves_to_dense_policy() {
+        let grouped = LayerShape::conv("g", 8, 8, 8, 8, 3, 1, 1)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        for scheme in [
+            TransferScheme::DCNN4,
+            TransferScheme::DCNN6,
+            TransferScheme::Scnn,
+        ] {
+            assert!(!scheme.applies_to(&grouped), "{scheme}");
+            assert!(
+                matches!(scheme.policy_for(&grouped), Policy::Dense { reason }
+                    if reason.contains("grouping")),
+                "{scheme}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_reasons_cover_untransferable_kinds() {
+        let pw = LayerShape::conv("p", 16, 16, 8, 8, 1, 1, 0).unwrap();
+        let fc = LayerShape::fully_connected("f", 64, 10).unwrap();
+        for shape in [&pw, &fc] {
+            assert!(matches!(
+                TransferScheme::Scnn.policy_for(shape),
+                Policy::Dense { reason } if reason.contains("canonical")
+            ));
+        }
+        // AlexNet's 11x11 conv1 is a canonical convolution that still
+        // yields no derived filters under DCNN.
+        let big = LayerShape::conv("c1", 3, 96, 55, 55, 11, 4, 2).unwrap();
+        assert!(matches!(
+            TransferScheme::DCNN4.policy_for(&big),
+            Policy::Dense { reason } if reason.contains("derived filters")
+        ));
     }
 
     #[test]

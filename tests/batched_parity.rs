@@ -98,6 +98,38 @@ fn dense_net(n: usize, m: usize, hw: usize, k: usize, amp: f32, seed: u32) -> Fu
     .unwrap()
 }
 
+/// A four-stage chained network covering every generalized-geometry arm
+/// at once: a transferred SCNN stem, a depthwise stage, a dilated stage,
+/// and a grouped stage with pooling.
+fn geometry_net(seed: u32) -> FunctionalNetwork {
+    let shapes = vec![
+        (
+            LayerShape::conv("g1", 3, 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::depthwise("g2", 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::conv("g3", 8, 8, 12, 12, 3, 1, 1)
+                .unwrap()
+                .with_dilation(2)
+                .unwrap(),
+            false,
+        ),
+        (
+            LayerShape::conv("g4", 8, 8, 10, 10, 3, 1, 1)
+                .unwrap()
+                .with_groups(2)
+                .unwrap(),
+            true,
+        ),
+    ];
+    let mut s = seed;
+    FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut s)).unwrap()
+}
+
 fn stacked(batch: usize, c: usize, side: usize, amp: f32, seed: u32) -> Tensor4<Fx16> {
     let mut s = seed;
     Tensor4::from_fn([batch, c, side, side], |_| {
@@ -217,6 +249,73 @@ fn dense_k5_batched_matches_sequential() {
     let input = stacked(5, 32, 10, 1.0, 0xd00d);
     let batched = engine.run_batched(&input, &mut scratch, 2).unwrap();
     assert_batched_matches_sequential(&engine, &input, &batched, "dense k5");
+}
+
+/// Depthwise, dilated, and grouped stages through the filter-stationary
+/// batched sweep: parity with sequential runs must hold bit-exactly on
+/// the generalized geometry, at several batch sizes and worker counts,
+/// with and without reuse.
+#[test]
+fn geometry_net_batched_matches_sequential() {
+    let net = geometry_net(0x6e0);
+    for reuse in [ReuseConfig::FULL, ReuseConfig::NONE] {
+        let engine = Engine::compile(&net, reuse).unwrap();
+        let mut scratch = Scratch::new();
+        for batch in [1usize, 5] {
+            let input = stacked(batch, 3, 12, 1.0, 0x617 ^ batch as u32);
+            for workers in [1usize, 3, 9] {
+                let batched = engine.run_batched(&input, &mut scratch, workers).unwrap();
+                assert_batched_matches_sequential(
+                    &engine,
+                    &input,
+                    &batched,
+                    &format!("geometry reuse={reuse:?} batch={batch} workers={workers}"),
+                );
+            }
+        }
+    }
+}
+
+/// The depthwise-separable zoo trunk (`mobilenet-mini`'s conv stem plus
+/// dw/pw blocks) compiles into one engine — the stem transfers, the
+/// depthwise and pointwise stages run conventionally — and batched
+/// multi-worker execution stays bit-identical to sequential runs.
+#[test]
+fn mobilenet_mini_trunk_batched_matches_sequential() {
+    use tfe::nets::TransferMode;
+    let zoo = tfe::nets::zoo::mobilenet_mini();
+    let shapes: Vec<(LayerShape, bool)> = zoo
+        .conv_layers()
+        .map(|l| (l.shape().clone(), false))
+        .collect();
+    assert!(shapes.iter().any(|(s, _)| s.groups() > 1));
+    let mut s = 0x30b1u32;
+    let net = FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut s)).unwrap();
+
+    let engine = Engine::compile(&net, ReuseConfig::FULL).unwrap();
+    let modes = engine.stage_modes();
+    assert_eq!(modes[0], TransferMode::Scnn, "stem transfers");
+    for (mode, (shape, _)) in modes.iter().zip(&shapes).skip(1) {
+        assert_eq!(
+            *mode,
+            TransferMode::Conventional,
+            "{}: dw/pw stages run conventionally",
+            shape.name()
+        );
+    }
+
+    let input = stacked(3, 3, 32, 1.0, 0x32);
+    let mut scratch = Scratch::new();
+    for workers in [1usize, 4] {
+        let batched = engine.run_batched(&input, &mut scratch, workers).unwrap();
+        assert_batched_matches_sequential(
+            &engine,
+            &input,
+            &batched,
+            &format!("mobilenet-mini workers={workers}"),
+        );
+    }
+    assert_eq!(scratch.run_quantized_rows(), 0);
 }
 
 /// Telemetry under batching: one batched run records **one** sample per

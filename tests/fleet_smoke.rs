@@ -20,7 +20,10 @@ use tfe::tensor::fixed::Fx16;
 use tfe::tensor::tensor::Tensor4;
 use tfe::transfer::analysis::ReuseConfig;
 
-const MODELS: [&str; 3] = ["demo", "alexnet", "resnet56"];
+/// Mixed-model traffic includes the depthwise-separable
+/// `mobilenet-mini` miniature, so the fleet path exercises grouped
+/// dense stages alongside transferred ones.
+const MODELS: [&str; 4] = ["demo", "alexnet", "mobilenet-mini", "resnet56"];
 
 /// Direct `Engine::run` reference outputs for a set of images.
 fn reference_outputs(net: &FunctionalNetwork, images: &[Tensor4<Fx16>]) -> Vec<NetworkOutput> {
@@ -78,9 +81,9 @@ fn concurrent_multi_model_dispatch_is_bit_identical() {
     assert_eq!(reply.activations, expected[0][0].activations);
 
     let snapshot = fleet.shutdown();
-    assert_eq!(snapshot.completed, 25);
+    assert_eq!(snapshot.completed, 33);
     assert_eq!(snapshot.shed + snapshot.failed + snapshot.expired, 0);
-    assert_eq!(snapshot.models.len(), 3);
+    assert_eq!(snapshot.models.len(), 4);
     for (model, id) in MODELS.iter().enumerate() {
         let row = &snapshot.models[model];
         assert_eq!(row.model, *id);
@@ -277,14 +280,16 @@ fn tcp_mixed_model_traffic_and_fleet_stats() {
             models,
         } => {
             let rows = models.expect("fleet endpoints report per-model rows");
-            assert_eq!(rows.len(), 3);
+            assert_eq!(rows.len(), 4);
             assert_eq!(metrics.completed, 7);
 
             // Per-model per-layer counters sum exactly to the model's
             // total, and the models' totals sum exactly to the fleet's.
             let mut fleet_sum = Counters::default();
             for row in &rows {
-                assert_eq!(row.telemetry.layers.len(), 2);
+                // The separable miniature has three stages; the rest two.
+                let stages = if row.model == "mobilenet-mini" { 3 } else { 2 };
+                assert_eq!(row.telemetry.layers.len(), stages, "{}", row.model);
                 let mut layer_sum = Counters::default();
                 for layer in &row.telemetry.layers {
                     assert!(layer.counters.multiplies > 0);
@@ -334,10 +339,17 @@ fn merged_fleet_telemetry_sums_exactly() {
             assert_eq!(layer.runs, runs, "{}/{}", row.model, layer.label);
         }
         // recorded = one sample per stage per request, nothing dropped.
-        assert_eq!(row.telemetry.recorded, runs * 2);
+        assert_eq!(
+            row.telemetry.recorded,
+            runs * row.telemetry.layers.len() as u64,
+            "{}",
+            row.model
+        );
         assert_eq!(row.telemetry.dropped, 0);
     }
     let fleet_telemetry = snapshot.to_telemetry();
-    assert_eq!(fleet_telemetry.recorded, (2 + 4 + 6) * 2);
-    assert_eq!(snapshot.completed, 12);
+    // demo/alexnet/resnet56 have two stages, mobilenet-mini three:
+    // 2*2 + 4*2 + 6*3 + 8*2 samples.
+    assert_eq!(fleet_telemetry.recorded, 2 * 2 + 4 * 2 + 6 * 3 + 8 * 2);
+    assert_eq!(snapshot.completed, 2 + 4 + 6 + 8);
 }

@@ -161,13 +161,22 @@ fn mobilenet_gains_nothing() {
 }
 
 /// Section I: the TFE does not help MobileNet-like depth-wise networks —
-/// the representation refuses them with a typed error.
+/// they resolve to an explicit dense (untransferred) policy and execute
+/// from a per-group dense weight bank instead of being rejected.
 #[test]
-fn depthwise_is_rejected() {
+fn depthwise_resolves_to_dense_policy() {
     use tfe::tensor::shape::LayerShape;
     use tfe::transfer::layer::TransferredLayer;
-    use tfe::transfer::TransferError;
+    use tfe::transfer::Policy;
     let dw = LayerShape::depthwise("dw", 32, 16, 16, 3, 1, 1).unwrap();
-    let err = TransferredLayer::random(&dw, TransferScheme::Scnn, || 0.0).unwrap_err();
-    assert!(matches!(err, TransferError::NotTransferable { .. }));
+    let policy = TransferScheme::Scnn.policy_for(&dw);
+    assert!(matches!(policy, Policy::Dense { .. }));
+    assert!(!policy.transfers());
+    // The weight bank stores only each filter's own channel: [M, 1, K, K].
+    let layer = TransferredLayer::random(&dw, TransferScheme::Scnn, || 0.0).unwrap();
+    match layer {
+        TransferredLayer::Dense { ref weights } => assert_eq!(weights.dims(), [32, 1, 3, 3]),
+        ref other => panic!("expected dense fallback, got {other:?}"),
+    }
+    assert_eq!(layer.stored_params(), dw.params());
 }

@@ -80,6 +80,38 @@ fn strided_net(scheme: TransferScheme, seed: u32) -> FunctionalNetwork {
     FunctionalNetwork::random(&shapes, scheme, || det(&mut s)).unwrap()
 }
 
+/// A four-stage chained network covering every generalized-geometry arm
+/// (transferred stem → depthwise → dilated → grouped+pool), mirroring
+/// `tests/batched_parity.rs`.
+fn geometry_net(seed: u32) -> FunctionalNetwork {
+    let shapes = vec![
+        (
+            LayerShape::conv("g1", 3, 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::depthwise("g2", 8, 12, 12, 3, 1, 1).unwrap(),
+            false,
+        ),
+        (
+            LayerShape::conv("g3", 8, 8, 12, 12, 3, 1, 1)
+                .unwrap()
+                .with_dilation(2)
+                .unwrap(),
+            false,
+        ),
+        (
+            LayerShape::conv("g4", 8, 8, 10, 10, 3, 1, 1)
+                .unwrap()
+                .with_groups(2)
+                .unwrap(),
+            true,
+        ),
+    ];
+    let mut s = seed;
+    FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut s)).unwrap()
+}
+
 fn images(count: usize, seed: u32) -> Vec<Tensor4<Fx16>> {
     let mut s = seed;
     (0..count)
@@ -334,6 +366,45 @@ fn engine_batch_is_thread_count_invariant() {
                 batch.counters, seq_total,
                 "{scheme:?} merged counters diverge at {threads} threads"
             );
+        }
+    }
+}
+
+#[test]
+fn geometry_net_is_thread_count_invariant() {
+    // Depthwise, dilated, and grouped stages through both batch runners:
+    // per-image results and merged counters must be bit-identical to the
+    // sequential reference at every thread count and reuse ablation.
+    let net = geometry_net(0x9e0);
+    let inputs = images(5, 271);
+    for reuse in [ReuseConfig::FULL, ReuseConfig::NONE] {
+        let (seq_outputs, seq_total) = sequential(&net, &inputs, reuse);
+        let engine = Engine::compile(&net, reuse).unwrap();
+        let scratches = ScratchPool::new();
+        for threads in [1usize, 2, 4, 8] {
+            for batch in [
+                run_batch(&net, &inputs, reuse, BatchOptions::with_threads(threads)).unwrap(),
+                run_engine_batch(
+                    &engine,
+                    &inputs,
+                    BatchOptions::with_threads(threads),
+                    &scratches,
+                )
+                .unwrap(),
+            ] {
+                assert_eq!(batch.outputs.len(), seq_outputs.len());
+                for (got, want) in batch.outputs.iter().zip(&seq_outputs) {
+                    assert_eq!(
+                        got.activations, want.activations,
+                        "{reuse:?} geometry activations diverge at {threads} threads"
+                    );
+                    assert_eq!(
+                        got.counters, want.counters,
+                        "{reuse:?} geometry counters diverge at {threads} threads"
+                    );
+                }
+                assert_eq!(batch.counters, seq_total, "{reuse:?} at {threads} threads");
+            }
         }
     }
 }
