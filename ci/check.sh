@@ -22,6 +22,11 @@ cargo test -q --offline -p tfe-fleet
 # depthwise, grouped, and dilated stages — run the target explicitly so
 # geometry regressions cannot hide behind a filtered invocation.
 cargo test -q --offline --test geometry_parity
+# The execution-mode grid pins the weight plan's alternate executors —
+# the compressed-sparse and factorized paths — bit-identical to the
+# dense sweep (activations, per-image counter streams, per-layer
+# telemetry sums) across scheme x stride x dilation x batch.
+cargo test -q --offline --test mode_parity
 # The telemetry crate's seqlock ring and exact-decomposition invariants
 # are load-bearing for every observability surface — build and test the
 # crate explicitly (its concurrent-writer tests included).
@@ -44,16 +49,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # overhead pin, and the fleet router-dispatch overhead (pinned < 3 % vs
 # single-model serving). engine_speedup now carries a depthwise-separable
 # cell and engine_batch a dilated cell, so the generalized-geometry paths
-# are in the timed sweep too. engine_speedup, engine_batch, ppsr_row, and
-# fleet_router write their min-of-reps cells into BENCH_9.json at the
-# repo root (the persistent perf trajectory; see README "Perf
-# trajectory"), printed below so the numbers land in the check output.
+# are in the timed sweep too. engine_modes times the weight plan's
+# alternate executors against the dense sweep on the same network
+# (bit-identity asserted before timing) — the compressed-sparse path is
+# pinned >= 1.2x at 90 % sparsity; the 50/70 % and factorized cells are
+# recorded unpinned to chart the crossover. engine_speedup, engine_batch,
+# engine_modes, ppsr_row, and fleet_router write their min-of-reps cells
+# into BENCH_10.json at the repo root (the persistent perf trajectory;
+# see README "Perf trajectory"), printed below so the numbers land in
+# the check output.
 if [ "${BENCH:-0}" = "1" ]; then
     cargo bench --offline -p tfe-bench --bench engine_speedup
     cargo bench --offline -p tfe-bench --bench engine_batch
+    cargo bench --offline -p tfe-bench --bench engine_modes
     cargo bench --offline -p tfe-bench --bench ppsr_row
     cargo bench --offline -p tfe-bench --bench telemetry_overhead
     cargo bench --offline -p tfe-bench --bench fleet_router
-    echo "--- BENCH_9.json (perf trajectory) ---"
-    cat BENCH_9.json
+    echo "--- BENCH_10.json (perf trajectory) ---"
+    cat BENCH_10.json
 fi

@@ -44,18 +44,43 @@ pub struct SparseCounters {
 
 impl SparseCounters {
     /// Ideal MAC reduction from sparsity alone.
+    ///
+    /// Edge cases are pinned to `1.0` instead of `NaN`/`inf`/`0`: a
+    /// zero-MAC bank (nothing to execute densely) has nothing to reduce,
+    /// and a fully-dense bank reduces nothing.
     #[must_use]
     pub fn mac_reduction(&self) -> f64 {
+        if self.dense_macs == 0 {
+            return 1.0;
+        }
         self.dense_macs as f64 / self.effective_macs.max(1) as f64
     }
 
     /// Effective speedup once index decode (costing `decode_cost` of a
     /// MAC each) and load imbalance are charged — the realized factor a
     /// sparse engine sees.
+    ///
+    /// Same edge-case contract as [`SparseCounters::mac_reduction`]:
+    /// a zero-MAC bank returns `1.0`, and when no overhead was recorded
+    /// at all (zero effective MACs and zero decodes — e.g. a bank
+    /// pruned to nothing) the ideal reduction is returned rather than
+    /// dividing by zero work. A zero or unset `load_imbalance` (the
+    /// `Default` value, meaning imbalance was never measured) counts as
+    /// perfectly balanced lanes.
     #[must_use]
     pub fn realized_speedup(&self, decode_cost: f64) -> f64 {
-        let work = self.effective_macs as f64 * self.load_imbalance
-            + self.index_decodes as f64 * decode_cost;
+        if self.dense_macs == 0 {
+            return 1.0;
+        }
+        let imbalance = if self.load_imbalance > 0.0 {
+            self.load_imbalance
+        } else {
+            1.0
+        };
+        let work = self.effective_macs as f64 * imbalance + self.index_decodes as f64 * decode_cost;
+        if work <= 0.0 {
+            return self.mac_reduction();
+        }
         self.dense_macs as f64 / work
     }
 }
@@ -63,23 +88,28 @@ impl SparseCounters {
 impl SparseFilterBank {
     /// Magnitude-prunes a dense `[M, N, K, K]` bank, keeping the largest
     /// `1 − sparsity` fraction of weights (globally thresholded).
+    /// `sparsity == 1.0` is valid and yields an empty bank.
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidDimension`] if `sparsity` is not in
-    /// `[0, 1)`.
+    /// Returns [`TensorError::InvalidFraction`] if `sparsity` is outside
+    /// `[0, 1]` (including `NaN`) — a typed rejection, never a silent
+    /// clamp.
     pub fn prune(weights: &Tensor4<f32>, sparsity: f64) -> Result<Self, TensorError> {
-        if !(0.0..1.0).contains(&sparsity) {
-            return Err(TensorError::InvalidDimension {
-                what: "sparsity (must be in [0,1) as a fraction)",
-                value: (sparsity * 100.0) as usize,
+        if !(0.0..=1.0).contains(&sparsity) {
+            return Err(TensorError::InvalidFraction {
+                what: "pruning sparsity",
             });
         }
         let [m, n, kh, _] = weights.dims();
         let mut magnitudes: Vec<f32> = weights.as_slice().iter().map(|w| w.abs()).collect();
         magnitudes.sort_by(f32::total_cmp);
         let cut = ((magnitudes.len() as f64) * sparsity) as usize;
-        let threshold = if cut == 0 { -1.0 } else { magnitudes[cut - 1] };
+        let threshold = if cut == 0 {
+            -1.0
+        } else {
+            magnitudes[cut.min(magnitudes.len()) - 1]
+        };
         let mut entries = vec![vec![Vec::new(); n]; m];
         for (idx, &w) in weights.as_slice().iter().enumerate() {
             if w.abs() > threshold {
@@ -119,6 +149,23 @@ impl SparseFilterBank {
     #[must_use]
     pub fn stored_words(&self) -> usize {
         2 * self.nonzeros()
+    }
+
+    /// Reconstructs the equivalent dense `[M, N, K, K]` bank with the
+    /// pruned positions zeroed — the weight feed for executing a pruned
+    /// model on the compiled engine, whose compile pass detects the
+    /// zeros and selects its compressed-sparse execution mode.
+    #[must_use]
+    pub fn to_dense(&self) -> Tensor4<f32> {
+        let mut out = Tensor4::zeros([self.m, self.n, self.k, self.k]);
+        for (m, per_filter) in self.entries.iter().enumerate() {
+            for (c, survivors) in per_filter.iter().enumerate() {
+                for &(ky, kx, w) in survivors {
+                    out.set([m, c, ky as usize, kx as usize], w);
+                }
+            }
+        }
+        out
     }
 
     /// Sparse convolution with counting.
@@ -258,9 +305,65 @@ mod tests {
     }
 
     #[test]
-    fn invalid_sparsity_rejected() {
+    fn sparsity_outside_unit_interval_is_a_typed_error() {
         let weights = Tensor4::<f32>::zeros([1, 1, 3, 3]);
-        assert!(SparseFilterBank::prune(&weights, 1.0).is_err());
-        assert!(SparseFilterBank::prune(&weights, -0.1).is_err());
+        for bad in [-0.1, 1.0 + 1e-9, 2.0, f64::NAN] {
+            assert_eq!(
+                SparseFilterBank::prune(&weights, bad).unwrap_err(),
+                TensorError::InvalidFraction {
+                    what: "pruning sparsity"
+                },
+                "sparsity {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn full_sparsity_is_valid_and_yields_an_empty_bank() {
+        let (shape, input, _, _) = setup(0.0);
+        let mut seed = 9;
+        let weights = Tensor4::from_fn([4, 3, 3, 3], |_| det(&mut seed));
+        let bank = SparseFilterBank::prune(&weights, 1.0).unwrap();
+        assert_eq!(bank.nonzeros(), 0);
+        assert!((bank.sparsity() - 1.0).abs() < f64::EPSILON);
+        let (out, counters) = bank.conv(&input, &shape).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        // Fully pruned: no effective MACs and no decodes — the speedup
+        // figures stay finite via the edge-case contract.
+        assert_eq!(counters.effective_macs, 0);
+        assert!(counters.realized_speedup(0.5).is_finite());
+    }
+
+    #[test]
+    fn zero_mac_counters_report_unity_not_nan() {
+        let counters = SparseCounters::default();
+        assert_eq!(counters.mac_reduction(), 1.0);
+        assert_eq!(counters.realized_speedup(0.5), 1.0);
+    }
+
+    #[test]
+    fn fully_dense_bank_speedup_is_finite_and_at_most_ideal() {
+        let (shape, input, _, bank) = setup(0.0);
+        let (_, counters) = bank.conv(&input, &shape).unwrap();
+        let ideal = counters.mac_reduction();
+        let realized = counters.realized_speedup(0.5);
+        assert!(ideal.is_finite() && realized.is_finite());
+        // Border effects can push the boundary-skipping ideal slightly
+        // above 1.0; realized never exceeds it once decodes are charged.
+        assert!(realized <= ideal, "realized {realized} vs ideal {ideal}");
+        assert!(realized > 0.0);
+    }
+
+    #[test]
+    fn to_dense_round_trips_the_survivors() {
+        let (shape, input, weights, bank) = setup(0.5);
+        let dense = bank.to_dense();
+        // Survivors keep their values, pruned slots are exactly zero.
+        let survivors = dense.as_slice().iter().filter(|&&w| w != 0.0).count();
+        assert_eq!(survivors, bank.nonzeros());
+        let reference = conv2d_f32(&input, &dense, None, &shape).unwrap();
+        let (out, _) = bank.conv(&input, &shape).unwrap();
+        assert!(out.max_abs_diff(&reference) < 1e-5);
+        assert!(dense.len() == weights.len());
     }
 }

@@ -206,13 +206,16 @@ fn print_telemetry(model: &str, elapsed: Duration, snap: &TelemetrySnapshot) {
             l.layer, l.label, l.runs, l.p50_us, l.p95_us, l.p99_us, l.max_us
         );
     }
-    println!("  layer  label       mac_red  multiplies  dense_macs  sram/mul  reg/mul");
+    println!(
+        "  layer  label       mode         mac_red  multiplies  dense_macs  sram/mul  reg/mul"
+    );
     for l in &snap.layers {
         let per_mul = |n: u64| n as f64 / l.counters.multiplies.max(1) as f64;
         println!(
-            "  {:<5}  {:<10}  {:>7.2}  {:>10}  {:>10}  {:>8.2}  {:>7.2}",
+            "  {:<5}  {:<10}  {:<11}  {:>7.2}  {:>10}  {:>10}  {:>8.2}  {:>7.2}",
             l.layer,
             l.label,
+            if l.mode.is_empty() { "-" } else { &l.mode },
             l.mac_reduction,
             l.counters.multiplies,
             l.counters.dense_macs,

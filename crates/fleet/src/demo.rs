@@ -17,9 +17,13 @@
 //! models bit-exactly.
 
 use crate::spec::{FleetSpec, ModelSpec};
+use tfe_baselines::sparse_kernel::SparseFilterBank;
 use tfe_nets::Network;
-use tfe_sim::network::FunctionalNetwork;
+use tfe_sim::network::{FunctionalNetwork, FunctionalStage};
+use tfe_sim::output::OutputConfig;
 use tfe_tensor::shape::LayerShape;
+use tfe_tensor::tensor::Tensor4;
+use tfe_transfer::layer::TransferredLayer;
 use tfe_transfer::TransferScheme;
 
 fn det(seed: &mut u32) -> f32 {
@@ -45,6 +49,10 @@ pub fn miniature(net: &Network, seed: u32) -> FunctionalNetwork {
         return separable_miniature(seed);
     }
     let k = net.conv_layers().next().map_or(3, |l| l.shape().k()).min(5) | 1; // clamp odd into [1, 5] so 12×12 stays 12×12 under pad k/2
+    let sparsity = net.max_target_sparsity();
+    if sparsity > 0.0 {
+        return pruned_miniature(k, sparsity, seed);
+    }
     let shapes = vec![
         (
             LayerShape::conv("mini1", 3, 8, 12, 12, k, 1, k / 2).expect("static miniature shape"),
@@ -58,6 +66,52 @@ pub fn miniature(net: &Network, seed: u32) -> FunctionalNetwork {
     let mut state = seed;
     FunctionalNetwork::random(&shapes, TransferScheme::Scnn, || det(&mut state))
         .expect("static miniature network is well-formed")
+}
+
+/// The pruned miniature for `-p<percent>` zoo variants
+/// ([`tfe_nets::Network::pruned`]): the same two-stage geometry as
+/// [`miniature`], but the dense weight banks are magnitude-pruned to
+/// `sparsity` through `tfe-baselines`'
+/// [`SparseFilterBank::prune`] before being handed to the engine — so a
+/// served pruned model actually compiles to the compressed-sparse
+/// execution mode (`ExecMode::Sparse` past the default policy
+/// threshold) and `tfe-loadgen --stats` shows it end to end.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1]` (the typed
+/// `TensorError::InvalidFraction` from the pruning kernel) — pruned zoo
+/// names only produce fractions in `(0, 1)`.
+#[must_use]
+pub fn pruned_miniature(k: usize, sparsity: f64, seed: u32) -> FunctionalNetwork {
+    let mut state = seed;
+    let stages = [
+        (
+            LayerShape::conv("mini1", 3, 8, 12, 12, k, 1, k / 2).expect("static miniature shape"),
+            OutputConfig::RELU_ONLY,
+        ),
+        (
+            LayerShape::conv("mini2", 8, 8, 12, 12, 3, 1, 1).expect("static miniature shape"),
+            OutputConfig::RELU_POOL2,
+        ),
+    ]
+    .into_iter()
+    .map(|(shape, output)| {
+        let dims = [shape.m(), shape.n(), shape.k(), shape.k()];
+        let dense = Tensor4::from_fn(dims, |_| det(&mut state));
+        let pruned = SparseFilterBank::prune(&dense, sparsity)
+            .expect("pruned zoo variants carry a valid sparsity fraction")
+            .to_dense();
+        FunctionalStage {
+            shape,
+            weights: TransferredLayer::Dense { weights: pruned },
+            bias: Vec::new(),
+            output,
+        }
+    })
+    .collect();
+    FunctionalNetwork::new(stages).expect("static pruned miniature network is well-formed")
 }
 
 /// The depthwise-separable miniature for grouped zoo networks: a 3→8
@@ -169,6 +223,30 @@ mod tests {
         assert_eq!(full.stages().len(), 3);
         assert_ne!(
             full.run(&image, ReuseConfig::FULL).unwrap().activations,
+            out.activations
+        );
+    }
+
+    #[test]
+    fn pruned_zoo_ids_serve_sparse_mode_end_to_end() {
+        use tfe_transfer::mode::ExecMode;
+        let net = demo_model("alexnet-p90", 3).unwrap();
+        // Both miniature stages compile to the compressed-sparse mode
+        // under the default policy (90% pruned ≫ the 0.4 threshold)…
+        let engine = net.engine(ReuseConfig::FULL).unwrap();
+        assert_eq!(engine.exec_modes(), vec![ExecMode::Sparse; 2]);
+        // …and run bit-identically deterministic on the demo contract.
+        let image = demo_images(1, 5).remove(0);
+        let out = net.run(&image, ReuseConfig::FULL).unwrap();
+        let again = demo_model("alexnet-p90", 3)
+            .unwrap()
+            .run(&image, ReuseConfig::FULL)
+            .unwrap();
+        assert_eq!(out.activations, again.activations);
+        // The pruned variant differs from the unpruned miniature.
+        let dense = demo_model("alexnet", 3).unwrap();
+        assert_ne!(
+            dense.run(&image, ReuseConfig::FULL).unwrap().activations,
             out.activations
         );
     }

@@ -11,6 +11,7 @@ pub struct NetworkLayer {
     shape: LayerShape,
     groups: usize,
     pool: Option<PoolSpec>,
+    target_sparsity: f64,
 }
 
 impl NetworkLayer {
@@ -21,6 +22,7 @@ impl NetworkLayer {
             shape,
             groups: 1,
             pool: None,
+            target_sparsity: 0.0,
         }
     }
 
@@ -37,6 +39,24 @@ impl NetworkLayer {
     pub fn with_pool(mut self, pool: PoolSpec) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Annotates the magnitude-pruning sparsity this layer's weights
+    /// should be pruned to before execution (a fraction in `[0, 1]`; 0 =
+    /// unpruned). A *hint* carried by pruned zoo variants
+    /// ([`crate::Network::pruned`]) — validation happens where weights
+    /// are actually pruned (`tfe_baselines`' `SparseFilterBank::prune`,
+    /// which rejects fractions outside `[0, 1]` as a typed error).
+    #[must_use]
+    pub fn with_target_sparsity(mut self, sparsity: f64) -> Self {
+        self.target_sparsity = sparsity;
+        self
+    }
+
+    /// The annotated pruning target (0 = unpruned).
+    #[must_use]
+    pub fn target_sparsity(&self) -> f64 {
+        self.target_sparsity
     }
 
     /// The convolution shape. `N` is the *total* ifmap channel count; use

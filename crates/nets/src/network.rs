@@ -105,6 +105,45 @@ impl Network {
             .collect();
         NetworkPlan::new(&self.name, scheme, layers)
     }
+
+    /// The magnitude-pruned variant of this network: every conv layer is
+    /// annotated with `sparsity` as its pruning target
+    /// ([`NetworkLayer::target_sparsity`]) and the name gains a
+    /// `-p<percent>` suffix (e.g. `"AlexNet-p90"`). FC layers keep their
+    /// shape untouched — the engine modes only execute conv stages.
+    ///
+    /// The sparsity is a hint, not yet validated: pruning happens where
+    /// weights exist (`tfe_baselines`' `SparseFilterBank::prune`, a
+    /// typed error outside `[0, 1]`).
+    #[must_use]
+    pub fn pruned(&self, sparsity: f64) -> Network {
+        let pct = (sparsity * 100.0).round() as i64;
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                if layer.is_fc() {
+                    layer.clone()
+                } else {
+                    layer.clone().with_target_sparsity(sparsity)
+                }
+            })
+            .collect();
+        Network {
+            name: format!("{}-p{pct}", self.name),
+            layers,
+        }
+    }
+
+    /// The largest conv-layer pruning target (0 when unpruned) — what
+    /// consumers that build one weight bank per network (the fleet demo
+    /// miniatures) prune to.
+    #[must_use]
+    pub fn max_target_sparsity(&self) -> f64 {
+        self.conv_layers()
+            .map(NetworkLayer::target_sparsity)
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]

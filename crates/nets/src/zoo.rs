@@ -598,8 +598,18 @@ pub fn names() -> &'static [&'static str] {
 
 /// Looks a network up by its paper name (case-insensitive; accepts a few
 /// aliases such as `"vgg16"` and `"resnet56"`).
+///
+/// A `-p<percent>` suffix resolves the magnitude-pruned variant of the
+/// base network ([`Network::pruned`]): `"alexnet-p90"` is AlexNet with
+/// every conv layer annotated to 90% pruning sparsity. Percent must be
+/// in `1..=99` — `-p0` and `-p100` are not pruned-variant names.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Network> {
+    if let Some((base, pct)) = name.rsplit_once("-p") {
+        if let Ok(pct @ 1..=99) = pct.parse::<u32>() {
+            return Some(by_name(base)?.pruned(f64::from(pct) / 100.0));
+        }
+    }
     match name.to_ascii_lowercase().as_str() {
         "alexnet" => Some(alexnet()),
         "vgg" | "vgg16" | "vggnet" => Some(vgg16()),
@@ -621,6 +631,22 @@ pub fn by_name(name: &str) -> Option<Network> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pruned_variants_resolve_by_suffix() {
+        let p = by_name("alexnet-p90").unwrap();
+        assert!(p.name().ends_with("-p90"), "{}", p.name());
+        assert!(p
+            .conv_layers()
+            .all(|l| (l.target_sparsity() - 0.9).abs() < 1e-12));
+        assert!(p.fc_layers().all(|l| l.target_sparsity() == 0.0));
+        assert!((p.max_target_sparsity() - 0.9).abs() < 1e-12);
+        // Aliases compose with the suffix; degenerate percents do not.
+        assert!(by_name("vgg-p50").is_some());
+        assert!(by_name("alexnet-p0").is_none());
+        assert!(by_name("alexnet-p100").is_none());
+        assert!(by_name("nonexistent-p90").is_none());
+    }
 
     const GMAC: u64 = 1_000_000_000;
     const MMAC: u64 = 1_000_000;

@@ -27,7 +27,10 @@
 
 use super::ir::{Geo, StageIr, UnitIr};
 use super::kernels::RowKernel;
+use super::plan::{charge_dense_unit_image, AltUnit};
+use super::repeat::factorized_unit_image;
 use super::scratch::{return_ring, shape_streams, take_ring, ArenaPeak, KernelBufs, Scratch};
+use super::sparse::sparse_unit_image;
 use super::Engine;
 use crate::batch::chunk_lengths;
 use crate::counters::Counters;
@@ -42,6 +45,7 @@ use tfe_telemetry::{LayerSample, StageKind};
 use tfe_tensor::fixed::{Accum, Fx16};
 use tfe_tensor::tensor::Tensor4;
 use tfe_transfer::analysis::ReuseConfig;
+use tfe_transfer::mode::ExecMode;
 use tfe_transfer::scnn::ORBIT;
 
 /// Result of [`Engine::run_batched`]: the batch's activations plus both
@@ -112,8 +116,13 @@ struct PartCtx<'a> {
     batch: usize,
     /// Whether the stage's conservative bound proved every kernel
     /// intermediate stays inside `i32` — gates the wrapping
-    /// (vectorizer-friendly) kernel fast path for dense sweeps.
+    /// (vectorizer-friendly) kernel fast path for dense and sparse
+    /// sweeps.
     saturation_free: bool,
+    /// The effective execution mode of this run: the plan's chosen
+    /// [`ExecMode`], downgraded to [`ExecMode::Dense`] when a
+    /// factorized stage fails this run's window-saturation bound.
+    exec: ExecMode,
     reuse: ReuseConfig,
     sources: &'a [(usize, usize, bool); ORBIT],
     /// The whole batch's padded input planes. Dense stages interleave
@@ -319,17 +328,30 @@ impl Engine {
         }
         out.clear();
         out.resize(batch * geo.m * plane_len, Accum::ZERO);
+        // The effective execution mode of this run: the compiled plan's
+        // choice, except that a factorized stage regroups additions and
+        // so is only admitted when this run's activations pass the
+        // window-level saturation bound — otherwise it downgrades to
+        // the (bit-identical by definition) dense sweep.
+        let exec = match stage.plan.mode() {
+            ExecMode::Factorized if !window_saturation_free(stage, &geo, cur) => ExecMode::Dense,
+            mode => mode,
+        };
         // Stages are scheme-homogeneous (one TransferredLayer each), so
         // the padded layout is a per-stage choice: dense stages take the
         // row-interleaved layout (one contiguous sweep spans the batch),
-        // DCNN/SCNN stages keep image-major planes for their rings.
-        let interleaved = matches!(stage.units.first(), Some(UnitIr::Dense { .. }));
+        // DCNN/SCNN stages — and the alternate per-image executors —
+        // keep image-major planes.
+        let interleaved = matches!(stage.units.first(), Some(UnitIr::Dense { .. }))
+            && !matches!(exec, ExecMode::Sparse | ExecMode::Factorized);
         fill_padded_batch(padded, cur, batch, &geo, interleaved);
         let ctx = PartCtx {
             stage,
             geo,
             batch,
-            saturation_free: interleaved && saturation_free(stage, &geo, padded),
+            saturation_free: (interleaved || exec == ExecMode::Sparse)
+                && saturation_free(stage, &geo, padded),
+            exec,
             reuse: self.reuse,
             sources: &self.scnn_sources,
             padded,
@@ -531,6 +553,31 @@ fn saturation_free(stage: &StageIr, geo: &Geo, padded: &[Fx16]) -> bool {
         < i64::from(i32::MAX)
 }
 
+/// The stricter, window-level saturation bound that admits the
+/// factorized executor for one run: the absolute sum of **all** of a
+/// window's products is bounded by `(N/groups) · K² · max|w| · max|in|`.
+/// Strictly inside `i32`, no partial sum of any regrouping of those
+/// products can saturate, so the dense saturating chain — row sums,
+/// accumulator updates, and the `K−1` window-combine additions alike —
+/// equals the exact integer total the factorized executor computes.
+///
+/// Scanned over the **pre-padding** stage activations (`cur`): padding
+/// only inserts exact zeros, so the max is unchanged and the layout
+/// decision can be made before the batch is padded.
+pub(super) fn window_saturation_free(stage: &StageIr, geo: &Geo, cur: &[Fx16]) -> bool {
+    let in_abs = cur
+        .iter()
+        .map(|v| i64::from(v.to_bits()).abs())
+        .max()
+        .unwrap_or(0);
+    (geo.cpg as i64)
+        .saturating_mul(geo.k as i64)
+        .saturating_mul(geo.k as i64)
+        .saturating_mul(stage.w_abs_max)
+        .saturating_mul(in_abs)
+        < i64::from(i32::MAX)
+}
+
 /// Merges a run's per-image counters in batch order.
 fn total_counters(per_image: &[Counters]) -> Counters {
     let mut total = Counters::new();
@@ -612,24 +659,61 @@ fn run_part(
     let plane_len = geo.e * geo.f;
     let img_stride = geo.n * geo.ph * geo.pw;
     let slab = part.planes() * plane_len;
-    for unit in &ctx.stage.units[part.u0..part.u1] {
+    for (ui, unit) in ctx.stage.units[part.u0..part.u1].iter().enumerate() {
         match unit {
-            UnitIr::Dense { m, base } => dense_unit_sweep(
-                ctx.stage.kernel,
-                &ctx.stage.rows[*base..],
-                ctx.padded,
-                geo,
-                ctx.batch,
-                ctx.saturation_free,
-                part.b0,
-                part.images(),
-                *m,
-                *m - part.plane0,
-                part.planes(),
-                out_part,
-                bufs,
-                charges,
-            ),
+            UnitIr::Dense { m, base } => {
+                if part.images() > 0 && matches!(ctx.exec, ExecMode::Sparse | ExecMode::Factorized)
+                {
+                    // Alternate executors run per image over the
+                    // image-major layout; charges replay the dense
+                    // model once for the representative image (the
+                    // caller replicates per image, exactly as the
+                    // dense sweep's hoisted charges are).
+                    charge_dense_unit_image(geo, charges);
+                    let alt = &ctx.stage.plan.units[part.u0 + ui];
+                    for bi in 0..part.images() {
+                        let image = &ctx.padded[(part.b0 + bi) * img_stride..][..img_stride];
+                        let out_img = &mut out_part[bi * slab..][..slab];
+                        match alt {
+                            AltUnit::Sparse(table) => sparse_unit_image(
+                                table,
+                                image,
+                                geo,
+                                *m,
+                                *m - part.plane0,
+                                ctx.saturation_free,
+                                out_img,
+                                bufs,
+                            ),
+                            AltUnit::Fact(table) => factorized_unit_image(
+                                table,
+                                image,
+                                geo,
+                                *m - part.plane0,
+                                out_img,
+                                bufs,
+                            ),
+                        }
+                    }
+                    continue;
+                }
+                dense_unit_sweep(
+                    ctx.stage.kernel,
+                    &ctx.stage.rows[*base..],
+                    ctx.padded,
+                    geo,
+                    ctx.batch,
+                    ctx.saturation_free,
+                    part.b0,
+                    part.images(),
+                    *m,
+                    *m - part.plane0,
+                    part.planes(),
+                    out_part,
+                    bufs,
+                    charges,
+                )
+            }
             UnitIr::Dcnn {
                 g,
                 per_axis,
@@ -734,7 +818,7 @@ fn fill_padded_batch(
 
 /// Adds a later window part into the running window sum, with the same
 /// alignment check as [`crate::errr::combine_rows`].
-fn window_add(window: &mut [Accum], part: &[Accum]) {
+pub(super) fn window_add(window: &mut [Accum], part: &[Accum]) {
     assert_eq!(part.len(), window.len(), "window parts must align");
     for (acc, &p) in window.iter_mut().zip(part.iter()) {
         *acc += p;
@@ -743,7 +827,7 @@ fn window_add(window: &mut [Accum], part: &[Accum]) {
 
 /// Subsamples the combined window into output row `oy` of plane `m`
 /// (already rebased to the owning part's plane range).
-fn emit_row(out_img: &mut [Accum], window: &[Accum], m: usize, oy: usize, geo: &Geo) {
+pub(super) fn emit_row(out_img: &mut [Accum], window: &[Accum], m: usize, oy: usize, geo: &Geo) {
     let orow = &mut out_img[(m * geo.e + oy) * geo.f..][..geo.f];
     for (ox, slot) in orow.iter_mut().enumerate() {
         *slot = window[ox * geo.s];

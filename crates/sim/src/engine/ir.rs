@@ -9,6 +9,7 @@
 //! (`engine::exec`) only ever reads these tables.
 
 use crate::engine::kernels::RowKernel;
+use crate::engine::plan::{plan_stage, StagePlan};
 use crate::output::OutputConfig;
 use crate::SimError;
 use tfe_nets::TransferMode;
@@ -16,6 +17,7 @@ use tfe_tensor::fixed::{Accum, Fx16};
 use tfe_tensor::shape::LayerShape;
 use tfe_transfer::analysis::ReuseConfig;
 use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::mode::{ExecMode, ModePolicy};
 use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
 
 /// What the compile phase materialized, so callers (and tests) can see
@@ -24,7 +26,7 @@ use tfe_transfer::scnn::{Orientation, ORBIT, ORIENTATIONS};
 /// matching run-side counter
 /// ([`Scratch::run_quantized_rows`](crate::engine::Scratch::run_quantized_rows))
 /// that must stay zero.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrepareStats {
     /// Filter rows quantized to Q8.8 (dense rows, DCNN meta rows, and
     /// every row of every SCNN orientation).
@@ -33,6 +35,9 @@ pub struct PrepareStats {
     pub weight_values: u64,
     /// SCNN orbit members materialized by orientation expansion.
     pub scnn_orientations: u64,
+    /// The execution mode the weight plan chose for each stage, in
+    /// stage order (`engine/plan.rs`).
+    pub modes: Vec<ExecMode>,
 }
 
 /// One work unit of a compiled stage, with its offset into the stage's
@@ -117,6 +122,10 @@ pub(crate) struct StageIr {
     /// run phase checks per stage (`exec::saturation_free`) before
     /// taking the wrapping kernel fast path.
     pub(crate) w_abs_max: i64,
+    /// The stage's compiled weight plan: chosen [`ExecMode`], weight
+    /// statistics, and the per-unit alternate-execution tables
+    /// (`engine/plan.rs`).
+    pub(crate) plan: StagePlan,
 }
 
 /// Layer geometry snapshot threaded through the run-phase kernels.
@@ -205,6 +214,7 @@ pub(crate) fn compile_stage(
     output: OutputConfig,
     reuse: ReuseConfig,
     stats: &mut PrepareStats,
+    policy: &ModePolicy,
 ) -> Result<StageIr, SimError> {
     let shape = shape.clone();
     // Grouped (and therefore depth-wise) geometry runs first-class, but
@@ -375,7 +385,7 @@ pub(crate) fn compile_stage(
         .map(|w| i64::from(w.to_bits()).abs())
         .max()
         .unwrap_or(0);
-    Ok(StageIr {
+    let mut stage = StageIr {
         shape,
         output,
         mode,
@@ -384,5 +394,9 @@ pub(crate) fn compile_stage(
         units,
         kernel,
         w_abs_max,
-    })
+        plan: StagePlan::default(),
+    };
+    stage.plan = plan_stage(&stage, policy);
+    stats.modes.push(stage.plan.mode());
+    Ok(stage)
 }

@@ -59,7 +59,10 @@
 mod exec;
 mod ir;
 pub(crate) mod kernels;
+mod plan;
+mod repeat;
 mod scratch;
+mod sparse;
 
 pub use exec::BatchedRun;
 pub use ir::PrepareStats;
@@ -74,6 +77,7 @@ use tfe_telemetry::{Sink, TelemetryRegistry};
 use tfe_tensor::shape::LayerShape;
 use tfe_transfer::analysis::ReuseConfig;
 use tfe_transfer::layer::TransferredLayer;
+use tfe_transfer::mode::{ExecMode, ModePolicy};
 use tfe_transfer::scnn::ORBIT;
 
 /// A network compiled for repeated execution: all weight-side work of
@@ -107,6 +111,24 @@ impl Engine {
     /// mismatches, inconsistent transferred representations) — at
     /// compile time instead of on the first request.
     pub fn compile(net: &FunctionalNetwork, reuse: ReuseConfig) -> Result<Self, SimError> {
+        Engine::compile_with_policy(net, reuse, &ModePolicy::default())
+    }
+
+    /// [`Engine::compile`] with an explicit [`ModePolicy`] steering the
+    /// per-stage weight plan (`engine/plan.rs`). Every policy yields
+    /// bit-identical activations and counters — the policy only chooses
+    /// *how* dense stages execute ([`ExecMode`]), so forcing a mode
+    /// (e.g. [`ModePolicy::FORCE_SPARSE`]) is safe for any network and
+    /// is how the parity tests and benches pin the alternate executors.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::compile`].
+    pub fn compile_with_policy(
+        net: &FunctionalNetwork,
+        reuse: ReuseConfig,
+        policy: &ModePolicy,
+    ) -> Result<Self, SimError> {
         let mut stats = PrepareStats::default();
         let stages = net
             .stages()
@@ -119,6 +141,7 @@ impl Engine {
                     stage.output,
                     reuse,
                     &mut stats,
+                    policy,
                 )
             })
             .collect::<Result<Vec<_>, SimError>>()?;
@@ -140,6 +163,7 @@ impl Engine {
             crate::output::OutputConfig::RELU_ONLY,
             reuse,
             &mut stats,
+            &ModePolicy::default(),
         )?;
         Ok(Engine::from_stages(vec![stage], reuse, stats))
     }
@@ -171,7 +195,15 @@ impl Engine {
             .iter()
             .map(|s| s.shape.name().to_owned())
             .collect();
-        self.sink = Sink::enabled(labels, ring_capacity);
+        // Each layer also carries its compiled execution mode, so stats
+        // surfaces (serve Stats responses, tfe-loadgen tables) show how
+        // every stage actually executes.
+        let modes = self
+            .stages
+            .iter()
+            .map(|s| s.plan.mode().as_str().to_owned())
+            .collect();
+        self.sink = Sink::enabled_with_modes(labels, modes, ring_capacity);
         self.sink.clone()
     }
 
@@ -204,7 +236,7 @@ impl Engine {
     /// What the compile phase materialized.
     #[must_use]
     pub fn stats(&self) -> PrepareStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Number of compiled stages.
@@ -238,5 +270,23 @@ impl Engine {
     #[must_use]
     pub fn stage_modes(&self) -> Vec<TransferMode> {
         self.stages.iter().map(|s| s.mode).collect()
+    }
+
+    /// The [`ExecMode`] the weight plan chose for each stage, in stage
+    /// order — how dense stages actually execute (dense sweep,
+    /// compressed-sparse, or factorized; transferred stages report
+    /// [`ExecMode::Transferred`]).
+    #[must_use]
+    pub fn exec_modes(&self) -> Vec<ExecMode> {
+        self.stages.iter().map(|s| s.plan.mode()).collect()
+    }
+
+    /// The weight statistics the plan measured for stage `index`:
+    /// `(sparsity, repetition)` over the stage's quantized logical taps.
+    #[must_use]
+    pub fn stage_weight_stats(&self, index: usize) -> Option<(f64, f64)> {
+        self.stages
+            .get(index)
+            .map(|s| (s.plan.sparsity, s.plan.repetition))
     }
 }

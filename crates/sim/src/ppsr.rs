@@ -540,7 +540,7 @@ pub fn conventional_row_pass_acc_scalar(
 /// element), `span` the stored row width (`taps` unless the row is
 /// zero-stuffed for dilation — stuffed zeros are clock-gated, not
 /// charged).
-fn charge_conventional(
+pub(crate) fn charge_conventional(
     taps: usize,
     span: usize,
     input_len: usize,

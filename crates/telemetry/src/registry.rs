@@ -22,6 +22,10 @@ pub struct LayerStats {
     pub layer: usize,
     /// The stage's layer label (shape name).
     pub label: String,
+    /// The layer's execution-mode string (e.g. `"dense"`, `"sparse"`,
+    /// `"factorized"`, `"transferred"`); empty when the sink's producer
+    /// didn't supply one.
+    pub mode: String,
     /// Stage executions recorded since the sink was enabled (exact).
     /// A batched run counts once here regardless of its batch size.
     pub runs: u64,
@@ -54,6 +58,7 @@ impl TelemetryRegistry {
     /// disabled sink yields an empty registry.
     #[must_use]
     pub fn collect(sink: &Sink) -> TelemetryRegistry {
+        let modes = sink.layer_modes();
         let mut layers: Vec<LayerStats> = sink
             .layer_totals()
             .into_iter()
@@ -61,6 +66,7 @@ impl TelemetryRegistry {
             .map(|(layer, (label, totals))| LayerStats {
                 layer,
                 label,
+                mode: modes.get(layer).cloned().unwrap_or_default(),
                 runs: totals.runs,
                 images: totals.images,
                 wall_ns: totals.wall_ns,
@@ -118,6 +124,9 @@ impl TelemetryRegistry {
                     if mine.label.is_empty() {
                         mine.label = theirs.label.clone();
                     }
+                    if mine.mode.is_empty() {
+                        mine.mode = theirs.mode.clone();
+                    }
                     mine.runs += theirs.runs;
                     mine.images += theirs.images;
                     mine.wall_ns += theirs.wall_ns;
@@ -142,6 +151,7 @@ impl TelemetryRegistry {
                 .map(|l| LayerTelemetry {
                     layer: l.layer as u64,
                     label: l.label.clone(),
+                    mode: l.mode.clone(),
                     runs: l.runs,
                     images: l.images,
                     wall_ns: l.wall_ns,
@@ -168,6 +178,8 @@ pub struct LayerTelemetry {
     pub layer: u64,
     /// The stage's layer label (shape name).
     pub label: String,
+    /// The layer's execution-mode string (empty when unknown).
+    pub mode: String,
     /// Stage executions recorded since the sink was enabled. A batched
     /// run counts once regardless of its batch size.
     pub runs: u64,
@@ -294,6 +306,32 @@ mod tests {
         assert_eq!(merged.layers()[1].runs, 1);
         assert_eq!(merged.recorded(), 3);
         assert_eq!(merged.total().multiplies, 13);
+    }
+
+    #[test]
+    fn modes_flow_from_sink_to_snapshot() {
+        let sink = Sink::enabled_with_modes(
+            vec!["c1".into(), "c2".into()],
+            vec!["sparse".into(), "transferred".into()],
+            8,
+        );
+        sink.record(&sample(0, 1_000, 2));
+        let reg = TelemetryRegistry::collect(&sink);
+        assert_eq!(reg.layers()[0].mode, "sparse");
+        assert_eq!(reg.layers()[1].mode, "transferred");
+        let snap = reg.snapshot();
+        assert_eq!(snap.layers[0].mode, "sparse");
+        // A mode-less registry merged into a mode-carrying one keeps
+        // the known modes; the reverse direction adopts them.
+        let plain = TelemetryRegistry::collect(&{
+            let s = Sink::enabled(vec!["c1".into(), "c2".into()], 8);
+            s.record(&sample(0, 500, 1));
+            s
+        });
+        let mut merged = plain.clone();
+        merged.merge(&reg);
+        assert_eq!(merged.layers()[0].mode, "sparse");
+        assert_eq!(merged.layers()[0].runs, 2);
     }
 
     #[test]

@@ -108,6 +108,11 @@ pub(crate) struct SinkInner {
     ring: Ring,
     layers: Vec<LayerCells>,
     labels: Vec<String>,
+    /// Per-layer execution-mode strings (e.g. `"dense"`, `"sparse"`) —
+    /// static compile-time facts carried alongside the labels so stats
+    /// surfaces can show *how* each layer executes; empty strings when
+    /// the producer didn't supply any.
+    modes: Vec<String>,
 }
 
 /// Cloneable recording handle; clones share the same ring and totals.
@@ -134,12 +139,26 @@ impl Sink {
     /// holding `ring_capacity` records (clamped to ≥ 1).
     #[must_use]
     pub fn enabled(labels: Vec<String>, ring_capacity: usize) -> Sink {
+        let modes = vec![String::new(); labels.len()];
+        Sink::enabled_with_modes(labels, modes, ring_capacity)
+    }
+
+    /// [`Sink::enabled`] with a per-layer execution-mode string carried
+    /// alongside each label (padded/truncated to the label count).
+    #[must_use]
+    pub fn enabled_with_modes(
+        labels: Vec<String>,
+        mut modes: Vec<String>,
+        ring_capacity: usize,
+    ) -> Sink {
+        modes.resize(labels.len(), String::new());
         let layers = labels.iter().map(|_| LayerCells::default()).collect();
         Sink {
             inner: Some(Arc::new(SinkInner {
                 ring: Ring::new(ring_capacity),
                 layers,
                 labels,
+                modes,
             })),
         }
     }
@@ -182,6 +201,14 @@ impl Sink {
                 samples: Vec::new(),
             },
         }
+    }
+
+    /// Per-layer execution-mode strings, parallel to the labels (empty
+    /// when disabled).
+    pub(crate) fn layer_modes(&self) -> Vec<String> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.modes.clone())
     }
 
     /// Labels and exact cumulative totals per layer (empty when

@@ -57,6 +57,13 @@ pub enum TensorError {
         /// Padded input extent the field was checked against.
         padded_input: usize,
     },
+    /// A fractional parameter (e.g. a pruning sparsity) was outside
+    /// `[0, 1]` — rejected as a typed error rather than silently
+    /// clamped.
+    InvalidFraction {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -99,6 +106,9 @@ impl fmt::Display for TensorError {
                 f,
                 "dilated receptive extent {extent} (dilation {dilation}) exceeds padded input of extent {padded_input}"
             ),
+            TensorError::InvalidFraction { what } => {
+                write!(f, "invalid {what}: must be a fraction in [0, 1]")
+            }
         }
     }
 }

@@ -39,10 +39,12 @@ pub mod extensions;
 pub mod fit;
 pub mod layer;
 pub mod meta;
+pub mod mode;
 pub mod scheme;
 pub mod scnn;
 
 mod error;
 
 pub use error::TransferError;
+pub use mode::{ExecMode, ModePolicy};
 pub use scheme::{Policy, TransferScheme};
